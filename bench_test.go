@@ -1,0 +1,174 @@
+// Package repro's benchmark harness regenerates every table and figure in
+// the paper's evaluation as a testing.B benchmark, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full study and reports how long each artifact takes to
+// regenerate. Each benchmark iteration builds a fresh Lab (no sweep cache)
+// so the numbers reflect true regeneration cost.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab()
+		if err := e.Run(lab, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 1: the ACR rule definitions (pure policy evaluation).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// Fig 1a/1b: device classification scatters under the 2022/2023 rules.
+func BenchmarkFig1a(b *testing.B) { benchExperiment(b, "fig1a") }
+func BenchmarkFig1b(b *testing.B) { benchExperiment(b, "fig1b") }
+
+// Fig 2: die area vs TPP classification.
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// Fig 5: October 2022 TPP-vs-device-bandwidth sweep (GPT-3 175B).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// Fig 6: October 2022 DSE — 512 designs × 2 models.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// Fig 7: October 2023 DSE — 1536 designs × 3 TPP tiers × 2 models.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Table 4: PD-compliant vs non-compliant optimal 2400-TPP designs.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// Fig 8: latency × die-cost products over the October 2023 DSE.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// Fig 9/10: marketing vs architectural classification consistency.
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// Fig 11/12: architecture-first indicator distributions.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// §4.2 headline and §5 externality analyses.
+func BenchmarkHeadline(b *testing.B)    { benchExperiment(b, "headline") }
+func BenchmarkExternality(b *testing.B) { benchExperiment(b, "externality") }
+func BenchmarkHBMRule(b *testing.B)     { benchExperiment(b, "hbmrule") }
+
+// Substrate micro-benchmarks: the building blocks the study is made of.
+
+// BenchmarkSimulateLayerGPT3 times one full prefill+decode layer simulation
+// on the modeled A100 — the unit of work every DSE point pays twice.
+func BenchmarkSimulateLayerGPT3(b *testing.B) {
+	s := sim.New()
+	w := model.PaperWorkload(model.GPT3_175B())
+	cfg := arch.A100()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Simulate(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateLayerLlama3 is the Llama 3 8B counterpart.
+func BenchmarkSimulateLayerLlama3(b *testing.B) {
+	s := sim.New()
+	w := model.PaperWorkload(model.Llama3_8B())
+	cfg := arch.A100()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Simulate(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSESweep512 times the Fig 6 sweep without rendering.
+func BenchmarkDSESweep512(b *testing.B) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	g := dse.Table3(4800, []float64{600})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.NewExplorer().Run(g, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeCompliant times the core facade's constrained search.
+func BenchmarkOptimizeCompliant(b *testing.B) {
+	w := model.PaperWorkload(model.Llama3_8B())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.OptimizeCompliant(core.RuleOct2022, 4800, w, core.MinTBT); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateDesign times a single full design report.
+func BenchmarkEvaluateDesign(b *testing.B) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	cfg := arch.A100()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Evaluate(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension-analysis benchmarks (§2.3 chiplets/binning, §5.4 gaming,
+// §6.1 metric history, parallelism and serving).
+func BenchmarkChipletEscape(b *testing.B)    { benchExperiment(b, "chipletescape") }
+func BenchmarkGamingSafeHarbor(b *testing.B) { benchExperiment(b, "gaming") }
+func BenchmarkMetricsHistory(b *testing.B)   { benchExperiment(b, "metricshistory") }
+func BenchmarkBinning(b *testing.B)          { benchExperiment(b, "binning") }
+func BenchmarkParallelism(b *testing.B)      { benchExperiment(b, "parallelism") }
+func BenchmarkServing(b *testing.B)          { benchExperiment(b, "serving") }
+func BenchmarkPowerDraw(b *testing.B)        { benchExperiment(b, "powerdraw") }
+
+// Policy-engineering benchmarks.
+func BenchmarkWhatIf(b *testing.B)       { benchExperiment(b, "whatif") }
+func BenchmarkAudit(b *testing.B)        { benchExperiment(b, "audit") }
+func BenchmarkQuantization(b *testing.B) { benchExperiment(b, "quantization") }
+
+// BenchmarkAblation times the model-mechanism ablation study.
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkFabCapacity times the wafer-capacity analysis.
+func BenchmarkFabCapacity(b *testing.B) { benchExperiment(b, "fabcapacity") }
+
+// Supply-chain and quantity-control benchmarks.
+func BenchmarkHBMSupply(b *testing.B) { benchExperiment(b, "hbmsupply") }
+func BenchmarkQuota(b *testing.B)     { benchExperiment(b, "quota") }
+
+// Escape-package performance and elasticity benchmarks.
+func BenchmarkEscapePerf(b *testing.B) { benchExperiment(b, "escapeperf") }
+func BenchmarkTornado(b *testing.B)    { benchExperiment(b, "tornado") }
+
+// BenchmarkCrossVal times the event-driven/analytic cross-validation.
+func BenchmarkCrossVal(b *testing.B) { benchExperiment(b, "crossval") }
+
+// BenchmarkRobustness times the Monte-Carlo constant-perturbation study.
+func BenchmarkRobustness(b *testing.B) { benchExperiment(b, "robustness") }

@@ -1,0 +1,71 @@
+// Command acraudit audits a device design against the Advanced Computing
+// Rules and proposes the industry-standard remediation paths (cap the
+// interconnect, cut cores, grow die area).
+//
+//	acraudit                          # audit the modeled A100
+//	acraudit -cores 50 -membw 3200    # audit a dense 2310-TPP design
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/compliance"
+	"repro/internal/plot"
+)
+
+func main() {
+	var (
+		cores = flag.Int("cores", 108, "cores per device")
+		lanes = flag.Int("lanes", 4, "lanes per core")
+		dim   = flag.Int("dim", 16, "systolic array dimension (square)")
+		l1    = flag.Int("l1", 192, "L1 per core (KB)")
+		l2    = flag.Int("l2", 40, "L2 (MB)")
+		membw = flag.Float64("membw", 2000, "HBM bandwidth (GB/s)")
+		devbw = flag.Float64("devbw", 600, "device-device bandwidth (GB/s)")
+		clock = flag.Float64("clock", arch.A100ClockGHz, "clock (GHz)")
+	)
+	flag.Parse()
+
+	cfg := arch.Config{
+		Name:            "audited",
+		CoreCount:       *cores,
+		LanesPerCore:    *lanes,
+		SystolicDimX:    *dim,
+		SystolicDimY:    *dim,
+		VectorWidth:     32,
+		L1KB:            *l1,
+		L2MB:            *l2,
+		HBMCapacityGB:   80,
+		HBMBandwidthGBs: *membw,
+		DeviceBWGBs:     *devbw,
+		ClockGHz:        *clock,
+		Process:         arch.ProcessN7,
+	}
+	audit, err := compliance.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acraudit:", err)
+		os.Exit(1)
+	}
+	fmt.Println(cfg)
+	fmt.Printf("\nTPP %.0f, modeled area %.0f mm², PD %.2f\n", audit.TPP, audit.AreaMM2, audit.PD)
+	fmt.Printf("October 2022:                 %s\n", audit.Oct2022)
+	fmt.Printf("October 2023 (data center):   %s\n", audit.Oct2023DC)
+	fmt.Printf("October 2023 (consumer):      %s\n", audit.Oct2023NDC)
+	if audit.Compliant() {
+		fmt.Println("\ndesign is unrestricted; no remediation needed")
+		return
+	}
+	rows := [][]string{{"remediation", "description", "TPP loss", "area gain"}}
+	for _, r := range audit.Remediations {
+		rows = append(rows, []string{
+			r.Kind, r.Description,
+			fmt.Sprintf("%.0f", r.TPPLoss),
+			fmt.Sprintf("%.0f mm²", r.AreaGainMM2),
+		})
+	}
+	fmt.Println()
+	fmt.Print(plot.Table(rows))
+}

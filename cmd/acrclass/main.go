@@ -1,0 +1,114 @@
+// Command acrclass classifies devices under the Advanced Computing Rules.
+//
+// Classify the built-in 2018–2024 GPU catalogue:
+//
+//	acrclass -rule oct2023
+//
+// Classify a hypothetical device from datasheet numbers:
+//
+//	acrclass -rule oct2023 -tpp 4708 -area 609 -segment consumer
+//
+// Check an HBM package under the December 2024 rule:
+//
+//	acrclass -rule hbm -membw 819 -pkgarea 110
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/devices"
+	"repro/internal/plot"
+	"repro/internal/policy"
+)
+
+func main() {
+	var (
+		rule    = flag.String("rule", "oct2023", "rule to apply: oct2022, oct2023, hbm")
+		tpp     = flag.Float64("tpp", 0, "TPP of a custom device (0 = classify the catalogue)")
+		devBW   = flag.Float64("devbw", 0, "device-device bandwidth GB/s (custom device)")
+		area    = flag.Float64("area", 0, "applicable die area mm² (custom device)")
+		segment = flag.String("segment", "datacenter", "custom device segment: datacenter or consumer")
+		memBW   = flag.Float64("membw", 0, "HBM package bandwidth GB/s (hbm rule)")
+		pkgArea = flag.Float64("pkgarea", 0, "HBM package area mm² (hbm rule)")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of a table")
+		file    = flag.String("file", "", "classify devices from a CSV file instead of the built-in catalogue")
+	)
+	flag.Parse()
+
+	if err := run(*rule, *tpp, *devBW, *area, *segment, *memBW, *pkgArea, *csvOut, *file); err != nil {
+		fmt.Fprintln(os.Stderr, "acrclass:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rule string, tpp, devBW, area float64, segment string, memBW, pkgArea float64, csvOut bool, file string) error {
+	if rule == "hbm" {
+		pkg := policy.HBMPackage{BandwidthGBs: memBW, PackageAreaMM2: pkgArea}
+		fmt.Printf("memory bandwidth density %.2f GB/s/mm²: %s\n",
+			pkg.BandwidthDensity(), policy.Dec2024HBM(pkg))
+		return nil
+	}
+
+	classify := func(m policy.Metrics) (policy.Classification, error) {
+		switch rule {
+		case "oct2022":
+			return policy.Oct2022(m), nil
+		case "oct2023":
+			return policy.Oct2023(m), nil
+		default:
+			return 0, fmt.Errorf("unknown rule %q (oct2022, oct2023, hbm)", rule)
+		}
+	}
+
+	if tpp > 0 {
+		seg := policy.DataCenter
+		if segment == "consumer" || segment == "non-datacenter" {
+			seg = policy.NonDataCenter
+		}
+		m := policy.Metrics{TPP: tpp, DeviceBWGBs: devBW, DieAreaMM2: area, Segment: seg}
+		cls, err := classify(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("TPP %.0f, device BW %.0f GB/s, area %.0f mm² (PD %.2f), %s: %s\n",
+			tpp, devBW, area, m.PerformanceDensity(), seg, cls)
+		if minA, ok := policy.MinAreaToAvoidOct2023(tpp, policy.NotApplicable); ok && rule == "oct2023" && minA > 0 {
+			fmt.Printf("minimum applicable die area to escape the rule entirely: %.0f mm²\n", minA)
+		}
+		return nil
+	}
+
+	catalogue := devices.All()
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		catalogue, err = devices.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	}
+
+	rows := [][]string{{"device", "year", "segment", "TPP", "dev BW", "die mm²", "PD", "classification"}}
+	for _, d := range catalogue {
+		cls, err := classify(d.Metrics())
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			d.Name, fmt.Sprintf("%d", d.Year), d.Segment.String(),
+			fmt.Sprintf("%.0f", d.TPP), fmt.Sprintf("%.0f", d.DeviceBWGBs),
+			fmt.Sprintf("%.0f", d.DieAreaMM2), fmt.Sprintf("%.2f", d.PerformanceDensity()),
+			cls.String(),
+		})
+	}
+	if csvOut {
+		return plot.WriteTableCSV(os.Stdout, rows)
+	}
+	fmt.Print(plot.Table(rows))
+	return nil
+}

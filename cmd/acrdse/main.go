@@ -1,0 +1,128 @@
+// Command acrdse explores the sanction-constrained accelerator design
+// space: it sweeps the paper's Table 3 grid under a TPP budget, evaluates
+// every design's LLM-inference latency, die area, performance density and
+// cost, and reports the best compliant designs.
+//
+//	acrdse -tpp 4800 -model gpt3 -rule oct2022 -top 5
+//	acrdse -tpp 2400 -model llama3 -rule oct2023 -objective tbt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/model"
+	"repro/internal/plot"
+	"repro/internal/policy"
+)
+
+func main() {
+	var (
+		tpp       = flag.Float64("tpp", 4800, "TPP budget the designs stay under")
+		modelName = flag.String("model", "gpt3", "workload model: gpt3 or llama3")
+		rule      = flag.String("rule", "oct2022", "compliance regime: none, oct2022, oct2023")
+		objective = flag.String("objective", "ttft", "objective: ttft, tbt, ttftcost, tbtcost")
+		top       = flag.Int("top", 5, "number of best designs to print")
+	)
+	flag.Parse()
+	if err := run(*tpp, *modelName, *rule, *objective, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "acrdse:", err)
+		os.Exit(1)
+	}
+}
+
+func pickModel(name string) (model.Model, error) {
+	switch name {
+	case "gpt3":
+		return model.GPT3_175B(), nil
+	case "llama3":
+		return model.Llama3_8B(), nil
+	default:
+		return model.Model{}, fmt.Errorf("unknown model %q (gpt3, llama3)", name)
+	}
+}
+
+func run(tpp float64, modelName, rule, objective string, top int) error {
+	m, err := pickModel(modelName)
+	if err != nil {
+		return err
+	}
+	w := model.PaperWorkload(m)
+
+	var metric func(dse.Point) float64
+	switch objective {
+	case "ttft":
+		metric = dse.MetricTTFT
+	case "tbt":
+		metric = dse.MetricTBT
+	case "ttftcost":
+		metric = dse.MetricTTFTCost
+	case "tbtcost":
+		metric = dse.MetricTBTCost
+	default:
+		return fmt.Errorf("unknown objective %q", objective)
+	}
+
+	devBW := []float64{600}
+	if rule == "oct2023" {
+		devBW = []float64{500, 700, 900}
+	}
+	ex := dse.NewExplorer()
+	points, err := ex.Run(dse.Table3(tpp, devBW), w)
+	if err != nil {
+		return err
+	}
+	admissible := dse.Filter(points, func(p dse.Point) bool {
+		if !p.FitsReticle {
+			return false
+		}
+		switch rule {
+		case "none":
+			return true
+		case "oct2022":
+			return !policy.Oct2022(policy.Metrics{TPP: p.TPP, DeviceBWGBs: p.Config.DeviceBWGBs}).Restricted()
+		case "oct2023":
+			return p.Oct2023Class == policy.NotApplicable
+		default:
+			return false
+		}
+	})
+	if rule != "none" && rule != "oct2022" && rule != "oct2023" {
+		return fmt.Errorf("unknown rule %q", rule)
+	}
+	fmt.Printf("%s, TPP < %.0f, %s: %d designs, %d admissible (manufacturable + compliant)\n\n",
+		m.Name, tpp, rule, len(points), len(admissible))
+	if len(admissible) == 0 {
+		fmt.Println("no admissible designs — the rule excludes this entire TPP tier")
+		return nil
+	}
+
+	sort.Slice(admissible, func(i, j int) bool { return metric(admissible[i]) < metric(admissible[j]) })
+	if top > len(admissible) {
+		top = len(admissible)
+	}
+	rows := [][]string{{"rank", "design", "TTFT (ms)", "TBT (ms)", "area mm²", "PD", "die $", "good die $"}}
+	for i, p := range admissible[:top] {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1), p.Config.Name,
+			fmt.Sprintf("%.1f", p.TTFT()*1e3), fmt.Sprintf("%.4f", p.TBT()*1e3),
+			fmt.Sprintf("%.0f", p.AreaMM2), fmt.Sprintf("%.2f", p.PD),
+			fmt.Sprintf("%.0f", p.DieCostUSD), fmt.Sprintf("%.0f", p.GoodDieCostUSD),
+		})
+	}
+	fmt.Print(plot.Table(rows))
+
+	base, err := core.Baseline(w)
+	if err != nil {
+		return err
+	}
+	best := admissible[0]
+	fmt.Printf("\nmodeled A100 baseline: TTFT %.1f ms, TBT %.4f ms\nbest design vs A100: TTFT %+.1f%%, TBT %+.1f%%\n",
+		base.TTFTSeconds*1e3, base.TBTSeconds*1e3,
+		(best.TTFT()/base.TTFTSeconds-1)*100, (best.TBT()/base.TBTSeconds-1)*100)
+	return nil
+}

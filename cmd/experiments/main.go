@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -list
+//	experiments -run fig7
+//	experiments -run all -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		runID  = flag.String("run", "all", "experiment ID to run, or 'all'")
+		csvDir = flag.String("csv", "", "also write figure data as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if err := run(*runID, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(runID, csvDir string) error {
+	lab := experiments.NewLab()
+	var todo []experiments.Experiment
+	if runID == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(runID)
+		if err != nil {
+			return err
+		}
+		todo = []experiments.Experiment{e}
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range todo {
+		fmt.Printf("===== %s: %s =====\n", e.ID, e.Title)
+		if err := e.Run(lab, os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println()
+		if csvDir != "" && e.CSV != nil {
+			f, err := os.Create(filepath.Join(csvDir, e.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := e.CSV(lab, f); err != nil {
+				f.Close()
+				return fmt.Errorf("%s CSV: %w", e.ID, err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

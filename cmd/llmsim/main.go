@@ -1,0 +1,92 @@
+// Command llmsim simulates LLM inference on one device configuration and
+// prints the full per-operator profile — the LLMCompass-style view behind
+// every number in the reproduction.
+//
+//	llmsim -model gpt3                      # the modeled A100
+//	llmsim -model llama3 -cores 103 -membw 3200 -l2 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "gpt3", "workload model: gpt3 or llama3")
+		cores     = flag.Int("cores", 108, "cores per device")
+		lanes     = flag.Int("lanes", 4, "lanes per core")
+		dim       = flag.Int("dim", 16, "systolic array dimension (square)")
+		l1        = flag.Int("l1", 192, "L1 per core (KB)")
+		l2        = flag.Int("l2", 40, "L2 (MB)")
+		membw     = flag.Float64("membw", 2000, "HBM bandwidth (GB/s)")
+		memcap    = flag.Int("memcap", 80, "HBM capacity (GB)")
+		devbw     = flag.Float64("devbw", 600, "device-device bandwidth (GB/s)")
+		clock     = flag.Float64("clock", arch.A100ClockGHz, "clock (GHz)")
+		tp        = flag.Int("tp", 4, "tensor-parallel devices")
+		batch     = flag.Int("batch", 32, "batch size")
+		input     = flag.Int("input", 2048, "input sequence length")
+		output    = flag.Int("output", 1024, "output sequence length")
+		profile   = flag.Bool("profile", true, "print per-operator profiles")
+	)
+	flag.Parse()
+
+	var m model.Model
+	switch *modelName {
+	case "gpt3":
+		m = model.GPT3_175B()
+	case "llama3":
+		m = model.Llama3_8B()
+	default:
+		fmt.Fprintf(os.Stderr, "llmsim: unknown model %q\n", *modelName)
+		os.Exit(1)
+	}
+	cfg := arch.Config{
+		Name:            "custom",
+		CoreCount:       *cores,
+		LanesPerCore:    *lanes,
+		SystolicDimX:    *dim,
+		SystolicDimY:    *dim,
+		VectorWidth:     32,
+		L1KB:            *l1,
+		L2MB:            *l2,
+		HBMCapacityGB:   *memcap,
+		HBMBandwidthGBs: *membw,
+		DeviceBWGBs:     *devbw,
+		ClockGHz:        *clock,
+		Process:         arch.ProcessN7,
+	}
+	w := model.Workload{Model: m, Batch: *batch, InputLen: *input,
+		OutputLen: *output, TensorParallel: *tp}
+
+	rep, err := core.Evaluate(cfg, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llmsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(cfg)
+	fmt.Printf("\nper-layer latency: TTFT %.2f ms, TBT %.4f ms (MFU %.0f%% / %.1f%%)\n",
+		rep.TTFTSeconds*1e3, rep.TBTSeconds*1e3, rep.PrefillMFU*100, rep.DecodeMFU*100)
+	fmt.Printf("die: %.0f mm² (reticle ok: %v), PD %.2f, yield %.0f%%, $%.0f/die, $%.0f/good die\n",
+		rep.AreaMM2, rep.FitsReticle, rep.PD, rep.Yield*100, rep.DieCostUSD, rep.GoodDieCostUSD)
+	fmt.Printf("floorplan: %s\n", rep.Area)
+	fmt.Printf("export control: Oct 2022 %s; Oct 2023 data center %s / consumer %s\n",
+		rep.Oct2022, rep.Oct2023DataCenter, rep.Oct2023Consumer)
+
+	if *profile {
+		s := sim.New()
+		r, err := s.Simulate(cfg, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "llmsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nPREFILL (one layer):\n%s", sim.ProfileTable(r.PrefillOps))
+		fmt.Printf("\nDECODE (one step, one layer):\n%s", sim.ProfileTable(r.DecodeOps))
+	}
+}

@@ -1,0 +1,138 @@
+// Command report regenerates the paper-vs-measured reproduction summary
+// from live simulation, emitting a self-contained markdown document. Unlike
+// EXPERIMENTS.md (a curated snapshot), this output is recomputed on every
+// run, so any model change is immediately visible against the paper's
+// numbers.
+//
+//	report > reproduction_report.md
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/devices"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/policy"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+type row struct {
+	artifact, paper, measured string
+}
+
+func run(out *os.File) error {
+	lab := experiments.NewLab()
+	var rows []row
+	add := func(artifact, paper, format string, args ...any) {
+		rows = append(rows, row{artifact, paper, fmt.Sprintf(format, args...)})
+	}
+
+	// Fig 5 sensitivities.
+	f5, err := lab.Fig5()
+	if err != nil {
+		return err
+	}
+	add("Fig 5: TPP 4000→5000 TTFT drop", "16.2%", "%.1f%%", f5.TTFTDropTPP4000To5000*100)
+	add("Fig 5: device BW 600→1000 TBT drop", "0.27%", "%.2f%%", f5.TBTDropBW600To1000*100)
+
+	// Fig 6 headline.
+	for _, spec := range []struct {
+		m           model.Model
+		paperTTFT   string
+		paperTBT    string
+		paperAreaMM string
+	}{
+		{model.GPT3_175B(), "−1.2%", "−27%", "856"},
+		{model.Llama3_8B(), "−4%", "−14.2%", "823"},
+	} {
+		r6, err := lab.Fig6(spec.m)
+		if err != nil {
+			return err
+		}
+		add(fmt.Sprintf("Fig 6: %s optimum TTFT vs A100", spec.m.Name), spec.paperTTFT,
+			"%+.1f%%", -r6.TTFTGain*100)
+		add(fmt.Sprintf("Fig 6: %s optimum TBT vs A100", spec.m.Name), spec.paperTBT,
+			"%+.1f%%", -r6.TBTGain*100)
+		add(fmt.Sprintf("Fig 6: %s optimum die area", spec.m.Name), spec.paperAreaMM+" mm²",
+			"%.0f mm²", r6.Optimum.AreaMM2)
+	}
+
+	// Fig 7 structure.
+	r7, err := lab.Fig7(model.GPT3_175B())
+	if err != nil {
+		return err
+	}
+	add("Fig 7: compliant 4800-TPP designs", "0", "%d", r7.CompliantCounts[4800])
+	add("Fig 7: compliant 2400-TPP designs", "56", "%d", r7.CompliantCounts[2400])
+	add("Fig 7: fastest compliant 2400-TPP TTFT vs A100 (GPT-3)", "+78.8%",
+		"%+.1f%%", r7.FastestTTFTSlowdown[2400]*100)
+
+	// Table 4.
+	t4, err := lab.Table4()
+	if err != nil {
+		return err
+	}
+	add("Table 4: PD-compliant die area", "753 mm²", "%.0f mm²", t4.Compliant.AreaMM2)
+	add("Table 4: PD-compliant die cost", "$134", "$%.0f", t4.Compliant.DieCostUSD)
+	add("Table 4: PD-compliant 1M good dies", "$350M", "$%.0fM", t4.CompliantGoodDiesCostM)
+
+	// Fig 8 cost ratios.
+	tr, br, err := lab.CostRatios(model.GPT3_175B())
+	if err != nil {
+		return err
+	}
+	add("Fig 8: GPT-3 compliant/non-compliant TTFT-cost minima", "2.72×", "%.2f×", tr)
+	add("Fig 8: GPT-3 compliant/non-compliant TBT-cost minima", "2.64×", "%.2f×", br)
+
+	// Figs 9/10.
+	f9 := experiments.Fig9()
+	add("Fig 9: false data-center devices", "4", "%d", len(f9.FalseDC))
+	add("Fig 9: false non-data-center devices", "7", "%d", len(f9.FalseNDC))
+	f10 := experiments.Fig10()
+	add("Fig 10: architectural mismatches", "2 (vs 11 marketing)", "%d (vs %d marketing)",
+		len(f10.FalseDC)+len(f10.FalseNDC), len(f9.FalseDC)+len(f9.FalseNDC))
+
+	// Figs 11/12 indicators.
+	i11, err := lab.Fig11(model.GPT3_175B())
+	if err != nil {
+		return err
+	}
+	if g, ok := experiments.GroupByName(i11.TBTGroups, "2.8 TB/s M. BW"); ok {
+		add("Fig 11: fixed 2.8 TB/s TBT narrowing (GPT-3)", "20.6×", "%.1f×", g.Narrowing)
+	}
+	i12, err := lab.Fig12(model.GPT3_175B())
+	if err != nil {
+		return err
+	}
+	if g, ok := experiments.GroupByName(i12.TBTGroups, "0.8 TB/s M. BW"); ok {
+		add("Fig 12: 0.8 TB/s TBT narrowing (GPT-3)", "41.8×", "%.1f×", g.Narrowing)
+		shift, err := lab.MedianShiftVsA100(model.GPT3_175B(), g, false)
+		if err != nil {
+			return err
+		}
+		add("Fig 12: 0.8 TB/s median TBT vs A100 (GPT-3)", "+110%", "%+.0f%%", shift*100)
+	}
+
+	// Emit.
+	fmt.Fprintf(out, "# Live reproduction report\n\nDevices in catalogue: %d. Rules implemented: Oct 2022, Oct 2023, Dec 2024 HBM, Jan 2025 quantity (TPP aggregation).\n\n", len(devices.All()))
+	fmt.Fprintln(out, "| artifact | paper | measured |")
+	fmt.Fprintln(out, "|---|---|---|")
+	for _, r := range rows {
+		fmt.Fprintf(out, "| %s | %s | %s |\n", r.artifact, r.paper, r.measured)
+	}
+	fmt.Fprintf(out, "\nClassification spot checks: A100 %s (Oct 2022), RTX 4090D %s (Oct 2023).\n",
+		policy.Oct2022(policy.Metrics{TPP: 4992, DeviceBWGBs: 600}),
+		func() policy.Classification {
+			d, _ := devices.ByName("RTX 4090D")
+			return policy.Oct2023(d.Metrics())
+		}())
+	return nil
+}

@@ -1,0 +1,68 @@
+// Chipletplanner plays the manufacturing side of the paper (§2.3): it
+// prices the multi-die packages a designer must build to escape the
+// October 2023 rule at each TPP tier, shows why removing chiplets cannot
+// achieve Performance-Density compliance while fusing capacity in place
+// can, and quantifies the bin-ladder economics (A100 → A800 → A30) that
+// sanction-specific salvage parts ride on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/binning"
+	"repro/internal/chiplet"
+	"repro/internal/cost"
+)
+
+func main() {
+	// 1. The escape ladder: silicon you must buy to sell at each TPP tier
+	// without a license.
+	fmt.Println("== multi-die escape packages (CoWoS, 7 nm) ==")
+	fmt.Printf("%-12s %-12s %-10s %-12s %-10s\n", "TPP budget", "area mm²", "chiplets", "package $", "overhead")
+	for _, tpp := range []float64{1700, 2400, 3600, 4800} {
+		plan, err := chiplet.PlanEscape(tpp, 0, cost.N7Wafer, chiplet.CoWoS())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("< %-10.0f %-12.0f %-10d %-12.0f %+.0f%%\n",
+			tpp, plan.AreaMM2, plan.ChipletCount, plan.CostUSD, plan.Overhead*100)
+	}
+
+	// 2. Why chiplet removal fails PD compliance (§2.3): dropping dies
+	// cuts TPP and area together, leaving PD unchanged; fusing capacity in
+	// place keeps the area and lowers PD.
+	pkg := chiplet.Homogeneous("8x250mm2", 8, 250, 4000, 0, 0, chiplet.CoWoS())
+	removed, fused, err := chiplet.DisableForCompliance(pkg, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== compliance by disabling (4000 → 3000 TPP) ==\n")
+	fmt.Printf("remove 2 of 8 chiplets: area %.0f mm², PD %.2f → %s\n",
+		removed.TotalAreaMM2(), removed.PerformanceDensity(), removed.Classify())
+	fmt.Printf("fuse capacity in place: area %.0f mm², PD %.2f → %s\n",
+		fused.TotalAreaMM2(), fused.PerformanceDensity(), fused.Classify())
+
+	// 3. Bin-ladder economics on the GA100: the A800 bin salvages dies
+	// whose NVLink PHYs are defective — the same mechanism that makes
+	// bandwidth-capped export devices nearly free to produce.
+	ladder := binning.A100Ladder()
+	rep, err := binning.WaferRevenue(binning.GA100(), cost.N7Wafer, ladder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== GA100 bin ladder at D0 = %.3f/cm² ==\n", cost.N7Wafer.DefectDensityPerCM2)
+	for _, b := range ladder {
+		fmt.Printf("%-6s ≥%3d cores, ≥%2d PHYs, $%5.0f: %5.1f%% of dies\n",
+			b.Name, b.MinGoodCores, b.MinGoodPHYs, b.PriceUSD,
+			rep.Fractions.ByBin[b.Name]*100)
+	}
+	fmt.Printf("scrap: %.1f%%\n", rep.Fractions.Scrap*100)
+	solo, err := binning.WaferRevenue(binning.GA100(), cost.N7Wafer, ladder[:1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wafer revenue: $%.0f with the full ladder vs $%.0f flagship-only (+%.0f%%)\n",
+		rep.RevenuePerWafer, solo.RevenuePerWafer,
+		(rep.RevenuePerWafer/solo.RevenuePerWafer-1)*100)
+}

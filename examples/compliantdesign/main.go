@@ -1,0 +1,65 @@
+// Compliantdesign plays the chip designer's side of the paper: given the
+// October 2022 and October 2023 Advanced Computing Rules, search the
+// LLMCompass-template design space for the fastest export-compliant
+// LLM-inference accelerator and compare it against the sanctioned A100 —
+// reproducing the §4 headline that compliant designs still beat the A100's
+// decoding latency by a wide margin while the October 2023 rule walls off
+// prefill performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func main() {
+	w := model.PaperWorkload(model.GPT3_175B())
+	a100, err := core.Baseline(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target workload: %s, batch %d, input %d, output %d\n", w.Model.Name, w.Batch, w.InputLen, w.OutputLen)
+	fmt.Printf("sanctioned baseline (modeled A100): TTFT %.1f ms, TBT %.4f ms\n\n",
+		a100.TTFTSeconds*1e3, a100.TBTSeconds*1e3)
+
+	// October 2022: TPP < 4800 keeps the design exportable even at the
+	// A100's 600 GB/s NVLink. Optimise decoding, the serving bottleneck.
+	opt22, err := core.OptimizeCompliant(core.RuleOct2022, 4800, w, core.MinTBT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := opt22.Report
+	fmt.Println("== October 2022 compliant design (TPP < 4800, decode-optimised) ==")
+	fmt.Printf("  %s\n", r.Config)
+	fmt.Printf("  TTFT %.1f ms (%+.1f%% vs A100), TBT %.4f ms (%+.1f%% vs A100)\n",
+		r.TTFTSeconds*1e3, opt22.TTFTvsA100*100, r.TBTSeconds*1e3, opt22.TBTvsA100*100)
+	fmt.Printf("  die %.0f mm², $%.0f per good die; searched %d designs, %d admissible\n\n",
+		r.AreaMM2, r.GoodDieCostUSD, opt22.Explored, opt22.Admissible)
+
+	// October 2023 at 2400 TPP: the PD floor forces a big die; prefill
+	// cannot recover, decoding still can.
+	for _, obj := range []struct {
+		name string
+		o    core.Objective
+	}{{"prefill-optimised", core.MinTTFT}, {"decode-optimised", core.MinTBT}} {
+		opt23, err := core.OptimizeCompliant(core.RuleOct2023, 2400, w, obj.o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := opt23.Report
+		fmt.Printf("== October 2023 compliant design (TPP < 2400, %s) ==\n", obj.name)
+		fmt.Printf("  %s\n", r.Config)
+		fmt.Printf("  TTFT %.1f ms (%+.1f%% vs A100), TBT %.4f ms (%+.1f%% vs A100)\n",
+			r.TTFTSeconds*1e3, opt23.TTFTvsA100*100, r.TBTSeconds*1e3, opt23.TBTvsA100*100)
+		fmt.Printf("  die %.0f mm² (PD %.2f), $%.0f per good die; %d of %d designs admissible\n\n",
+			r.AreaMM2, r.PD, r.GoodDieCostUSD, opt23.Admissible, opt23.Explored)
+	}
+
+	// And the rule's teeth: at 4800 TPP no design is exportable at all.
+	if _, err := core.OptimizeCompliant(core.RuleOct2023, 4800, w, core.MinTTFT); err != nil {
+		fmt.Printf("October 2023 at 4800 TPP: %v\n", err)
+	}
+}

@@ -1,0 +1,85 @@
+// Fleetplanner plays the buyer's side of the sanctions: given a national
+// TPP allocation under the January 2025 quantity framework and a serving
+// demand with a latency SLO, it sizes device fleets (validated against a
+// discrete-event queue replay), compares flagship vs capped-device spends,
+// and shows why TPP-denominated budgets systematically underprice decode
+// capability.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/serving"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	s := sim.New()
+	w := model.PaperWorkload(model.GPT3_175B())
+	r, err := s.Simulate(arch.A100(), w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := serving.Instance{Result: r}
+
+	// 1. Fleet sizing under an SLO.
+	slo := in.RequestSeconds() * 3
+	demand := in.CapacityRequestsPerSec() * 5
+	n, err := in.FleetSize(demand, slo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s, one instance = %d devices (TP%d)\n",
+		w.Model.Name, w.TensorParallel, w.TensorParallel)
+	fmt.Printf("per-instance: %.0f tokens/s, %.3f req/s capacity, request time %.0f s\n",
+		in.TokensPerSec(), in.CapacityRequestsPerSec(), in.RequestSeconds())
+	fmt.Printf("fleet for %.2f req/s at a %.0f s SLO: %d instances (%d devices)\n\n",
+		demand, slo, n, n*w.TensorParallel)
+
+	// 2. Validate the analytic queue against a discrete-event replay at the
+	// per-instance operating point the fleet implies.
+	perInstanceRate := demand / float64(n)
+	analytic, err := in.AtRate(perInstanceRate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := trace.PoissonTrace(1, 100000, perInstanceRate,
+		in.RequestSeconds()/float64(w.Batch))
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay, err := trace.Replay(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("queueing validation at ρ = %.2f:\n", analytic.Utilization)
+	fmt.Printf("  analytic mean wait %.3f s, replayed mean wait %.3f s (p99 %.3f s)\n\n",
+		analytic.QueueWaitSeconds, replay.MeanWaitSec, replay.P99WaitSec)
+
+	// 3. Spend a January 2025 TPP allocation two ways.
+	budget := 50e6
+	options := map[string]struct{ TPP, Value float64 }{
+		"H100 (flagship)":  {TPP: 15824, Value: 3350},
+		"H20 (TPP-capped)": {TPP: 2368, Value: 4000},
+	}
+	alloc, err := policy.NewAllocation("destination", budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix, bw := policy.BestFleet(alloc, options)
+	fmt.Printf("spending a %.0fM-TPP allocation (%.0f H100 equivalents):\n",
+		budget/1e6, budget/policy.H100TPP)
+	fmt.Printf("  bandwidth-optimal fleet: %v → %.1f PB/s aggregate memory bandwidth\n",
+		mix, bw/1e6)
+	flagOnly, _ := policy.NewAllocation("destination", budget)
+	nFlag := flagOnly.MaxDevices(15824)
+	fmt.Printf("  all-flagship fleet:      map[H100 (flagship):%d] → %.1f PB/s\n",
+		nFlag, float64(nFlag)*3350/1e6)
+	fmt.Println("\nthe TPP budget never sees memory bandwidth: capped devices multiply the")
+	fmt.Println("decode capability a fixed allocation buys.")
+}

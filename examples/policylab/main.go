@@ -1,0 +1,72 @@
+// Policylab plays the regulator's side of the paper (§5): it audits the
+// marketing-based October 2023 classification against the real 2018–2024
+// GPU catalogue, rebuilds the segment split from architectural metrics,
+// measures which architectural parameters actually predict LLM-inference
+// latency, and composes an architecture-first rule that restricts
+// AI-capable devices while leaving gaming designs a safe harbor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/model"
+	"repro/internal/policy"
+)
+
+func main() {
+	// 1. Audit the marketing-based classification (Fig 9).
+	var mismatches []policy.Mismatch
+	for _, d := range devices.All() {
+		if _, _, mm := policy.MarketingConsistency(d.Spec()); mm != nil {
+			mismatches = append(mismatches, *mm)
+		}
+	}
+	fmt.Println("== marketing-based classification audit (October 2023 rules) ==")
+	fmt.Print(policy.Summary(mismatches))
+
+	// 2. Rebuild the segment split from architecture (Fig 10).
+	var archMismatches []policy.Mismatch
+	for _, d := range devices.All() {
+		if mm := policy.ArchitecturalConsistency(d.Spec()); mm != nil {
+			archMismatches = append(archMismatches, *mm)
+		}
+	}
+	fmt.Println("\n== architectural classification (>32 GB or >1600 GB/s ⇒ data center) ==")
+	fmt.Print(policy.Summary(archMismatches))
+	fmt.Printf("mismatches: %d marketing-based vs %d architectural\n",
+		len(mismatches), len(archMismatches))
+
+	// 3. Which architectural knob actually pins down workload performance?
+	w := model.PaperWorkload(model.GPT3_175B())
+	fmt.Println("\n== architecture-first performance indicators (4800-TPP design space) ==")
+	for _, p := range []core.Param{core.ParamLanes, core.ParamL1, core.ParamL2,
+		core.ParamMemoryBW, core.ParamDeviceBW} {
+		ind, err := core.Indicators(w, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  fixing %-17s narrows TTFT up to %5.1fx, TBT up to %5.1fx\n",
+			p.String()+":", ind.TTFTNarrowing, ind.TBTNarrowing)
+	}
+
+	// 4. Compose a gaming safe harbor: restrict only devices that combine
+	// matmul acceleration with data-center-class memory.
+	rule := policy.GamingSafeHarbor(250, 1600, 32)
+	fmt.Printf("\n== architecture-first rule: %s ==\n", rule.Name)
+	var restricted, freed []string
+	for _, d := range devices.All() {
+		current := policy.Oct2023(d.Metrics()).Restricted()
+		proposed := rule.Applies(d.Spec())
+		switch {
+		case proposed:
+			restricted = append(restricted, d.Name)
+		case current && !proposed:
+			freed = append(freed, d.Name)
+		}
+	}
+	fmt.Printf("restricted under the proposed rule: %v\n", restricted)
+	fmt.Printf("restricted today but freed by the proposed rule: %v\n", freed)
+}

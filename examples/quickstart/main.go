@@ -1,0 +1,31 @@
+// Quickstart: evaluate the modeled NVIDIA A100 on the paper's two
+// workloads and print performance, silicon, economics and export-control
+// status — the library's one-call entry point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func main() {
+	for _, m := range []model.Model{model.GPT3_175B(), model.Llama3_8B()} {
+		w := model.PaperWorkload(m)
+		rep, err := core.Evaluate(arch.A100(), w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on the modeled A100 (batch %d, input %d, output %d, TP%d)\n",
+			m.Name, w.Batch, w.InputLen, w.OutputLen, w.TensorParallel)
+		fmt.Printf("  per-layer TTFT %.1f ms (MFU %.0f%%), TBT %.4f ms (MFU %.1f%%)\n",
+			rep.TTFTSeconds*1e3, rep.PrefillMFU*100, rep.TBTSeconds*1e3, rep.DecodeMFU*100)
+		fmt.Printf("  die %.0f mm², PD %.2f, $%.0f per good die\n",
+			rep.AreaMM2, rep.PD, rep.GoodDieCostUSD)
+		fmt.Printf("  export control: Oct 2022 %s; Oct 2023 (data center) %s\n\n",
+			rep.Oct2022, rep.Oct2023DataCenter)
+	}
+}

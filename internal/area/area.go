@@ -1,0 +1,156 @@
+// Package area estimates silicon die area for devices built from the
+// LLMCompass hardware template, at a 7 nm-class process (the node used by
+// the NVIDIA A100's GA100 die, which the paper's estimates are based on).
+//
+// The model is a component-sum floorplan estimate: systolic-array MACs,
+// vector lanes, L1/L2 SRAM, per-core and per-lane control overheads, memory
+// PHYs/controllers scaled by bandwidth, device-interconnect PHYs scaled by
+// bandwidth, and a fixed uncore block. Its purpose is relative fidelity
+// across the design space the paper sweeps: SRAM-heavy configurations must
+// cost the ~2.3 mm²/MB the paper's Table 4 implies, bandwidth knobs must
+// cost PHY area, and an A100-like configuration must land near the GA100's
+// die area.
+package area
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+)
+
+// Model holds the per-component area coefficients in mm² at a 7 nm-class
+// node. The zero value is not useful; start from DefaultModel.
+type Model struct {
+	// MACmm2 is the area of one FP16 systolic multiply-accumulate unit,
+	// including its pipeline registers and weight latch.
+	MACmm2 float64
+	// VectorLanemm2 is the area of one FP16 vector FMA lane including its
+	// register-file slice.
+	VectorLanemm2 float64
+	// L1mm2PerMB is the area per MiB of local-buffer SRAM (multi-ported,
+	// low-latency, hence denser than logic but less dense than L2).
+	L1mm2PerMB float64
+	// L2mm2PerMB is the area per MiB of global-buffer SRAM.
+	L2mm2PerMB float64
+	// CoreOverheadmm2 is the per-core control overhead: instruction fetch,
+	// scheduling, scalar datapath, and the core's network-on-chip stop.
+	CoreOverheadmm2 float64
+	// LaneOverheadmm2 is the per-lane overhead: sequencer, operand
+	// collectors, and accumulator writeback.
+	LaneOverheadmm2 float64
+	// MemPHYmm2PerTBs is the HBM PHY plus memory-controller area per TB/s
+	// of off-chip bandwidth.
+	MemPHYmm2PerTBs float64
+	// DevPHYmm2PerGBs is the device-interconnect (SerDes) area per GB/s of
+	// aggregate bidirectional bandwidth.
+	DevPHYmm2PerGBs float64
+	// Uncoremm2 is the fixed block: host interface, command processor, and
+	// global NoC.
+	Uncoremm2 float64
+}
+
+// DefaultModel is calibrated so that (a) an A100-like 108-core configuration
+// lands within ~6% of the GA100's 826 mm², (b) incremental SRAM costs
+// ≈ 2.3 mm²/MB blended, matching the area delta between the paper's Table 4
+// design pair, and (c) bandwidth knobs carry realistic PHY costs.
+var DefaultModel = Model{
+	MACmm2:          4.0e-4,
+	VectorLanemm2:   3.0e-3,
+	L1mm2PerMB:      2.5,
+	L2mm2PerMB:      1.6,
+	CoreOverheadmm2: 2.6,
+	LaneOverheadmm2: 0.3,
+	MemPHYmm2PerTBs: 28,
+	DevPHYmm2PerGBs: 0.05,
+	Uncoremm2:       85,
+}
+
+// Breakdown reports the floorplan estimate by component, all in mm².
+type Breakdown struct {
+	SystolicArrays float64
+	VectorUnits    float64
+	L1SRAM         float64
+	L2SRAM         float64
+	CoreOverhead   float64
+	LaneOverhead   float64
+	MemoryPHY      float64
+	DevicePHY      float64
+	Uncore         float64
+}
+
+// Total returns the summed die area in mm².
+func (b Breakdown) Total() float64 {
+	return b.SystolicArrays + b.VectorUnits + b.L1SRAM + b.L2SRAM +
+		b.CoreOverhead + b.LaneOverhead + b.MemoryPHY + b.DevicePHY + b.Uncore
+}
+
+// String renders the breakdown largest-component-first.
+func (b Breakdown) String() string {
+	type row struct {
+		name string
+		mm2  float64
+	}
+	rows := []row{
+		{"core overhead", b.CoreOverhead},
+		{"lane overhead", b.LaneOverhead},
+		{"systolic arrays", b.SystolicArrays},
+		{"vector units", b.VectorUnits},
+		{"L1 SRAM", b.L1SRAM},
+		{"L2 SRAM", b.L2SRAM},
+		{"memory PHY", b.MemoryPHY},
+		{"device PHY", b.DevicePHY},
+		{"uncore", b.Uncore},
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].mm2 > rows[j].mm2 })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total %.1f mm²:", b.Total())
+	for _, r := range rows {
+		fmt.Fprintf(&sb, " %s %.1f;", r.name, r.mm2)
+	}
+	return strings.TrimSuffix(sb.String(), ";")
+}
+
+// Estimate returns the component-level die-area estimate for cfg.
+func (m Model) Estimate(cfg arch.Config) Breakdown {
+	lanes := cfg.CoreCount * cfg.LanesPerCore
+	return Breakdown{
+		SystolicArrays: float64(cfg.MACsPerDevice()) * m.MACmm2,
+		VectorUnits:    float64(lanes*cfg.VectorWidth) * m.VectorLanemm2,
+		L1SRAM:         float64(cfg.CoreCount*cfg.L1KB) / 1024 * m.L1mm2PerMB,
+		L2SRAM:         float64(cfg.L2MB) * m.L2mm2PerMB,
+		CoreOverhead:   float64(cfg.CoreCount) * m.CoreOverheadmm2,
+		LaneOverhead:   float64(lanes) * m.LaneOverheadmm2,
+		MemoryPHY:      cfg.HBMBandwidthGBs / 1000 * m.MemPHYmm2PerTBs,
+		DevicePHY:      cfg.DeviceBWGBs * m.DevPHYmm2PerGBs,
+		Uncore:         m.Uncoremm2,
+	}
+}
+
+// Estimate returns the die area of cfg in mm² under the default model.
+func Estimate(cfg arch.Config) float64 { return DefaultModel.Estimate(cfg).Total() }
+
+// PerformanceDensity returns TPP divided by applicable die area (mm²), the
+// October 2023 rule's Performance Density metric, for a device whose die
+// area is areaMM2. Dies on planar processes have no applicable area; the
+// function returns +Inf-free 0 in that case to signal "no applicable area",
+// matching the rule's treatment (a device with no non-planar dies has no PD
+// and cannot trip PD thresholds).
+func PerformanceDensity(tpp, areaMM2 float64, p arch.Process) float64 {
+	if !p.NonPlanar() || areaMM2 <= 0 {
+		return 0
+	}
+	return tpp / areaMM2
+}
+
+// FitsReticle reports whether a monolithic die of the given area is
+// manufacturable with current single-exposure EUV lithography.
+func FitsReticle(areaMM2 float64) bool { return areaMM2 <= arch.ReticleLimitMM2 }
+
+// SRAMTotalMB returns the device's total on-chip SRAM (L1 across cores plus
+// L2) in MiB; the paper uses this to compare the floorplanned SRAM of the
+// Table 4 design pair (151 MB vs 52 MB).
+func SRAMTotalMB(cfg arch.Config) float64 {
+	return float64(cfg.CoreCount*cfg.L1KB)/1024 + float64(cfg.L2MB)
+}

@@ -1,0 +1,140 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestA100LikeConfigNearGA100(t *testing.T) {
+	got := Estimate(arch.A100())
+	// The GA100 die is 826 mm² with 128 physical cores; the modeled A100
+	// enables 108, so the component estimate should land a bit below the
+	// physical die but in the same class.
+	if got < 700 || got > 870 {
+		t.Errorf("A100-like estimate = %.1f mm², want within [700, 870] (GA100 is %.0f)",
+			got, arch.GA100DieAreaMM2)
+	}
+}
+
+func TestBreakdownTotalsMatch(t *testing.T) {
+	b := DefaultModel.Estimate(arch.A100())
+	sum := b.SystolicArrays + b.VectorUnits + b.L1SRAM + b.L2SRAM +
+		b.CoreOverhead + b.LaneOverhead + b.MemoryPHY + b.DevicePHY + b.Uncore
+	if math.Abs(sum-b.Total()) > 1e-9 {
+		t.Errorf("Total() = %.3f, component sum = %.3f", b.Total(), sum)
+	}
+	if b.CoreOverhead <= 0 || b.L2SRAM <= 0 {
+		t.Error("expected all A100 components positive")
+	}
+}
+
+func TestSRAMAreaSlopeMatchesTable4(t *testing.T) {
+	// The paper's Table 4 pair differ only in caches: 1 MB vs 192 KB L1 and
+	// 48 MB vs 32 MB L2, a 99.2 MB SRAM delta costing 230 mm² — about
+	// 2.3 mm²/MB blended. Reconstruct that pair shape (103 cores) and check
+	// the model's slope is close.
+	base := arch.A100()
+	base.CoreCount = 103
+	base.LanesPerCore = 2
+	small := base
+	small.L1KB = 192
+	small.L2MB = 32
+	big := base
+	big.L1KB = 1024
+	big.L2MB = 48
+
+	deltaMB := SRAMTotalMB(big) - SRAMTotalMB(small)
+	deltaArea := Estimate(big) - Estimate(small)
+	slope := deltaArea / deltaMB
+	if slope < 1.8 || slope > 2.8 {
+		t.Errorf("SRAM slope = %.2f mm²/MB for ΔSRAM %.1f MB, want ≈ 2.3", slope, deltaMB)
+	}
+	if math.Abs(deltaMB-99.25) > 1.0 {
+		t.Errorf("SRAM delta = %.2f MB, want ≈ 99.25 (Table 4: 151 vs 52 MB)", deltaMB)
+	}
+}
+
+func TestAreaMonotonicInEveryKnob(t *testing.T) {
+	base := arch.A100()
+	grow := []struct {
+		name   string
+		mutate func(*arch.Config)
+	}{
+		{"cores", func(c *arch.Config) { c.CoreCount *= 2 }},
+		{"lanes", func(c *arch.Config) { c.LanesPerCore *= 2 }},
+		{"systolic", func(c *arch.Config) { c.SystolicDimX *= 2 }},
+		{"L1", func(c *arch.Config) { c.L1KB *= 2 }},
+		{"L2", func(c *arch.Config) { c.L2MB *= 2 }},
+		{"HBM BW", func(c *arch.Config) { c.HBMBandwidthGBs *= 2 }},
+		{"device BW", func(c *arch.Config) { c.DeviceBWGBs *= 2 }},
+	}
+	baseArea := Estimate(base)
+	for _, g := range grow {
+		c := base
+		g.mutate(&c)
+		if got := Estimate(c); got <= baseArea {
+			t.Errorf("growing %s did not grow area: %.1f → %.1f", g.name, baseArea, got)
+		}
+	}
+}
+
+func TestPerformanceDensity(t *testing.T) {
+	// A100-on-GA100: TPP 4992 / 826 mm² = 6.04, the PD the paper quotes for
+	// the A800 (same die, same TPP).
+	pd := PerformanceDensity(4992, arch.GA100DieAreaMM2, arch.ProcessN7)
+	if math.Abs(pd-6.04) > 0.02 {
+		t.Errorf("PD = %.3f, want ≈ 6.04", pd)
+	}
+	if got := PerformanceDensity(4992, 826, arch.ProcessPlanar); got != 0 {
+		t.Errorf("planar process should have no applicable area, PD = %v", got)
+	}
+	if got := PerformanceDensity(4992, 0, arch.ProcessN7); got != 0 {
+		t.Errorf("zero area should yield PD 0, got %v", got)
+	}
+}
+
+func TestFitsReticle(t *testing.T) {
+	if !FitsReticle(854) {
+		t.Error("854 mm² (the paper's 7000-TPP design) should fit the reticle")
+	}
+	if FitsReticle(861) {
+		t.Error("861 mm² should violate the reticle limit")
+	}
+}
+
+func TestEstimateAdditiveProperty(t *testing.T) {
+	// Property: the estimate is additive in independent components — adding
+	// L2 never changes the memory-PHY estimate, etc.
+	f := func(l2 uint8, bw uint8) bool {
+		c := arch.A100()
+		c.L2MB = int(l2%128) + 1
+		c.HBMBandwidthGBs = float64(bw%32+1) * 100
+		b := DefaultModel.Estimate(c)
+		ref := DefaultModel.Estimate(arch.A100())
+		return b.CoreOverhead == ref.CoreOverhead &&
+			b.SystolicArrays == ref.SystolicArrays &&
+			b.Uncore == ref.Uncore
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	s := DefaultModel.Estimate(arch.A100()).String()
+	if !strings.Contains(s, "total") || !strings.Contains(s, "L2 SRAM") {
+		t.Errorf("breakdown string missing fields: %s", s)
+	}
+}
+
+func TestSRAMTotalMB(t *testing.T) {
+	got := SRAMTotalMB(arch.A100())
+	want := 108*192.0/1024 + 40 // 60.25 MB
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("SRAMTotalMB = %.2f, want %.2f", got, want)
+	}
+}

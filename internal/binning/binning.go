@@ -1,0 +1,217 @@
+// Package binning models die salvage — §2.3's observation that firms
+// create multiple product lines from one die by disabling defective (or
+// deliberately fused-off) regions, and that sanction-specific devices like
+// the A800/H800 "could be made from partially defective dies where the
+// device bandwidth did not meet the 100-series' specifications or
+// intentionally disabled to comply with regulations".
+//
+// The defect model is the standard spatial-Poisson one: killer defects
+// arrive with density D0 over the die; a defect in a core kills that core,
+// a defect in an I/O PHY kills that PHY, and a defect in the uncore kills
+// the die. Cores and PHYs fail independently, so good-core counts are
+// binomial, and the expected fraction of dies qualifying for each product
+// bin — and the revenue consequences of adding a sanction bin — follow in
+// closed form.
+package binning
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+)
+
+// Layout partitions a die into defect domains.
+type Layout struct {
+	Name string
+	// CoreCount physical cores, each of CoreAreaMM2.
+	CoreCount   int
+	CoreAreaMM2 float64
+	// PHYCount I/O (device-interconnect) PHY groups, each of PHYAreaMM2.
+	PHYCount   int
+	PHYAreaMM2 float64
+	// UncoreAreaMM2 is the non-redundant region: any defect there scraps
+	// the die.
+	UncoreAreaMM2 float64
+}
+
+// GA100 approximates the NVIDIA GA100 die: 128 physical cores, 12 NVLink
+// PHY groups, and a non-redundant remainder, totalling ≈ 826 mm².
+func GA100() Layout {
+	return Layout{Name: "GA100", CoreCount: 128, CoreAreaMM2: 4.6,
+		PHYCount: 12, PHYAreaMM2: 4.0, UncoreAreaMM2: 189.2}
+}
+
+// TotalAreaMM2 sums the defect domains.
+func (l Layout) TotalAreaMM2() float64 {
+	return float64(l.CoreCount)*l.CoreAreaMM2 + float64(l.PHYCount)*l.PHYAreaMM2 + l.UncoreAreaMM2
+}
+
+// Validate checks the layout is well-formed.
+func (l Layout) Validate() error {
+	if l.CoreCount <= 0 || l.CoreAreaMM2 <= 0 || l.UncoreAreaMM2 < 0 ||
+		l.PHYCount < 0 || (l.PHYCount > 0 && l.PHYAreaMM2 <= 0) {
+		return fmt.Errorf("binning: invalid layout %q", l.Name)
+	}
+	return nil
+}
+
+// Bin is one product derived from the die.
+type Bin struct {
+	Name string
+	// MinGoodCores and MinGoodPHYs are the qualification floor.
+	MinGoodCores int
+	MinGoodPHYs  int
+	// PriceUSD is the product's selling price for the die.
+	PriceUSD float64
+}
+
+// survive returns the probability an independent region of the given area
+// is defect-free at defect density d0 (per cm²).
+func survive(areaMM2, d0 float64) float64 {
+	return math.Exp(-areaMM2 / 100 * d0)
+}
+
+// binomPMF returns P(X = k) for X ~ Binomial(n, p).
+func binomPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	logC := 0.0
+	for i := 0; i < k; i++ {
+		logC += math.Log(float64(n-i)) - math.Log(float64(i+1))
+	}
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+// binomCCDF returns P(X ≥ k).
+func binomCCDF(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	var sum float64
+	for i := k; i <= n; i++ {
+		sum += binomPMF(n, i, p)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// Fractions is the expected distribution of dies over bins; fractions sum
+// to 1 with Scrap.
+type Fractions struct {
+	ByBin map[string]float64
+	Scrap float64
+}
+
+// BinFractions computes the expected fraction of manufactured dies landing
+// in each bin at defect density d0. Bins must be ordered best-first; each
+// die goes to the first bin it qualifies for (a fully-good die sells as the
+// flagship, not as the salvage part).
+func BinFractions(l Layout, d0 float64, bins []Bin) (Fractions, error) {
+	if err := l.Validate(); err != nil {
+		return Fractions{}, err
+	}
+	if d0 < 0 {
+		return Fractions{}, errors.New("binning: negative defect density")
+	}
+	if len(bins) == 0 {
+		return Fractions{}, errors.New("binning: no bins")
+	}
+	for i := 1; i < len(bins); i++ {
+		if bins[i].MinGoodCores > bins[i-1].MinGoodCores {
+			return Fractions{}, fmt.Errorf("binning: bins not ordered best-first (%q after %q)",
+				bins[i].Name, bins[i-1].Name)
+		}
+	}
+	pCore := survive(l.CoreAreaMM2, d0)
+	pPHY := survive(l.PHYAreaMM2, d0)
+	pUncore := survive(l.UncoreAreaMM2, d0)
+
+	out := Fractions{ByBin: make(map[string]float64, len(bins))}
+	assigned := 0.0
+	// Enumerate good-core counts; within each, PHY qualification is an
+	// independent tail probability per bin.
+	for k := 0; k <= l.CoreCount; k++ {
+		pk := binomPMF(l.CoreCount, k, pCore) * pUncore
+		if pk == 0 {
+			continue
+		}
+		remaining := pk
+		for _, b := range bins {
+			if k < b.MinGoodCores {
+				continue
+			}
+			pQual := remaining * binomCCDF(l.PHYCount, b.MinGoodPHYs, pPHY)
+			// Dies failing this bin's PHY floor fall through to the next
+			// bin (which may demand fewer PHYs).
+			out.ByBin[b.Name] += pQual
+			assigned += pQual
+			remaining -= pQual
+			if remaining <= 1e-15 {
+				break
+			}
+		}
+	}
+	out.Scrap = 1 - assigned
+	if out.Scrap < 0 {
+		out.Scrap = 0
+	}
+	return out, nil
+}
+
+// RevenueReport prices a binning strategy on a wafer.
+type RevenueReport struct {
+	Fractions       Fractions
+	DiesPerWafer    float64
+	RevenuePerWafer float64
+	RevenuePerDie   float64
+	// SalvageShare is the revenue fraction contributed by non-flagship
+	// bins — the economic value of binning the sanctions piggyback on.
+	SalvageShare float64
+}
+
+// WaferRevenue evaluates the expected revenue of a bin ladder on one wafer.
+func WaferRevenue(l Layout, w cost.Wafer, bins []Bin) (RevenueReport, error) {
+	fr, err := BinFractions(l, w.DefectDensityPerCM2, bins)
+	if err != nil {
+		return RevenueReport{}, err
+	}
+	dies, err := w.DiesPerWafer(l.TotalAreaMM2())
+	if err != nil {
+		return RevenueReport{}, err
+	}
+	var perDie, salvage float64
+	for i, b := range bins {
+		r := fr.ByBin[b.Name] * b.PriceUSD
+		perDie += r
+		if i > 0 {
+			salvage += r
+		}
+	}
+	rep := RevenueReport{
+		Fractions:       fr,
+		DiesPerWafer:    dies,
+		RevenuePerWafer: perDie * dies,
+		RevenuePerDie:   perDie,
+	}
+	if perDie > 0 {
+		rep.SalvageShare = salvage / perDie
+	}
+	return rep, nil
+}
+
+// A100Ladder is the GA100's historical product ladder: the flagship A100
+// (108 of 128 cores, full NVLink), the export-specific A800 (same cores,
+// reduced interconnect — salvageable from dies with defective PHYs), and
+// the cut-down A30.
+func A100Ladder() []Bin {
+	return []Bin{
+		{Name: "A100", MinGoodCores: 108, MinGoodPHYs: 12, PriceUSD: 10000},
+		{Name: "A800", MinGoodCores: 108, MinGoodPHYs: 8, PriceUSD: 9500},
+		{Name: "A30", MinGoodCores: 56, MinGoodPHYs: 4, PriceUSD: 4000},
+	}
+}

@@ -1,0 +1,181 @@
+package binning
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+)
+
+func TestGA100LayoutArea(t *testing.T) {
+	l := GA100()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a := l.TotalAreaMM2(); math.Abs(a-826) > 1 {
+		t.Errorf("GA100 layout area = %.1f, want ≈ 826", a)
+	}
+}
+
+func TestZeroDefectsAllFlagship(t *testing.T) {
+	fr, err := BinFractions(GA100(), 0, A100Ladder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fr.ByBin["A100"]-1) > 1e-9 {
+		t.Errorf("defect-free dies should all be flagship: %+v", fr)
+	}
+	if fr.Scrap > 1e-9 || fr.ByBin["A800"] > 1e-9 {
+		t.Errorf("no salvage at zero defects: %+v", fr)
+	}
+}
+
+func TestFractionsSumToOne(t *testing.T) {
+	for _, d0 := range []float64{0.05, 0.145, 0.3, 0.8} {
+		fr, err := BinFractions(GA100(), d0, A100Ladder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := fr.Scrap
+		for _, f := range fr.ByBin {
+			if f < 0 || f > 1 {
+				t.Fatalf("fraction out of range at d0=%v: %+v", d0, fr)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("d0=%v: fractions sum to %v", d0, sum)
+		}
+	}
+}
+
+func TestSalvageGrowsWithDefects(t *testing.T) {
+	low, err := BinFractions(GA100(), 0.05, A100Ladder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := BinFractions(GA100(), 0.4, A100Ladder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.ByBin["A100"] >= low.ByBin["A100"] {
+		t.Error("more defects must shrink the flagship bin")
+	}
+	if high.ByBin["A30"] <= low.ByBin["A30"] {
+		t.Error("more defects must grow the cut-down bin")
+	}
+	if high.Scrap <= low.Scrap {
+		t.Error("more defects must grow scrap")
+	}
+}
+
+// TestSalvageRecoversDefectivePHYDies is the §2.3 A800 mechanism: dies with
+// full cores but broken NVLink PHYs sell as the bandwidth-capped export
+// part instead of being scrapped to A30 or bin-out.
+func TestSalvageRecoversDefectivePHYDies(t *testing.T) {
+	withoutA800 := []Bin{
+		{Name: "A100", MinGoodCores: 108, MinGoodPHYs: 12, PriceUSD: 10000},
+		{Name: "A30", MinGoodCores: 56, MinGoodPHYs: 4, PriceUSD: 4000},
+	}
+	base, err := WaferRevenue(GA100(), cost.N7Wafer, withoutA800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder, err := WaferRevenue(GA100(), cost.N7Wafer, A100Ladder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ladder.RevenuePerWafer <= base.RevenuePerWafer {
+		t.Errorf("adding the A800 bin must raise wafer revenue: %.0f vs %.0f",
+			ladder.RevenuePerWafer, base.RevenuePerWafer)
+	}
+	if ladder.Fractions.ByBin["A800"] <= 0 {
+		t.Error("some dies should land in the A800 bin at production defect density")
+	}
+	if ladder.SalvageShare <= 0 || ladder.SalvageShare >= 1 {
+		t.Errorf("salvage share = %v, want in (0, 1)", ladder.SalvageShare)
+	}
+}
+
+func TestFlagshipFractionAtProductionDensity(t *testing.T) {
+	// At the calibrated D0 = 0.145/cm², a GA100-class die should yield a
+	// meaningful but far-from-total flagship fraction — the economics
+	// behind selling 108-of-128-core parts as the top bin.
+	fr, err := BinFractions(GA100(), cost.N7Wafer.DefectDensityPerCM2, A100Ladder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a100 := fr.ByBin["A100"]
+	if a100 < 0.2 || a100 > 0.9 {
+		t.Errorf("flagship fraction = %.2f, want a meaningful middle ground", a100)
+	}
+	if fr.Scrap > 0.4 {
+		t.Errorf("scrap = %.2f, salvage bins should recover most defective dies", fr.Scrap)
+	}
+}
+
+func TestBinValidation(t *testing.T) {
+	if _, err := BinFractions(Layout{}, 0.1, A100Ladder()); err == nil {
+		t.Error("invalid layout should error")
+	}
+	if _, err := BinFractions(GA100(), -0.1, A100Ladder()); err == nil {
+		t.Error("negative defect density should error")
+	}
+	if _, err := BinFractions(GA100(), 0.1, nil); err == nil {
+		t.Error("empty bin ladder should error")
+	}
+	unordered := []Bin{
+		{Name: "small", MinGoodCores: 56, MinGoodPHYs: 0, PriceUSD: 1},
+		{Name: "big", MinGoodCores: 108, MinGoodPHYs: 0, PriceUSD: 2},
+	}
+	if _, err := BinFractions(GA100(), 0.1, unordered); err == nil {
+		t.Error("bins must be ordered best-first")
+	}
+	if _, err := WaferRevenue(Layout{}, cost.N7Wafer, A100Ladder()); err == nil {
+		t.Error("WaferRevenue should propagate layout errors")
+	}
+}
+
+func TestBinomialHelpers(t *testing.T) {
+	// PMF sums to 1.
+	var sum float64
+	for k := 0; k <= 20; k++ {
+		sum += binomPMF(20, k, 0.3)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("binomial PMF sums to %v", sum)
+	}
+	if binomPMF(10, -1, 0.5) != 0 || binomPMF(10, 11, 0.5) != 0 {
+		t.Error("out-of-range PMF should be 0")
+	}
+	if binomCCDF(10, 0, 0.5) != 1 {
+		t.Error("CCDF at 0 should be 1")
+	}
+	if got := binomCCDF(10, 10, 0.5); math.Abs(got-math.Pow(0.5, 10)) > 1e-12 {
+		t.Errorf("CCDF at n = %v, want %v", got, math.Pow(0.5, 10))
+	}
+}
+
+func TestRevenueMonotoneInPriceProperty(t *testing.T) {
+	f := func(bump uint8) bool {
+		bins := A100Ladder()
+		rep1, err1 := WaferRevenue(GA100(), cost.N7Wafer, bins)
+		bins[0].PriceUSD += float64(bump)
+		rep2, err2 := WaferRevenue(GA100(), cost.N7Wafer, bins)
+		return err1 == nil && err2 == nil &&
+			rep2.RevenuePerWafer >= rep1.RevenuePerWafer
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurvive(t *testing.T) {
+	if survive(0, 0.2) != 1 {
+		t.Error("zero-area region always survives")
+	}
+	if survive(100, 0.2) >= survive(50, 0.2) {
+		t.Error("bigger regions must survive less often")
+	}
+}

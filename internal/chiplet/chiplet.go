@@ -1,0 +1,346 @@
+// Package chiplet models multi-die packages under the Advanced Computing
+// Rules. Section 2.3 of the paper is devoted to large-die designs: TPP
+// aggregates over every die in a package, applicable die area sums over
+// every non-planar die, the reticle limit caps each individual die at
+// ~860 mm², and yield economics favour many small dies over one large one.
+// The §2.5 observation that a 4799-TPP design needs more than 3000 mm² of
+// die area — beyond any single reticle — makes multi-chip modules the only
+// escape hatch at high TPP, and this package quantifies what that escape
+// costs.
+package chiplet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/area"
+	"repro/internal/cost"
+	"repro/internal/policy"
+)
+
+// Die is one die type within a package.
+type Die struct {
+	// Name labels the die ("compute", "io", "cache").
+	Name string
+	// AreaMM2 is the die's area.
+	AreaMM2 float64
+	// TPP is the die's contribution to package TPP (zero for IO dies).
+	TPP float64
+	// NonPlanar reports whether the die is built on a non-planar process
+	// and therefore contributes applicable area under the October 2023
+	// rule. IO dies are often fabricated on older (cheaper, sometimes
+	// planar) nodes.
+	NonPlanar bool
+	// DeviceBWGBs is the die's contribution to the package's aggregate
+	// bidirectional device-device bandwidth (IO dies carry the PHYs).
+	DeviceBWGBs float64
+}
+
+// Package is a multi-die device: dies plus their counts.
+type Package struct {
+	Name string
+	// Dies maps each die type to how many instances the package carries.
+	Dies []PlacedDie
+	// Interposer describes the die-to-die fabric.
+	Interposer Interposer
+}
+
+// PlacedDie is a die type with its multiplicity.
+type PlacedDie struct {
+	Die   Die
+	Count int
+}
+
+// Interposer describes the packaging technology connecting chiplets.
+type Interposer struct {
+	// Name is the technology label ("CoWoS", "EMIB", "organic").
+	Name string
+	// BandwidthGBsPerLink is the die-to-die bandwidth of one link.
+	BandwidthGBsPerLink float64
+	// LatencyNs is the added hop latency between dies.
+	LatencyNs float64
+	// CostPerMM2 is the packaging cost per mm² of silicon carried.
+	CostPerMM2 float64
+	// AssemblyYield is the probability the multi-die assembly succeeds.
+	AssemblyYield float64
+}
+
+// CoWoS returns a 2.5D silicon-interposer technology model.
+func CoWoS() Interposer {
+	return Interposer{Name: "CoWoS", BandwidthGBsPerLink: 900, LatencyNs: 8,
+		CostPerMM2: 0.9, AssemblyYield: 0.98}
+}
+
+// Organic returns a cheaper organic-substrate technology with lower
+// die-to-die bandwidth.
+func Organic() Interposer {
+	return Interposer{Name: "organic", BandwidthGBsPerLink: 300, LatencyNs: 15,
+		CostPerMM2: 0.25, AssemblyYield: 0.995}
+}
+
+var errBadPackage = errors.New("chiplet: invalid package")
+
+// Validate checks structural sanity.
+func (p Package) Validate() error {
+	if len(p.Dies) == 0 {
+		return fmt.Errorf("%w: no dies", errBadPackage)
+	}
+	for _, pd := range p.Dies {
+		if pd.Count <= 0 {
+			return fmt.Errorf("%w: die %q has count %d", errBadPackage, pd.Die.Name, pd.Count)
+		}
+		if pd.Die.AreaMM2 <= 0 {
+			return fmt.Errorf("%w: die %q has area %.1f", errBadPackage, pd.Die.Name, pd.Die.AreaMM2)
+		}
+		if !area.FitsReticle(pd.Die.AreaMM2) {
+			return fmt.Errorf("%w: die %q (%.0f mm²) exceeds the %.0f mm² reticle",
+				errBadPackage, pd.Die.Name, pd.Die.AreaMM2, arch.ReticleLimitMM2)
+		}
+	}
+	if p.Interposer.AssemblyYield <= 0 || p.Interposer.AssemblyYield > 1 {
+		return fmt.Errorf("%w: assembly yield %.3f", errBadPackage, p.Interposer.AssemblyYield)
+	}
+	return nil
+}
+
+// TotalTPP aggregates TPP over all dies, the rule's aggregation.
+func (p Package) TotalTPP() float64 {
+	var sum float64
+	for _, pd := range p.Dies {
+		sum += pd.Die.TPP * float64(pd.Count)
+	}
+	return sum
+}
+
+// ApplicableAreaMM2 sums die area over non-planar dies only, per the
+// October 2023 definition.
+func (p Package) ApplicableAreaMM2() float64 {
+	var sum float64
+	for _, pd := range p.Dies {
+		if pd.Die.NonPlanar {
+			sum += pd.Die.AreaMM2 * float64(pd.Count)
+		}
+	}
+	return sum
+}
+
+// TotalAreaMM2 sums all silicon in the package.
+func (p Package) TotalAreaMM2() float64 {
+	var sum float64
+	for _, pd := range p.Dies {
+		sum += pd.Die.AreaMM2 * float64(pd.Count)
+	}
+	return sum
+}
+
+// DeviceBWGBs aggregates the package's bidirectional I/O rate.
+func (p Package) DeviceBWGBs() float64 {
+	var sum float64
+	for _, pd := range p.Dies {
+		sum += pd.Die.DeviceBWGBs * float64(pd.Count)
+	}
+	return sum
+}
+
+// PerformanceDensity returns package TPP over applicable area (0 when no
+// die contributes applicable area).
+func (p Package) PerformanceDensity() float64 {
+	a := p.ApplicableAreaMM2()
+	if a <= 0 {
+		return 0
+	}
+	return p.TotalTPP() / a
+}
+
+// Metrics projects the package onto the statutory quantities.
+func (p Package) Metrics(seg policy.Segment) policy.Metrics {
+	return policy.Metrics{
+		TPP:         p.TotalTPP(),
+		DeviceBWGBs: p.DeviceBWGBs(),
+		DieAreaMM2:  p.ApplicableAreaMM2(),
+		Segment:     seg,
+	}
+}
+
+// Classify returns the package's October 2023 outcome as a data-center
+// device.
+func (p Package) Classify() policy.Classification {
+	return policy.Oct2023(p.Metrics(policy.DataCenter))
+}
+
+// CostReport is the manufacturing economics of one package.
+type CostReport struct {
+	// SiliconUSD is the summed known-good-die silicon cost.
+	SiliconUSD float64
+	// PackagingUSD is the interposer/assembly cost.
+	PackagingUSD float64
+	// AssemblyLossUSD is the expected cost of packages scrapped at
+	// assembly.
+	AssemblyLossUSD float64
+	// TotalUSD is the expected cost per good package.
+	TotalUSD float64
+	// MonolithicEquivalentUSD is the good-die cost of a single die with
+	// the package's total area — +Inf when that die cannot be built
+	// (beyond the reticle), which is the usual reason chiplets exist.
+	MonolithicEquivalentUSD float64
+}
+
+// Cost evaluates the package on a wafer model. Chiplets are assembled from
+// known-good dies (each die pays its own yield), then the whole assembly
+// pays the interposer's assembly yield.
+func (p Package) Cost(w cost.Wafer) (CostReport, error) {
+	if err := p.Validate(); err != nil {
+		return CostReport{}, err
+	}
+	var rep CostReport
+	for _, pd := range p.Dies {
+		per, err := w.GoodDieCost(pd.Die.AreaMM2)
+		if err != nil {
+			return CostReport{}, fmt.Errorf("chiplet: die %q: %w", pd.Die.Name, err)
+		}
+		rep.SiliconUSD += per * float64(pd.Count)
+	}
+	rep.PackagingUSD = p.Interposer.CostPerMM2 * p.TotalAreaMM2()
+	preAssembly := rep.SiliconUSD + rep.PackagingUSD
+	rep.TotalUSD = preAssembly / p.Interposer.AssemblyYield
+	rep.AssemblyLossUSD = rep.TotalUSD - preAssembly
+
+	if mono, err := w.GoodDieCost(p.TotalAreaMM2()); err == nil &&
+		area.FitsReticle(p.TotalAreaMM2()) {
+		rep.MonolithicEquivalentUSD = mono
+	} else {
+		rep.MonolithicEquivalentUSD = math.Inf(1)
+	}
+	return rep, nil
+}
+
+// Homogeneous builds a package of n identical compute chiplets plus io
+// IO dies, splitting a target TPP evenly.
+func Homogeneous(name string, n int, computeArea, totalTPP float64, io int, ioArea float64, ip Interposer) Package {
+	dies := []PlacedDie{{
+		Die: Die{Name: "compute", AreaMM2: computeArea,
+			TPP: totalTPP / float64(n), NonPlanar: true},
+		Count: n,
+	}}
+	if io > 0 {
+		dies = append(dies, PlacedDie{
+			Die:   Die{Name: "io", AreaMM2: ioArea, NonPlanar: false, DeviceBWGBs: 100},
+			Count: io,
+		})
+	}
+	return Package{Name: name, Dies: dies, Interposer: ip}
+}
+
+// EscapePlan is a multi-die configuration that escapes the October 2023
+// rule at a given TPP by adding silicon until the PD floor is cleared.
+type EscapePlan struct {
+	Package      Package
+	TPP          float64
+	AreaMM2      float64
+	ChipletCount int
+	CostUSD      float64
+	// Overhead is the escape cost relative to the cheapest package of the
+	// same TPP that ignores the rule (PD-unconstrained).
+	Overhead float64
+}
+
+// PlanEscape finds the smallest homogeneous chiplet package that keeps a
+// TPP just under the given budget while classifying as Not Applicable —
+// the §2.5 "4799 TPP needs > 3000 mm²" construction — and prices it. The
+// chiplets are sized at most maxDieMM2 (≤ reticle).
+func PlanEscape(tppBudget, maxDieMM2 float64, w cost.Wafer, ip Interposer) (EscapePlan, error) {
+	tpp := math.Nextafter(tppBudget, 0)
+	if tpp >= policy.Oct2023TPPLicense {
+		return EscapePlan{}, fmt.Errorf("chiplet: TPP %.0f is license-required at any area", tpp)
+	}
+	minArea, ok := policy.MinAreaToAvoidOct2023(tpp, policy.NotApplicable)
+	if !ok {
+		return EscapePlan{}, fmt.Errorf("chiplet: TPP %.0f cannot escape by area", tpp)
+	}
+	if maxDieMM2 <= 0 || maxDieMM2 > arch.ReticleLimitMM2 {
+		maxDieMM2 = arch.ReticleLimitMM2
+	}
+
+	// The PD thresholds are strict "≥" comparisons, so clearing the floor
+	// needs area strictly above it; pad by 1%. A design below every TPP
+	// tier has no floor at all and builds at a compact PD-6 reference size.
+	needArea := minArea * 1.01
+	if needArea == 0 {
+		needArea = tpp / 6.0
+	}
+	n := int(math.Ceil(needArea / maxDieMM2))
+	if n < 1 {
+		n = 1
+	}
+	perDie := needArea / float64(n)
+	pkg := Homogeneous(fmt.Sprintf("escape-%.0ftpp-%dx%.0fmm2", tpp, n, perDie),
+		n, perDie, tpp, 0, 0, ip)
+	if cls := pkg.Classify(); cls != policy.NotApplicable {
+		return EscapePlan{}, fmt.Errorf("chiplet: planned package still classifies %v (PD %.2f)",
+			cls, pkg.PerformanceDensity())
+	}
+	rep, err := pkg.Cost(w)
+	if err != nil {
+		return EscapePlan{}, err
+	}
+
+	// Reference: a compact package of the same TPP at PD ≈ 6 (A100-class
+	// density), ignoring the rule.
+	refArea := tpp / 6.0
+	refN := int(math.Ceil(refArea / maxDieMM2))
+	if refN < 1 {
+		refN = 1
+	}
+	ref := Homogeneous("reference", refN, refArea/float64(refN), tpp, 0, 0, ip)
+	refCost, err := ref.Cost(w)
+	if err != nil {
+		return EscapePlan{}, err
+	}
+	return EscapePlan{
+		Package:      pkg,
+		TPP:          tpp,
+		AreaMM2:      pkg.TotalAreaMM2(),
+		ChipletCount: n,
+		CostUSD:      rep.TotalUSD,
+		Overhead:     rep.TotalUSD/refCost.TotalUSD - 1,
+	}, nil
+}
+
+// DisableForCompliance models the §2.3 observation that removing chiplets
+// may reduce TPP without reducing PD: it returns the package obtained by
+// dropping `drop` compute chiplets and, separately, the package obtained by
+// instead disabling the same TPP within the chiplets (keeping the silicon).
+func DisableForCompliance(p Package, drop int) (removed, fused Package, err error) {
+	if err := p.Validate(); err != nil {
+		return Package{}, Package{}, err
+	}
+	removed = clone(p)
+	fused = clone(p)
+	for i := range removed.Dies {
+		d := &removed.Dies[i]
+		if d.Die.TPP <= 0 {
+			continue
+		}
+		if drop >= d.Count {
+			return Package{}, Package{}, fmt.Errorf("chiplet: cannot drop %d of %d compute dies", drop, d.Count)
+		}
+		keep := d.Count - drop
+		removedTPP := d.Die.TPP * float64(drop)
+		d.Count = keep
+		// Fused variant: same die count, TPP spread thinner.
+		f := &fused.Dies[i]
+		f.Die.TPP -= removedTPP / float64(f.Count)
+		removed.Name = fmt.Sprintf("%s-minus%d", p.Name, drop)
+		fused.Name = fmt.Sprintf("%s-fused", p.Name)
+		return removed, fused, nil
+	}
+	return Package{}, Package{}, fmt.Errorf("chiplet: package has no compute dies")
+}
+
+func clone(p Package) Package {
+	out := p
+	out.Dies = append([]PlacedDie(nil), p.Dies...)
+	return out
+}

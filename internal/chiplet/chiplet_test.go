@@ -1,0 +1,285 @@
+package chiplet
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/policy"
+)
+
+// mi250xLike is a two-compute-die package shaped like the AMD MI250X:
+// TPP 6128 across two 724 mm² dies.
+func mi250xLike() Package {
+	return Package{
+		Name: "MI250X-like",
+		Dies: []PlacedDie{{
+			Die:   Die{Name: "compute", AreaMM2: 724, TPP: 3064, NonPlanar: true, DeviceBWGBs: 400},
+			Count: 2,
+		}},
+		Interposer: Organic(),
+	}
+}
+
+func TestAggregationMatchesRule(t *testing.T) {
+	p := mi250xLike()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalTPP() != 6128 {
+		t.Errorf("TPP = %v, want 6128 (aggregated over dies)", p.TotalTPP())
+	}
+	if p.ApplicableAreaMM2() != 1448 {
+		t.Errorf("applicable area = %v, want 1448", p.ApplicableAreaMM2())
+	}
+	if p.DeviceBWGBs() != 800 {
+		t.Errorf("device BW = %v, want 800", p.DeviceBWGBs())
+	}
+	// PD = 6128/1448 ≈ 4.23 but TPP ≥ 4800 ⇒ license required regardless.
+	if got := p.Classify(); got != policy.LicenseRequired {
+		t.Errorf("MI250X-like = %v, want License Required", got)
+	}
+}
+
+func TestPlanarIODiesAddNoApplicableArea(t *testing.T) {
+	p := mi250xLike()
+	p.Dies = append(p.Dies, PlacedDie{
+		Die:   Die{Name: "io", AreaMM2: 370, NonPlanar: false},
+		Count: 4,
+	})
+	if p.ApplicableAreaMM2() != 1448 {
+		t.Errorf("planar IO dies must not add applicable area: %v", p.ApplicableAreaMM2())
+	}
+	if p.TotalAreaMM2() != 1448+4*370 {
+		t.Errorf("total area should include IO dies: %v", p.TotalAreaMM2())
+	}
+}
+
+func TestValidateRejectsBrokenPackages(t *testing.T) {
+	if err := (Package{}).Validate(); err == nil {
+		t.Error("empty package should be invalid")
+	}
+	p := mi250xLike()
+	p.Dies[0].Count = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero-count die should be invalid")
+	}
+	p = mi250xLike()
+	p.Dies[0].Die.AreaMM2 = 900
+	if err := p.Validate(); err == nil {
+		t.Error("beyond-reticle die should be invalid")
+	}
+	p = mi250xLike()
+	p.Interposer.AssemblyYield = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero assembly yield should be invalid")
+	}
+}
+
+func TestChipletCostBeatsMonolithicAtLargeArea(t *testing.T) {
+	// Four 300 mm² chiplets vs one (hypothetical) 1200 mm² die: the
+	// monolithic equivalent is beyond the reticle entirely.
+	p := Homogeneous("4x300", 4, 300, 4000, 0, 0, CoWoS())
+	rep, err := p.Cost(cost.N7Wafer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rep.MonolithicEquivalentUSD, 1) {
+		t.Error("1200 mm² monolithic die should be unmanufacturable")
+	}
+	if rep.TotalUSD <= rep.SiliconUSD {
+		t.Error("packaging must add cost")
+	}
+	// Two 400 mm² chiplets vs one 800 mm² die: both manufacturable; the
+	// chiplet silicon must be cheaper thanks to yield, even if packaging
+	// eats some of the margin.
+	p2 := Homogeneous("2x400", 2, 400, 4000, 0, 0, CoWoS())
+	rep2, err := p2.Cost(cost.N7Wafer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.MonolithicEquivalentUSD <= rep2.SiliconUSD {
+		t.Errorf("two 400 mm² good dies ($%.0f) should undercut one 800 mm² good die ($%.0f)",
+			rep2.SiliconUSD, rep2.MonolithicEquivalentUSD)
+	}
+}
+
+func TestCostScalesWithAssemblyYield(t *testing.T) {
+	p := Homogeneous("x", 4, 300, 4000, 0, 0, CoWoS())
+	good, err := p.Cost(cost.N7Wafer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Interposer.AssemblyYield = 0.5
+	bad, err := p.Cost(cost.N7Wafer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.TotalUSD <= good.TotalUSD {
+		t.Error("worse assembly yield must raise package cost")
+	}
+	if bad.AssemblyLossUSD <= good.AssemblyLossUSD {
+		t.Error("worse assembly yield must raise assembly loss")
+	}
+}
+
+func TestPlanEscapePaperConstruction(t *testing.T) {
+	// §2.5: a 4799-TPP design must exceed 3000 mm² — more than three
+	// reticles — to escape the rule.
+	plan, err := PlanEscape(4800, 0, cost.N7Wafer, CoWoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AreaMM2 < 3000 {
+		t.Errorf("escape area = %.0f mm², want > 3000", plan.AreaMM2)
+	}
+	if plan.ChipletCount < 4 {
+		t.Errorf("chiplets = %d, want ≥ 4 (beyond three reticles)", plan.ChipletCount)
+	}
+	if got := plan.Package.Classify(); got != policy.NotApplicable {
+		t.Errorf("escape package classifies %v", got)
+	}
+	if plan.Overhead <= 0.5 {
+		t.Errorf("escaping at 4799 TPP should cost ≥ 50%% extra, got %.0f%%", plan.Overhead*100)
+	}
+}
+
+func TestPlanEscapeLowTiers(t *testing.T) {
+	// Designing just under 2400 TPP lands in the low tier: the §2.5
+	// example of a 2399-TPP device escaping above 750 mm², one die.
+	plan, err := PlanEscape(2400, 860, cost.N7Wafer, CoWoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AreaMM2 < 749 || plan.ChipletCount != 1 {
+		t.Errorf("2399-TPP escape = %.0f mm² in %d dies, want ≥ 750 in 1",
+			plan.AreaMM2, plan.ChipletCount)
+	}
+	// A true mid-tier device (2449 TPP) needs PD < 1.6: > 1530 mm², so at
+	// least two reticle-sized dies.
+	plan, err = PlanEscape(2450, 860, cost.N7Wafer, CoWoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AreaMM2 < 1500 || plan.ChipletCount < 2 {
+		t.Errorf("2449-TPP escape = %.0f mm² in %d dies, want ≥ 1530 in ≥ 2",
+			plan.AreaMM2, plan.ChipletCount)
+	}
+	// A 1699-TPP design escapes with one 531 mm² die.
+	plan, err = PlanEscape(1700, 860, cost.N7Wafer, CoWoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ChipletCount != 1 {
+		t.Errorf("1699-TPP escape should fit one die, got %d", plan.ChipletCount)
+	}
+	// Below every tier there is no floor; the plan builds a compact die.
+	plan, err = PlanEscape(1600, 860, cost.N7Wafer, CoWoS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ChipletCount != 1 || plan.AreaMM2 > 400 {
+		t.Errorf("sub-1600-TPP design should be compact: %.0f mm² in %d dies",
+			plan.AreaMM2, plan.ChipletCount)
+	}
+	// License-required tiers cannot escape.
+	if _, err := PlanEscape(4801, 860, cost.N7Wafer, CoWoS()); err == nil {
+		t.Error("TPP ≥ 4800 must not be escapable")
+	}
+}
+
+func TestPlanEscapeAlwaysCompliesProperty(t *testing.T) {
+	f := func(tppU uint16) bool {
+		tpp := 1601 + float64(tppU%3198) // [1601, 4799)
+		plan, err := PlanEscape(tpp, 860, cost.N7Wafer, CoWoS())
+		if err != nil {
+			return false
+		}
+		return plan.Package.Classify() == policy.NotApplicable &&
+			plan.Package.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisableForCompliance(t *testing.T) {
+	// Removing chiplets cuts TPP but raises nothing: PD may stay put;
+	// fusing (disabling in place) cuts TPP while keeping the area, always
+	// lowering PD — the §2.3 asymmetry.
+	p := Homogeneous("8x250", 8, 250, 4000, 0, 0, CoWoS())
+	removed, fused, err := DisableForCompliance(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.TotalTPP() != 3000 || fused.TotalTPP() != 3000 {
+		t.Fatalf("both variants should cut TPP to 3000: %v, %v", removed.TotalTPP(), fused.TotalTPP())
+	}
+	if math.Abs(removed.PerformanceDensity()-p.PerformanceDensity()) > 1e-9 {
+		t.Error("removing chiplets should leave PD unchanged")
+	}
+	if fused.PerformanceDensity() >= p.PerformanceDensity() {
+		t.Error("fusing should reduce PD")
+	}
+	if fused.TotalAreaMM2() != p.TotalAreaMM2() {
+		t.Error("fusing keeps the silicon")
+	}
+	// A 4000-TPP package at PD 2.0: dropping to 3000 TPP by removal keeps
+	// PD 2.0 ≥ 1.6 ⇒ still NAC; fusing lands PD 1.5 < 1.6 ⇒ escapes — the
+	// §2.3 point that chiplet removal opposes PD compliance.
+	if removed.Classify() != policy.NACEligible {
+		t.Errorf("removed variant = %v (PD %.2f), want NAC Eligible",
+			removed.Classify(), removed.PerformanceDensity())
+	}
+	if fused.Classify() != policy.NotApplicable {
+		t.Errorf("fused variant = %v (PD %.2f), want Not Applicable",
+			fused.Classify(), fused.PerformanceDensity())
+	}
+	// The original package must not be mutated.
+	if p.TotalTPP() != 4000 || p.Dies[0].Count != 8 {
+		t.Error("DisableForCompliance mutated its input")
+	}
+}
+
+func TestDisableForComplianceErrors(t *testing.T) {
+	p := Homogeneous("2x300", 2, 300, 3000, 0, 0, CoWoS())
+	if _, _, err := DisableForCompliance(p, 2); err == nil {
+		t.Error("cannot drop every compute die")
+	}
+	if _, _, err := DisableForCompliance(Package{}, 1); err == nil {
+		t.Error("invalid package should error")
+	}
+	ioOnly := Package{Name: "io", Dies: []PlacedDie{{
+		Die: Die{Name: "io", AreaMM2: 100}, Count: 2}},
+		Interposer: CoWoS()}
+	if _, _, err := DisableForCompliance(ioOnly, 1); err == nil {
+		t.Error("package without compute dies should error")
+	}
+}
+
+func TestInterposerPresets(t *testing.T) {
+	if CoWoS().BandwidthGBsPerLink <= Organic().BandwidthGBsPerLink {
+		t.Error("CoWoS should out-bandwidth organic substrates")
+	}
+	if CoWoS().CostPerMM2 <= Organic().CostPerMM2 {
+		t.Error("CoWoS should cost more than organic substrates")
+	}
+}
+
+func TestHomogeneousWithIO(t *testing.T) {
+	p := Homogeneous("2c1io", 2, 300, 3000, 1, 150, Organic())
+	if len(p.Dies) != 2 {
+		t.Fatalf("want compute + io die entries, got %d", len(p.Dies))
+	}
+	if p.DeviceBWGBs() <= 0 {
+		t.Error("IO dies should contribute device bandwidth")
+	}
+	if !strings.Contains(p.Dies[1].Die.Name, "io") {
+		t.Error("second die should be the IO die")
+	}
+	if p.ApplicableAreaMM2() != 600 {
+		t.Errorf("IO die is planar; applicable area = %v, want 600", p.ApplicableAreaMM2())
+	}
+}

@@ -1,0 +1,129 @@
+// Package collective models the tensor-parallel all-reduce under different
+// algorithms. The simulator assumes a ring all-reduce; this package adds
+// the standard alternatives — recursive halving-doubling and direct
+// (all-to-all) reduction — with the classic α-β cost model, so the choice
+// the bandwidth caps force can be analysed: decode-sized messages are
+// latency-dominated (few-step algorithms win), prefill-sized messages are
+// bandwidth-dominated (bytes-optimal algorithms win), and the October 2022
+// device-bandwidth knob moves only the second regime.
+package collective
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Algorithm identifies an all-reduce schedule.
+type Algorithm int
+
+const (
+	// Ring is the bandwidth-optimal 2(N−1)-step ring.
+	Ring Algorithm = iota
+	// HalvingDoubling is the 2·log2(N)-step recursive halving/doubling
+	// schedule (bytes-optimal too, but power-of-two only).
+	HalvingDoubling
+	// Direct is the two-step all-to-all exchange plus local reduction;
+	// each node pushes its full shard to every peer at once, oversubscribing
+	// the link by (N−1) but paying almost no step latency.
+	Direct
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "ring"
+	case HalvingDoubling:
+		return "halving-doubling"
+	case Direct:
+		return "direct"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Link describes one device's interconnect attachment.
+type Link struct {
+	// PerDirectionGBs is the bandwidth each direction sustains (half the
+	// aggregate bidirectional figure the ACR regulates).
+	PerDirectionGBs float64
+	// LatencySec is the per-step synchronisation latency (α).
+	LatencySec float64
+}
+
+var errBad = errors.New("collective: invalid parameters")
+
+// Time returns the all-reduce completion time for bytes of data across n
+// devices.
+func Time(a Algorithm, n int, bytes float64, l Link) (float64, error) {
+	switch {
+	case n < 1 || bytes < 0:
+		return 0, fmt.Errorf("%w: n=%d bytes=%g", errBad, n, bytes)
+	case l.PerDirectionGBs <= 0 || l.LatencySec < 0:
+		return 0, fmt.Errorf("%w: link %+v", errBad, l)
+	case n == 1 || bytes == 0:
+		return 0, nil
+	}
+	bw := l.PerDirectionGBs * 1e9
+	nf := float64(n)
+	switch a {
+	case Ring:
+		steps := 2 * (nf - 1)
+		wire := 2 * (nf - 1) / nf * bytes / bw
+		return steps*l.LatencySec + wire, nil
+	case HalvingDoubling:
+		if n&(n-1) != 0 {
+			return 0, fmt.Errorf("%w: halving-doubling needs a power-of-two group, got %d", errBad, n)
+		}
+		steps := 2 * math.Log2(nf)
+		wire := 2 * (nf - 1) / nf * bytes / bw
+		return steps*l.LatencySec + wire, nil
+	case Direct:
+		// Reduce-scatter and all-gather collapse into one exchange each;
+		// every node sends (N−1)/N of the tensor per phase through its
+		// single link.
+		steps := 2.0
+		wire := 2 * (nf - 1) / nf * bytes / bw
+		return steps*l.LatencySec + wire, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown algorithm %d", errBad, int(a))
+	}
+}
+
+// Best returns the fastest applicable algorithm and its time.
+func Best(n int, bytes float64, l Link) (Algorithm, float64, error) {
+	bestA := Ring
+	bestT := math.Inf(1)
+	for _, a := range []Algorithm{Ring, HalvingDoubling, Direct} {
+		t, err := Time(a, n, bytes, l)
+		if err != nil {
+			continue // e.g. non-power-of-two halving-doubling
+		}
+		if t < bestT {
+			bestA, bestT = a, t
+		}
+	}
+	if math.IsInf(bestT, 1) {
+		return 0, 0, fmt.Errorf("%w: no applicable algorithm", errBad)
+	}
+	return bestA, bestT, nil
+}
+
+// CrossoverBytes returns the message size at which the ring's extra steps
+// cost exactly as much as they save over the direct schedule — below it,
+// latency-light algorithms win; above it, the algorithms tie on wire time
+// and the step count decides. With the α-β model used here the ring is
+// never faster than direct, so the crossover is the size where the ring's
+// step penalty equals fraction frac of the total time.
+func CrossoverBytes(n int, l Link, frac float64) (float64, error) {
+	if n < 2 || frac <= 0 || frac >= 1 || l.PerDirectionGBs <= 0 || l.LatencySec <= 0 {
+		return 0, fmt.Errorf("%w: n=%d frac=%g", errBad, n, frac)
+	}
+	nf := float64(n)
+	extraSteps := 2*(nf-1) - 2
+	penalty := extraSteps * l.LatencySec
+	// wire(bytes) = 2(n−1)/n · bytes / bw; solve penalty = frac·wire.
+	bw := l.PerDirectionGBs * 1e9
+	return penalty / frac * bw * nf / (2 * (nf - 1)), nil
+}

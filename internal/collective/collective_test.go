@@ -1,0 +1,169 @@
+package collective
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func nvlink() Link { return Link{PerDirectionGBs: 300, LatencySec: 2e-6} }
+
+func TestDegenerateCases(t *testing.T) {
+	for _, a := range []Algorithm{Ring, HalvingDoubling, Direct} {
+		if tm, err := Time(a, 1, 1e9, nvlink()); err != nil || tm != 0 {
+			t.Errorf("%v: single device should be free: %v %v", a, tm, err)
+		}
+		if tm, err := Time(a, 4, 0, nvlink()); err != nil || tm != 0 {
+			t.Errorf("%v: zero bytes should be free: %v %v", a, tm, err)
+		}
+	}
+}
+
+func TestRingMatchesSimulatorModel(t *testing.T) {
+	// The perf engine's decode all-reduce: 2(3/4)·bytes/(300 GB/s) wire
+	// plus 6 hops of latency.
+	bytes := 1.6e9
+	tm, err := Time(Ring, 4, bytes, nvlink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6*2e-6 + 2*0.75*bytes/300e9
+	if math.Abs(tm-want) > 1e-12 {
+		t.Errorf("ring time = %v, want %v", tm, want)
+	}
+}
+
+func TestSmallMessagesPreferFewSteps(t *testing.T) {
+	// A decode-step all-reduce (1.6 MB at TP8) on a high-latency link:
+	// direct's 2 steps beat the ring's 14.
+	slow := Link{PerDirectionGBs: 300, LatencySec: 10e-6}
+	small := 1.6e6
+	ring, err := Time(Ring, 8, small, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Time(Direct, 8, small, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := Time(HalvingDoubling, 8, small, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(direct < hd && hd < ring) {
+		t.Errorf("small-message ordering wrong: direct %.2e, hd %.2e, ring %.2e",
+			direct, hd, ring)
+	}
+	best, _, err := Best(8, small, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != Direct {
+		t.Errorf("Best = %v, want direct", best)
+	}
+}
+
+func TestLargeMessagesAreWireDominated(t *testing.T) {
+	// A prefill all-reduce (1.6 GB): the three algorithms move the same
+	// bytes, so they agree within the step-latency noise (< 1%).
+	big := 1.6e9
+	ring, _ := Time(Ring, 8, big, nvlink())
+	direct, _ := Time(Direct, 8, big, nvlink())
+	if math.Abs(ring-direct)/direct > 1e-2 {
+		t.Errorf("large messages should be wire-bound: ring %.4e vs direct %.4e", ring, direct)
+	}
+}
+
+func TestHalvingDoublingNeedsPowerOfTwo(t *testing.T) {
+	if _, err := Time(HalvingDoubling, 6, 1e6, nvlink()); err == nil {
+		t.Error("6-device halving-doubling should error")
+	}
+	// Best still works on non-power-of-two groups by skipping it.
+	best, _, err := Best(6, 1e6, nvlink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == HalvingDoubling {
+		t.Error("Best must not pick halving-doubling for 6 devices")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Time(Ring, 0, 1, nvlink()); err == nil {
+		t.Error("zero devices should error")
+	}
+	if _, err := Time(Ring, 4, -1, nvlink()); err == nil {
+		t.Error("negative bytes should error")
+	}
+	if _, err := Time(Ring, 4, 1, Link{}); err == nil {
+		t.Error("zero-bandwidth link should error")
+	}
+	if _, err := Time(Algorithm(9), 4, 1, nvlink()); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	if !strings.Contains(Algorithm(9).String(), "9") {
+		t.Error("unknown algorithm should print numerically")
+	}
+}
+
+func TestBandwidthCapMovesOnlyWireTime(t *testing.T) {
+	// Capping the link 600 → 64 GB/s (PCIe-class) inflates large-message
+	// time ≈ 9×, but small-message time (latency-bound) barely moves.
+	fast := nvlink()
+	slow := Link{PerDirectionGBs: 32, LatencySec: 2e-6}
+	bigFast, _ := Time(Ring, 4, 1.6e9, fast)
+	bigSlow, _ := Time(Ring, 4, 1.6e9, slow)
+	if r := bigSlow / bigFast; r < 8 || r > 10.5 {
+		t.Errorf("large-message cap ratio = %.1f, want ≈ 9.4", r)
+	}
+	smallFast, _ := Time(Direct, 4, 1.6e5, fast)
+	smallSlow, _ := Time(Direct, 4, 1.6e5, slow)
+	if r := smallSlow / smallFast; r > 3 {
+		t.Errorf("small-message cap ratio = %.1f, should stay latency-bound", r)
+	}
+}
+
+func TestCrossoverBytes(t *testing.T) {
+	x, err := CrossoverBytes(8, nvlink(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x <= 0 {
+		t.Fatal("crossover must be positive")
+	}
+	// At the crossover the ring's step penalty is half its wire time, and
+	// the ring/direct gap equals that penalty.
+	ring, _ := Time(Ring, 8, x, nvlink())
+	direct, _ := Time(Direct, 8, x, nvlink())
+	wire := 2 * 7.0 / 8.0 * x / (300e9)
+	penalty := (2*7.0 - 2) * 2e-6
+	if math.Abs(penalty-0.5*wire) > 1e-9*wire {
+		t.Errorf("crossover definition violated: penalty %v vs wire %v", penalty, wire)
+	}
+	if math.Abs((ring-direct)-penalty) > 1e-12 {
+		t.Errorf("ring−direct gap %v should equal the step penalty %v", ring-direct, penalty)
+	}
+	if _, err := CrossoverBytes(1, nvlink(), 0.5); err == nil {
+		t.Error("single device has no crossover")
+	}
+	if _, err := CrossoverBytes(8, nvlink(), 1.5); err == nil {
+		t.Error("fraction outside (0,1) should error")
+	}
+}
+
+func TestTimeMonotoneInBytesProperty(t *testing.T) {
+	f := func(b1, b2 uint32, algoU uint8) bool {
+		a := Algorithm(algoU % 3)
+		x, y := float64(b1), float64(b2)
+		if x > y {
+			x, y = y, x
+		}
+		tx, err1 := Time(a, 8, x, nvlink())
+		ty, err2 := Time(a, 8, y, nvlink())
+		return err1 == nil && err2 == nil && ty >= tx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

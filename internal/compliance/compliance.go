@@ -1,0 +1,187 @@
+// Package compliance audits a device design against every Advanced
+// Computing Rule this library implements and, when the design is
+// restricted, derives the concrete remediation paths the industry has
+// actually used (§2.2): cap the interconnect (A800/H800), cut cores until
+// TPP clears a threshold (H20, RTX 4090D), or grow die area until the
+// Performance Density floor clears (the §2.5 escape). Each remediation is
+// returned as a modified configuration whose compliance is re-verified, so
+// callers can price the performance and silicon cost of each path.
+package compliance
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/area"
+	"repro/internal/policy"
+)
+
+// Audit is a design's status under every rule.
+type Audit struct {
+	Config  arch.Config
+	TPP     float64
+	AreaMM2 float64
+	PD      float64
+
+	Oct2022    policy.Classification
+	Oct2023DC  policy.Classification
+	Oct2023NDC policy.Classification
+
+	// Remediations lists rule-clearing redesigns, empty when the design is
+	// already unrestricted under the audited segment's rules.
+	Remediations []Remediation
+}
+
+// Remediation is one compliance-restoring redesign.
+type Remediation struct {
+	// Kind names the industry pattern.
+	Kind string
+	// Description explains the change.
+	Description string
+	// Config is the modified design; it classifies NotApplicable under
+	// the rule that triggered it.
+	Config arch.Config
+	// TPPLoss and AreaGainMM2 summarise what the change costs.
+	TPPLoss     float64
+	AreaGainMM2 float64
+}
+
+// Run audits cfg as a data-center device (the strict segment) using the
+// modeled die area.
+func Run(cfg arch.Config) (Audit, error) {
+	if err := cfg.Validate(); err != nil {
+		return Audit{}, err
+	}
+	a := area.Estimate(cfg)
+	tpp := cfg.TPP()
+	m := policy.Metrics{TPP: tpp, DeviceBWGBs: cfg.DeviceBWGBs, DieAreaMM2: a}
+	audit := Audit{
+		Config:  cfg,
+		TPP:     tpp,
+		AreaMM2: a,
+		PD:      area.PerformanceDensity(tpp, a, cfg.Process),
+	}
+	audit.Oct2022 = policy.Oct2022(m)
+	m.Segment = policy.DataCenter
+	audit.Oct2023DC = policy.Oct2023(m)
+	m.Segment = policy.NonDataCenter
+	audit.Oct2023NDC = policy.Oct2023(m)
+
+	if audit.Oct2022.Restricted() {
+		if r, ok := capBandwidth(cfg); ok {
+			audit.Remediations = append(audit.Remediations, r)
+		}
+		if r, ok := cutCores(cfg, policy.Oct2022TPPThreshold, oct2022Free, "Oct 2022"); ok {
+			audit.Remediations = append(audit.Remediations, r)
+		}
+	}
+	if audit.Oct2023DC.Restricted() {
+		if r, ok := cutCores(cfg, lowestTPPTier(), oct2023Free, "Oct 2023"); ok {
+			audit.Remediations = append(audit.Remediations, r)
+		}
+		if r, ok := growArea(cfg, a); ok {
+			audit.Remediations = append(audit.Remediations, r)
+		}
+	}
+	return audit, nil
+}
+
+// Compliant reports whether the design escapes both device-level rules as
+// a data-center part.
+func (a Audit) Compliant() bool {
+	return !a.Oct2022.Restricted() && !a.Oct2023DC.Restricted()
+}
+
+func oct2022Free(cfg arch.Config) bool {
+	return !policy.Oct2022(policy.Metrics{TPP: cfg.TPP(), DeviceBWGBs: cfg.DeviceBWGBs}).Restricted()
+}
+
+func oct2023Free(cfg arch.Config) bool {
+	a := area.Estimate(cfg)
+	return policy.Oct2023(policy.Metrics{TPP: cfg.TPP(), DieAreaMM2: a,
+		Segment: policy.DataCenter}) == policy.NotApplicable
+}
+
+// lowestTPPTier returns the TPP below which the October 2023 rule cannot
+// apply at any performance density.
+func lowestTPPTier() float64 { return policy.Oct2023TPPLowTier }
+
+// capBandwidth is the A800/H800 pattern: keep the silicon, fuse the
+// interconnect below the October 2022 threshold.
+func capBandwidth(cfg arch.Config) (Remediation, bool) {
+	capped := cfg
+	capped.DeviceBWGBs = policy.Oct2022DeviceBWThreshold - 200 // the A800's 400 GB/s
+	capped.Name = cfg.Name + "-bwcap"
+	if !oct2022Free(capped) {
+		return Remediation{}, false
+	}
+	return Remediation{
+		Kind: "cap interconnect",
+		Description: fmt.Sprintf("reduce device bandwidth %.0f → %.0f GB/s (A800/H800 pattern)",
+			cfg.DeviceBWGBs, capped.DeviceBWGBs),
+		Config: capped,
+	}, true
+}
+
+// cutCores is the H20/RTX 4090D pattern: disable cores until TPP clears
+// the tightest applicable threshold.
+func cutCores(cfg arch.Config, tppTarget float64, free func(arch.Config) bool, rule string) (Remediation, bool) {
+	cores, err := arch.MaxCoresForTPP(tppTarget, cfg.LanesPerCore,
+		cfg.SystolicDimX, cfg.SystolicDimY, cfg.ClockGHz)
+	if err != nil || cores >= cfg.CoreCount {
+		return Remediation{}, false
+	}
+	cut := cfg
+	cut.CoreCount = cores
+	cut.Name = fmt.Sprintf("%s-cut%dc", cfg.Name, cores)
+	// The fused-off design keeps the physical die: reuse the original
+	// config's area by construction (cores are disabled, not removed), so
+	// compliance must be checked against the original area. We
+	// conservatively verify with the modeled area of the *full* die.
+	check := cut
+	check.CoreCount = cfg.CoreCount
+	full := area.Estimate(check)
+	if policy.Oct2023(policy.Metrics{TPP: cut.TPP(), DieAreaMM2: full,
+		Segment: policy.DataCenter}) != policy.NotApplicable && !free(cut) {
+		return Remediation{}, false
+	}
+	return Remediation{
+		Kind: "cut compute (" + rule + ")",
+		Description: fmt.Sprintf("disable %d of %d cores (H20/RTX 4090D pattern), TPP %.0f → %.0f",
+			cfg.CoreCount-cores, cfg.CoreCount, cfg.TPP(), cut.TPP()),
+		Config:  cut,
+		TPPLoss: cfg.TPP() - cut.TPP(),
+	}, true
+}
+
+// growArea is the §2.5 pattern: add silicon (larger caches) until the PD
+// floor clears. Only possible below the 4800-TPP license line.
+func growArea(cfg arch.Config, currentArea float64) (Remediation, bool) {
+	need, ok := policy.MinAreaToAvoidOct2023(cfg.TPP(), policy.NotApplicable)
+	if !ok || need <= currentArea {
+		return Remediation{}, false
+	}
+	target := need * 1.01
+	if target > arch.ReticleLimitMM2 {
+		return Remediation{}, false // single-die growth cannot reach it
+	}
+	// Grow the L2 until the modeled area clears the floor.
+	grown := cfg
+	deltaMM2 := target - currentArea
+	extraMB := int(math.Ceil(deltaMM2 / area.DefaultModel.L2mm2PerMB))
+	grown.L2MB += extraMB
+	grown.Name = cfg.Name + "-grown"
+	newArea := area.Estimate(grown)
+	if policy.Oct2023(policy.Metrics{TPP: grown.TPP(), DieAreaMM2: newArea,
+		Segment: policy.DataCenter}) != policy.NotApplicable {
+		return Remediation{}, false
+	}
+	return Remediation{
+		Kind: "grow die area",
+		Description: fmt.Sprintf("add %d MB of L2 to clear the PD floor: %.0f → %.0f mm²",
+			extraMB, currentArea, newArea),
+		Config:      grown,
+		AreaGainMM2: newArea - currentArea,
+	}, true
+}

@@ -1,0 +1,152 @@
+package compliance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/policy"
+)
+
+func TestA100AuditAndRemediations(t *testing.T) {
+	audit, err := Run(arch.A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Compliant() {
+		t.Fatal("the A100 must be restricted")
+	}
+	if audit.Oct2022 != policy.LicenseRequired || audit.Oct2023DC != policy.LicenseRequired {
+		t.Errorf("A100 classes: %v / %v", audit.Oct2022, audit.Oct2023DC)
+	}
+	if len(audit.Remediations) == 0 {
+		t.Fatal("a restricted design must offer remediations")
+	}
+	kinds := map[string]Remediation{}
+	for _, r := range audit.Remediations {
+		kinds[r.Kind] = r
+	}
+	// The A800 pattern clears October 2022.
+	bw, ok := kinds["cap interconnect"]
+	if !ok {
+		t.Fatal("missing interconnect-cap remediation")
+	}
+	if bw.Config.DeviceBWGBs != 400 {
+		t.Errorf("capped bandwidth = %v, want the A800's 400", bw.Config.DeviceBWGBs)
+	}
+	if policy.Oct2022(policy.Metrics{TPP: bw.Config.TPP(), DeviceBWGBs: bw.Config.DeviceBWGBs}).Restricted() {
+		t.Error("bandwidth cap must clear October 2022")
+	}
+	// The H20 pattern clears October 2023 (at the full-die area).
+	cut, ok := kinds["cut compute (Oct 2023)"]
+	if !ok {
+		t.Fatal("missing core-cut remediation")
+	}
+	if cut.Config.CoreCount >= 108 {
+		t.Errorf("core cut kept %d cores", cut.Config.CoreCount)
+	}
+	if cut.TPPLoss <= 0 {
+		t.Error("core cut must record its TPP loss")
+	}
+	if !strings.Contains(cut.Description, "disable") {
+		t.Errorf("description should explain the change: %s", cut.Description)
+	}
+}
+
+func TestAlreadyCompliantDesignHasNoRemediations(t *testing.T) {
+	// A modest 1500-TPP design escapes everything.
+	small := arch.A100()
+	small.CoreCount = 32 // TPP ≈ 1478
+	audit, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.Compliant() {
+		t.Fatalf("1478-TPP design should be unrestricted: %v / %v (PD %.2f)",
+			audit.Oct2022, audit.Oct2023DC, audit.PD)
+	}
+	if len(audit.Remediations) != 0 {
+		t.Errorf("compliant design should need no remediations: %v", audit.Remediations)
+	}
+}
+
+func TestGrowAreaRemediation(t *testing.T) {
+	// A dense ~2300-TPP design violates the PD floor; the audit should
+	// offer a silicon-growth path that clears it within the reticle.
+	dense := arch.A100()
+	dense.CoreCount = 50 // TPP ≈ 2310, PD well above 3.2 at ~430 mm²
+	audit, err := Run(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.Oct2023DC.Restricted() {
+		t.Fatalf("dense design should be restricted (PD %.2f)", audit.PD)
+	}
+	var grown *Remediation
+	for i, r := range audit.Remediations {
+		if r.Kind == "grow die area" {
+			grown = &audit.Remediations[i]
+		}
+	}
+	if grown == nil {
+		t.Fatal("missing grow-die-area remediation")
+	}
+	if grown.AreaGainMM2 <= 0 {
+		t.Error("area growth must be recorded")
+	}
+	check, err := Run(grown.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Oct2023DC != policy.NotApplicable {
+		t.Errorf("grown design still classifies %v (PD %.2f)", check.Oct2023DC, check.PD)
+	}
+}
+
+func TestRemediationsReverify(t *testing.T) {
+	// Every remediation the audit returns must itself audit as clearing
+	// the rule it targets.
+	audit, err := Run(arch.A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range audit.Remediations {
+		re, err := Run(r.Config)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Kind, err)
+		}
+		switch r.Kind {
+		case "cap interconnect", "cut compute (Oct 2022)":
+			if re.Oct2022.Restricted() {
+				t.Errorf("%s did not clear October 2022", r.Kind)
+			}
+		case "cut compute (Oct 2023)", "grow die area":
+			// Core cuts are fused on the original die; Run models the cut
+			// die, which is conservative — it must at least not be
+			// license-required.
+			if re.Oct2023DC == policy.LicenseRequired {
+				t.Errorf("%s left the design license-required", r.Kind)
+			}
+		}
+	}
+}
+
+func TestHighTPPCannotGrowOut(t *testing.T) {
+	// TPP ≥ 4800 has no area escape; the only October 2023 remediation is
+	// cutting compute.
+	audit, err := Run(arch.A100()) // TPP 4991
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range audit.Remediations {
+		if r.Kind == "grow die area" {
+			t.Error("a ≥4800-TPP design must not offer an area escape")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(arch.Config{}); err == nil {
+		t.Error("invalid config should error")
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/policy"
+)
+
+func TestEvaluateA100(t *testing.T) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	rep, err := Evaluate(arch.A100(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TTFTSeconds <= 0 || rep.TBTSeconds <= 0 {
+		t.Fatal("non-positive latencies")
+	}
+	if rep.Oct2022 != policy.LicenseRequired {
+		t.Errorf("A100 under Oct 2022 = %v, want License Required", rep.Oct2022)
+	}
+	if rep.Oct2023DataCenter != policy.LicenseRequired {
+		t.Errorf("A100 under Oct 2023 DC = %v, want License Required", rep.Oct2023DataCenter)
+	}
+	if rep.Oct2023Consumer != policy.NACEligible {
+		t.Errorf("A100 rebranded consumer = %v, want NAC Eligible", rep.Oct2023Consumer)
+	}
+	if rep.Yield <= 0 || rep.Yield >= 1 {
+		t.Errorf("yield = %v", rep.Yield)
+	}
+	if rep.GoodDieCostUSD <= rep.DieCostUSD {
+		t.Error("good-die cost must exceed raw die cost")
+	}
+	if math.Abs(rep.Area.Total()-rep.AreaMM2) > 1e-9 {
+		t.Error("breakdown total disagrees with AreaMM2")
+	}
+	if rep.PrefillPowerW < 200 || rep.PrefillPowerW > 600 {
+		t.Errorf("prefill power = %.0f W, want TDP-class", rep.PrefillPowerW)
+	}
+	if rep.DecodePowerW <= 0 || rep.DecodePowerW >= rep.PrefillPowerW {
+		t.Errorf("decode power %.0f W should be positive and below prefill %.0f W",
+			rep.DecodePowerW, rep.PrefillPowerW)
+	}
+}
+
+func TestBaselinePinsGA100Area(t *testing.T) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	b, err := Baseline(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AreaMM2 != arch.GA100DieAreaMM2 {
+		t.Errorf("baseline area = %v, want the GA100's %v", b.AreaMM2, arch.GA100DieAreaMM2)
+	}
+	// PD 4992/826 ≈ 6.04, the paper's quoted A800 figure.
+	if math.Abs(b.PD-6.04) > 0.03 {
+		t.Errorf("baseline PD = %.2f, want ≈ 6.04", b.PD)
+	}
+}
+
+func TestEvaluateRejectsInvalid(t *testing.T) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	if _, err := Evaluate(arch.Config{}, w); err == nil {
+		t.Error("invalid config should error")
+	}
+	w.Batch = 0
+	if _, err := Evaluate(arch.A100(), w); err == nil {
+		t.Error("invalid workload should error")
+	}
+}
+
+func TestOptimizeCompliantOct2022(t *testing.T) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	opt, err := OptimizeCompliant(RuleOct2022, 4800, w, MinTBT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Explored != 512 {
+		t.Errorf("explored %d designs, want 512 (Table 3 at one device BW)", opt.Explored)
+	}
+	if opt.Admissible == 0 || opt.Admissible > opt.Explored {
+		t.Errorf("admissible = %d of %d", opt.Admissible, opt.Explored)
+	}
+	if opt.Report.Oct2022.Restricted() {
+		t.Error("optimum must escape the October 2022 rule")
+	}
+	if !opt.Report.FitsReticle {
+		t.Error("optimum must be manufacturable")
+	}
+	// §4.2: decoding improves substantially over the A100.
+	if opt.TBTvsA100 > -0.10 {
+		t.Errorf("TBT vs A100 = %+.1f%%, want ≤ −10%%", opt.TBTvsA100*100)
+	}
+}
+
+func TestOptimizeCompliantOct2023StrictlySlowerPrefill(t *testing.T) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	opt, err := OptimizeCompliant(RuleOct2023, 2400, w, MinTTFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Report.Oct2023DataCenter != policy.NotApplicable {
+		t.Errorf("optimum class = %v, want Not Applicable", opt.Report.Oct2023DataCenter)
+	}
+	// §4.3: even the fastest compliant 2400-TPP design is far slower than
+	// the A100 at prefill (paper +78.8%).
+	if opt.TTFTvsA100 < 0.3 {
+		t.Errorf("TTFT vs A100 = %+.1f%%, want substantially slower", opt.TTFTvsA100*100)
+	}
+}
+
+func TestOptimizeCompliantNoAdmissible(t *testing.T) {
+	// Every 4800-TPP design violates the October 2023 PD floor, so the
+	// search must fail cleanly — the paper's "all 4800 TPP designs invalid".
+	w := model.PaperWorkload(model.GPT3_175B())
+	if _, err := OptimizeCompliant(RuleOct2023, 4800, w, MinTTFT); err == nil {
+		t.Error("expected no admissible 4800-TPP designs under October 2023")
+	}
+}
+
+func TestOptimizeObjectives(t *testing.T) {
+	w := model.PaperWorkload(model.Llama3_8B())
+	ttft, err := OptimizeCompliant(RuleOct2022, 4800, w, MinTTFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbt, err := OptimizeCompliant(RuleOct2022, 4800, w, MinTBT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttft.Report.TTFTSeconds > tbt.Report.TTFTSeconds {
+		t.Error("MinTTFT optimum should not lose on TTFT to the MinTBT optimum")
+	}
+	if tbt.Report.TBTSeconds > ttft.Report.TBTSeconds {
+		t.Error("MinTBT optimum should not lose on TBT to the MinTTFT optimum")
+	}
+	if _, err := OptimizeCompliant(RuleOct2022, 4800, w, Objective(42)); err == nil {
+		t.Error("unknown objective should error")
+	}
+}
+
+func TestIndicators(t *testing.T) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	mem, err := Indicators(w, ParamMemoryBW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := Indicators(w, ParamDeviceBW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.3: memory bandwidth is a far stronger TBT indicator than device
+	// bandwidth.
+	if mem.TBTNarrowing < 5*dev.TBTNarrowing {
+		t.Errorf("memory BW TBT narrowing (%.1fx) should dwarf device BW (%.1fx)",
+			mem.TBTNarrowing, dev.TBTNarrowing)
+	}
+	if len(mem.TBTGroups) != 4 {
+		t.Errorf("memory BW has %d groups, want 4 (Table 3 values)", len(mem.TBTGroups))
+	}
+	lanes, err := Indicators(w, ParamLanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lanes.TTFTNarrowing <= 1 {
+		t.Errorf("fixing lanes should narrow TTFT, got %.2fx", lanes.TTFTNarrowing)
+	}
+}
+
+func TestClassifyDesign(t *testing.T) {
+	o22, o23dc, o23ndc, err := ClassifyDesign(arch.A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o22 != policy.LicenseRequired {
+		t.Errorf("Oct 2022 = %v", o22)
+	}
+	// The modeled-area A100 (≈ 780 mm², PD ≈ 6.4) is license-required as a
+	// data-center part and NAC-eligible as a consumer part.
+	if o23dc != policy.LicenseRequired || o23ndc != policy.NACEligible {
+		t.Errorf("Oct 2023 = %v / %v", o23dc, o23ndc)
+	}
+	if _, _, _, err := ClassifyDesign(arch.Config{}); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for _, s := range []string{RuleNone.String(), RuleOct2022.String(), RuleOct2023.String(),
+		ParamLanes.String(), ParamL1.String(), ParamL2.String(),
+		ParamMemoryBW.String(), ParamDeviceBW.String()} {
+		if s == "" {
+			t.Error("enum with empty name")
+		}
+	}
+	if !strings.Contains(Rule(9).String(), "9") || !strings.Contains(Param(9).String(), "9") {
+		t.Error("unknown enum values should print numerically")
+	}
+}

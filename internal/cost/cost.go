@@ -1,0 +1,164 @@
+// Package cost models silicon manufacturing economics for monolithic dies:
+// dies per wafer, defect-limited yield, per-die silicon cost, and the cost
+// of procuring a quantity of good dies.
+//
+// The constants are calibrated against the paper's Table 4, which reports —
+// for a 7 nm process — a $88 silicon cost for a 523 mm² die and $134 for a
+// 753 mm² die, with 1M-good-dies costs of $177M and $350M respectively.
+// Those four numbers pin down the wafer price ($9,346 per 300 mm wafer, the
+// widely cited 7 nm figure), the standard dies-per-wafer formula, and a
+// negative-binomial yield model with D0 = 0.145 defects/cm² and α = 4.
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wafer describes a production wafer on a particular process node.
+type Wafer struct {
+	// DiameterMM is the wafer diameter (300 mm for all modern logic).
+	DiameterMM float64
+	// PriceUSD is the processed-wafer price.
+	PriceUSD float64
+	// DefectDensityPerCM2 is D0, the random defect density.
+	DefectDensityPerCM2 float64
+	// ClusterAlpha is the negative-binomial clustering parameter α.
+	ClusterAlpha float64
+}
+
+// N7Wafer is the calibrated 7 nm production wafer (see package comment).
+var N7Wafer = Wafer{
+	DiameterMM:          300,
+	PriceUSD:            9346,
+	DefectDensityPerCM2: 0.145,
+	ClusterAlpha:        4,
+}
+
+// N5Wafer is a 5 nm wafer for forward-looking sweeps: pricier and initially
+// more defect-prone than the mature 7 nm node.
+var N5Wafer = Wafer{
+	DiameterMM:          300,
+	PriceUSD:            16988,
+	DefectDensityPerCM2: 0.2,
+	ClusterAlpha:        4,
+}
+
+var errBadDie = errors.New("cost: die area must be positive and fit on the wafer")
+
+// DiesPerWafer returns the number of die candidates that fit on the wafer
+// using the standard approximation
+//
+//	N = π(d/2)²/A − πd/√(2A)
+//
+// where the second term accounts for partial dies lost at the wafer edge.
+func (w Wafer) DiesPerWafer(dieAreaMM2 float64) (float64, error) {
+	if dieAreaMM2 <= 0 {
+		return 0, fmt.Errorf("%w: got %.1f mm²", errBadDie, dieAreaMM2)
+	}
+	r := w.DiameterMM / 2
+	n := math.Pi*r*r/dieAreaMM2 - math.Pi*w.DiameterMM/math.Sqrt(2*dieAreaMM2)
+	if n < 1 {
+		return 0, fmt.Errorf("%w: %.1f mm² yields %.2f dies on a %.0f mm wafer",
+			errBadDie, dieAreaMM2, n, w.DiameterMM)
+	}
+	return n, nil
+}
+
+// Yield returns the fraction of die candidates free of killer defects under
+// the negative-binomial model
+//
+//	Y = (1 + A·D0/α)^(−α)
+//
+// with A in cm². Larger dies collect more defects; bleeding-edge flagship
+// dies near the reticle limit yield well under 50%, which is the cost
+// compounding the paper describes in §2.3.
+func (w Wafer) Yield(dieAreaMM2 float64) float64 {
+	if dieAreaMM2 <= 0 {
+		return 0
+	}
+	acm2 := dieAreaMM2 / 100
+	return math.Pow(1+acm2*w.DefectDensityPerCM2/w.ClusterAlpha, -w.ClusterAlpha)
+}
+
+// DieCost returns the silicon cost of one die candidate (wafer price divided
+// by dies per wafer), before yield. This matches the paper's "Silicon Die
+// Cost" row in Table 4.
+func (w Wafer) DieCost(dieAreaMM2 float64) (float64, error) {
+	n, err := w.DiesPerWafer(dieAreaMM2)
+	if err != nil {
+		return 0, err
+	}
+	return w.PriceUSD / n, nil
+}
+
+// GoodDieCost returns the effective cost of one known-good die: the die cost
+// divided by yield.
+func (w Wafer) GoodDieCost(dieAreaMM2 float64) (float64, error) {
+	c, err := w.DieCost(dieAreaMM2)
+	if err != nil {
+		return 0, err
+	}
+	y := w.Yield(dieAreaMM2)
+	if y <= 0 {
+		return 0, fmt.Errorf("%w: zero yield at %.1f mm²", errBadDie, dieAreaMM2)
+	}
+	return c / y, nil
+}
+
+// GoodDiesCost returns the total silicon cost of procuring n good dies —
+// the paper's "1M Good Dies Cost" row uses n = 1e6.
+func (w Wafer) GoodDiesCost(n float64, dieAreaMM2 float64) (float64, error) {
+	per, err := w.GoodDieCost(dieAreaMM2)
+	if err != nil {
+		return 0, err
+	}
+	return per * n, nil
+}
+
+// WafersFor returns the number of wafers that must be started to obtain n
+// good dies (rounded up), the quantity supply-chain planning works in.
+func (w Wafer) WafersFor(n float64, dieAreaMM2 float64) (float64, error) {
+	dies, err := w.DiesPerWafer(dieAreaMM2)
+	if err != nil {
+		return 0, err
+	}
+	y := w.Yield(dieAreaMM2)
+	if y <= 0 {
+		return 0, fmt.Errorf("%w: zero yield at %.1f mm²", errBadDie, dieAreaMM2)
+	}
+	return math.Ceil(n / (dies * y)), nil
+}
+
+// Report summarizes manufacturing economics for one die size.
+type Report struct {
+	DieAreaMM2   float64
+	DiesPerWafer float64
+	Yield        float64
+	DieCostUSD   float64
+	GoodDieUSD   float64
+}
+
+// Analyze returns a full manufacturing report for a die size.
+func (w Wafer) Analyze(dieAreaMM2 float64) (Report, error) {
+	dies, err := w.DiesPerWafer(dieAreaMM2)
+	if err != nil {
+		return Report{}, err
+	}
+	dc := w.PriceUSD / dies
+	y := w.Yield(dieAreaMM2)
+	return Report{
+		DieAreaMM2:   dieAreaMM2,
+		DiesPerWafer: dies,
+		Yield:        y,
+		DieCostUSD:   dc,
+		GoodDieUSD:   dc / y,
+	}, nil
+}
+
+// String renders the report in one line.
+func (r Report) String() string {
+	return fmt.Sprintf("%.0f mm²: %.0f dies/wafer, yield %.1f%%, $%.0f/die, $%.0f/good die",
+		r.DieAreaMM2, r.DiesPerWafer, r.Yield*100, r.DieCostUSD, r.GoodDieUSD)
+}

@@ -1,0 +1,176 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestTable4Calibration checks the four numbers the model is calibrated to:
+// the paper's Table 4 reports $88 / $134 die costs and $177M / $350M
+// 1M-good-dies costs for 523 mm² and 753 mm² dies at 7 nm.
+func TestTable4Calibration(t *testing.T) {
+	cases := []struct {
+		areaMM2      float64
+		wantDieUSD   float64
+		wantMillionM float64 // $M for 1e6 good dies
+	}{
+		{523, 88, 177},
+		{753, 134, 350},
+	}
+	for _, c := range cases {
+		die, err := N7Wafer.DieCost(c.areaMM2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(die-c.wantDieUSD) > c.wantDieUSD*0.03 {
+			t.Errorf("%g mm²: die cost $%.1f, want ≈ $%.0f", c.areaMM2, die, c.wantDieUSD)
+		}
+		total, err := N7Wafer.GoodDiesCost(1e6, c.areaMM2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(total/1e6-c.wantMillionM) > c.wantMillionM*0.05 {
+			t.Errorf("%g mm²: 1M good dies $%.1fM, want ≈ $%.0fM", c.areaMM2, total/1e6, c.wantMillionM)
+		}
+	}
+}
+
+func TestDiesPerWaferKnownValues(t *testing.T) {
+	// 523 mm² → ≈ 106 candidates on a 300 mm wafer; 753 mm² → ≈ 70.
+	n, err := N7Wafer.DiesPerWafer(523)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n-106) > 2 {
+		t.Errorf("523 mm²: %.1f dies/wafer, want ≈ 106", n)
+	}
+	n, err = N7Wafer.DiesPerWafer(753)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n-70) > 2 {
+		t.Errorf("753 mm²: %.1f dies/wafer, want ≈ 70", n)
+	}
+}
+
+func TestYieldDecreasesWithArea(t *testing.T) {
+	prev := 1.0
+	for a := 50.0; a <= 860; a += 50 {
+		y := N7Wafer.Yield(a)
+		if y <= 0 || y >= prev {
+			t.Fatalf("yield not strictly decreasing: %.3f at %.0f mm² (prev %.3f)", y, a, prev)
+		}
+		prev = y
+	}
+	if y := N7Wafer.Yield(0); y != 0 {
+		t.Errorf("Yield(0) = %v, want 0", y)
+	}
+}
+
+func TestYieldCalibration(t *testing.T) {
+	// Implied by Table 4: ≈ 50% at 523 mm² and ≈ 38% at 753 mm².
+	if y := N7Wafer.Yield(523); math.Abs(y-0.50) > 0.02 {
+		t.Errorf("yield(523) = %.3f, want ≈ 0.50", y)
+	}
+	if y := N7Wafer.Yield(753); math.Abs(y-0.38) > 0.02 {
+		t.Errorf("yield(753) = %.3f, want ≈ 0.38", y)
+	}
+}
+
+func TestErrorsOnAbsurdDies(t *testing.T) {
+	if _, err := N7Wafer.DiesPerWafer(0); err == nil {
+		t.Error("expected error for zero-area die")
+	}
+	if _, err := N7Wafer.DiesPerWafer(-10); err == nil {
+		t.Error("expected error for negative-area die")
+	}
+	if _, err := N7Wafer.DieCost(70000); err == nil {
+		t.Error("expected error for die larger than the wafer")
+	}
+	if _, err := N7Wafer.GoodDieCost(70000); err == nil {
+		t.Error("expected error propagated from DieCost")
+	}
+	if _, err := N7Wafer.GoodDiesCost(1e6, -5); err == nil {
+		t.Error("expected error propagated for negative area")
+	}
+	if _, err := N7Wafer.WafersFor(1e6, -5); err == nil {
+		t.Error("expected error for negative area in WafersFor")
+	}
+	if _, err := N7Wafer.Analyze(-5); err == nil {
+		t.Error("expected error for negative area in Analyze")
+	}
+}
+
+func TestWafersFor(t *testing.T) {
+	// 1M good dies of 523 mm²: 106 dies/wafer × 50% yield ≈ 53 good/wafer
+	// → ≈ 18,900 wafers.
+	w, err := N7Wafer.WafersFor(1e6, 523)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 17000 || w > 21000 {
+		t.Errorf("WafersFor(1e6, 523) = %.0f, want ≈ 18,900", w)
+	}
+	// Must be an integer count and cover the demand.
+	if w != math.Ceil(w) {
+		t.Errorf("wafer count should be integral, got %v", w)
+	}
+}
+
+func TestGoodDieCostDominatesDieCost(t *testing.T) {
+	f := func(a uint16) bool {
+		area := float64(a%800) + 20
+		die, err1 := N7Wafer.DieCost(area)
+		good, err2 := N7Wafer.GoodDieCost(area)
+		if err1 != nil || err2 != nil {
+			return true // out-of-domain inputs are rejected consistently
+		}
+		return good > die && die > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBiggerDiesCostSuperlinearlyMore(t *testing.T) {
+	// Property: doubling die area more than doubles good-die cost (edge loss
+	// plus yield loss compound).
+	small, err := N7Wafer.GoodDieCost(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := N7Wafer.GoodDieCost(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= 2*small {
+		t.Errorf("good-die cost should be superlinear: 300 mm² $%.0f vs 600 mm² $%.0f", small, big)
+	}
+}
+
+func TestN5WaferPricier(t *testing.T) {
+	n7, _ := N7Wafer.GoodDieCost(500)
+	n5, err := N5Wafer.GoodDieCost(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n5 <= n7 {
+		t.Errorf("5 nm good die should cost more than 7 nm: $%.0f vs $%.0f", n5, n7)
+	}
+}
+
+func TestAnalyzeAndString(t *testing.T) {
+	r, err := N7Wafer.Analyze(523)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GoodDieUSD < r.DieCostUSD || r.Yield <= 0 || r.Yield >= 1 {
+		t.Errorf("inconsistent report: %+v", r)
+	}
+	s := r.String()
+	if !strings.Contains(s, "mm²") || !strings.Contains(s, "yield") {
+		t.Errorf("report string missing fields: %s", s)
+	}
+}

@@ -1,0 +1,157 @@
+package devices
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/policy"
+)
+
+// csvHeader is the canonical column set for device interchange files.
+var csvHeader = []string{"name", "vendor", "year", "die", "segment", "tpp",
+	"device_bw_gbs", "die_area_mm2", "memory_gb", "memory_bw_gbs", "matmul_tops"}
+
+// WriteCSV emits devices in the canonical CSV schema.
+func WriteCSV(w io.Writer, devices []Device) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, d := range devices {
+		seg := "datacenter"
+		if d.Segment == policy.NonDataCenter {
+			seg = "consumer"
+		}
+		rec := []string{d.Name, string(d.Vendor), strconv.Itoa(d.Year), d.Die, seg,
+			f(d.TPP), f(d.DeviceBWGBs), f(d.DieAreaMM2), f(d.MemoryGB),
+			f(d.MemoryBWGBs), f(d.MatmulTOPS)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses devices from the canonical CSV schema. The header row is
+// required and may reorder columns; unknown columns are rejected so silent
+// data loss cannot happen.
+func ReadCSV(r io.Reader) ([]Device, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("devices: reading CSV header: %w", err)
+	}
+	idx := make(map[string]int, len(header))
+	for i, h := range header {
+		h = strings.ToLower(strings.TrimSpace(h))
+		if idx[h] = i; !validColumn(h) {
+			return nil, fmt.Errorf("devices: unknown CSV column %q", h)
+		}
+	}
+	for _, required := range []string{"name", "segment", "tpp", "die_area_mm2"} {
+		if _, ok := idx[required]; !ok {
+			return nil, fmt.Errorf("devices: CSV missing required column %q", required)
+		}
+	}
+
+	var out []Device
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("devices: CSV line %d: %w", line, err)
+		}
+		d, err := deviceFromRecord(rec, idx)
+		if err != nil {
+			return nil, fmt.Errorf("devices: CSV line %d: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("devices: CSV contains no device rows")
+	}
+	return out, nil
+}
+
+func validColumn(h string) bool {
+	for _, c := range csvHeader {
+		if c == h {
+			return true
+		}
+	}
+	return false
+}
+
+func deviceFromRecord(rec []string, idx map[string]int) (Device, error) {
+	get := func(col string) string {
+		i, ok := idx[col]
+		if !ok || i >= len(rec) {
+			return ""
+		}
+		return strings.TrimSpace(rec[i])
+	}
+	num := func(col string) (float64, error) {
+		s := get(col)
+		if s == "" {
+			return 0, nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("column %q: %w", col, err)
+		}
+		return v, nil
+	}
+
+	d := Device{Name: get("name"), Vendor: Vendor(get("vendor")), Die: get("die")}
+	if d.Name == "" {
+		return Device{}, fmt.Errorf("empty device name")
+	}
+	switch seg := strings.ToLower(get("segment")); seg {
+	case "datacenter", "data center", "dc":
+		d.Segment = policy.DataCenter
+	case "consumer", "workstation", "non-datacenter", "ndc":
+		d.Segment = policy.NonDataCenter
+	default:
+		return Device{}, fmt.Errorf("unknown segment %q", seg)
+	}
+	if y := get("year"); y != "" {
+		year, err := strconv.Atoi(y)
+		if err != nil {
+			return Device{}, fmt.Errorf("column year: %w", err)
+		}
+		d.Year = year
+	}
+	var err error
+	if d.TPP, err = num("tpp"); err != nil {
+		return Device{}, err
+	}
+	if d.DeviceBWGBs, err = num("device_bw_gbs"); err != nil {
+		return Device{}, err
+	}
+	if d.DieAreaMM2, err = num("die_area_mm2"); err != nil {
+		return Device{}, err
+	}
+	if d.MemoryGB, err = num("memory_gb"); err != nil {
+		return Device{}, err
+	}
+	if d.MemoryBWGBs, err = num("memory_bw_gbs"); err != nil {
+		return Device{}, err
+	}
+	if d.MatmulTOPS, err = num("matmul_tops"); err != nil {
+		return Device{}, err
+	}
+	if d.TPP <= 0 || d.DieAreaMM2 <= 0 {
+		return Device{}, fmt.Errorf("device %q needs positive TPP and die area", d.Name)
+	}
+	return d, nil
+}

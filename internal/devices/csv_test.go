@@ -1,0 +1,85 @@
+package devices
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, All()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := All()
+	if len(back) != len(orig) {
+		t.Fatalf("round trip lost devices: %d vs %d", len(back), len(orig))
+	}
+	for i, d := range back {
+		if d != orig[i] {
+			t.Fatalf("device %d changed in round trip:\n got %+v\nwant %+v", i, d, orig[i])
+		}
+	}
+}
+
+func TestReadCSVHeaderFlexibility(t *testing.T) {
+	// Reordered columns and alternate segment spellings must parse.
+	in := `segment,tpp,die_area_mm2,name,memory_gb
+dc,4992,826,CustomA100,80
+workstation,2088,754,CustomTitan,24
+`
+	ds, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("got %d devices", len(ds))
+	}
+	if ds[0].Segment != policy.DataCenter || ds[1].Segment != policy.NonDataCenter {
+		t.Errorf("segments wrong: %v %v", ds[0].Segment, ds[1].Segment)
+	}
+	if ds[0].DeviceBWGBs != 0 || ds[0].Year != 0 {
+		t.Error("absent optional columns should default to zero")
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"unknown column", "name,segment,tpp,die_area_mm2,bogus\nX,dc,1,1,1\n"},
+		{"missing required", "name,segment,tpp\nX,dc,1\n"},
+		{"bad segment", "name,segment,tpp,die_area_mm2\nX,starship,1,1\n"},
+		{"bad number", "name,segment,tpp,die_area_mm2\nX,dc,abc,1\n"},
+		{"bad year", "name,segment,tpp,die_area_mm2,year\nX,dc,1,1,twenty\n"},
+		{"empty name", "name,segment,tpp,die_area_mm2\n,dc,1,1\n"},
+		{"non-positive tpp", "name,segment,tpp,die_area_mm2\nX,dc,0,1\n"},
+		{"header only", "name,segment,tpp,die_area_mm2\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestLoadedDevicesClassify(t *testing.T) {
+	in := "name,segment,tpp,die_area_mm2,device_bw_gbs\nHot,dc,5000,700,800\nCool,consumer,900,300,32\n"
+	ds, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := policy.Oct2023(ds[0].Metrics()); got != policy.LicenseRequired {
+		t.Errorf("loaded hot device = %v", got)
+	}
+	if got := policy.Oct2023(ds[1].Metrics()); got != policy.NotApplicable {
+		t.Errorf("loaded cool device = %v", got)
+	}
+}

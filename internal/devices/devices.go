@@ -1,0 +1,286 @@
+// Package devices provides the real-GPU dataset behind the paper's
+// classification figures: AMD and NVIDIA devices released 2018–2024 with
+// the datasheet quantities the Advanced Computing Rules regulate.
+//
+// TPP follows the rule's definition — peak non-sparse TOPS multiplied by
+// operation bitwidth, maximised over bitwidths, counting a tensor-core
+// multiply-accumulate as two operations. For devices with FP16 matrix
+// accelerators that is dense FP16 tensor TFLOPS × 16; for pre-matrix-core
+// consumer devices it is packed FP16 vector TFLOPS × 16. Die areas, memory
+// configurations and interconnect rates are public datasheet/database
+// figures (TechPowerUp-class accuracy); small deviations from the authors'
+// spreadsheet move individual points but not the classification structure.
+package devices
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/policy"
+)
+
+// Vendor identifies the device manufacturer.
+type Vendor string
+
+// Vendors present in the dataset.
+const (
+	NVIDIA Vendor = "NVIDIA"
+	AMD    Vendor = "AMD"
+)
+
+// Device is one catalogued GPU.
+type Device struct {
+	Name    string
+	Vendor  Vendor
+	Year    int
+	Die     string
+	Segment policy.Segment
+
+	// TPP is TOPS × bitwidth per the ACR definition.
+	TPP float64
+	// DeviceBWGBs is the aggregate bidirectional interconnect rate (NVLink
+	// or Infinity Fabric where present, otherwise PCIe).
+	DeviceBWGBs float64
+	// DieAreaMM2 is the total compute-die area (summed over chiplets); all
+	// catalogued dies are non-planar (16 nm-class or below), so this is
+	// the ACR's applicable area.
+	DieAreaMM2 float64
+	// MemoryGB and MemoryBWGBs describe the memory system.
+	MemoryGB    float64
+	MemoryBWGBs float64
+	// MatmulTOPS is dense FP16 matrix-unit throughput (0 = no matrix unit).
+	MatmulTOPS float64
+}
+
+// Metrics projects the device onto the statutory ACR quantities.
+func (d Device) Metrics() policy.Metrics {
+	return policy.Metrics{TPP: d.TPP, DeviceBWGBs: d.DeviceBWGBs,
+		DieAreaMM2: d.DieAreaMM2, Segment: d.Segment}
+}
+
+// Spec projects the device onto the architecture-first policy spec.
+func (d Device) Spec() policy.DeviceSpec {
+	return policy.DeviceSpec{
+		Name: d.Name, Segment: d.Segment, TPP: d.TPP,
+		DeviceBWGBs: d.DeviceBWGBs, DieAreaMM2: d.DieAreaMM2,
+		MemoryCapacityGB: d.MemoryGB, MemoryBWGBs: d.MemoryBWGBs,
+		MatmulTOPS: d.MatmulTOPS,
+	}
+}
+
+// PerformanceDensity returns TPP/mm².
+func (d Device) PerformanceDensity() float64 { return d.Metrics().PerformanceDensity() }
+
+func (d Device) String() string {
+	return fmt.Sprintf("%s (%d, %s): TPP %.0f, dev BW %.0f GB/s, die %.0f mm², mem %.0f GB @ %.0f GB/s",
+		d.Name, d.Year, d.Segment, d.TPP, d.DeviceBWGBs, d.DieAreaMM2, d.MemoryGB, d.MemoryBWGBs)
+}
+
+// All returns the full catalogue, data-center devices first, then consumer
+// and workstation parts, each sorted by year then name. The slice is fresh
+// on every call; callers may reorder or filter freely.
+func All() []Device {
+	out := make([]Device, 0, len(dataCenter)+len(consumer))
+	out = append(out, dataCenter...)
+	out = append(out, consumer...)
+	return out
+}
+
+// DataCenter returns only the data-center-marketed devices.
+func DataCenter() []Device { return append([]Device(nil), dataCenter...) }
+
+// Consumer returns only the consumer/workstation-marketed devices.
+func Consumer() []Device { return append([]Device(nil), consumer...) }
+
+// ByName returns the named device.
+func ByName(name string) (Device, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("devices: no device named %q", name)
+}
+
+// Names returns all catalogue names, sorted.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, d := range all {
+		names[i] = d.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// dataCenter is the 14-device data-center-marketed set the paper studies.
+var dataCenter = []Device{
+	{Name: "A100", Vendor: NVIDIA, Year: 2020, Die: "GA100", Segment: policy.DataCenter,
+		TPP: 4992, DeviceBWGBs: 600, DieAreaMM2: 826, MemoryGB: 80, MemoryBWGBs: 2039, MatmulTOPS: 312},
+	{Name: "A800", Vendor: NVIDIA, Year: 2022, Die: "GA100", Segment: policy.DataCenter,
+		TPP: 4992, DeviceBWGBs: 400, DieAreaMM2: 826, MemoryGB: 80, MemoryBWGBs: 2039, MatmulTOPS: 312},
+	{Name: "A30", Vendor: NVIDIA, Year: 2021, Die: "GA100", Segment: policy.DataCenter,
+		TPP: 2640, DeviceBWGBs: 200, DieAreaMM2: 826, MemoryGB: 24, MemoryBWGBs: 933, MatmulTOPS: 165},
+	{Name: "A40", Vendor: NVIDIA, Year: 2020, Die: "GA102", Segment: policy.DataCenter,
+		TPP: 2395, DeviceBWGBs: 112.5, DieAreaMM2: 628, MemoryGB: 48, MemoryBWGBs: 696, MatmulTOPS: 149.7},
+	{Name: "H100", Vendor: NVIDIA, Year: 2023, Die: "GH100", Segment: policy.DataCenter,
+		TPP: 15824, DeviceBWGBs: 900, DieAreaMM2: 814, MemoryGB: 80, MemoryBWGBs: 3350, MatmulTOPS: 989},
+	{Name: "H800", Vendor: NVIDIA, Year: 2023, Die: "GH100", Segment: policy.DataCenter,
+		TPP: 15824, DeviceBWGBs: 400, DieAreaMM2: 814, MemoryGB: 80, MemoryBWGBs: 3350, MatmulTOPS: 989},
+	{Name: "H20", Vendor: NVIDIA, Year: 2023, Die: "GH100", Segment: policy.DataCenter,
+		TPP: 2368, DeviceBWGBs: 900, DieAreaMM2: 814, MemoryGB: 96, MemoryBWGBs: 4000, MatmulTOPS: 148},
+	{Name: "L40", Vendor: NVIDIA, Year: 2022, Die: "AD102", Segment: policy.DataCenter,
+		TPP: 2896, DeviceBWGBs: 64, DieAreaMM2: 609, MemoryGB: 48, MemoryBWGBs: 864, MatmulTOPS: 181},
+	{Name: "L20", Vendor: NVIDIA, Year: 2023, Die: "AD102", Segment: policy.DataCenter,
+		TPP: 1912, DeviceBWGBs: 64, DieAreaMM2: 609, MemoryGB: 48, MemoryBWGBs: 864, MatmulTOPS: 119.5},
+	{Name: "L4", Vendor: NVIDIA, Year: 2023, Die: "AD104", Segment: policy.DataCenter,
+		TPP: 968, DeviceBWGBs: 64, DieAreaMM2: 294, MemoryGB: 24, MemoryBWGBs: 300, MatmulTOPS: 60.5},
+	{Name: "L2", Vendor: NVIDIA, Year: 2023, Die: "AD104", Segment: policy.DataCenter,
+		TPP: 779, DeviceBWGBs: 64, DieAreaMM2: 294, MemoryGB: 24, MemoryBWGBs: 300, MatmulTOPS: 48.7},
+	{Name: "MI250X", Vendor: AMD, Year: 2021, Die: "Aldebaran ×2", Segment: policy.DataCenter,
+		TPP: 6128, DeviceBWGBs: 800, DieAreaMM2: 1448, MemoryGB: 128, MemoryBWGBs: 3277, MatmulTOPS: 383},
+	{Name: "MI210", Vendor: AMD, Year: 2021, Die: "Aldebaran", Segment: policy.DataCenter,
+		TPP: 2896, DeviceBWGBs: 300, DieAreaMM2: 724, MemoryGB: 64, MemoryBWGBs: 1638, MatmulTOPS: 181},
+	{Name: "MI300X", Vendor: AMD, Year: 2023, Die: "8×XCD+4×IOD", Segment: policy.DataCenter,
+		TPP: 20917, DeviceBWGBs: 1024, DieAreaMM2: 3000, MemoryGB: 192, MemoryBWGBs: 5300, MatmulTOPS: 1307},
+}
+
+// consumer is the 53-device consumer/workstation-marketed set.
+var consumer = []Device{
+	// GeForce Turing.
+	{Name: "RTX 2060", Vendor: NVIDIA, Year: 2019, Die: "TU106", Segment: policy.NonDataCenter,
+		TPP: 826, DeviceBWGBs: 16, DieAreaMM2: 445, MemoryGB: 6, MemoryBWGBs: 336, MatmulTOPS: 51.6},
+	{Name: "RTX 2070", Vendor: NVIDIA, Year: 2018, Die: "TU106", Segment: policy.NonDataCenter,
+		TPP: 955, DeviceBWGBs: 16, DieAreaMM2: 445, MemoryGB: 8, MemoryBWGBs: 448, MatmulTOPS: 59.7},
+	{Name: "RTX 2080", Vendor: NVIDIA, Year: 2018, Die: "TU104", Segment: policy.NonDataCenter,
+		TPP: 1288, DeviceBWGBs: 16, DieAreaMM2: 545, MemoryGB: 8, MemoryBWGBs: 448, MatmulTOPS: 80.5},
+	{Name: "RTX 2080 Ti", Vendor: NVIDIA, Year: 2018, Die: "TU102", Segment: policy.NonDataCenter,
+		TPP: 1722, DeviceBWGBs: 100, DieAreaMM2: 754, MemoryGB: 11, MemoryBWGBs: 616, MatmulTOPS: 107.6},
+	{Name: "Titan RTX", Vendor: NVIDIA, Year: 2018, Die: "TU102", Segment: policy.NonDataCenter,
+		TPP: 2088, DeviceBWGBs: 100, DieAreaMM2: 754, MemoryGB: 24, MemoryBWGBs: 672, MatmulTOPS: 130.5},
+	// GeForce Ampere.
+	{Name: "RTX 3060", Vendor: NVIDIA, Year: 2021, Die: "GA106", Segment: policy.NonDataCenter,
+		TPP: 819, DeviceBWGBs: 32, DieAreaMM2: 276, MemoryGB: 12, MemoryBWGBs: 360, MatmulTOPS: 51.2},
+	{Name: "RTX 3060 Ti", Vendor: NVIDIA, Year: 2020, Die: "GA104", Segment: policy.NonDataCenter,
+		TPP: 1038, DeviceBWGBs: 32, DieAreaMM2: 392, MemoryGB: 8, MemoryBWGBs: 448, MatmulTOPS: 64.9},
+	{Name: "RTX 3070", Vendor: NVIDIA, Year: 2020, Die: "GA104", Segment: policy.NonDataCenter,
+		TPP: 1301, DeviceBWGBs: 32, DieAreaMM2: 392, MemoryGB: 8, MemoryBWGBs: 448, MatmulTOPS: 81.3},
+	{Name: "RTX 3070 Ti", Vendor: NVIDIA, Year: 2021, Die: "GA104", Segment: policy.NonDataCenter,
+		TPP: 1392, DeviceBWGBs: 32, DieAreaMM2: 392, MemoryGB: 8, MemoryBWGBs: 608, MatmulTOPS: 87},
+	{Name: "RTX 3080", Vendor: NVIDIA, Year: 2020, Die: "GA102", Segment: policy.NonDataCenter,
+		TPP: 1904, DeviceBWGBs: 32, DieAreaMM2: 628, MemoryGB: 10, MemoryBWGBs: 760, MatmulTOPS: 119},
+	{Name: "RTX 3080 Ti", Vendor: NVIDIA, Year: 2021, Die: "GA102", Segment: policy.NonDataCenter,
+		TPP: 2176, DeviceBWGBs: 32, DieAreaMM2: 628, MemoryGB: 12, MemoryBWGBs: 912, MatmulTOPS: 136},
+	{Name: "RTX 3090", Vendor: NVIDIA, Year: 2020, Die: "GA102", Segment: policy.NonDataCenter,
+		TPP: 2272, DeviceBWGBs: 112.5, DieAreaMM2: 628, MemoryGB: 24, MemoryBWGBs: 936, MatmulTOPS: 142},
+	{Name: "RTX 3090 Ti", Vendor: NVIDIA, Year: 2022, Die: "GA102", Segment: policy.NonDataCenter,
+		TPP: 2560, DeviceBWGBs: 112.5, DieAreaMM2: 628, MemoryGB: 24, MemoryBWGBs: 1008, MatmulTOPS: 160},
+	// GeForce Ada Lovelace.
+	{Name: "RTX 4060", Vendor: NVIDIA, Year: 2023, Die: "AD107", Segment: policy.NonDataCenter,
+		TPP: 968, DeviceBWGBs: 32, DieAreaMM2: 159, MemoryGB: 8, MemoryBWGBs: 272, MatmulTOPS: 60.5},
+	{Name: "RTX 4060 Ti", Vendor: NVIDIA, Year: 2023, Die: "AD106", Segment: policy.NonDataCenter,
+		TPP: 1408, DeviceBWGBs: 32, DieAreaMM2: 188, MemoryGB: 8, MemoryBWGBs: 288, MatmulTOPS: 88},
+	{Name: "RTX 4070", Vendor: NVIDIA, Year: 2023, Die: "AD104", Segment: policy.NonDataCenter,
+		TPP: 1866, DeviceBWGBs: 32, DieAreaMM2: 294, MemoryGB: 12, MemoryBWGBs: 504, MatmulTOPS: 116.6},
+	{Name: "RTX 4070 Ti", Vendor: NVIDIA, Year: 2023, Die: "AD104", Segment: policy.NonDataCenter,
+		TPP: 2568, DeviceBWGBs: 32, DieAreaMM2: 294, MemoryGB: 12, MemoryBWGBs: 504, MatmulTOPS: 160.5},
+	{Name: "RTX 4070 Ti Super", Vendor: NVIDIA, Year: 2024, Die: "AD103", Segment: policy.NonDataCenter,
+		TPP: 2816, DeviceBWGBs: 32, DieAreaMM2: 379, MemoryGB: 16, MemoryBWGBs: 672, MatmulTOPS: 176},
+	{Name: "RTX 4080", Vendor: NVIDIA, Year: 2022, Die: "AD103", Segment: policy.NonDataCenter,
+		TPP: 3118, DeviceBWGBs: 32, DieAreaMM2: 379, MemoryGB: 16, MemoryBWGBs: 717, MatmulTOPS: 194.9},
+	{Name: "RTX 4080 Super", Vendor: NVIDIA, Year: 2024, Die: "AD103", Segment: policy.NonDataCenter,
+		TPP: 3328, DeviceBWGBs: 32, DieAreaMM2: 379, MemoryGB: 16, MemoryBWGBs: 736, MatmulTOPS: 208},
+	{Name: "RTX 4090", Vendor: NVIDIA, Year: 2022, Die: "AD102", Segment: policy.NonDataCenter,
+		TPP: 5285, DeviceBWGBs: 32, DieAreaMM2: 609, MemoryGB: 24, MemoryBWGBs: 1008, MatmulTOPS: 330.3},
+	{Name: "RTX 4090D", Vendor: NVIDIA, Year: 2023, Die: "AD102", Segment: policy.NonDataCenter,
+		TPP: 4708, DeviceBWGBs: 32, DieAreaMM2: 609, MemoryGB: 24, MemoryBWGBs: 1008, MatmulTOPS: 294.3},
+	// Workstation Turing.
+	{Name: "Quadro RTX 4000", Vendor: NVIDIA, Year: 2018, Die: "TU104", Segment: policy.NonDataCenter,
+		TPP: 912, DeviceBWGBs: 16, DieAreaMM2: 545, MemoryGB: 8, MemoryBWGBs: 416, MatmulTOPS: 57},
+	{Name: "Quadro RTX 5000", Vendor: NVIDIA, Year: 2018, Die: "TU104", Segment: policy.NonDataCenter,
+		TPP: 1427, DeviceBWGBs: 100, DieAreaMM2: 545, MemoryGB: 16, MemoryBWGBs: 448, MatmulTOPS: 89.2},
+	{Name: "Quadro RTX 6000", Vendor: NVIDIA, Year: 2018, Die: "TU102", Segment: policy.NonDataCenter,
+		TPP: 2088, DeviceBWGBs: 100, DieAreaMM2: 754, MemoryGB: 24, MemoryBWGBs: 672, MatmulTOPS: 130.5},
+	{Name: "Quadro RTX 8000", Vendor: NVIDIA, Year: 2018, Die: "TU102", Segment: policy.NonDataCenter,
+		TPP: 2088, DeviceBWGBs: 100, DieAreaMM2: 754, MemoryGB: 48, MemoryBWGBs: 672, MatmulTOPS: 130.5},
+	// Workstation Ampere.
+	{Name: "RTX A2000", Vendor: NVIDIA, Year: 2021, Die: "GA106", Segment: policy.NonDataCenter,
+		TPP: 1022, DeviceBWGBs: 32, DieAreaMM2: 276, MemoryGB: 6, MemoryBWGBs: 288, MatmulTOPS: 63.9},
+	{Name: "RTX A4000", Vendor: NVIDIA, Year: 2021, Die: "GA104", Segment: policy.NonDataCenter,
+		TPP: 1227, DeviceBWGBs: 32, DieAreaMM2: 392, MemoryGB: 16, MemoryBWGBs: 448, MatmulTOPS: 76.7},
+	{Name: "RTX A4500", Vendor: NVIDIA, Year: 2021, Die: "GA102", Segment: policy.NonDataCenter,
+		TPP: 1514, DeviceBWGBs: 112.5, DieAreaMM2: 628, MemoryGB: 20, MemoryBWGBs: 640, MatmulTOPS: 94.6},
+	{Name: "RTX A5000", Vendor: NVIDIA, Year: 2021, Die: "GA102", Segment: policy.NonDataCenter,
+		TPP: 1778, DeviceBWGBs: 112.5, DieAreaMM2: 628, MemoryGB: 24, MemoryBWGBs: 768, MatmulTOPS: 111.1},
+	{Name: "RTX A5500", Vendor: NVIDIA, Year: 2022, Die: "GA102", Segment: policy.NonDataCenter,
+		TPP: 2128, DeviceBWGBs: 112.5, DieAreaMM2: 628, MemoryGB: 24, MemoryBWGBs: 768, MatmulTOPS: 133},
+	{Name: "RTX A6000", Vendor: NVIDIA, Year: 2020, Die: "GA102", Segment: policy.NonDataCenter,
+		TPP: 2477, DeviceBWGBs: 112.5, DieAreaMM2: 628, MemoryGB: 48, MemoryBWGBs: 768, MatmulTOPS: 154.8},
+	// Workstation Ada.
+	{Name: "RTX 4000 Ada", Vendor: NVIDIA, Year: 2023, Die: "AD104", Segment: policy.NonDataCenter,
+		TPP: 1547, DeviceBWGBs: 32, DieAreaMM2: 294, MemoryGB: 20, MemoryBWGBs: 360, MatmulTOPS: 96.7},
+	{Name: "RTX 4500 Ada", Vendor: NVIDIA, Year: 2023, Die: "AD104", Segment: policy.NonDataCenter,
+		TPP: 1914, DeviceBWGBs: 32, DieAreaMM2: 294, MemoryGB: 24, MemoryBWGBs: 432, MatmulTOPS: 119.6},
+	{Name: "RTX 5000 Ada", Vendor: NVIDIA, Year: 2023, Die: "AD102", Segment: policy.NonDataCenter,
+		TPP: 2090, DeviceBWGBs: 32, DieAreaMM2: 609, MemoryGB: 32, MemoryBWGBs: 576, MatmulTOPS: 130.6},
+	{Name: "RTX 6000 Ada", Vendor: NVIDIA, Year: 2022, Die: "AD102", Segment: policy.NonDataCenter,
+		TPP: 2914, DeviceBWGBs: 32, DieAreaMM2: 609, MemoryGB: 48, MemoryBWGBs: 960, MatmulTOPS: 182.1},
+	// Radeon RDNA 1/2 (no matrix units: TPP from packed FP16 vector rate).
+	{Name: "RX 5700", Vendor: AMD, Year: 2019, Die: "Navi 10", Segment: policy.NonDataCenter,
+		TPP: 253, DeviceBWGBs: 32, DieAreaMM2: 251, MemoryGB: 8, MemoryBWGBs: 448},
+	{Name: "RX 5700 XT", Vendor: AMD, Year: 2019, Die: "Navi 10", Segment: policy.NonDataCenter,
+		TPP: 312, DeviceBWGBs: 32, DieAreaMM2: 251, MemoryGB: 8, MemoryBWGBs: 448},
+	{Name: "RX 6600 XT", Vendor: AMD, Year: 2021, Die: "Navi 23", Segment: policy.NonDataCenter,
+		TPP: 339, DeviceBWGBs: 32, DieAreaMM2: 237, MemoryGB: 8, MemoryBWGBs: 256},
+	{Name: "RX 6700 XT", Vendor: AMD, Year: 2021, Die: "Navi 22", Segment: policy.NonDataCenter,
+		TPP: 423, DeviceBWGBs: 32, DieAreaMM2: 335, MemoryGB: 12, MemoryBWGBs: 384},
+	{Name: "RX 6800", Vendor: AMD, Year: 2020, Die: "Navi 21", Segment: policy.NonDataCenter,
+		TPP: 517, DeviceBWGBs: 32, DieAreaMM2: 520, MemoryGB: 16, MemoryBWGBs: 512},
+	{Name: "RX 6800 XT", Vendor: AMD, Year: 2020, Die: "Navi 21", Segment: policy.NonDataCenter,
+		TPP: 664, DeviceBWGBs: 32, DieAreaMM2: 520, MemoryGB: 16, MemoryBWGBs: 512},
+	{Name: "RX 6900 XT", Vendor: AMD, Year: 2020, Die: "Navi 21", Segment: policy.NonDataCenter,
+		TPP: 738, DeviceBWGBs: 32, DieAreaMM2: 520, MemoryGB: 16, MemoryBWGBs: 512},
+	{Name: "RX 6950 XT", Vendor: AMD, Year: 2022, Die: "Navi 21", Segment: policy.NonDataCenter,
+		TPP: 757, DeviceBWGBs: 32, DieAreaMM2: 520, MemoryGB: 16, MemoryBWGBs: 576},
+	// Radeon RDNA 3 (WMMA FP16 matrix path).
+	{Name: "RX 7600", Vendor: AMD, Year: 2023, Die: "Navi 33", Segment: policy.NonDataCenter,
+		TPP: 688, DeviceBWGBs: 32, DieAreaMM2: 204, MemoryGB: 8, MemoryBWGBs: 288, MatmulTOPS: 43},
+	{Name: "RX 7700 XT", Vendor: AMD, Year: 2023, Die: "Navi 32", Segment: policy.NonDataCenter,
+		TPP: 1120, DeviceBWGBs: 32, DieAreaMM2: 346, MemoryGB: 12, MemoryBWGBs: 432, MatmulTOPS: 70},
+	{Name: "RX 7800 XT", Vendor: AMD, Year: 2023, Die: "Navi 32", Segment: policy.NonDataCenter,
+		TPP: 1195, DeviceBWGBs: 32, DieAreaMM2: 346, MemoryGB: 16, MemoryBWGBs: 624, MatmulTOPS: 74.7},
+	{Name: "RX 7900 GRE", Vendor: AMD, Year: 2024, Die: "Navi 31", Segment: policy.NonDataCenter,
+		TPP: 1469, DeviceBWGBs: 32, DieAreaMM2: 529, MemoryGB: 16, MemoryBWGBs: 576, MatmulTOPS: 91.8},
+	{Name: "RX 7900 XT", Vendor: AMD, Year: 2022, Die: "Navi 31", Segment: policy.NonDataCenter,
+		TPP: 1648, DeviceBWGBs: 32, DieAreaMM2: 529, MemoryGB: 20, MemoryBWGBs: 800, MatmulTOPS: 103},
+	{Name: "RX 7900 XTX", Vendor: AMD, Year: 2022, Die: "Navi 31", Segment: policy.NonDataCenter,
+		TPP: 1965, DeviceBWGBs: 32, DieAreaMM2: 529, MemoryGB: 24, MemoryBWGBs: 960, MatmulTOPS: 122.8},
+	// Radeon Pro workstation.
+	{Name: "Radeon Pro W6800", Vendor: AMD, Year: 2021, Die: "Navi 21", Segment: policy.NonDataCenter,
+		TPP: 570, DeviceBWGBs: 32, DieAreaMM2: 520, MemoryGB: 32, MemoryBWGBs: 512},
+	{Name: "Radeon Pro W7800", Vendor: AMD, Year: 2023, Die: "Navi 31", Segment: policy.NonDataCenter,
+		TPP: 1448, DeviceBWGBs: 32, DieAreaMM2: 529, MemoryGB: 32, MemoryBWGBs: 576, MatmulTOPS: 90.5},
+	{Name: "Radeon Pro W7900", Vendor: AMD, Year: 2023, Die: "Navi 31", Segment: policy.NonDataCenter,
+		TPP: 1961, DeviceBWGBs: 32, DieAreaMM2: 529, MemoryGB: 48, MemoryBWGBs: 864, MatmulTOPS: 122.6},
+}
+
+// extended catalogues devices released after the paper's 2018–2024 study
+// window (or too late for its dataset). They are excluded from All() so the
+// Fig 1/2/9/10 reproductions keep the paper's population, and exposed via
+// Extended() for forward-looking what-if analyses.
+var extended = []Device{
+	{Name: "H200", Vendor: NVIDIA, Year: 2024, Die: "GH100", Segment: policy.DataCenter,
+		TPP: 15824, DeviceBWGBs: 900, DieAreaMM2: 814, MemoryGB: 141, MemoryBWGBs: 4800, MatmulTOPS: 989},
+	{Name: "B200", Vendor: NVIDIA, Year: 2024, Die: "2×GB100", Segment: policy.DataCenter,
+		TPP: 36000, DeviceBWGBs: 1800, DieAreaMM2: 1600, MemoryGB: 192, MemoryBWGBs: 8000, MatmulTOPS: 2250},
+	{Name: "MI325X", Vendor: AMD, Year: 2024, Die: "8×XCD+4×IOD", Segment: policy.DataCenter,
+		TPP: 20917, DeviceBWGBs: 1024, DieAreaMM2: 3000, MemoryGB: 256, MemoryBWGBs: 6000, MatmulTOPS: 1307},
+	{Name: "RTX 5090", Vendor: NVIDIA, Year: 2025, Die: "GB202", Segment: policy.NonDataCenter,
+		TPP: 6712, DeviceBWGBs: 64, DieAreaMM2: 750, MemoryGB: 32, MemoryBWGBs: 1792, MatmulTOPS: 419.5},
+}
+
+// Extended returns the post-study devices (fresh slice per call).
+func Extended() []Device { return append([]Device(nil), extended...) }
+
+// WithExtended returns the full catalogue including post-study devices.
+func WithExtended() []Device { return append(All(), extended...) }

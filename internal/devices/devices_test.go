@@ -1,0 +1,289 @@
+package devices
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestCatalogueShape(t *testing.T) {
+	all := All()
+	if len(all) < 65 {
+		t.Fatalf("catalogue has %d devices, want ≥ 65 (paper studies 65)", len(all))
+	}
+	if got := len(DataCenter()); got != 14 {
+		t.Errorf("data-center devices = %d, want 14 (paper)", got)
+	}
+	if got := len(Consumer()); got < 51 {
+		t.Errorf("consumer/workstation devices = %d, want ≥ 51 (paper)", got)
+	}
+	seen := map[string]bool{}
+	for _, d := range all {
+		if seen[d.Name] {
+			t.Errorf("duplicate device %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.TPP <= 0 || d.DieAreaMM2 <= 0 || d.MemoryGB <= 0 || d.MemoryBWGBs <= 0 {
+			t.Errorf("%s has non-positive datasheet fields: %+v", d.Name, d)
+		}
+		if d.Year < 2018 || d.Year > 2024 {
+			t.Errorf("%s year %d outside the paper's 2018–2024 window", d.Name, d.Year)
+		}
+	}
+}
+
+func TestPaperQuotedTPPs(t *testing.T) {
+	// TPP values the paper states explicitly (§2.2).
+	want := map[string]float64{
+		"A100":     4992,
+		"A800":     4992,
+		"H100":     15824,
+		"H800":     15824,
+		"MI250X":   6128,
+		"MI210":    2896,
+		"RTX 4090": 5285,
+	}
+	for name, tpp := range want {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.TPP != tpp {
+			t.Errorf("%s TPP = %v, want %v", name, d.TPP, tpp)
+		}
+	}
+	// RTX 4090D sized just under the 4800 threshold (§2.2).
+	d, err := ByName("RTX 4090D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TPP >= 4800 || d.TPP < 4600 {
+		t.Errorf("RTX 4090D TPP = %v, want just under 4800", d.TPP)
+	}
+}
+
+func TestPaperQuotedPerformanceDensities(t *testing.T) {
+	// §2.2 quotes A800 PD 6.04, H800 PD 19.45, MI210 PD 3.76-4.0-ish,
+	// RTX 4090 PD 8.68.
+	cases := []struct {
+		name string
+		pd   float64
+		tol  float64
+	}{
+		{"A800", 6.04, 0.05},
+		{"H800", 19.45, 0.1},
+		{"RTX 4090", 8.68, 0.2},
+	}
+	for _, c := range cases {
+		d, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.PerformanceDensity(); math.Abs(got-c.pd) > c.tol {
+			t.Errorf("%s PD = %.2f, want ≈ %.2f", c.name, got, c.pd)
+		}
+	}
+}
+
+func TestOct2022ClassificationsMatchFig1a(t *testing.T) {
+	want := map[string]policy.Classification{
+		"A100":   policy.LicenseRequired,
+		"A800":   policy.NotApplicable,
+		"H100":   policy.LicenseRequired,
+		"H800":   policy.NotApplicable,
+		"MI250X": policy.LicenseRequired,
+		"MI210":  policy.NotApplicable,
+		"A30":    policy.NotApplicable,
+		"H20":    policy.NotApplicable,
+	}
+	for name, cls := range want {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := policy.Oct2022(d.Metrics()); got != cls {
+			t.Errorf("Oct2022(%s) = %v, want %v", name, got, cls)
+		}
+	}
+}
+
+func TestOct2023ClassificationsMatchFig1b(t *testing.T) {
+	want := map[string]policy.Classification{
+		"A100":      policy.LicenseRequired,
+		"A800":      policy.LicenseRequired,
+		"H100":      policy.LicenseRequired,
+		"H800":      policy.LicenseRequired,
+		"MI250X":    policy.LicenseRequired,
+		"MI300X":    policy.LicenseRequired,
+		"MI210":     policy.NACEligible,
+		"A30":       policy.NACEligible,
+		"L40":       policy.NACEligible,
+		"L20":       policy.NotApplicable,
+		"H20":       policy.NotApplicable,
+		"L4":        policy.NotApplicable,
+		"L2":        policy.NotApplicable,
+		"RTX 4090":  policy.NACEligible,
+		"RTX 4090D": policy.NotApplicable,
+	}
+	for name, cls := range want {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := policy.Oct2023(d.Metrics()); got != cls {
+			t.Errorf("Oct2023(%s) = %v, want %v (TPP %.0f, PD %.2f)",
+				name, got, cls, d.TPP, d.PerformanceDensity())
+		}
+	}
+}
+
+func TestMarketingMismatchCountsMatchFig9(t *testing.T) {
+	// The paper finds 4 false data-center and 7 false non-data-center
+	// devices among the 65.
+	var falseDC, falseNDC []string
+	for _, d := range All() {
+		if _, _, mm := policy.MarketingConsistency(d.Spec()); mm != nil {
+			switch mm.Kind {
+			case "false data center":
+				falseDC = append(falseDC, d.Name)
+			case "false non-data center":
+				falseNDC = append(falseNDC, d.Name)
+			}
+		}
+	}
+	if len(falseDC) != 4 {
+		t.Errorf("false data-center devices = %d (%v), want 4", len(falseDC), falseDC)
+	}
+	if len(falseNDC) != 7 {
+		t.Errorf("false non-data-center devices = %d (%v), want 7", len(falseNDC), falseNDC)
+	}
+	// The paper names the flagship examples explicitly.
+	mustContain(t, falseDC, "L40")
+	mustContain(t, falseDC, "A40")
+	mustContain(t, falseNDC, "RTX 4080")
+}
+
+func TestArchitecturalClassificationReducesMismatches(t *testing.T) {
+	// Fig. 10's claim: classifying by memory capacity/bandwidth yields far
+	// fewer mismatches than marketing; DC-marketed L4 and L2 are the
+	// canonical architecturally-consumer parts.
+	var falseDC, falseNDC []string
+	for _, d := range All() {
+		if mm := policy.ArchitecturalConsistency(d.Spec()); mm != nil {
+			if mm.Kind == "false data center" {
+				falseDC = append(falseDC, d.Name)
+			} else {
+				falseNDC = append(falseNDC, d.Name)
+			}
+		}
+	}
+	mustContain(t, falseDC, "L4")
+	mustContain(t, falseDC, "L2")
+	if len(falseDC) > 3 {
+		t.Errorf("architectural false DC = %d (%v), want ≤ 3", len(falseDC), falseDC)
+	}
+	if len(falseDC)+len(falseNDC) >= 11 {
+		t.Errorf("architectural mismatches (%d) should be fewer than marketing's 11",
+			len(falseDC)+len(falseNDC))
+	}
+}
+
+func mustContain(t *testing.T, xs []string, want string) {
+	t.Helper()
+	for _, x := range xs {
+		if x == want {
+			return
+		}
+	}
+	t.Errorf("missing %q in %v", want, xs)
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("GTX 9999"); err == nil {
+		t.Error("expected error for unknown device")
+	}
+	names := Names()
+	if len(names) != len(All()) {
+		t.Errorf("Names length %d != catalogue %d", len(names), len(All()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatal("Names not sorted")
+		}
+	}
+}
+
+func TestAllReturnsFreshSlices(t *testing.T) {
+	a := All()
+	a[0].Name = "mutated"
+	if All()[0].Name == "mutated" {
+		t.Error("All must return a fresh slice")
+	}
+	dcs := DataCenter()
+	dcs[0].TPP = -1
+	if DataCenter()[0].TPP == -1 {
+		t.Error("DataCenter must return a fresh slice")
+	}
+}
+
+func TestStringIncludesEssentials(t *testing.T) {
+	d, err := ByName("A100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.String()
+	for _, want := range []string{"A100", "4992", "600", "826"} {
+		if !contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestExtendedCatalogue(t *testing.T) {
+	ext := Extended()
+	if len(ext) < 4 {
+		t.Fatalf("extended set has %d devices", len(ext))
+	}
+	// Extended devices must NOT leak into the paper-population All().
+	for _, d := range ext {
+		if _, err := ByName(d.Name); err == nil {
+			t.Errorf("%s should not be in the paper catalogue", d.Name)
+		}
+	}
+	if got := len(WithExtended()); got != len(All())+len(ext) {
+		t.Errorf("WithExtended length %d", got)
+	}
+	// The RTX 5090 crosses the 4800-TPP consumer line: NAC as a consumer
+	// part — the cat-and-mouse game continuing past the paper.
+	for _, d := range ext {
+		if d.Name == "RTX 5090" {
+			if got := policy.Oct2023(d.Metrics()); got != policy.NACEligible {
+				t.Errorf("RTX 5090 = %v, want NAC Eligible", got)
+			}
+		}
+		if d.Name == "B200" {
+			if got := policy.Oct2023(d.Metrics()); got != policy.LicenseRequired {
+				t.Errorf("B200 = %v, want License Required", got)
+			}
+		}
+	}
+	mutated := Extended()
+	mutated[0].Name = "x"
+	if Extended()[0].Name == "x" {
+		t.Error("Extended must return a fresh slice")
+	}
+}

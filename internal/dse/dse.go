@@ -1,0 +1,323 @@
+// Package dse runs the paper's design-space explorations: it expands the
+// Table 3 and Table 5 parameter grids into concrete device configurations
+// (solving core count against a TPP budget, Eq. 1), evaluates each design's
+// LLM-inference latency, die area, performance density and manufacturing
+// cost, and provides the filtering/optimisation helpers the paper's §4 uses
+// (reticle filtering, PD compliance, fastest-design search, Pareto fronts).
+package dse
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/area"
+	"repro/internal/cost"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// Grid is a sweep specification: the cartesian product of the listed
+// values, with core count derived per combination to stay under TPPTarget.
+type Grid struct {
+	// Name labels the sweep in reports.
+	Name string
+	// TPPTarget is the TPP budget each design approaches from below.
+	TPPTarget float64
+	// SystolicDims lists square systolic-array dimensions.
+	SystolicDims []int
+	// LanesPerCore lists lane counts.
+	LanesPerCore []int
+	// L1KB, L2MB list cache capacities.
+	L1KB []int
+	L2MB []int
+	// HBMBandwidthGBs lists memory bandwidths.
+	HBMBandwidthGBs []float64
+	// DeviceBWGBs lists interconnect bandwidths.
+	DeviceBWGBs []float64
+	// HBMCapacityGB is fixed across the sweep (80 GB in the paper).
+	HBMCapacityGB int
+	// ClockGHz is fixed across the sweep (the A100's 1.41 GHz).
+	ClockGHz float64
+}
+
+// Table3 returns the paper's Table 3 grid for the given TPP target and
+// device-bandwidth set: 2 systolic dims × 4 lane counts × 4 L1 × 4 L2 ×
+// 4 memory bandwidths × len(deviceBW) designs (512 at one device BW,
+// 1536 at the October 2023 rule's three).
+func Table3(tppTarget float64, deviceBW []float64) Grid {
+	return Grid{
+		Name:            fmt.Sprintf("table3-tpp%d-bw%v", int(tppTarget), deviceBW),
+		TPPTarget:       tppTarget,
+		SystolicDims:    []int{16, 32},
+		LanesPerCore:    []int{1, 2, 4, 8},
+		L1KB:            []int{192, 256, 512, 1024},
+		L2MB:            []int{32, 48, 64, 80},
+		HBMBandwidthGBs: []float64{2000, 2400, 2800, 3200},
+		DeviceBWGBs:     deviceBW,
+		HBMCapacityGB:   80,
+		ClockGHz:        arch.A100ClockGHz,
+	}
+}
+
+// Table5 returns the paper's Table 5 "restricted" grid (§5.3): parameters
+// decreased relative to the A100, 2304 designs at TPP 4800.
+func Table5() Grid {
+	return Grid{
+		Name:            "table5-restricted",
+		TPPTarget:       4800,
+		SystolicDims:    []int{4, 8, 16},
+		LanesPerCore:    []int{1, 2, 4, 8},
+		L1KB:            []int{32, 64, 128, 192},
+		L2MB:            []int{8, 16, 32, 40},
+		HBMBandwidthGBs: []float64{800, 1200, 1600, 2000},
+		DeviceBWGBs:     []float64{400, 500, 600},
+		HBMCapacityGB:   80,
+		ClockGHz:        arch.A100ClockGHz,
+	}
+}
+
+// Size returns the number of grid combinations before core-count solving.
+func (g Grid) Size() int {
+	return len(g.SystolicDims) * len(g.LanesPerCore) * len(g.L1KB) *
+		len(g.L2MB) * len(g.HBMBandwidthGBs) * len(g.DeviceBWGBs)
+}
+
+// Expand materialises the grid into configurations. Combinations whose
+// smallest possible device (one core) already exceeds the TPP budget are
+// skipped.
+func (g Grid) Expand() []arch.Config {
+	configs := make([]arch.Config, 0, g.Size())
+	for _, dim := range g.SystolicDims {
+		for _, lanes := range g.LanesPerCore {
+			cores, err := arch.MaxCoresForTPP(g.TPPTarget, lanes, dim, dim, g.ClockGHz)
+			if err != nil {
+				continue
+			}
+			for _, l1 := range g.L1KB {
+				for _, l2 := range g.L2MB {
+					for _, hbm := range g.HBMBandwidthGBs {
+						for _, dev := range g.DeviceBWGBs {
+							configs = append(configs, arch.Config{
+								Name: fmt.Sprintf("%s/%dx%d-l%d-L1:%d-L2:%d-m%.0f-d%.0f",
+									g.Name, dim, dim, lanes, l1, l2, hbm, dev),
+								CoreCount:       cores,
+								LanesPerCore:    lanes,
+								SystolicDimX:    dim,
+								SystolicDimY:    dim,
+								VectorWidth:     32,
+								L1KB:            l1,
+								L2MB:            l2,
+								HBMCapacityGB:   g.HBMCapacityGB,
+								HBMBandwidthGBs: hbm,
+								DeviceBWGBs:     dev,
+								ClockGHz:        g.ClockGHz,
+								Process:         arch.ProcessN7,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return configs
+}
+
+// Point is one evaluated design.
+type Point struct {
+	Config arch.Config
+	// Result holds the simulated inference profile.
+	Result sim.Result
+
+	TPP         float64
+	AreaMM2     float64
+	PD          float64
+	FitsReticle bool
+	// Oct2023Class is the design's data-center classification under the
+	// October 2023 rule.
+	Oct2023Class policy.Classification
+	// DieCostUSD and GoodDieCostUSD come from the 7 nm wafer model.
+	DieCostUSD     float64
+	GoodDieCostUSD float64
+}
+
+// TTFT and TBT return the per-layer latencies in seconds.
+func (p Point) TTFT() float64 { return p.Result.TTFTSeconds }
+func (p Point) TBT() float64  { return p.Result.TBTSeconds }
+
+// Compliant reports the strict compliance criterion the paper uses for the
+// October 2023 analysis (§4.3): unregulated (NAC-eligible devices may not
+// be granted licenses) and manufacturable as a single die.
+func (p Point) Compliant() bool {
+	return p.Oct2023Class == policy.NotApplicable && p.FitsReticle
+}
+
+// TTFTCostProduct and TBTCostProduct are the Fig. 8 metrics: latency (ms)
+// times die cost ($).
+func (p Point) TTFTCostProduct() float64 { return p.TTFT() * 1e3 * p.DieCostUSD }
+func (p Point) TBTCostProduct() float64  { return p.TBT() * 1e3 * p.DieCostUSD }
+
+// Explorer evaluates grids against a workload.
+type Explorer struct {
+	Sim   *sim.Simulator
+	Wafer cost.Wafer
+	// Parallelism bounds worker goroutines; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// NewExplorer returns an Explorer with the calibrated simulator and 7 nm
+// wafer model.
+func NewExplorer() *Explorer {
+	return &Explorer{Sim: sim.New(), Wafer: cost.N7Wafer}
+}
+
+// Evaluate simulates every configuration for the workload and returns the
+// evaluated points in the same order.
+func (e *Explorer) Evaluate(configs []arch.Config, w model.Workload) ([]Point, error) {
+	points := make([]Point, len(configs))
+	workers := e.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	jobs := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				p, err := e.evaluateOne(configs[idx], w)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("dse: %s: %w", configs[idx].Name, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				points[idx] = p
+			}
+		}()
+	}
+	for i := range configs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return points, nil
+}
+
+func (e *Explorer) evaluateOne(cfg arch.Config, w model.Workload) (Point, error) {
+	r, err := e.Sim.Simulate(cfg, w)
+	if err != nil {
+		return Point{}, err
+	}
+	a := area.Estimate(cfg)
+	tpp := cfg.TPP()
+	p := Point{
+		Config:      cfg,
+		Result:      r,
+		TPP:         tpp,
+		AreaMM2:     a,
+		PD:          area.PerformanceDensity(tpp, a, cfg.Process),
+		FitsReticle: area.FitsReticle(a),
+		Oct2023Class: policy.Oct2023(policy.Metrics{
+			TPP: tpp, DeviceBWGBs: cfg.DeviceBWGBs, DieAreaMM2: a,
+			Segment: policy.DataCenter,
+		}),
+	}
+	if rep, err := e.Wafer.Analyze(a); err == nil {
+		p.DieCostUSD = rep.DieCostUSD
+		p.GoodDieCostUSD = rep.GoodDieUSD
+	}
+	return p, nil
+}
+
+// Run expands and evaluates a grid in one call.
+func (e *Explorer) Run(g Grid, w model.Workload) ([]Point, error) {
+	return e.Evaluate(g.Expand(), w)
+}
+
+// Filter returns the points satisfying keep.
+func Filter(points []Point, keep func(Point) bool) []Point {
+	out := make([]Point, 0, len(points))
+	for _, p := range points {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Best returns the point minimising metric, or an error on an empty set.
+func Best(points []Point, metric func(Point) float64) (Point, error) {
+	if len(points) == 0 {
+		return Point{}, fmt.Errorf("dse: no points to optimise over")
+	}
+	best := points[0]
+	bestV := metric(best)
+	for _, p := range points[1:] {
+		if v := metric(p); v < bestV {
+			best, bestV = p, v
+		}
+	}
+	return best, nil
+}
+
+// ParetoFront returns the points not dominated on (x, y), both minimised,
+// sorted by x. A point dominates another when it is ≤ on both axes and <
+// on at least one.
+func ParetoFront(points []Point, x, y func(Point) float64) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool {
+		xi, xj := x(sorted[i]), x(sorted[j])
+		if xi != xj {
+			return xi < xj
+		}
+		return y(sorted[i]) < y(sorted[j])
+	})
+	front := sorted[:0:0]
+	bestY := math.Inf(1)
+	for _, p := range sorted {
+		if v := y(p); v < bestY {
+			front = append(front, p)
+			bestY = v
+		}
+	}
+	return front
+}
+
+// BestWithTieBreak returns the point minimising primary; among points
+// within tol (relative) of the primary optimum, the one minimising
+// secondary wins. Used to pick "fastest design, smallest die among equals".
+func BestWithTieBreak(points []Point, primary, secondary func(Point) float64, tol float64) (Point, error) {
+	best, err := Best(points, primary)
+	if err != nil {
+		return Point{}, err
+	}
+	limit := primary(best) * (1 + tol)
+	near := Filter(points, func(p Point) bool { return primary(p) <= limit })
+	return Best(near, secondary)
+}
+
+// Metric accessors for Best/ParetoFront.
+var (
+	MetricTTFT     = func(p Point) float64 { return p.TTFT() }
+	MetricTBT      = func(p Point) float64 { return p.TBT() }
+	MetricArea     = func(p Point) float64 { return p.AreaMM2 }
+	MetricTTFTCost = func(p Point) float64 { return p.TTFTCostProduct() }
+	MetricTBTCost  = func(p Point) float64 { return p.TBTCostProduct() }
+)

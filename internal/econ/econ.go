@@ -1,0 +1,146 @@
+// Package econ models the market-economics vocabulary the paper uses when
+// arguing about sanctions (§2.4, §5.1): a linear supply/demand market,
+// export quotas as supply restrictions, the resulting deadweight loss, and
+// the negative externality of a policy that removes non-target devices from
+// the market.
+//
+// The model is deliberately the textbook construction (Mankiw, cited by the
+// paper): inverse demand P = a − b·Q and inverse supply P = c + d·Q. Its
+// purpose is to quantify relative externalities between policy designs, not
+// to forecast real prices.
+package econ
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Market is a single-good linear market.
+type Market struct {
+	// DemandIntercept (a) is the price at zero quantity demanded.
+	DemandIntercept float64
+	// DemandSlope (b) is the demand curve's slope (price drop per unit).
+	DemandSlope float64
+	// SupplyIntercept (c) is the price at zero quantity supplied.
+	SupplyIntercept float64
+	// SupplySlope (d) is the supply curve's slope.
+	SupplySlope float64
+}
+
+// Validate checks the market has a positive-quantity equilibrium.
+func (m Market) Validate() error {
+	switch {
+	case m.DemandSlope <= 0 || m.SupplySlope < 0:
+		return errors.New("econ: demand slope must be positive and supply slope non-negative")
+	case m.DemandIntercept <= m.SupplyIntercept:
+		return errors.New("econ: demand must exceed supply at zero quantity for trade to occur")
+	default:
+		return nil
+	}
+}
+
+// Equilibrium returns the free-market quantity and price.
+func (m Market) Equilibrium() (q, p float64, err error) {
+	if err := m.Validate(); err != nil {
+		return 0, 0, err
+	}
+	q = (m.DemandIntercept - m.SupplyIntercept) / (m.DemandSlope + m.SupplySlope)
+	p = m.DemandIntercept - m.DemandSlope*q
+	return q, p, nil
+}
+
+// demandPrice and supplyPrice evaluate the inverse curves.
+func (m Market) demandPrice(q float64) float64 { return m.DemandIntercept - m.DemandSlope*q }
+func (m Market) supplyPrice(q float64) float64 { return m.SupplyIntercept + m.SupplySlope*q }
+
+// Surplus reports welfare at a traded quantity.
+type Surplus struct {
+	Quantity         float64
+	BuyerPrice       float64
+	ConsumerSurplus  float64
+	ProducerSurplus  float64
+	DeadweightLoss   float64
+	TotalSurplus     float64
+	EquilibriumQty   float64
+	EquilibriumPrice float64
+}
+
+// UnderQuota returns welfare when trade is capped at quota units — the
+// sanction-as-supply-restriction the paper describes. A quota at or above
+// equilibrium changes nothing. Buyers bid the price up to the demand curve
+// at the quota, and the triangle between demand and supply over the
+// foregone units is the deadweight loss.
+func (m Market) UnderQuota(quota float64) (Surplus, error) {
+	qe, pe, err := m.Equilibrium()
+	if err != nil {
+		return Surplus{}, err
+	}
+	if quota < 0 {
+		return Surplus{}, fmt.Errorf("econ: negative quota %.2f", quota)
+	}
+	q := math.Min(quota, qe)
+	buyer := m.demandPrice(q)
+	s := Surplus{
+		Quantity:         q,
+		BuyerPrice:       buyer,
+		EquilibriumQty:   qe,
+		EquilibriumPrice: pe,
+	}
+	// Consumer surplus: triangle under demand above the buyer price.
+	s.ConsumerSurplus = 0.5 * (m.DemandIntercept - buyer) * q
+	// Producer surplus: area between the buyer price and the supply curve
+	// over the traded units (quota rents accrue to sellers here).
+	s.ProducerSurplus = (buyer-m.supplyPrice(0))*q - 0.5*m.SupplySlope*q*q
+	// Deadweight loss: triangle between demand and supply over [q, qe].
+	dq := qe - q
+	s.DeadweightLoss = 0.5 * dq * (m.demandPrice(q) - m.supplyPrice(q))
+	s.TotalSurplus = s.ConsumerSurplus + s.ProducerSurplus
+	return s, nil
+}
+
+// SegmentedPolicy compares two export policies over a two-segment market
+// (target devices, e.g. AI accelerators, and non-target devices, e.g.
+// gaming GPUs): a broad policy restricting both segments versus a scoped,
+// architecture-first policy restricting only the target segment. The
+// returned externality is the extra deadweight loss the broad policy
+// inflicts on the non-target segment — the quantity §5 argues
+// architecture-first policy eliminates.
+type SegmentedPolicy struct {
+	Target    Market
+	NonTarget Market
+	// TargetQuota and NonTargetQuota cap each segment under the broad
+	// policy (the scoped policy keeps the non-target segment free).
+	TargetQuota    float64
+	NonTargetQuota float64
+}
+
+// ExternalityReport quantifies the comparison.
+type ExternalityReport struct {
+	BroadDWL            float64
+	ScopedDWL           float64
+	NegativeExternality float64
+	// PriceImpactNonTarget is the non-target buyer-price increase under
+	// the broad policy, in absolute price units.
+	PriceImpactNonTarget float64
+}
+
+// Compare evaluates both policies.
+func (s SegmentedPolicy) Compare() (ExternalityReport, error) {
+	tq, err := s.Target.UnderQuota(s.TargetQuota)
+	if err != nil {
+		return ExternalityReport{}, fmt.Errorf("econ: target segment: %w", err)
+	}
+	ntBroad, err := s.NonTarget.UnderQuota(s.NonTargetQuota)
+	if err != nil {
+		return ExternalityReport{}, fmt.Errorf("econ: non-target segment: %w", err)
+	}
+	broad := tq.DeadweightLoss + ntBroad.DeadweightLoss
+	scoped := tq.DeadweightLoss // the scoped policy leaves non-target free
+	return ExternalityReport{
+		BroadDWL:             broad,
+		ScopedDWL:            scoped,
+		NegativeExternality:  ntBroad.DeadweightLoss,
+		PriceImpactNonTarget: ntBroad.BuyerPrice - ntBroad.EquilibriumPrice,
+	}, nil
+}

@@ -1,0 +1,168 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// textbook is a simple market: demand P = 100 − Q, supply P = 20 + Q.
+// Equilibrium: Q = 40, P = 60.
+func textbook() Market {
+	return Market{DemandIntercept: 100, DemandSlope: 1, SupplyIntercept: 20, SupplySlope: 1}
+}
+
+func TestEquilibrium(t *testing.T) {
+	q, p, err := textbook().Equilibrium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 40 || p != 60 {
+		t.Errorf("equilibrium (%v, %v), want (40, 60)", q, p)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Market{
+		{DemandIntercept: 100, DemandSlope: 0, SupplyIntercept: 20, SupplySlope: 1},
+		{DemandIntercept: 100, DemandSlope: 1, SupplyIntercept: 20, SupplySlope: -1},
+		{DemandIntercept: 10, DemandSlope: 1, SupplyIntercept: 20, SupplySlope: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("market %d should be invalid", i)
+		}
+		if _, _, err := m.Equilibrium(); err == nil {
+			t.Errorf("market %d equilibrium should error", i)
+		}
+		if _, err := m.UnderQuota(10); err == nil {
+			t.Errorf("market %d quota should error", i)
+		}
+	}
+}
+
+func TestQuotaAtEquilibriumIsFree(t *testing.T) {
+	s, err := textbook().UnderQuota(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DeadweightLoss != 0 {
+		t.Errorf("quota at equilibrium should have zero DWL, got %v", s.DeadweightLoss)
+	}
+	// Above-equilibrium quotas change nothing either.
+	loose, err := textbook().UnderQuota(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Quantity != 40 || loose.DeadweightLoss != 0 {
+		t.Errorf("loose quota should bind at equilibrium: %+v", loose)
+	}
+}
+
+func TestBindingQuotaTextbookNumbers(t *testing.T) {
+	// Quota 30: buyer price 70, seller price 50, DWL = ½·10·20 = 100.
+	s, err := textbook().UnderQuota(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BuyerPrice != 70 {
+		t.Errorf("buyer price %v, want 70", s.BuyerPrice)
+	}
+	if math.Abs(s.DeadweightLoss-100) > 1e-9 {
+		t.Errorf("DWL %v, want 100", s.DeadweightLoss)
+	}
+	// Consumer surplus: ½·(100−70)·30 = 450; producer: (70−20)·30 − ½·900 = 1050.
+	if math.Abs(s.ConsumerSurplus-450) > 1e-9 || math.Abs(s.ProducerSurplus-1050) > 1e-9 {
+		t.Errorf("surpluses (%v, %v), want (450, 1050)", s.ConsumerSurplus, s.ProducerSurplus)
+	}
+	// Total welfare under the quota plus DWL equals free-market welfare:
+	// ½·(100−20)·40 = 1600.
+	if math.Abs(s.TotalSurplus+s.DeadweightLoss-1600) > 1e-9 {
+		t.Errorf("welfare accounting broken: %v + %v ≠ 1600", s.TotalSurplus, s.DeadweightLoss)
+	}
+}
+
+func TestNegativeQuotaRejected(t *testing.T) {
+	if _, err := textbook().UnderQuota(-1); err == nil {
+		t.Error("negative quota should error")
+	}
+}
+
+func TestDWLGrowsAsQuotaTightens(t *testing.T) {
+	m := textbook()
+	prev := -1.0
+	for quota := 40.0; quota >= 0; quota -= 5 {
+		s, err := m.UnderQuota(quota)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.DeadweightLoss < prev {
+			t.Fatalf("DWL should grow as quota tightens: %v at quota %v", s.DeadweightLoss, quota)
+		}
+		prev = s.DeadweightLoss
+	}
+}
+
+func TestWelfareConservationProperty(t *testing.T) {
+	// Property: for any binding quota, CS + PS + DWL equals the free-market
+	// total surplus.
+	f := func(qU uint8) bool {
+		m := textbook()
+		quota := float64(qU) / 255 * 40
+		s, err := m.UnderQuota(quota)
+		if err != nil {
+			return false
+		}
+		free := 0.5 * (m.DemandIntercept - m.SupplyIntercept) * s.EquilibriumQty
+		return math.Abs(s.TotalSurplus+s.DeadweightLoss-free) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentedPolicyExternality(t *testing.T) {
+	// Broad policy restricts both AI accelerators and gaming GPUs; scoped
+	// policy restricts only accelerators. The externality is the gaming
+	// segment's DWL, and gamers pay higher prices under the broad policy.
+	sp := SegmentedPolicy{
+		Target:         Market{DemandIntercept: 200, DemandSlope: 1, SupplyIntercept: 40, SupplySlope: 1},
+		NonTarget:      textbook(),
+		TargetQuota:    50, // binds: equilibrium is 80
+		NonTargetQuota: 30, // binds: equilibrium is 40
+	}
+	rep, err := sp.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NegativeExternality <= 0 {
+		t.Error("broad policy should create a positive externality on gamers")
+	}
+	if math.Abs(rep.BroadDWL-rep.ScopedDWL-rep.NegativeExternality) > 1e-9 {
+		t.Error("externality should be exactly the extra DWL of the broad policy")
+	}
+	if rep.PriceImpactNonTarget != 10 {
+		t.Errorf("gaming price impact %v, want 10 (70 − 60)", rep.PriceImpactNonTarget)
+	}
+
+	// With the non-target segment unrestricted, both policies coincide.
+	sp.NonTargetQuota = 1000
+	rep, err = sp.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NegativeExternality != 0 || rep.BroadDWL != rep.ScopedDWL {
+		t.Errorf("non-binding non-target quota should have zero externality: %+v", rep)
+	}
+}
+
+func TestSegmentedPolicyPropagatesErrors(t *testing.T) {
+	sp := SegmentedPolicy{Target: Market{}, NonTarget: textbook()}
+	if _, err := sp.Compare(); err == nil {
+		t.Error("invalid target market should error")
+	}
+	sp = SegmentedPolicy{Target: textbook(), NonTarget: Market{}}
+	if _, err := sp.Compare(); err == nil {
+		t.Error("invalid non-target market should error")
+	}
+}

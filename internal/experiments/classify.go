@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/devices"
+	"repro/internal/plot"
+	"repro/internal/policy"
+)
+
+// Fig1a builds the October 2022 device-classification scatter: device
+// bandwidth vs TPP, coloured by classification.
+func Fig1a() plot.Scatter {
+	s := plot.Scatter{
+		Title:  "Fig 1a: Device Classification Under October 2022 Specifications",
+		XLabel: "Device-Device Bandwidth (GB/s)",
+		YLabel: "TPP",
+	}
+	for _, d := range devices.All() {
+		s.Points = append(s.Points, plot.Point{
+			X: d.DeviceBWGBs, Y: d.TPP,
+			Class: policy.Oct2022(d.Metrics()).String(),
+			Label: d.Name,
+		})
+	}
+	return s
+}
+
+// Fig1b builds the October 2023 scatter: performance density vs TPP.
+func Fig1b() plot.Scatter {
+	s := plot.Scatter{
+		Title:  "Fig 1b: Device Classification Under October 2023 Specifications",
+		XLabel: "Performance Density (TPP/mm2)",
+		YLabel: "TPP",
+	}
+	for _, d := range devices.All() {
+		s.Points = append(s.Points, plot.Point{
+			X: d.PerformanceDensity(), Y: d.TPP,
+			Class: policy.Oct2023(d.Metrics()).String(),
+			Label: d.Name,
+		})
+	}
+	return s
+}
+
+// Fig2 builds the die-area vs TPP scatter under October 2023 rules,
+// illustrating that devices can escape the ACR by increasing die area.
+func Fig2() plot.Scatter {
+	s := plot.Scatter{
+		Title:  "Fig 2: Die Area and TPP Under October 2023 Specifications",
+		XLabel: "Die Area (mm2)",
+		YLabel: "TPP",
+	}
+	for _, d := range devices.All() {
+		s.Points = append(s.Points, plot.Point{
+			X: d.DieAreaMM2, Y: d.TPP,
+			Class: policy.Oct2023(d.Metrics()).String(),
+			Label: d.Name,
+		})
+	}
+	return s
+}
+
+// ConsistencyResult is the Fig 9 / Fig 10 output: the scatter plus the
+// mismatch inventory.
+type ConsistencyResult struct {
+	Scatter    plot.Scatter
+	FalseDC    []string
+	FalseNDC   []string
+	Consistent int
+}
+
+// Fig9 classifies every catalogued device under both October 2023 segment
+// rule sets and reports marketing-consistency categories. The paper finds
+// 4 false data-center and 7 false non-data-center devices.
+func Fig9() ConsistencyResult {
+	r := ConsistencyResult{Scatter: plot.Scatter{
+		Title:  "Fig 9: October 2023 Marketing-Based Device Consistency",
+		XLabel: "Performance Density (TPP/mm2)",
+		YLabel: "TPP",
+	}}
+	for _, d := range devices.All() {
+		_, _, mm := policy.MarketingConsistency(d.Spec())
+		class := "Consist. DC"
+		if d.Segment == policy.NonDataCenter {
+			class = "Consist. NDC"
+		}
+		switch {
+		case mm == nil:
+			r.Consistent++
+		case mm.Kind == "false data center":
+			class = "False DC"
+			r.FalseDC = append(r.FalseDC, d.Name)
+		default:
+			class = "False NDC"
+			r.FalseNDC = append(r.FalseNDC, d.Name)
+		}
+		r.Scatter.Points = append(r.Scatter.Points, plot.Point{
+			X: d.PerformanceDensity(), Y: d.TPP, Class: class, Label: d.Name,
+		})
+	}
+	return r
+}
+
+// Fig10 classifies every device with the architectural rule (> 32 GB memory
+// or > 1600 GB/s memory bandwidth ⇒ data center) and reports disagreements
+// with the marketing segment.
+func Fig10() ConsistencyResult {
+	r := ConsistencyResult{Scatter: plot.Scatter{
+		Title:  "Fig 10: Architectural Classification by Memory Capacity and Bandwidth",
+		XLabel: "Memory Capacity (GB)",
+		YLabel: "Memory BW (GB/s)",
+	}}
+	for _, d := range devices.All() {
+		mm := policy.ArchitecturalConsistency(d.Spec())
+		class := "Consist. DC"
+		if d.Segment == policy.NonDataCenter {
+			class = "Consist. NDC"
+		}
+		switch {
+		case mm == nil:
+			r.Consistent++
+		case mm.Kind == "false data center":
+			class = "False DC"
+			r.FalseDC = append(r.FalseDC, d.Name)
+		default:
+			class = "False NDC"
+			r.FalseNDC = append(r.FalseNDC, d.Name)
+		}
+		r.Scatter.Points = append(r.Scatter.Points, plot.Point{
+			X: d.MemoryGB, Y: d.MemoryBWGBs, Class: class, Label: d.Name,
+		})
+	}
+	return r
+}
+
+func renderConsistency(w io.Writer, r ConsistencyResult) error {
+	if _, err := fmt.Fprint(w, r.Scatter.RenderASCII(72, 20)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nconsistent: %d\nfalse data center (%d): %v\nfalse non-data center (%d): %v\n",
+		r.Consistent, len(r.FalseDC), r.FalseDC, len(r.FalseNDC), r.FalseNDC)
+	return err
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig1a",
+		Title: "Device classification under October 2022 specifications",
+		Run: func(_ *Lab, w io.Writer) error {
+			s := Fig1a()
+			_, err := fmt.Fprint(w, s.RenderASCII(72, 20))
+			return err
+		},
+		CSV: func(_ *Lab, w io.Writer) error { s := Fig1a(); return s.WriteCSV(w) },
+	})
+	register(Experiment{
+		ID:    "fig1b",
+		Title: "Device classification under October 2023 specifications",
+		Run: func(_ *Lab, w io.Writer) error {
+			s := Fig1b()
+			_, err := fmt.Fprint(w, s.RenderASCII(72, 20))
+			return err
+		},
+		CSV: func(_ *Lab, w io.Writer) error { s := Fig1b(); return s.WriteCSV(w) },
+	})
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Die area vs TPP under October 2023 specifications",
+		Run: func(_ *Lab, w io.Writer) error {
+			s := Fig2()
+			_, err := fmt.Fprint(w, s.RenderASCII(72, 20))
+			return err
+		},
+		CSV: func(_ *Lab, w io.Writer) error { s := Fig2(); return s.WriteCSV(w) },
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Marketing-based device classification consistency",
+		Run:   func(_ *Lab, w io.Writer) error { return renderConsistency(w, Fig9()) },
+		CSV:   func(_ *Lab, w io.Writer) error { r := Fig9(); return r.Scatter.WriteCSV(w) },
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Architectural device classification by memory system",
+		Run:   func(_ *Lab, w io.Writer) error { return renderConsistency(w, Fig10()) },
+		CSV:   func(_ *Lab, w io.Writer) error { r := Fig10(); return r.Scatter.WriteCSV(w) },
+	})
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/perf"
+	"repro/internal/plot"
+	"repro/internal/tilesim"
+)
+
+// CrossValidation runs the discrete-event tile simulator against the
+// analytic operator model on the shapes that carry the paper's results,
+// reporting the agreement ratios. This is the evidence that the closed-form
+// max(compute, feed, HBM) the DSE rests on is not an artifact of its own
+// simplifications.
+func CrossValidation(w io.Writer) error {
+	cfg := arch.A100()
+	shapes := []perf.Matmul{
+		{Name: "prefill ffn-up (GPT-3)", Batch: 1, M: 65536, K: 12288, N: 12288},
+		{Name: "prefill attn-score", Batch: 768, M: 2048, K: 128, N: 2048},
+		{Name: "decode ffn-up", Batch: 1, M: 32, K: 12288, N: 12288},
+		{Name: "mid-size GEMM", Batch: 1, M: 4096, K: 4096, N: 4096},
+	}
+	rows := [][]string{{"shape", "event-driven", "analytic", "ratio"}}
+	for _, m := range shapes {
+		ev, an, r, err := tilesim.Compare(cfg, m)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{m.Name, ms(ev), ms(an), fmt.Sprintf("%.2f", r)})
+	}
+	// And the starvation mechanism, confirmed independently.
+	m := shapes[0]
+	starved := cfg
+	starved.L1KB = 32
+	base, err := tilesim.Simulate(cfg, m)
+	if err != nil {
+		return err
+	}
+	slow, err := tilesim.Simulate(starved, m)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(w, plot.Table(rows)); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"\nL1 starvation, event-driven: 192 KB → 32 KB slows the GPT-3 FFN matmul %.2fx\n(the analytic model's feed mechanism, reproduced by independent scheduling).\n",
+		slow.Seconds/base.Seconds)
+	return err
+}
+
+func init() {
+	register(Experiment{ID: "crossval",
+		Title: "Event-driven tile simulator vs the analytic operator model",
+		Run:   func(_ *Lab, w io.Writer) error { return CrossValidation(w) }})
+}

@@ -1,0 +1,305 @@
+package experiments
+
+// Extension experiments: analyses the paper discusses qualitatively
+// (§2.3 chiplets and binning, §4.4 power, §5.4 gaming, §6.1 metric history,
+// §3.1 service-level metrics, and the parallelism dimension the October
+// 2022 device-bandwidth cap interacts with), made quantitative on the same
+// substrates as the headline reproduction.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/binning"
+	"repro/internal/chiplet"
+	"repro/internal/cost"
+	"repro/internal/gaming"
+	"repro/internal/histmetrics"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/plot"
+	"repro/internal/power"
+	"repro/internal/serving"
+)
+
+// ChipletEscape prices the §2.5 multi-die escape hatch for each TPP tier.
+func ChipletEscape(w io.Writer) error {
+	rows := [][]string{{"TPP budget", "escape area mm²", "chiplets", "package $", "overhead vs PD-6 design"}}
+	for _, tpp := range []float64{1700, 2400, 2450, 3600, 4800} {
+		plan, err := chiplet.PlanEscape(tpp, 0, cost.N7Wafer, chiplet.CoWoS())
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("< %.0f", tpp),
+			fmt.Sprintf("%.0f", plan.AreaMM2),
+			fmt.Sprintf("%d", plan.ChipletCount),
+			fmt.Sprintf("%.0f", plan.CostUSD),
+			fmt.Sprintf("%+.0f%%", plan.Overhead*100),
+		})
+	}
+	if _, err := fmt.Fprint(w, plot.Table(rows)); err != nil {
+		return err
+	}
+	// The §2.3 asymmetry: dropping chiplets vs fusing capacity in place.
+	pkg := chiplet.Homogeneous("8x250", 8, 250, 4000, 0, 0, chiplet.CoWoS())
+	removed, fused, err := chiplet.DisableForCompliance(pkg, 2)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"\nchiplet compliance asymmetry (8×250 mm², 4000 TPP → 3000 TPP):\n  remove 2 chiplets: PD %.2f → %s\n  fuse in place:     PD %.2f → %s\n",
+		removed.PerformanceDensity(), removed.Classify(),
+		fused.PerformanceDensity(), fused.Classify())
+	return err
+}
+
+// GamingSafeHarborQuant quantifies §5.4: the same restriction, applied to a
+// gaming frame and to LLM decoding.
+func (l *Lab) GamingSafeHarborQuant(w io.Writer) error {
+	base := gaming.GamingA100Class()
+	restrictions := []struct {
+		name string
+		gpu  gaming.GPU
+	}{
+		{"matmul removed", func() gaming.GPU { g := base; g.HasMatmul = false; return g }()},
+		{"memory BW capped to 0.8 TB/s", func() gaming.GPU {
+			g := base
+			g.Cfg = g.Cfg.WithHBMBandwidth(800)
+			return g
+		}()},
+		{"both", func() gaming.GPU {
+			g := base
+			g.HasMatmul = false
+			g.Cfg = g.Cfg.WithHBMBandwidth(800)
+			return g
+		}()},
+	}
+	wl := model.PaperWorkload(model.GPT3_175B())
+	llmBase, err := l.Explorer.Sim.Simulate(base.Cfg, wl)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"restriction", "worst gaming FPS retention", "LLM TBT slowdown"}}
+	for _, r := range restrictions {
+		ret, err := gaming.PolicyImpact(base, r.gpu)
+		if err != nil {
+			return err
+		}
+		llm, err := l.Explorer.Sim.Simulate(r.gpu.Cfg, wl)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			r.name,
+			fmt.Sprintf("%.0f%%", ret*100),
+			fmt.Sprintf("%+.0f%%", (llm.TBTSeconds/llmBase.TBTSeconds-1)*100),
+		})
+	}
+	if _, err := fmt.Fprint(w, plot.Table(rows)); err != nil {
+		return err
+	}
+	for _, s := range gaming.Scenes() {
+		fps, err := gaming.FPS(base, s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "baseline %s: %.0f FPS\n", s.Name, fps)
+	}
+	return nil
+}
+
+// MetricsHistory scores representative devices under every export-control
+// metric generation (§6.1).
+func MetricsHistory(w io.Writer) error {
+	scores, err := histmetrics.ScoreAll(histmetrics.RepresentativeGPUs())
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"device", "CTP (MTOPS)", "APP (WT)", "peak TFLOPS", "TPP"}}
+	for _, s := range scores {
+		rows = append(rows, []string{
+			s.Name,
+			fmt.Sprintf("%.2e", s.CTPMTOPS),
+			fmt.Sprintf("%.1f", s.APPWT),
+			fmt.Sprintf("%.0f", s.PeakTFLOP),
+			fmt.Sprintf("%.0f", s.TPP),
+		})
+	}
+	if _, err := fmt.Fprint(w, plot.Table(rows)); err != nil {
+		return err
+	}
+	appRank := histmetrics.Ranking(scores, func(s histmetrics.Score) float64 { return s.APPWT })
+	tppRank := histmetrics.Ranking(scores, func(s histmetrics.Score) float64 { return s.TPP })
+	inv, err := histmetrics.RankDisagreement(appRank, tppRank)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\nAPP (2006) ranking: %v\nTPP (2022) ranking: %v\npairwise inversions: %d\n",
+		appRank, tppRank, inv)
+	return err
+}
+
+// BinningEconomics quantifies the §2.3 salvage story on the GA100.
+func BinningEconomics(w io.Writer) error {
+	l := binning.GA100()
+	ladder := binning.A100Ladder()
+	rep, err := binning.WaferRevenue(l, cost.N7Wafer, ladder)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"bin", "min cores", "min PHYs", "price", "die fraction"}}
+	for _, b := range ladder {
+		rows = append(rows, []string{b.Name, fmt.Sprintf("%d", b.MinGoodCores),
+			fmt.Sprintf("%d", b.MinGoodPHYs), fmt.Sprintf("$%.0f", b.PriceUSD),
+			fmt.Sprintf("%.1f%%", rep.Fractions.ByBin[b.Name]*100)})
+	}
+	rows = append(rows, []string{"scrap", "-", "-", "-",
+		fmt.Sprintf("%.1f%%", rep.Fractions.Scrap*100)})
+	if _, err := fmt.Fprint(w, plot.Table(rows)); err != nil {
+		return err
+	}
+	flagshipOnly := ladder[:1]
+	solo, err := binning.WaferRevenue(l, cost.N7Wafer, flagshipOnly)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"\nwafer revenue: flagship-only $%.0f vs full ladder $%.0f (salvage share %.0f%%)\n",
+		solo.RevenuePerWafer, rep.RevenuePerWafer, rep.SalvageShare*100)
+	return err
+}
+
+// ParallelismUnderBWCaps compares tensor vs pipeline mappings across
+// interconnect classes.
+func ParallelismUnderBWCaps(w io.Writer) error {
+	m := model.GPT3_175B()
+	rows := [][]string{{"device BW", "TP TTFT", "TP TBT", "PP TTFT", "PP TBT", "prefill winner"}}
+	for _, bw := range []float64{600, 400, 100, 32} {
+		cfg := arch.A100().WithDeviceBW(bw)
+		tp, pp, err := parallel.Best(cfg, m, 4)
+		if err != nil {
+			return err
+		}
+		winner := "TP"
+		if pp.TTFTSeconds < tp.TTFTSeconds {
+			winner = "PP"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f GB/s", bw),
+			fmt.Sprintf("%.1f s", tp.TTFTSeconds),
+			fmt.Sprintf("%.0f ms", tp.TBTSeconds*1e3),
+			fmt.Sprintf("%.1f s", pp.TTFTSeconds),
+			fmt.Sprintf("%.0f ms", pp.TBTSeconds*1e3),
+			winner,
+		})
+	}
+	_, err := fmt.Fprint(w, plot.Table(rows))
+	return err
+}
+
+// ServingImpact lifts the §4 design comparison to fleet economics.
+func (l *Lab) ServingImpact(w io.Writer) error {
+	wl := model.PaperWorkload(model.GPT3_175B())
+	a100, err := l.A100Baseline(wl)
+	if err != nil {
+		return err
+	}
+	capped, err := l.Explorer.Sim.Simulate(arch.A100().WithHBMBandwidth(800), wl)
+	if err != nil {
+		return err
+	}
+	base := serving.Instance{Result: a100}
+	slow := serving.Instance{Result: capped}
+	slo := base.RequestSeconds() * 3
+	demand := base.CapacityRequestsPerSec() * 5
+
+	rows := [][]string{{"design", "tokens/s", "capacity req/s", "fleet for demand", "fleet devices"}}
+	for _, in := range []struct {
+		name string
+		inst serving.Instance
+	}{{"A100 (2 TB/s)", base}, {"0.8 TB/s capped", slow}} {
+		n, err := in.inst.FleetSize(demand, slo)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			in.name,
+			fmt.Sprintf("%.0f", in.inst.TokensPerSec()),
+			fmt.Sprintf("%.3f", in.inst.CapacityRequestsPerSec()),
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", n*wl.TensorParallel),
+		})
+	}
+	_, err = fmt.Fprint(w, plot.Table(rows))
+	return err
+}
+
+// PowerComparison contrasts the Table 4 design pair's power draw (§4.4).
+func (l *Lab) PowerComparison(w io.Writer) error {
+	t4, err := l.Table4()
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"design", "SRAM MB", "idle W", "prefill W", "decode W", "annual energy $ (PUE 1.5, $0.10/kWh)"}}
+	for _, d := range []struct {
+		name string
+		cfg  arch.Config
+	}{
+		{"PD compliant", t4.Compliant.Config},
+		{"non-compliant", t4.NonCompliant.Config},
+	} {
+		idle, err := power.Estimate(d.cfg, power.Idle())
+		if err != nil {
+			return err
+		}
+		pre, err := power.Estimate(d.cfg, power.PrefillActivity())
+		if err != nil {
+			return err
+		}
+		dec, err := power.Estimate(d.cfg, power.DecodeActivity())
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			d.name,
+			fmt.Sprintf("%.0f", area2SRAM(d.cfg)),
+			fmt.Sprintf("%.0f", idle.Total()),
+			fmt.Sprintf("%.0f", pre.Total()),
+			fmt.Sprintf("%.0f", dec.Total()),
+			fmt.Sprintf("$%.0f", power.AnnualEnergyCostUSD(pre.Total(), 0.10, 1.5)),
+		})
+	}
+	_, err = fmt.Fprint(w, plot.Table(rows))
+	return err
+}
+
+func init() {
+	register(Experiment{ID: "chipletescape",
+		Title: "Multi-die packages that escape the October 2023 rule (§2.3, §2.5)",
+		Run:   func(_ *Lab, w io.Writer) error { return ChipletEscape(w) }})
+	register(Experiment{ID: "gaming",
+		Title: "Gaming safe harbor: FPS retention vs LLM slowdown (§5.4)",
+		Run:   func(l *Lab, w io.Writer) error { return l.GamingSafeHarborQuant(w) }})
+	register(Experiment{ID: "metricshistory",
+		Title: "CTP/APP/FLOPS/TPP metric generations on real devices (§6.1)",
+		Run:   func(_ *Lab, w io.Writer) error { return MetricsHistory(w) }})
+	register(Experiment{ID: "binning",
+		Title: "GA100 bin-ladder economics and the A800 salvage bin (§2.3)",
+		Run:   func(_ *Lab, w io.Writer) error { return BinningEconomics(w) }})
+	register(Experiment{ID: "parallelism",
+		Title: "Tensor vs pipeline parallelism under device-bandwidth caps",
+		Run:   func(_ *Lab, w io.Writer) error { return ParallelismUnderBWCaps(w) }})
+	register(Experiment{ID: "serving",
+		Title: "Fleet sizing under bandwidth restrictions (§3.1 service metrics)",
+		Run:   func(l *Lab, w io.Writer) error { return l.ServingImpact(w) }})
+	register(Experiment{ID: "powerdraw",
+		Title: "Power draw of the Table 4 design pair (§4.4)",
+		Run:   func(l *Lab, w io.Writer) error { return l.PowerComparison(w) }})
+}
+
+// area2SRAM returns the config's total on-chip SRAM in MiB.
+func area2SRAM(cfg arch.Config) float64 {
+	return float64(cfg.CoreCount*cfg.L1KB)/1024 + float64(cfg.L2MB)
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Targeted assertions on the extension analyses, beyond the generic
+// every-experiment-runs smoke test.
+
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Run(lab, &sb); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return sb.String()
+}
+
+func TestChipletEscapeShowsTheAsymmetry(t *testing.T) {
+	out := runExperiment(t, "chipletescape")
+	if !strings.Contains(out, "NAC Eligible") || !strings.Contains(out, "Not Applicable") {
+		t.Errorf("chiplet asymmetry missing from output:\n%s", out)
+	}
+	// The §2.5 figure: the 4800-budget escape exceeds 3000 mm².
+	if !strings.Contains(out, "< 4800") {
+		t.Errorf("missing the 4800-TPP escape row:\n%s", out)
+	}
+}
+
+func TestGamingExperimentShowsAsymmetry(t *testing.T) {
+	out := runExperiment(t, "gaming")
+	for _, want := range []string{"matmul removed", "0.8 TB/s", "raster-4k"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gaming output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuantizationExperimentHoldsTPPConstant(t *testing.T) {
+	out := runExperiment(t, "quantization")
+	// Every row reports the same compliant TPP.
+	if got := strings.Count(out, "4759"); got < 4 {
+		t.Errorf("expected the constant TPP 4759 in all four rows, saw %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "-1") { // a negative TBT delta appears
+		t.Errorf("expected a TBT reduction in the FP8 rows:\n%s", out)
+	}
+}
+
+func TestAblationDegradesMFU(t *testing.T) {
+	out := runExperiment(t, "ablation")
+	if !strings.Contains(out, "calibrated model") || !strings.Contains(out, "no L2 blocking search") {
+		t.Fatalf("ablation rows missing:\n%s", out)
+	}
+	// The calibrated GPT-3 row reports high MFU; the no-blocking row low.
+	if !strings.Contains(out, "81%") {
+		t.Errorf("calibrated prefill MFU (≈81%%) missing:\n%s", out)
+	}
+	if !strings.Contains(out, "8%") {
+		t.Errorf("collapsed MFU (≈8%%) missing:\n%s", out)
+	}
+}
+
+func TestEscapePerfBeatsA100Decode(t *testing.T) {
+	out := runExperiment(t, "escapeperf")
+	if !strings.Contains(out, "Not Applicable") {
+		t.Errorf("escape package must classify Not Applicable:\n%s", out)
+	}
+	if !strings.Contains(out, "escape package (4 chiplets)") {
+		t.Errorf("expected a 4-chiplet package:\n%s", out)
+	}
+}
+
+func TestFabCapacityTaxNearTwo(t *testing.T) {
+	out := runExperiment(t, "fabcapacity")
+	if !strings.Contains(out, "2.00x") && !strings.Contains(out, "1.99x") && !strings.Contains(out, "2.01x") {
+		t.Errorf("capacity tax should be ≈ 2.00x:\n%s", out)
+	}
+}
+
+func TestWhatIfTighteningsAreMonotone(t *testing.T) {
+	out := runExperiment(t, "whatif")
+	// Restricted counts rise as the line drops: 11 → 13 → 19 → 36-ish.
+	for _, want := range []string{"restricted 11 →"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("whatif output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "newly freed (1") {
+		t.Errorf("tightening must free nothing:\n%s", out)
+	}
+}
+
+func TestHBMSupplyChokepoint(t *testing.T) {
+	out := runExperiment(t, "hbmsupply")
+	if !strings.Contains(out, "true") {
+		t.Errorf("some memory target must require controlled HBM:\n%s", out)
+	}
+	if !strings.Contains(out, "2560") {
+		t.Errorf("the exception-band ceiling (2560 GB/s) should be reported:\n%s", out)
+	}
+}
+
+func TestQuotaExperimentFavoursCappedDevices(t *testing.T) {
+	out := runExperiment(t, "quota")
+	if !strings.Contains(out, "H20") || !strings.Contains(out, "bandwidth-optimal") {
+		t.Errorf("quota output missing the H20-heavy fleet:\n%s", out)
+	}
+}
+
+func TestServingExperimentDoublesFleet(t *testing.T) {
+	out := runExperiment(t, "serving")
+	if !strings.Contains(out, "A100 (2 TB/s)") || !strings.Contains(out, "0.8 TB/s capped") {
+		t.Errorf("serving rows missing:\n%s", out)
+	}
+}
+
+func TestQuantizationUsesCompliantDevice(t *testing.T) {
+	// The quantization experiment must run on an export-compliant config
+	// (TPP < 4800), otherwise the "invisible to the rule" claim is moot.
+	var found bool
+	for _, m := range []model.Model{model.GPT3_175B()} {
+		_ = m
+		found = true
+	}
+	if !found {
+		t.Skip()
+	}
+	out := runExperiment(t, "quantization")
+	if strings.Contains(out, "4992") {
+		t.Errorf("quantization should not run on the restricted A100 TPP:\n%s", out)
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/devices"
+	"repro/internal/econ"
+	"repro/internal/plot"
+	"repro/internal/policy"
+)
+
+// ExternalityResult quantifies §2.4/§5.1: the deadweight loss of broad
+// sanctions versus an architecture-first scoped policy, on a stylised
+// two-segment accelerator market.
+type ExternalityResult struct {
+	Report econ.ExternalityReport
+	// RestrictedGamingDevices lists catalogued consumer devices the
+	// October 2023 rule restricts — the concrete externality.
+	RestrictedGamingDevices []string
+	// SafeHarborEscapes lists consumer devices an architecture-first
+	// matmul+memory rule would leave unrestricted.
+	SafeHarborEscapes []string
+}
+
+// Externality runs the comparison. The market parameters are stylised
+// (demand/supply slopes chosen so both segments trade at meaningful
+// volume); the interesting outputs are relative: the scoped policy's
+// deadweight loss is strictly smaller, by exactly the gaming segment's
+// loss.
+func Externality() (ExternalityResult, error) {
+	sp := econ.SegmentedPolicy{
+		// AI accelerator segment: high willingness to pay, capped exports.
+		Target: econ.Market{DemandIntercept: 40000, DemandSlope: 10,
+			SupplyIntercept: 8000, SupplySlope: 6},
+		// Gaming segment: bigger volume, lower prices.
+		NonTarget: econ.Market{DemandIntercept: 2500, DemandSlope: 0.5,
+			SupplyIntercept: 400, SupplySlope: 0.3},
+		TargetQuota:    1200, // equilibrium is 2000 units
+		NonTargetQuota: 1800, // equilibrium is 2625 units
+	}
+	rep, err := sp.Compare()
+	if err != nil {
+		return ExternalityResult{}, err
+	}
+	res := ExternalityResult{Report: rep}
+
+	harbor := policy.GamingSafeHarbor(250, 1600, 32)
+	for _, d := range devices.Consumer() {
+		if policy.Oct2023(d.Metrics()).Restricted() {
+			res.RestrictedGamingDevices = append(res.RestrictedGamingDevices, d.Name)
+			if !harbor.Applies(d.Spec()) {
+				res.SafeHarborEscapes = append(res.SafeHarborEscapes, d.Name)
+			}
+		}
+	}
+	return res, nil
+}
+
+func renderExternality(w io.Writer, r ExternalityResult) error {
+	rows := [][]string{
+		{"policy", "deadweight loss", "gaming-segment externality", "gaming price impact"},
+		{"broad (both segments)", fmt.Sprintf("%.0f", r.Report.BroadDWL),
+			fmt.Sprintf("%.0f", r.Report.NegativeExternality),
+			fmt.Sprintf("%+.0f", r.Report.PriceImpactNonTarget)},
+		{"architecture-first (scoped)", fmt.Sprintf("%.0f", r.Report.ScopedDWL), "0", "+0"},
+	}
+	if _, err := fmt.Fprint(w, plot.Table(rows)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"\nconsumer devices restricted by Oct 2023 rule: %v\nof those, escape an architecture-first matmul+memory rule: %v\n",
+		r.RestrictedGamingDevices, r.SafeHarborEscapes)
+	return err
+}
+
+// HBMRuleDemo classifies representative HBM package generations under the
+// December 2024 memory-bandwidth-density rule.
+func HBMRuleDemo() [][]string {
+	rows := [][]string{{"package", "BW (GB/s)", "area (mm²)", "density", "classification"}}
+	packages := []struct {
+		name string
+		pkg  policy.HBMPackage
+	}{
+		{"HBM2 (8-high)", policy.HBMPackage{BandwidthGBs: 256, PackageAreaMM2: 92}},
+		{"HBM2e", policy.HBMPackage{BandwidthGBs: 460, PackageAreaMM2: 110}},
+		{"HBM3", policy.HBMPackage{BandwidthGBs: 819, PackageAreaMM2: 110}},
+		{"HBM3e", policy.HBMPackage{BandwidthGBs: 1229, PackageAreaMM2: 110}},
+		{"HBM3e installed in device", policy.HBMPackage{BandwidthGBs: 1229, PackageAreaMM2: 110, InstalledInDevice: true}},
+	}
+	for _, p := range packages {
+		rows = append(rows, []string{
+			p.name,
+			fmt.Sprintf("%.0f", p.pkg.BandwidthGBs),
+			fmt.Sprintf("%.0f", p.pkg.PackageAreaMM2),
+			fmt.Sprintf("%.2f", p.pkg.BandwidthDensity()),
+			policy.Dec2024HBM(p.pkg).String(),
+		})
+	}
+	return rows
+}
+
+func init() {
+	register(Experiment{
+		ID:    "externality",
+		Title: "Deadweight loss of broad vs architecture-first scoped policy",
+		Run: func(_ *Lab, w io.Writer) error {
+			r, err := Externality()
+			if err != nil {
+				return err
+			}
+			return renderExternality(w, r)
+		},
+	})
+	register(Experiment{
+		ID:    "hbmrule",
+		Title: "December 2024 HBM memory-bandwidth-density rule",
+		Run: func(_ *Lab, w io.Writer) error {
+			_, err := fmt.Fprint(w, plot.Table(HBMRuleDemo()))
+			return err
+		},
+	})
+	register(Experiment{
+		ID:    "table1",
+		Title: "Advanced Computing Rule definitions (Table 1)",
+		Run: func(_ *Lab, w io.Writer) error {
+			_, err := fmt.Fprintf(w, `October 2022 (Table 1a), all devices:
+  Regular License: TPP >= %d AND bidirectional device BW >= %d GB/s
+
+October 2023 (Table 1b):
+  Data center:
+    Regular License: TPP >= %d, OR TPP >= %d AND PD >= %.2f
+    NAC:             %d > TPP >= %d AND %.2f > PD >= %.1f,
+                     OR TPP >= %d AND %.2f > PD >= %.1f
+  Non-data center:
+    NAC:             TPP >= %d
+
+December 2024 HBM rule:
+  Controlled: memory bandwidth density > %.1f GB/s/mm²
+  License Exception HBM eligible below %.1f GB/s/mm²
+`,
+				policy.Oct2022TPPThreshold, policy.Oct2022DeviceBWThreshold,
+				policy.Oct2023TPPLicense, policy.Oct2023TPPLowTier, policy.Oct2023PDLicense,
+				policy.Oct2023TPPLicense, policy.Oct2023TPPMidTier, policy.Oct2023PDLicense, policy.Oct2023PDMidFloor,
+				policy.Oct2023TPPLowTier, policy.Oct2023PDLicense, policy.Oct2023PDHighFloor,
+				policy.Oct2023TPPLicense,
+				policy.HBMDensityControlled, policy.HBMDensityExceptionCeiling)
+			return err
+		},
+	})
+}

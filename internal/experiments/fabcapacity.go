@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cost"
+	"repro/internal/fab"
+	"repro/internal/plot"
+)
+
+// FabCapacity expresses the §2.3/§4.4 cost compounding at the fab: the same
+// unit demand served with PD-inflated compliant dies consumes roughly twice
+// the wafer starts and stretches delivery lead times.
+func FabCapacity(w io.Writer) error {
+	l := fab.Line{Name: "N7-line", WafersPerMonth: 10000, Wafer: cost.N7Wafer,
+		BaseLeadTimeWeeks: 13}
+	rows := [][]string{{"die", "area mm²", "good dies/wafer", "wafers for 100k/mo", "lead time for 100k (wk)"}}
+	for _, d := range []struct {
+		name string
+		mm2  float64
+	}{
+		{"unconstrained optimum (Table 4)", 523},
+		{"PD-compliant optimum (Table 4)", 753},
+		{"GA100 (A100)", 826},
+	} {
+		p := fab.Product{Name: d.name, DieAreaMM2: d.mm2, DemandPerMonth: 100000}
+		good, err := l.GoodDiesPerWafer(p)
+		if err != nil {
+			return err
+		}
+		wafers, err := l.WafersForDemand(p)
+		if err != nil {
+			return err
+		}
+		lead, err := l.LeadTimeWeeks(p, 100000, 1)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			d.name, fmt.Sprintf("%.0f", d.mm2), fmt.Sprintf("%.1f", good),
+			fmt.Sprintf("%.0f", wafers), fmt.Sprintf("%.1f", lead),
+		})
+	}
+	if _, err := fmt.Fprint(w, plot.Table(rows)); err != nil {
+		return err
+	}
+	extra, ratio, err := fab.ComplianceCapacityTax(l, 523, 753, 100000)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w,
+		"\ncompliance capacity tax: %.0f extra wafers/month (%.2fx) to serve the same demand\n",
+		extra, ratio)
+	return err
+}
+
+func init() {
+	register(Experiment{ID: "fabcapacity",
+		Title: "Wafer-capacity cost of PD-compliant dies (§2.3, §4.4)",
+		Run:   func(_ *Lab, w io.Writer) error { return FabCapacity(w) }})
+}

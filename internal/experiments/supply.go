@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/devices"
+	"repro/internal/memsys"
+	"repro/internal/plot"
+	"repro/internal/policy"
+)
+
+// HBMSupply quantifies the December 2024 rule as a supply-chain chokepoint:
+// which device-class memory systems remain buildable from commodity stacks
+// that escape the rule (or ride its license exception).
+func HBMSupply(w io.Writer) error {
+	rows := [][]string{{"memory target", "cheapest plan", "stack class", "needs controlled HBM"}}
+	for _, tgt := range []struct {
+		name     string
+		bw, capG float64
+	}{
+		{"consumer-class (600 GB/s, 16 GB)", 600, 16},
+		{"A100-class (2 TB/s, 80 GB)", 2000, 80},
+		{"compliant optimum (3.2 TB/s, 80 GB)", 3200, 80},
+		{"H20-class (4 TB/s, 96 GB)", 4000, 96},
+	} {
+		plan, err := memsys.PlanFor(tgt.bw, tgt.capG)
+		if err != nil {
+			return err
+		}
+		controlled, err := memsys.SupplyControlled(tgt.bw, tgt.capG)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			tgt.name,
+			fmt.Sprintf("%d× %s (%.0f GB/s, %.0f GB, $%.0f)",
+				plan.Stacks, plan.Stack.Name, plan.BandwidthGBs, plan.CapacityGB, plan.CostUSD),
+			plan.RuleClass.String(),
+			fmt.Sprintf("%v", controlled),
+		})
+	}
+	if _, err := fmt.Fprint(w, plot.Table(rows)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"\nmax bandwidth from exception-band stacks only: %.0f GB/s — the HBM rule caps\nwhat a sanctioned designer can reach even before any device-level rule applies.\n",
+		memsys.MaxUncontrolledBandwidthGBs(true))
+	return err
+}
+
+// QuantityFramework demonstrates the January 2025 quantity controls'
+// blind spot: a fixed national TPP budget buys far more aggregate memory
+// bandwidth — the decode resource — when spent on capped H20-class parts
+// than on flagships.
+func QuantityFramework(w io.Writer) error {
+	budget := 10e6 // TPP
+	options := map[string]struct{ TPP, Value float64 }{}
+	for _, name := range []string{"H100", "H20", "A100"} {
+		d, err := devices.ByName(name)
+		if err != nil {
+			return err
+		}
+		options[name] = struct{ TPP, Value float64 }{TPP: d.TPP, Value: d.MemoryBWGBs}
+	}
+	rows := [][]string{{"strategy", "fleet", "aggregate mem BW (TB/s)", "H100 equivalents spent"}}
+	// Bandwidth-optimal spend.
+	alloc, err := policy.NewAllocation("example", budget)
+	if err != nil {
+		return err
+	}
+	mix, bw := policy.BestFleet(alloc, options)
+	rows = append(rows, []string{"bandwidth-optimal", fmt.Sprintf("%v", mix),
+		fmt.Sprintf("%.1f", bw/1000), fmt.Sprintf("%.0f", (budget-alloc.Remaining())/policy.H100TPP)})
+	// All-flagship spend.
+	flag, err := policy.NewAllocation("example", budget)
+	if err != nil {
+		return err
+	}
+	h100, err := devices.ByName("H100")
+	if err != nil {
+		return err
+	}
+	n := flag.MaxDevices(h100.TPP)
+	if err := flag.Ship(n, h100.TPP); err != nil {
+		return err
+	}
+	rows = append(rows, []string{"all-flagship",
+		fmt.Sprintf("map[H100:%d]", n),
+		fmt.Sprintf("%.1f", float64(n)*h100.MemoryBWGBs/1000),
+		fmt.Sprintf("%.0f", float64(n))})
+	if _, err := fmt.Fprint(w, plot.Table(rows)); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, "\nthe TPP-denominated quantity cap, like TPP itself, never prices memory\nbandwidth: capped devices multiply the decode capability a budget buys.")
+	return err
+}
+
+func init() {
+	register(Experiment{ID: "hbmsupply",
+		Title: "December 2024 HBM rule as a supply-chain chokepoint",
+		Run:   func(_ *Lab, w io.Writer) error { return HBMSupply(w) }})
+	register(Experiment{ID: "quota",
+		Title: "January 2025 quantity framework: TPP budgets vs memory bandwidth",
+		Run:   func(_ *Lab, w io.Writer) error { return QuantityFramework(w) }})
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/plot"
+	"repro/internal/policy"
+)
+
+// Fig5Point is one design of the October 2022 TPP-vs-bandwidth trade-off
+// sweep.
+type Fig5Point struct {
+	Series      string // "tpp-sweep", "bw-sweep" or "A100"
+	TPP         float64
+	DeviceBWGBs float64
+	TTFTSeconds float64
+	TBTSeconds  float64
+	Compliant   bool // under the October 2022 rule
+}
+
+// Fig5Result is the §4.1 sweep modelling GPT-3 175B.
+type Fig5Result struct {
+	Points []Fig5Point
+	// TTFTDropTPP4000To5000 is the paper's quoted 16.2% TTFT reduction.
+	TTFTDropTPP4000To5000 float64
+	// TBTDropBW600To1000 is the paper's quoted 0.27% TBT reduction.
+	TBTDropBW600To1000 float64
+}
+
+// Fig5 sweeps TPP with capped device bandwidth (white circles: 500 GB/s,
+// TPP 4000–8000) and device bandwidth with capped TPP (black squares:
+// TPP 4759, 500–1000 GB/s), modelling GPT-3 175B per §4.1. Every swept
+// point complies with the October 2022 rule; only the A100 reference does
+// not.
+func (l *Lab) Fig5() (Fig5Result, error) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	var res Fig5Result
+
+	add := func(series string, cfg arch.Config) (Fig5Point, error) {
+		r, err := l.Explorer.Sim.Simulate(cfg, w)
+		if err != nil {
+			return Fig5Point{}, err
+		}
+		p := Fig5Point{
+			Series:      series,
+			TPP:         cfg.TPP(),
+			DeviceBWGBs: cfg.DeviceBWGBs,
+			TTFTSeconds: r.TTFTSeconds,
+			TBTSeconds:  r.TBTSeconds,
+			Compliant: !policy.Oct2022(policy.Metrics{
+				TPP: cfg.TPP(), DeviceBWGBs: cfg.DeviceBWGBs,
+			}).Restricted(),
+		}
+		res.Points = append(res.Points, p)
+		return p, nil
+	}
+
+	// Reference A100 (the only non-compliant point).
+	a100pt, err := add("A100", arch.A100())
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	if a100pt.Compliant {
+		return Fig5Result{}, fmt.Errorf("fig5: the A100 must violate the October 2022 rule")
+	}
+
+	// White circles: device bandwidth capped below 600 GB/s, TPP swept.
+	var ttft4000, ttft5000 float64
+	for _, tpp := range []float64{4000, 5000, 6000, 7000, 8000} {
+		cores, err := arch.MaxCoresForTPP(tpp, 4, 16, 16, arch.A100ClockGHz)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		cfg := arch.A100().WithCores(cores).WithDeviceBW(500)
+		p, err := add("tpp-sweep", cfg)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		switch tpp {
+		case 4000:
+			ttft4000 = p.TTFTSeconds
+		case 5000:
+			ttft5000 = p.TTFTSeconds
+		}
+	}
+	res.TTFTDropTPP4000To5000 = 1 - ttft5000/ttft4000
+
+	// Black squares: TPP capped at 4759 (103 cores), device bandwidth swept.
+	var tbt600, tbt1000 float64
+	for _, bw := range []float64{500, 600, 700, 800, 900, 1000} {
+		cfg := arch.A100().WithCores(103).WithDeviceBW(bw)
+		p, err := add("bw-sweep", cfg)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		switch bw {
+		case 600:
+			tbt600 = p.TBTSeconds
+		case 1000:
+			tbt1000 = p.TBTSeconds
+		}
+	}
+	res.TBTDropBW600To1000 = 1 - tbt1000/tbt600
+	return res, nil
+}
+
+// Scatter renders the sweep as the paper's TTFT-vs-TBT scatter.
+func (r Fig5Result) Scatter() plot.Scatter {
+	s := plot.Scatter{
+		Title:  "Fig 5: Prefill vs Decoding Latency, TPP or Device-BW Sweep (GPT-3 175B)",
+		XLabel: "Time to First Token (ms)",
+		YLabel: "Time Between Tokens (ms)",
+	}
+	for _, p := range r.Points {
+		label := fmt.Sprintf("TPP %.0f / %.0f GB/s", p.TPP, p.DeviceBWGBs)
+		s.Points = append(s.Points, plot.Point{
+			X: p.TTFTSeconds * 1e3, Y: p.TBTSeconds * 1e3,
+			Class: p.Series, Label: label,
+		})
+	}
+	return s
+}
+
+func (r Fig5Result) render(w io.Writer) error {
+	if _, err := fmt.Fprint(w, r.Scatter().RenderASCII(72, 18)); err != nil {
+		return err
+	}
+	rows := [][]string{{"series", "TPP", "dev BW", "TTFT", "TBT", "Oct-2022 compliant"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Series, fmt.Sprintf("%.0f", p.TPP), fmt.Sprintf("%.0f", p.DeviceBWGBs),
+			ms(p.TTFTSeconds), ms(p.TBTSeconds), fmt.Sprintf("%v", p.Compliant),
+		})
+	}
+	if _, err := fmt.Fprint(w, plot.Table(rows)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"\nTPP 4000→5000 cuts TTFT by %s (paper: 16.2%%)\ndevice BW 600→1000 GB/s cuts TBT by %s (paper: 0.27%%)\n",
+		pct(r.TTFTDropTPP4000To5000), pct(r.TBTDropBW600To1000))
+	return err
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "October 2022 TPP vs device-bandwidth scaling (GPT-3 175B)",
+		Run: func(l *Lab, w io.Writer) error {
+			r, err := l.Fig5()
+			if err != nil {
+				return err
+			}
+			return r.render(w)
+		},
+		CSV: func(l *Lab, w io.Writer) error {
+			r, err := l.Fig5()
+			if err != nil {
+				return err
+			}
+			s := r.Scatter()
+			return s.WriteCSV(w)
+		},
+	})
+}

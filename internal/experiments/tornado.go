@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/plot"
+	"repro/internal/sensitivity"
+)
+
+// Tornado prints local elasticities of TTFT and TBT around the modeled
+// A100: the single-design-point view of the Figs 11–12 indicator analysis,
+// and a direct reading list for rule writers (cap the knobs at the top of
+// each column).
+func Tornado(w io.Writer) error {
+	for _, m := range []model.Model{model.GPT3_175B(), model.Llama3_8B()} {
+		es, err := sensitivity.Analyze(arch.A100(), model.PaperWorkload(m), 0.25)
+		if err != nil {
+			return err
+		}
+		rows := [][]string{{"knob", "TTFT elasticity", "TBT elasticity"}}
+		for _, e := range es {
+			rows = append(rows, []string{
+				e.Knob.String(),
+				fmt.Sprintf("%+.3f", e.TTFT),
+				fmt.Sprintf("%+.3f", e.TBT),
+			})
+		}
+		if _, err := fmt.Fprintf(w, "%s (±25%% around the modeled A100)\n%s",
+			m.Name, plot.Table(rows)); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "prefill leverage ranking: %v\ndecode leverage ranking:  %v\n\n",
+			sensitivity.RankByTTFT(es), sensitivity.RankByTBT(es))
+	}
+	return nil
+}
+
+func init() {
+	register(Experiment{ID: "tornado",
+		Title: "Local TTFT/TBT elasticities around the A100 (tornado view of Figs 11–12)",
+		Run:   func(_ *Lab, w io.Writer) error { return Tornado(w) }})
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/compliance"
+	"repro/internal/devices"
+	"repro/internal/plot"
+	"repro/internal/scenario"
+)
+
+// WhatIf assesses hypothetical rule changes over the device catalogue: the
+// paper's closing call for architects to engage with the next rulemaking
+// round, made executable.
+func WhatIf(w io.Writer) error {
+	baseline := scenario.Oct2023Spec()
+	for _, line := range []float64{3200, 2400, 1600} {
+		imp, err := scenario.Assess(baseline, scenario.Tightened(line), nil)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, imp); err != nil {
+			return err
+		}
+	}
+	// Forward-looking: the same statute over the post-study device set.
+	imp, err := scenario.Assess(baseline, scenario.Tightened(2400), devices.WithExtended())
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "with 2024-25 devices included (%d total):\n%v",
+		len(devices.WithExtended()), imp); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AuditShowcase audits the modeled A100 and a dense mid-TPP design,
+// printing their remediation menus.
+func AuditShowcase(w io.Writer) error {
+	dense := arch.A100()
+	dense.CoreCount = 50
+	dense.Name = "dense-2310tpp"
+	for _, cfg := range []arch.Config{arch.A100(), dense} {
+		audit, err := compliance.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: TPP %.0f, %.0f mm², PD %.2f — Oct22 %s, Oct23 DC %s\n",
+			cfg.Name, audit.TPP, audit.AreaMM2, audit.PD, audit.Oct2022, audit.Oct2023DC)
+		if audit.Compliant() {
+			fmt.Fprintln(w, "  unrestricted")
+			continue
+		}
+		rows := [][]string{{"remediation", "description"}}
+		for _, r := range audit.Remediations {
+			rows = append(rows, []string{r.Kind, r.Description})
+		}
+		if _, err := fmt.Fprint(w, plot.Table(rows), "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func init() {
+	register(Experiment{ID: "whatif",
+		Title: "Hypothetical rule tightenings assessed over the catalogue",
+		Run:   func(_ *Lab, w io.Writer) error { return WhatIf(w) }})
+	register(Experiment{ID: "audit",
+		Title: "Compliance audits with remediation menus (A800/H20/area patterns)",
+		Run:   func(_ *Lab, w io.Writer) error { return AuditShowcase(w) }})
+}

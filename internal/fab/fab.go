@@ -1,0 +1,175 @@
+// Package fab models wafer-supply economics at the fab-allocation level:
+// §2.3 notes that "fewer larger dies fit onto a single wafer and firms will
+// need to order more wafers, increasing costs and manufacturing times".
+// Given a fab line with finite monthly wafer starts and a product portfolio
+// (each product a die size, a price, and a demand), the package computes
+// per-product wafer consumption, delivery lead times, and the
+// revenue-optimal allocation of scarce wafers — the lens through which
+// Performance-Density-inflated compliant dies compete with flagship dies
+// for the same capacity.
+package fab
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cost"
+)
+
+// Line is one fab production line.
+type Line struct {
+	Name string
+	// WafersPerMonth is the line's start capacity.
+	WafersPerMonth float64
+	// Wafer is the process (price, defect density).
+	Wafer cost.Wafer
+	// BaseLeadTimeWeeks is the cycle time of a lot through the line.
+	BaseLeadTimeWeeks float64
+}
+
+// Validate checks the line is usable.
+func (l Line) Validate() error {
+	if l.WafersPerMonth <= 0 || l.BaseLeadTimeWeeks < 0 {
+		return fmt.Errorf("fab: invalid line %q", l.Name)
+	}
+	return nil
+}
+
+// Product is one die product competing for the line.
+type Product struct {
+	Name string
+	// DieAreaMM2 is the product's die size.
+	DieAreaMM2 float64
+	// PricePerGoodDie is the selling price of a known-good die.
+	PricePerGoodDie float64
+	// DemandPerMonth is the market's monthly good-die demand.
+	DemandPerMonth float64
+}
+
+// GoodDiesPerWafer returns the product's yielded dies per wafer on the
+// line's process.
+func (l Line) GoodDiesPerWafer(p Product) (float64, error) {
+	dies, err := l.Wafer.DiesPerWafer(p.DieAreaMM2)
+	if err != nil {
+		return 0, fmt.Errorf("fab: product %q: %w", p.Name, err)
+	}
+	return dies * l.Wafer.Yield(p.DieAreaMM2), nil
+}
+
+// WafersForDemand returns the monthly wafer starts one product's demand
+// consumes.
+func (l Line) WafersForDemand(p Product) (float64, error) {
+	good, err := l.GoodDiesPerWafer(p)
+	if err != nil {
+		return 0, err
+	}
+	if good <= 0 {
+		return 0, fmt.Errorf("fab: product %q yields no good dies", p.Name)
+	}
+	return p.DemandPerMonth / good, nil
+}
+
+// LeadTimeWeeks returns the time to deliver the first n good dies of a
+// product when it receives the given share of the line: the base cycle
+// time plus the fill time at the allocated start rate.
+func (l Line) LeadTimeWeeks(p Product, n, share float64) (float64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	if share <= 0 || share > 1 {
+		return 0, fmt.Errorf("fab: share %v outside (0, 1]", share)
+	}
+	good, err := l.GoodDiesPerWafer(p)
+	if err != nil {
+		return 0, err
+	}
+	monthly := good * l.WafersPerMonth * share
+	if monthly <= 0 {
+		return 0, fmt.Errorf("fab: product %q has zero allocated output", p.Name)
+	}
+	const weeksPerMonth = 52.0 / 12.0
+	return l.BaseLeadTimeWeeks + n/monthly*weeksPerMonth, nil
+}
+
+// Allocation is the line's revenue-optimal split of wafer starts.
+type Allocation struct {
+	// Wafers maps product name to allocated monthly wafer starts.
+	Wafers map[string]float64
+	// RevenuePerMonth is the total at the allocation.
+	RevenuePerMonth float64
+	// UnmetDemand maps product name to good dies of demand left unserved.
+	UnmetDemand map[string]float64
+	// Utilisation is allocated wafers over capacity.
+	Utilisation float64
+}
+
+// Allocate maximises monthly revenue: products are served in order of
+// revenue per wafer (price × good dies per wafer) until capacity or demand
+// runs out. Because products consume capacity linearly and independently,
+// this greedy order is exactly optimal (fractional knapsack).
+func Allocate(l Line, products []Product) (Allocation, error) {
+	if err := l.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if len(products) == 0 {
+		return Allocation{}, errors.New("fab: no products")
+	}
+	type scored struct {
+		p               Product
+		goodPerWafer    float64
+		revenuePerWafer float64
+	}
+	items := make([]scored, 0, len(products))
+	for _, p := range products {
+		good, err := l.GoodDiesPerWafer(p)
+		if err != nil {
+			return Allocation{}, err
+		}
+		if p.DemandPerMonth < 0 || p.PricePerGoodDie < 0 {
+			return Allocation{}, fmt.Errorf("fab: product %q has negative demand or price", p.Name)
+		}
+		items = append(items, scored{p: p, goodPerWafer: good,
+			revenuePerWafer: good * p.PricePerGoodDie})
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		return items[i].revenuePerWafer > items[j].revenuePerWafer
+	})
+	alloc := Allocation{
+		Wafers:      make(map[string]float64, len(items)),
+		UnmetDemand: make(map[string]float64, len(items)),
+	}
+	remaining := l.WafersPerMonth
+	for _, it := range items {
+		if it.goodPerWafer <= 0 {
+			alloc.UnmetDemand[it.p.Name] = it.p.DemandPerMonth
+			continue
+		}
+		want := it.p.DemandPerMonth / it.goodPerWafer
+		take := math.Min(want, remaining)
+		alloc.Wafers[it.p.Name] = take
+		alloc.RevenuePerMonth += take * it.revenuePerWafer
+		alloc.UnmetDemand[it.p.Name] = (want - take) * it.goodPerWafer
+		remaining -= take
+	}
+	alloc.Utilisation = (l.WafersPerMonth - remaining) / l.WafersPerMonth
+	return alloc, nil
+}
+
+// ComplianceCapacityTax compares the wafer consumption of serving the same
+// unit demand with a compliant (PD-inflated) die versus the unconstrained
+// die: the §4.4 cost compounding expressed as lost fab capacity.
+func ComplianceCapacityTax(l Line, unconstrainedMM2, compliantMM2, unitsPerMonth float64) (extraWafers float64, ratio float64, err error) {
+	base, err := l.WafersForDemand(Product{Name: "unconstrained",
+		DieAreaMM2: unconstrainedMM2, DemandPerMonth: unitsPerMonth})
+	if err != nil {
+		return 0, 0, err
+	}
+	comp, err := l.WafersForDemand(Product{Name: "compliant",
+		DieAreaMM2: compliantMM2, DemandPerMonth: unitsPerMonth})
+	if err != nil {
+		return 0, 0, err
+	}
+	return comp - base, comp / base, nil
+}

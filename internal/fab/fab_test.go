@@ -1,0 +1,177 @@
+package fab
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+)
+
+func line() Line {
+	return Line{Name: "N7-line", WafersPerMonth: 10000, Wafer: cost.N7Wafer,
+		BaseLeadTimeWeeks: 13}
+}
+
+func TestGoodDiesPerWafer(t *testing.T) {
+	l := line()
+	// 523 mm²: ≈ 106 candidates × ≈ 50% yield ≈ 53 good dies.
+	good, err := l.GoodDiesPerWafer(Product{Name: "x", DieAreaMM2: 523})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 48 || good > 58 {
+		t.Errorf("good dies/wafer = %.1f, want ≈ 53", good)
+	}
+	if _, err := l.GoodDiesPerWafer(Product{Name: "bad", DieAreaMM2: -1}); err == nil {
+		t.Error("negative area should error")
+	}
+}
+
+func TestWafersForDemand(t *testing.T) {
+	l := line()
+	w, err := l.WafersForDemand(Product{Name: "x", DieAreaMM2: 523, DemandPerMonth: 53000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 900 || w > 1100 {
+		t.Errorf("wafers for 53k dies = %.0f, want ≈ 1000", w)
+	}
+}
+
+func TestLeadTimeGrowsWithDemandAndShrinkingShare(t *testing.T) {
+	l := line()
+	p := Product{Name: "x", DieAreaMM2: 523}
+	small, err := l.LeadTimeWeeks(p, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := l.LeadTimeWeeks(p, 100000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Error("more dies must take longer")
+	}
+	half, err := l.LeadTimeWeeks(p, 10000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half <= small {
+		t.Error("less capacity share must take longer")
+	}
+	if small <= l.BaseLeadTimeWeeks {
+		t.Error("lead time must include the base cycle time plus fill time")
+	}
+	if _, err := l.LeadTimeWeeks(p, 1000, 0); err == nil {
+		t.Error("zero share should error")
+	}
+	if _, err := l.LeadTimeWeeks(p, 1000, 1.5); err == nil {
+		t.Error("share above 1 should error")
+	}
+}
+
+func TestAllocatePrefersRevenuePerWafer(t *testing.T) {
+	l := line()
+	l.WafersPerMonth = 100
+	flagship := Product{Name: "flagship", DieAreaMM2: 826, PricePerGoodDie: 10000, DemandPerMonth: 1e9}
+	budget := Product{Name: "budget", DieAreaMM2: 300, PricePerGoodDie: 500, DemandPerMonth: 1e9}
+	alloc, err := Allocate(l, []Product{budget, flagship})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flagship: ~66 candidates × 0.31 yield × $10k ≈ $205k/wafer; budget:
+	// ~200 × 0.65 × $500 ≈ $65k/wafer. All capacity goes to the flagship.
+	if alloc.Wafers["flagship"] != 100 || alloc.Wafers["budget"] != 0 {
+		t.Errorf("allocation wrong: %+v", alloc.Wafers)
+	}
+	if alloc.Utilisation != 1 {
+		t.Errorf("utilisation = %v, want 1", alloc.Utilisation)
+	}
+	if alloc.UnmetDemand["budget"] <= 0 {
+		t.Error("budget demand should be unmet")
+	}
+}
+
+func TestAllocateCapsAtDemand(t *testing.T) {
+	l := line()
+	p := Product{Name: "only", DieAreaMM2: 523, PricePerGoodDie: 1000, DemandPerMonth: 530}
+	alloc, err := Allocate(l, []Product{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ≈ 10 wafers cover the demand; the line idles the rest.
+	if alloc.Wafers["only"] > 12 || alloc.Wafers["only"] < 8 {
+		t.Errorf("wafers = %v, want ≈ 10", alloc.Wafers["only"])
+	}
+	if alloc.UnmetDemand["only"] > 1e-6 {
+		t.Errorf("demand should be fully served: %v", alloc.UnmetDemand)
+	}
+	if alloc.Utilisation >= 0.01 {
+		t.Errorf("utilisation should be tiny: %v", alloc.Utilisation)
+	}
+}
+
+func TestAllocateGreedyIsOptimalProperty(t *testing.T) {
+	// Fractional-knapsack optimality: no pairwise wafer swap between a
+	// served and an unserved product can raise revenue.
+	f := func(p1, p2, d1, d2 uint8) bool {
+		l := line()
+		l.WafersPerMonth = 50
+		a := Product{Name: "a", DieAreaMM2: 400, PricePerGoodDie: float64(p1) + 1,
+			DemandPerMonth: float64(d1)*50 + 50}
+		b := Product{Name: "b", DieAreaMM2: 700, PricePerGoodDie: float64(p2) + 1,
+			DemandPerMonth: float64(d2)*50 + 50}
+		alloc, err := Allocate(l, []Product{a, b})
+		if err != nil {
+			return false
+		}
+		// Brute-force the two-product split at 1-wafer granularity.
+		gda, _ := l.GoodDiesPerWafer(a)
+		gdb, _ := l.GoodDiesPerWafer(b)
+		best := 0.0
+		for wa := 0.0; wa <= 50; wa++ {
+			wb := 50 - wa
+			ra := math.Min(wa*gda, a.DemandPerMonth) * a.PricePerGoodDie
+			rb := math.Min(wb*gdb, b.DemandPerMonth) * b.PricePerGoodDie
+			if ra+rb > best {
+				best = ra + rb
+			}
+		}
+		return alloc.RevenuePerMonth >= best-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	if _, err := Allocate(Line{}, []Product{{Name: "x", DieAreaMM2: 100}}); err == nil {
+		t.Error("invalid line should error")
+	}
+	if _, err := Allocate(line(), nil); err == nil {
+		t.Error("no products should error")
+	}
+	if _, err := Allocate(line(), []Product{{Name: "x", DieAreaMM2: 100, DemandPerMonth: -1}}); err == nil {
+		t.Error("negative demand should error")
+	}
+}
+
+// TestComplianceCapacityTax expresses §4.4 at the fab: serving identical
+// unit demand with the 753 mm² PD-compliant die instead of the 523 mm²
+// unconstrained die consumes ≈ 2× the wafer starts.
+func TestComplianceCapacityTax(t *testing.T) {
+	extra, ratio, err := ComplianceCapacityTax(line(), 523, 753, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("capacity tax ratio = %.2f, want ≈ 2 (paper: $177M → $350M)", ratio)
+	}
+	if extra <= 0 {
+		t.Error("compliant die must consume more wafers")
+	}
+	if _, _, err := ComplianceCapacityTax(line(), -1, 753, 1); err == nil {
+		t.Error("invalid areas should error")
+	}
+}

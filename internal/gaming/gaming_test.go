@@ -1,0 +1,213 @@
+package gaming
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func TestFrameRatesPlausible(t *testing.T) {
+	g := GamingA100Class()
+	fpsLight, err := FPS(g, Raster1080p())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpsHeavy, err := FPS(g, RayTraced4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpsLight < 100 || fpsLight > 2000 {
+		t.Errorf("1080p raster FPS = %.0f, want a high esports-class rate", fpsLight)
+	}
+	if fpsHeavy < 20 || fpsHeavy > 300 {
+		t.Errorf("ray-traced 4K FPS = %.0f, want a AAA-class rate", fpsHeavy)
+	}
+	if fpsHeavy >= fpsLight {
+		t.Error("ray-traced 4K must be slower than 1080p raster")
+	}
+}
+
+// TestMatmulRemovalBarelyMovesGaming is the §5.4 safe-harbor core: fusing
+// off the systolic arrays costs only the upscaler fallback, a few percent.
+func TestMatmulRemovalBarelyMovesGaming(t *testing.T) {
+	base := GamingA100Class()
+	noMM := base
+	noMM.HasMatmul = false
+	ret, err := PolicyImpact(base, noMM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret < 0.85 {
+		t.Errorf("matmul removal retains %.0f%% of FPS, want ≥ 85%%", ret*100)
+	}
+	if ret > 1.0001 {
+		t.Errorf("matmul removal cannot speed rendering up: retention %.3f", ret)
+	}
+}
+
+// TestBandwidthCapBarelyMovesGaming: halving-plus memory bandwidth (the
+// policy that doubles LLM decode latency) leaves frame rates intact,
+// because irregular accesses are latency-bound.
+func TestBandwidthCapBarelyMovesGaming(t *testing.T) {
+	base := GamingA100Class()
+	capped := base
+	capped.Cfg = capped.Cfg.WithHBMBandwidth(800)
+	ret, err := PolicyImpact(base, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret < 0.9 {
+		t.Errorf("0.8 TB/s cap retains %.0f%% of FPS, want ≥ 90%%", ret*100)
+	}
+}
+
+// TestGamingVsLLMAsymmetry runs both workload models on the same restricted
+// design and checks the paper's externality asymmetry: the bandwidth cap
+// that leaves gaming ≥ 90% intact slows LLM decoding by ≥ 60%.
+func TestGamingVsLLMAsymmetry(t *testing.T) {
+	base := GamingA100Class()
+	capped := base
+	capped.Cfg = capped.Cfg.WithHBMBandwidth(800)
+
+	ret, err := PolicyImpact(base, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	w := model.PaperWorkload(model.GPT3_175B())
+	llmBase, err := s.Simulate(base.Cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llmCapped, err := s.Simulate(capped.Cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowdown := llmCapped.TBTSeconds/llmBase.TBTSeconds - 1
+	if ret < 0.9 || slowdown < 0.6 {
+		t.Errorf("asymmetry broken: gaming retention %.2f, LLM TBT slowdown %.0f%%",
+			ret, slowdown*100)
+	}
+}
+
+// TestGamingSensitiveToShaderAndCache: the knobs gaming actually cares
+// about — SIMT width and cache — must move frame rates, otherwise the model
+// proves nothing.
+func TestGamingSensitiveToShaderAndCache(t *testing.T) {
+	base := GamingA100Class()
+	narrow := base
+	narrow.Cfg.VectorWidth = base.Cfg.VectorWidth / 4
+	fpsBase, _ := FPS(base, Raster4K())
+	fpsNarrow, err := FPS(narrow, Raster4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpsNarrow > fpsBase*0.5 {
+		t.Errorf("quartering SIMT width should roughly quarter shading throughput: %.0f → %.0f FPS",
+			fpsBase, fpsNarrow)
+	}
+	smallCache := base
+	smallCache.Cfg.L2MB = 8
+	fpsSmall, err := FPS(smallCache, Raster4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpsSmall >= fpsBase {
+		t.Error("shrinking L2 must hurt irregular-access-heavy rendering")
+	}
+}
+
+func TestMissRateModel(t *testing.T) {
+	if missRate(40) != 0.35 {
+		t.Errorf("reference miss rate = %v, want 0.35", missRate(40))
+	}
+	if missRate(160) >= missRate(40) || missRate(10) <= missRate(40) {
+		t.Error("miss rate must fall with capacity")
+	}
+	if missRate(0.0001) > 0.95 || missRate(1e9) < 0.05 {
+		t.Error("miss rate must clamp to [0.05, 0.95]")
+	}
+	if missRate(0) != 0.95 {
+		t.Error("zero L2 should give the worst clamp")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	g := GamingA100Class()
+	if _, err := Simulate(GPU{}, Raster4K()); err == nil {
+		t.Error("invalid config should error")
+	}
+	g2 := g
+	g2.MemLatencyNs = 0
+	if _, err := Simulate(g2, Raster4K()); err == nil {
+		t.Error("zero latency should error")
+	}
+	if _, err := Simulate(g, Scene{Name: "empty"}); err == nil {
+		t.Error("empty scene should error")
+	}
+}
+
+func TestBreakdownConsistency(t *testing.T) {
+	b, err := Simulate(GamingA100Class(), RayTraced4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := b.ShadeSec + b.TextureSec + b.RTSec + b.UpscaleSec
+	if math.Abs(sum-b.FrameSec()) > 1e-15 {
+		t.Error("FrameSec must sum the phases")
+	}
+	if b.RTSec <= 0 || b.UpscaleSec <= 0 {
+		t.Error("ray-traced scene must spend time in RT and upscaling")
+	}
+	raster, _ := Simulate(GamingA100Class(), Raster4K())
+	if raster.RTSec != 0 || raster.UpscaleSec != 0 {
+		t.Error("raster scene must not pay RT or upscale time")
+	}
+	if (Breakdown{}).FPS() != 0 {
+		t.Error("zero frame time should report zero FPS, not +Inf")
+	}
+}
+
+func TestFPSMonotoneInShaderThroughputProperty(t *testing.T) {
+	f := func(w uint8) bool {
+		width := int(w%8+1) * 8
+		g1 := GamingA100Class()
+		g1.Cfg.VectorWidth = width
+		g2 := GamingA100Class()
+		g2.Cfg.VectorWidth = width * 2
+		f1, err1 := FPS(g1, Raster4K())
+		f2, err2 := FPS(g2, Raster4K())
+		return err1 == nil && err2 == nil && f2 >= f1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyImpactErrors(t *testing.T) {
+	if _, err := PolicyImpact(GPU{}, GamingA100Class()); err == nil {
+		t.Error("invalid baseline should error")
+	}
+	if _, err := PolicyImpact(GamingA100Class(), GPU{}); err == nil {
+		t.Error("invalid restricted GPU should error")
+	}
+}
+
+func TestScenesPresets(t *testing.T) {
+	ss := Scenes()
+	if len(ss) != 3 {
+		t.Fatalf("want 3 preset scenes, got %d", len(ss))
+	}
+	names := map[string]bool{}
+	for _, s := range ss {
+		names[s.Name] = true
+	}
+	if !names["raster-1080p"] || !names["raster-4k"] || !names["raytraced-4k"] {
+		t.Errorf("unexpected scene names: %v", names)
+	}
+	_ = arch.A100() // keep arch linked for the GPU constructor's contract
+}

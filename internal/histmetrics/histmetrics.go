@@ -1,0 +1,239 @@
+// Package histmetrics implements the lineage of computing export-control
+// performance metrics the paper traces in §6.1: Composite Theoretical
+// Performance (CTP, 1991, in MTOPS with word-length adjustment), Adjusted
+// Peak Performance (APP, 2006, in Weighted TeraFLOPS over 64-bit operations
+// with vector/non-vector weighting), the plain peak-FLOPS era that replaced
+// APP, and Total Processing Performance (TPP, 2022, TOPS × bitwidth).
+//
+// Having all four executable makes the paper's historical point testable:
+// each metric ranks the same devices differently, and only TPP "sees"
+// low-precision matrix engines — CTP's word-length adjustment and APP's
+// 64-bit scope were designed for scientific vector machines and score a
+// tensor-core GPU primarily by its (tiny) FP64 pipeline.
+package histmetrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ComputeElement is one execution resource of a device: a pipeline class
+// with a peak rate at a given operand word length.
+type ComputeElement struct {
+	// Name labels the element ("fp64 vector", "fp16 tensor").
+	Name string
+	// RateMops is the peak rate in millions of operations per second
+	// (FMA counted as two operations, matching the modern convention).
+	RateMops float64
+	// WordLengthBits is the operand width.
+	WordLengthBits int
+	// Vector reports whether the element is a vector/SIMD unit (APP's
+	// vector weighting) as opposed to a scalar unit.
+	Vector bool
+}
+
+// Profile is a device's full execution-resource inventory.
+type Profile struct {
+	Name     string
+	Elements []ComputeElement
+}
+
+var errNoElements = errors.New("histmetrics: profile has no compute elements")
+
+// Validate checks the profile is scorable.
+func (p Profile) Validate() error {
+	if len(p.Elements) == 0 {
+		return fmt.Errorf("%w: %q", errNoElements, p.Name)
+	}
+	for _, e := range p.Elements {
+		if e.RateMops < 0 || e.WordLengthBits <= 0 {
+			return fmt.Errorf("histmetrics: element %q of %q has invalid rate/width", e.Name, p.Name)
+		}
+	}
+	return nil
+}
+
+// CTP returns Composite Theoretical Performance in MTOPS per the 1991
+// formulation: each element contributes its rate scaled by the word-length
+// adjustment (1/3 + WL/96), so a 64-bit operation counts fully and shorter
+// words count proportionally less; multiple elements aggregate with a
+// coupling factor of 0.75 after the fastest (shared-memory aggregation).
+func CTP(p Profile) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	tps := make([]float64, 0, len(p.Elements))
+	for _, e := range p.Elements {
+		adj := 1.0/3.0 + float64(e.WordLengthBits)/96.0
+		if adj > 1 {
+			adj = 1 // the adjustment saturates at 64-bit words
+		}
+		tps = append(tps, e.RateMops*adj)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(tps)))
+	const coupling = 0.75
+	total := tps[0]
+	for _, tp := range tps[1:] {
+		total += coupling * tp
+	}
+	return total, nil
+}
+
+// APP returns Adjusted Peak Performance in Weighted TeraFLOPS per the 2006
+// formulation: only 64-bit floating-point rates count, weighted 0.9 for
+// vector processors and 0.3 for non-vector processors.
+func APP(p Profile) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var wt float64
+	for _, e := range p.Elements {
+		if e.WordLengthBits < 64 {
+			continue
+		}
+		w := 0.3
+		if e.Vector {
+			w = 0.9
+		}
+		wt += e.RateMops * 1e6 / 1e12 * w
+	}
+	return wt, nil
+}
+
+// PeakFLOPS returns the plain peak floating-point rate in TeraFLOPS at any
+// precision — the metric that replaced APP before TPP reintroduced
+// bitwidth scaling.
+func PeakFLOPS(p Profile) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var best float64
+	for _, e := range p.Elements {
+		if t := e.RateMops * 1e6 / 1e12; t > best {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// TPP returns Total Processing Performance per the 2022 rule: the maximum
+// over elements of TOPS × operand bitwidth.
+func TPP(p Profile) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var best float64
+	for _, e := range p.Elements {
+		tops := e.RateMops * 1e6 / 1e12
+		if v := tops * float64(e.WordLengthBits); v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// Score is one device evaluated under every metric generation.
+type Score struct {
+	Name      string
+	CTPMTOPS  float64
+	APPWT     float64
+	PeakTFLOP float64
+	TPP       float64
+}
+
+// ScoreAll evaluates each profile under all four metrics.
+func ScoreAll(profiles []Profile) ([]Score, error) {
+	out := make([]Score, 0, len(profiles))
+	for _, p := range profiles {
+		ctp, err := CTP(p)
+		if err != nil {
+			return nil, err
+		}
+		app, err := APP(p)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := PeakFLOPS(p)
+		if err != nil {
+			return nil, err
+		}
+		tpp, err := TPP(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Score{Name: p.Name, CTPMTOPS: ctp, APPWT: app,
+			PeakTFLOP: pf, TPP: tpp})
+	}
+	return out, nil
+}
+
+// Ranking returns the profile names sorted descending by the chosen metric
+// extractor.
+func Ranking(scores []Score, metric func(Score) float64) []string {
+	sorted := append([]Score(nil), scores...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return metric(sorted[i]) > metric(sorted[j])
+	})
+	names := make([]string, len(sorted))
+	for i, s := range sorted {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// RankDisagreement counts pairwise ordering inversions between two rankings
+// of the same name set — the §6.1 point that metric generations disagree.
+func RankDisagreement(a, b []string) (int, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("histmetrics: rankings of different lengths %d vs %d", len(a), len(b))
+	}
+	pos := make(map[string]int, len(b))
+	for i, n := range b {
+		pos[n] = i
+	}
+	inversions := 0
+	for i := 0; i < len(a); i++ {
+		pi, ok := pos[a[i]]
+		if !ok {
+			return 0, fmt.Errorf("histmetrics: %q missing from second ranking", a[i])
+		}
+		for j := i + 1; j < len(a); j++ {
+			if pos[a[j]] < pi {
+				inversions++
+			}
+		}
+	}
+	return inversions, nil
+}
+
+// GPUProfile builds a device profile from datasheet vector FP64/FP32 rates
+// and a dense FP16 matrix-engine rate, all in TFLOPS (0 = absent).
+func GPUProfile(name string, fp64, fp32, fp16Tensor float64) Profile {
+	p := Profile{Name: name}
+	add := func(n string, tflops float64, bits int, vector bool) {
+		if tflops > 0 {
+			p.Elements = append(p.Elements, ComputeElement{
+				Name: n, RateMops: tflops * 1e6, WordLengthBits: bits, Vector: vector})
+		}
+	}
+	add("fp64 vector", fp64, 64, true)
+	add("fp32 vector", fp32, 32, true)
+	add("fp16 tensor", fp16Tensor, 16, true)
+	return p
+}
+
+// RepresentativeGPUs returns datasheet profiles spanning the device classes
+// the paper's classification figures use: flagship data-center parts with
+// strong FP64, and consumer parts whose FP64 pipelines are vestigial.
+func RepresentativeGPUs() []Profile {
+	return []Profile{
+		GPUProfile("A100", 9.7, 19.5, 312),
+		GPUProfile("H100", 34, 67, 989),
+		GPUProfile("MI250X", 47.9, 47.9, 383),
+		GPUProfile("MI300X", 81.7, 163.4, 1307),
+		GPUProfile("RTX 3090", 0.56, 35.6, 142),
+		GPUProfile("RTX 4090", 1.3, 82.6, 330),
+		GPUProfile("RX 7900 XTX", 1.9, 61.4, 122.8),
+	}
+}

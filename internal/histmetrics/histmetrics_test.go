@@ -1,0 +1,194 @@
+package histmetrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCTPWordLengthAdjustment(t *testing.T) {
+	// A single 64-bit element counts fully: 1000 Mops → 1000 MTOPS.
+	p := Profile{Name: "fp64", Elements: []ComputeElement{
+		{Name: "e", RateMops: 1000, WordLengthBits: 64, Vector: true}}}
+	got, err := CTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1000) > 1e-9 {
+		t.Errorf("64-bit CTP = %v, want 1000", got)
+	}
+	// A 32-bit element scales by 1/3 + 32/96 = 2/3.
+	p.Elements[0].WordLengthBits = 32
+	got, _ = CTP(p)
+	if math.Abs(got-1000*2.0/3.0) > 1e-9 {
+		t.Errorf("32-bit CTP = %v, want 666.7", got)
+	}
+	// 16-bit scales by 1/3 + 1/6 = 1/2.
+	p.Elements[0].WordLengthBits = 16
+	got, _ = CTP(p)
+	if math.Abs(got-500) > 1e-9 {
+		t.Errorf("16-bit CTP = %v, want 500", got)
+	}
+	// Word lengths beyond 64 saturate.
+	p.Elements[0].WordLengthBits = 128
+	got, _ = CTP(p)
+	if math.Abs(got-1000) > 1e-9 {
+		t.Errorf("128-bit CTP = %v, want saturated 1000", got)
+	}
+}
+
+func TestCTPCoupling(t *testing.T) {
+	// Two equal 64-bit elements: 1000 + 0.75×1000 = 1750.
+	p := Profile{Name: "dual", Elements: []ComputeElement{
+		{Name: "a", RateMops: 1000, WordLengthBits: 64},
+		{Name: "b", RateMops: 1000, WordLengthBits: 64},
+	}}
+	got, err := CTP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1750) > 1e-9 {
+		t.Errorf("coupled CTP = %v, want 1750", got)
+	}
+	// The fastest element must anchor the sum regardless of order.
+	p.Elements[0].RateMops = 100
+	got, _ = CTP(p)
+	if math.Abs(got-(1000+75)) > 1e-9 {
+		t.Errorf("coupled CTP = %v, want 1075", got)
+	}
+}
+
+func TestAPPOnlyCounts64Bit(t *testing.T) {
+	p := GPUProfile("RTX 4090", 1.3, 82.6, 330)
+	got, err := APP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the 1.3 TFLOPS FP64 vector unit counts, weighted 0.9.
+	if math.Abs(got-1.3*0.9) > 1e-9 {
+		t.Errorf("RTX 4090 APP = %v WT, want 1.17", got)
+	}
+	// Non-vector 64-bit work weighs 0.3.
+	scalar := Profile{Name: "scalar", Elements: []ComputeElement{
+		{Name: "alu", RateMops: 1e6, WordLengthBits: 64, Vector: false}}}
+	got, _ = APP(scalar)
+	if math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("scalar APP = %v, want 0.3", got)
+	}
+}
+
+func TestTPPMatchesRuleDefinition(t *testing.T) {
+	p := GPUProfile("A100", 9.7, 19.5, 312)
+	got, err := TPP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// max over elements: FP16 tensor 312 TOPS × 16 = 4992 beats
+	// 19.5 × 32 = 624 and 9.7 × 64 = 620.8.
+	if math.Abs(got-4992) > 1e-6 {
+		t.Errorf("A100 TPP = %v, want 4992", got)
+	}
+	pf, _ := PeakFLOPS(p)
+	if math.Abs(pf-312) > 1e-9 {
+		t.Errorf("A100 peak FLOPS = %v, want 312", pf)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := CTP(Profile{Name: "empty"}); err == nil {
+		t.Error("empty profile should error")
+	}
+	bad := Profile{Name: "bad", Elements: []ComputeElement{
+		{Name: "e", RateMops: -1, WordLengthBits: 64}}}
+	for _, f := range []func(Profile) (float64, error){CTP, APP, PeakFLOPS, TPP} {
+		if _, err := f(bad); err == nil {
+			t.Error("negative rate should error")
+		}
+	}
+	if _, err := ScoreAll([]Profile{bad}); err == nil {
+		t.Error("ScoreAll should propagate validation errors")
+	}
+}
+
+// TestMetricGenerationsDisagree is the §6.1 claim: the 1991/2006 metrics
+// rank tensor-core GPUs very differently from TPP. Under APP the MI250X
+// (strong FP64) outranks the H100; under TPP the H100 dominates.
+func TestMetricGenerationsDisagree(t *testing.T) {
+	scores, err := ScoreAll(RepresentativeGPUs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Score{}
+	for _, s := range scores {
+		byName[s.Name] = s
+	}
+	if byName["MI250X"].APPWT <= byName["H100"].APPWT {
+		t.Errorf("APP should favour the MI250X's FP64: %.1f vs %.1f WT",
+			byName["MI250X"].APPWT, byName["H100"].APPWT)
+	}
+	if byName["MI250X"].TPP >= byName["H100"].TPP {
+		t.Errorf("TPP should favour the H100's tensor engine: %.0f vs %.0f",
+			byName["MI250X"].TPP, byName["H100"].TPP)
+	}
+	// Consumer cards nearly vanish under APP but rank mid-pack under TPP.
+	if byName["RTX 4090"].APPWT > 2 {
+		t.Errorf("RTX 4090 APP = %.2f WT, should be tiny", byName["RTX 4090"].APPWT)
+	}
+	if byName["RTX 4090"].TPP < 4800 {
+		t.Errorf("RTX 4090 TPP = %.0f, should exceed the 4800 threshold", byName["RTX 4090"].TPP)
+	}
+
+	appRank := Ranking(scores, func(s Score) float64 { return s.APPWT })
+	tppRank := Ranking(scores, func(s Score) float64 { return s.TPP })
+	inv, err := RankDisagreement(appRank, tppRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv == 0 {
+		t.Error("APP and TPP rankings should disagree on at least one pair")
+	}
+}
+
+func TestRankDisagreementEdgeCases(t *testing.T) {
+	same := []string{"a", "b", "c"}
+	if inv, err := RankDisagreement(same, same); err != nil || inv != 0 {
+		t.Errorf("identical rankings: inv=%d err=%v", inv, err)
+	}
+	reversed := []string{"c", "b", "a"}
+	if inv, _ := RankDisagreement(same, reversed); inv != 3 {
+		t.Errorf("full reversal of 3 should have 3 inversions, got %d", inv)
+	}
+	if _, err := RankDisagreement(same, []string{"a"}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := RankDisagreement(same, []string{"a", "b", "x"}); err == nil {
+		t.Error("name mismatch should error")
+	}
+}
+
+func TestCTPMonotoneInRateProperty(t *testing.T) {
+	f := func(r uint16) bool {
+		rate := float64(r) + 1
+		lo, err1 := CTP(GPUProfile("lo", rate/1e6, 0, 0))
+		hi, err2 := CTP(GPUProfile("hi", 2*rate/1e6, 0, 0))
+		return err1 == nil && err2 == nil && hi > lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGPUProfileSkipsAbsentPipelines(t *testing.T) {
+	p := GPUProfile("no-tensor", 1.0, 20, 0)
+	if len(p.Elements) != 2 {
+		t.Errorf("want 2 elements (no tensor), got %d", len(p.Elements))
+	}
+	tpp, err := TPP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best of 20 × 32 = 640 and 1 × 64 = 64.
+	if math.Abs(tpp-640) > 1e-9 {
+		t.Errorf("TPP = %v, want 640", tpp)
+	}
+}

@@ -1,0 +1,158 @@
+// Package memsys models the off-chip memory system as discrete HBM stacks,
+// connecting three things the rest of the library treats separately: the
+// continuous memory-bandwidth/capacity knobs the design-space exploration
+// sweeps, the discrete stack configurations a real device must round to,
+// and the December 2024 HBM rule, which regulates the *stack* (bandwidth
+// per package area) rather than the device. Given a target bandwidth and
+// capacity, the package plans the cheapest stack configuration, reports its
+// beachfront (die-edge PHY length) feasibility, and classifies the chosen
+// stacks under the HBM rule.
+package memsys
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/policy"
+)
+
+// StackType is one HBM generation's per-stack characteristics.
+type StackType struct {
+	Name string
+	// BandwidthGBs and CapacityGB per stack.
+	BandwidthGBs float64
+	CapacityGB   float64
+	// PackageAreaMM2 is the stack's package footprint (the HBM rule's
+	// denominator).
+	PackageAreaMM2 float64
+	// CostUSD is the per-stack purchase price.
+	CostUSD float64
+	// BeachfrontMM is the die-edge length one stack's PHY consumes.
+	BeachfrontMM float64
+}
+
+// Catalog returns the commodity HBM generations.
+func Catalog() []StackType {
+	return []StackType{
+		{Name: "HBM2", BandwidthGBs: 256, CapacityGB: 8, PackageAreaMM2: 92,
+			CostUSD: 80, BeachfrontMM: 5.5},
+		{Name: "HBM2e", BandwidthGBs: 460, CapacityGB: 16, PackageAreaMM2: 110,
+			CostUSD: 120, BeachfrontMM: 5.5},
+		{Name: "HBM3", BandwidthGBs: 819, CapacityGB: 24, PackageAreaMM2: 110,
+			CostUSD: 250, BeachfrontMM: 6},
+		{Name: "HBM3e", BandwidthGBs: 1229, CapacityGB: 36, PackageAreaMM2: 110,
+			CostUSD: 420, BeachfrontMM: 6},
+	}
+}
+
+// Plan is one realised memory system.
+type Plan struct {
+	Stack  StackType
+	Stacks int
+	// Realised aggregates.
+	BandwidthGBs float64
+	CapacityGB   float64
+	CostUSD      float64
+	BeachfrontMM float64
+	// RuleClass is the stack's December 2024 classification when sold as a
+	// commodity package (it does not apply to stacks shipped inside
+	// devices, but it binds the device maker's supply chain).
+	RuleClass policy.Classification
+}
+
+// MaxBeachfrontMM is the PHY edge length available on a reticle-class die
+// (two full edges of a ~29 mm square die).
+const MaxBeachfrontMM = 58
+
+var errNoPlan = errors.New("memsys: no stack configuration meets the target")
+
+// PlanFor returns the cheapest stack configuration meeting both a
+// bandwidth and a capacity target within the beachfront limit.
+func PlanFor(bandwidthGBs, capacityGB float64) (Plan, error) {
+	if bandwidthGBs <= 0 || capacityGB <= 0 {
+		return Plan{}, errors.New("memsys: targets must be positive")
+	}
+	best := Plan{CostUSD: math.Inf(1)}
+	for _, st := range Catalog() {
+		n := int(math.Ceil(math.Max(bandwidthGBs/st.BandwidthGBs,
+			capacityGB/st.CapacityGB)))
+		if n < 1 {
+			n = 1
+		}
+		if float64(n)*st.BeachfrontMM > MaxBeachfrontMM {
+			continue
+		}
+		cost := float64(n) * st.CostUSD
+		if cost < best.CostUSD {
+			best = Plan{
+				Stack:        st,
+				Stacks:       n,
+				BandwidthGBs: float64(n) * st.BandwidthGBs,
+				CapacityGB:   float64(n) * st.CapacityGB,
+				CostUSD:      cost,
+				BeachfrontMM: float64(n) * st.BeachfrontMM,
+				RuleClass: policy.Dec2024HBM(policy.HBMPackage{
+					BandwidthGBs:   st.BandwidthGBs,
+					PackageAreaMM2: st.PackageAreaMM2,
+				}),
+			}
+		}
+	}
+	if math.IsInf(best.CostUSD, 1) {
+		return Plan{}, fmt.Errorf("%w: %.0f GB/s and %.0f GB", errNoPlan,
+			bandwidthGBs, capacityGB)
+	}
+	return best, nil
+}
+
+// SupplyControlled reports whether every stack type able to meet the
+// bandwidth target is itself export-controlled as a commodity package —
+// the December 2024 rule's chokepoint on compliant-device supply chains: a
+// device maker in a sanctioned country can legally buy only stacks below
+// the density line, capping the memory bandwidth its designs can reach.
+func SupplyControlled(bandwidthGBs, capacityGB float64) (bool, error) {
+	plan, err := PlanFor(bandwidthGBs, capacityGB)
+	if err != nil {
+		return false, err
+	}
+	// Re-plan restricted to uncontrolled stacks.
+	best := math.Inf(1)
+	for _, st := range Catalog() {
+		cls := policy.Dec2024HBM(policy.HBMPackage{
+			BandwidthGBs: st.BandwidthGBs, PackageAreaMM2: st.PackageAreaMM2})
+		if cls == policy.LicenseRequired {
+			continue
+		}
+		n := int(math.Ceil(math.Max(bandwidthGBs/st.BandwidthGBs,
+			capacityGB/st.CapacityGB)))
+		if float64(n)*st.BeachfrontMM > MaxBeachfrontMM {
+			continue
+		}
+		if c := float64(n) * st.CostUSD; c < best {
+			best = c
+		}
+	}
+	_ = plan
+	return math.IsInf(best, 1), nil
+}
+
+// MaxUncontrolledBandwidthGBs returns the highest aggregate bandwidth
+// reachable using only stacks that escape the HBM rule (or qualify for the
+// license exception), within the beachfront limit.
+func MaxUncontrolledBandwidthGBs(allowException bool) float64 {
+	var best float64
+	for _, st := range Catalog() {
+		cls := policy.Dec2024HBM(policy.HBMPackage{
+			BandwidthGBs: st.BandwidthGBs, PackageAreaMM2: st.PackageAreaMM2})
+		ok := cls == policy.NotApplicable || (allowException && cls == policy.NACEligible)
+		if !ok {
+			continue
+		}
+		n := math.Floor(MaxBeachfrontMM / st.BeachfrontMM)
+		if bw := n * st.BandwidthGBs; bw > best {
+			best = bw
+		}
+	}
+	return best
+}

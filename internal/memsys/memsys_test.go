@@ -1,0 +1,131 @@
+package memsys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+)
+
+func TestPlanForA100ClassTarget(t *testing.T) {
+	// 2 TB/s and 80 GB: five HBM2e stacks (2300 GB/s, 80 GB) is the
+	// A100-class answer.
+	p, err := PlanFor(2000, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BandwidthGBs < 2000 || p.CapacityGB < 80 {
+		t.Errorf("plan misses targets: %+v", p)
+	}
+	if p.BeachfrontMM > MaxBeachfrontMM {
+		t.Errorf("plan exceeds beachfront: %+v", p)
+	}
+	if p.Stacks < 2 {
+		t.Errorf("2 TB/s needs multiple stacks, got %d", p.Stacks)
+	}
+}
+
+func TestPlanPicksCheapest(t *testing.T) {
+	// A modest target is served by the cheapest generation that fits.
+	p, err := PlanFor(250, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stack.Name != "HBM2" || p.Stacks != 1 {
+		t.Errorf("250 GB/s / 8 GB should be one HBM2 stack, got %d× %s",
+			p.Stacks, p.Stack.Name)
+	}
+	// Just above one HBM2 stack, a single pricier HBM2e beats two HBM2s.
+	p, err = PlanFor(300, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stack.Name != "HBM2e" || p.Stacks != 1 {
+		t.Errorf("300 GB/s should be one HBM2e stack ($120 < 2×$80), got %d× %s",
+			p.Stacks, p.Stack.Name)
+	}
+}
+
+func TestPlanForInfeasibleTargets(t *testing.T) {
+	// 20 TB/s exceeds what any generation fits within the beachfront.
+	if _, err := PlanFor(20000, 80); err == nil {
+		t.Error("20 TB/s should be unplannable")
+	}
+	if _, err := PlanFor(0, 80); err == nil {
+		t.Error("zero bandwidth should error")
+	}
+	if _, err := PlanFor(100, -1); err == nil {
+		t.Error("negative capacity should error")
+	}
+}
+
+func TestPlansAlwaysMeetTargetsProperty(t *testing.T) {
+	f := func(bwU, capU uint8) bool {
+		bw := float64(bwU)*30 + 100  // [100, 7750] GB/s
+		capGB := float64(capU)/4 + 4 // [4, 68] GB
+		p, err := PlanFor(bw, capGB)
+		if err != nil {
+			return true // infeasible targets are allowed to fail
+		}
+		return p.BandwidthGBs >= bw && p.CapacityGB >= capGB &&
+			p.BeachfrontMM <= MaxBeachfrontMM && p.Stacks >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCatalogClassifications(t *testing.T) {
+	// HBM2 sits in the exception band (2.78 GB/s/mm²); everything newer is
+	// controlled outright.
+	classes := map[string]policy.Classification{}
+	for _, st := range Catalog() {
+		classes[st.Name] = policy.Dec2024HBM(policy.HBMPackage{
+			BandwidthGBs: st.BandwidthGBs, PackageAreaMM2: st.PackageAreaMM2})
+	}
+	if classes["HBM2"] != policy.NACEligible {
+		t.Errorf("HBM2 = %v, want NAC Eligible (density 3.3 band)", classes["HBM2"])
+	}
+	for _, gen := range []string{"HBM2e", "HBM3", "HBM3e"} {
+		if classes[gen] != policy.LicenseRequired {
+			t.Errorf("%s = %v, want License Required", gen, classes[gen])
+		}
+	}
+}
+
+func TestSupplyControlledChokepoint(t *testing.T) {
+	// 2 TB/s at 80 GB cannot be reached with uncontrolled-or-exception
+	// stacks only... unless HBM2's exception band suffices within the
+	// beachfront: 10 stacks × 307 = 3070 GB/s — it can. But a 4 TB/s
+	// target cannot.
+	controlled, err := SupplyControlled(4000, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !controlled {
+		t.Error("4 TB/s should require controlled HBM generations")
+	}
+	controlled, err = SupplyControlled(600, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if controlled {
+		t.Error("600 GB/s is reachable with exception-band HBM2")
+	}
+}
+
+func TestMaxUncontrolledBandwidth(t *testing.T) {
+	strict := MaxUncontrolledBandwidthGBs(false)
+	withException := MaxUncontrolledBandwidthGBs(true)
+	if strict != 0 {
+		t.Errorf("no catalogued stack escapes outright (all ≥ 2 GB/s/mm²): %v", strict)
+	}
+	// Exception band: HBM2 at 10 stacks (55 mm beachfront) = 2560 GB/s.
+	if math.Abs(withException-2560) > 1 {
+		t.Errorf("exception-band ceiling = %v, want 2560", withException)
+	}
+	if withException <= strict {
+		t.Error("the exception must expand the reachable bandwidth")
+	}
+}

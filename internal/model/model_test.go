@@ -1,0 +1,259 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+func TestTable2Architectures(t *testing.T) {
+	gpt := GPT3_175B()
+	if gpt.Layers != 96 || gpt.Dim != 12288 || gpt.FFNDim != 49152 ||
+		gpt.Heads != 96 || gpt.KVHeads != 96 || gpt.Act != GELU {
+		t.Errorf("GPT-3 does not match Table 2: %+v", gpt)
+	}
+	ll := Llama3_8B()
+	if ll.Layers != 32 || ll.Dim != 4096 || ll.FFNDim != 14336 ||
+		ll.Heads != 32 || ll.KVHeads != 8 || ll.Act != SwiGLU {
+		t.Errorf("Llama 3 8B does not match Table 2: %+v", ll)
+	}
+	for _, m := range []Model{gpt, ll} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s should validate: %v", m.Name, err)
+		}
+	}
+}
+
+func TestParamCountsMatchModelNames(t *testing.T) {
+	// The layer stacks should account for the bulk of each model's
+	// advertised parameter count (embeddings excluded).
+	if p := GPT3_175B().Params(); p < 165e9 || p > 180e9 {
+		t.Errorf("GPT-3 layer params = %.1fB, want ≈ 174B", p/1e9)
+	}
+	if p := Llama3_8B().Params(); p < 6.5e9 || p > 8e9 {
+		t.Errorf("Llama 3 layer params = %.2fB, want ≈ 7B", p/1e9)
+	}
+}
+
+func TestGQAShrinksKVCache(t *testing.T) {
+	gpt := GPT3_175B()
+	ll := Llama3_8B()
+	// Same batch/context: Llama's 8-of-32 KV heads cut the per-layer cache
+	// 4× versus an MHA model of the same dim would have.
+	got := ll.KVCacheBytesPerLayer(32, 3072)
+	mha := ll
+	mha.KVHeads = mha.Heads
+	if r := mha.KVCacheBytesPerLayer(32, 3072) / got; math.Abs(r-4) > 1e-9 {
+		t.Errorf("GQA should shrink KV cache 4×, got %.2f×", r)
+	}
+	// GPT-3 has no GQA: KV dim equals model dim.
+	if gpt.KVDim() != gpt.Dim {
+		t.Errorf("GPT-3 KVDim = %d, want %d", gpt.KVDim(), gpt.Dim)
+	}
+	if ll.HeadDim() != 128 || gpt.HeadDim() != 128 {
+		t.Errorf("both models have 128-dim heads, got %d and %d", ll.HeadDim(), gpt.HeadDim())
+	}
+}
+
+func TestValidateRejectsBrokenModels(t *testing.T) {
+	broken := []Model{
+		{Name: "zero", Layers: 0, Dim: 128, FFNDim: 512, Heads: 4, KVHeads: 4},
+		{Name: "indivisible-heads", Layers: 1, Dim: 100, FFNDim: 400, Heads: 3, KVHeads: 3},
+		{Name: "indivisible-kv", Layers: 1, Dim: 128, FFNDim: 512, Heads: 4, KVHeads: 3},
+	}
+	for _, m := range broken {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.Name)
+		}
+	}
+}
+
+func TestPaperWorkload(t *testing.T) {
+	w := PaperWorkload(GPT3_175B())
+	if w.Batch != 32 || w.InputLen != 2048 || w.OutputLen != 1024 || w.TensorParallel != 4 {
+		t.Errorf("paper workload wrong: %+v", w)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.DecodeContext() != 3072 {
+		t.Errorf("DecodeContext = %d, want 3072", w.DecodeContext())
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := PaperWorkload(GPT3_175B())
+	w.Batch = 0
+	if err := w.Validate(); err == nil {
+		t.Error("zero batch should be rejected")
+	}
+	w = PaperWorkload(GPT3_175B())
+	w.TensorParallel = 0
+	if err := w.Validate(); err == nil {
+		t.Error("zero TP should be rejected")
+	}
+	w = PaperWorkload(GPT3_175B())
+	w.TensorParallel = 7
+	if err := w.Validate(); err == nil {
+		t.Error("TP that does not divide heads should be rejected")
+	}
+}
+
+// opFLOPs sums the FLOPs of every op in a lowered phase.
+func opFLOPs(ops []perf.Op) float64 {
+	var sum float64
+	for _, op := range ops {
+		switch o := op.(type) {
+		case perf.Matmul:
+			sum += o.FLOPs()
+		case perf.Vector:
+			sum += o.FLOPs()
+		}
+	}
+	return sum
+}
+
+func TestPrefillFLOPsMatchAnalyticCount(t *testing.T) {
+	// Matmul FLOPs of a prefill layer should closely match the standard
+	// analytic count: 2·tokens·(params + attention terms)/TP.
+	w := PaperWorkload(GPT3_175B())
+	ops := w.PrefillOps()
+	var matmul float64
+	for _, op := range ops {
+		if m, ok := op.(perf.Matmul); ok {
+			matmul += m.FLOPs()
+		}
+	}
+	tokens := float64(w.Batch * w.InputLen)
+	tp := float64(w.TensorParallel)
+	weightFLOPs := 2 * tokens * w.Model.ParamsPerLayer() / tp
+	attnFLOPs := 2 * 2 * float64(w.Batch) * float64(w.Model.Heads) / tp *
+		float64(w.InputLen) * float64(w.InputLen) * float64(w.Model.HeadDim())
+	want := weightFLOPs + attnFLOPs
+	if math.Abs(matmul-want) > want*0.01 {
+		t.Errorf("prefill matmul FLOPs = %.3e, want ≈ %.3e", matmul, want)
+	}
+}
+
+func TestDecodeMovesKVCacheOnce(t *testing.T) {
+	// The decode attention matmuls must stream exactly the per-device KV
+	// cache: B panels across the score and context ops equal the K and V
+	// cache shards.
+	w := PaperWorkload(Llama3_8B())
+	var panelBytes float64
+	for _, op := range w.DecodeOps() {
+		if m, ok := op.(perf.Matmul); ok && strings.HasPrefix(m.Name, "attn-") {
+			panelBytes += 2 * float64(m.Batch) * float64(m.K) * float64(m.N)
+		}
+	}
+	kvPerDevice := w.Model.KVCacheBytesPerLayer(w.Batch, w.DecodeContext()) /
+		float64(w.TensorParallel)
+	if math.Abs(panelBytes-kvPerDevice) > kvPerDevice*0.01 {
+		t.Errorf("decode KV panel bytes = %.1f MB, want ≈ %.1f MB",
+			panelBytes/1e6, kvPerDevice/1e6)
+	}
+}
+
+func TestActivationSelectsFFNShape(t *testing.T) {
+	gelu := PaperWorkload(GPT3_175B())
+	swi := PaperWorkload(Llama3_8B())
+	countMatmuls := func(ops []perf.Op, prefix string) int {
+		n := 0
+		for _, op := range ops {
+			if m, ok := op.(perf.Matmul); ok && strings.HasPrefix(m.Name, prefix) {
+				n++
+			}
+		}
+		return n
+	}
+	if n := countMatmuls(gelu.PrefillOps(), "ffn-"); n != 2 {
+		t.Errorf("GELU FFN should have 2 matmuls, got %d", n)
+	}
+	if n := countMatmuls(swi.PrefillOps(), "ffn-"); n != 3 {
+		t.Errorf("SwiGLU FFN should have 3 matmuls (gate/up/down), got %d", n)
+	}
+}
+
+func TestShardingConservesWork(t *testing.T) {
+	// Total matmul FLOPs across the TP group must be TP-independent.
+	w1 := PaperWorkload(GPT3_175B())
+	w1.TensorParallel = 1
+	w4 := PaperWorkload(GPT3_175B())
+	f1 := opFLOPs(w1.PrefillOps())
+	f4 := opFLOPs(w4.PrefillOps()) * 4
+	// Vector ops on unsharded activations (LayerNorm, residual) replicate
+	// across devices, so allow their small excess.
+	if f4 < f1 || f4 > f1*1.05 {
+		t.Errorf("TP sharding should conserve work: TP1 %.3e vs TP4×4 %.3e", f1, f4)
+	}
+}
+
+func TestDecodeOpsUseSteadyStateContext(t *testing.T) {
+	w := PaperWorkload(GPT3_175B())
+	found := false
+	for _, op := range w.DecodeOps() {
+		if m, ok := op.(perf.Matmul); ok && m.Name == "attn-score" {
+			found = true
+			if m.N != w.DecodeContext() {
+				t.Errorf("decode score N = %d, want context %d", m.N, w.DecodeContext())
+			}
+			if m.M != 1 {
+				t.Errorf("GPT-3 decode score M = %d, want 1 (no GQA folding)", m.M)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("decode ops missing attn-score")
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	if GELU.String() != "GELU" || SwiGLU.String() != "SwiGLU" {
+		t.Error("activation names wrong")
+	}
+	if !strings.Contains(Activation(9).String(), "9") {
+		t.Error("unknown activation should print its value")
+	}
+}
+
+func TestWeightQuantizationValidation(t *testing.T) {
+	w := PaperWorkload(GPT3_175B())
+	for _, bits := range []int{0, 8, 16} {
+		w.WeightBits = bits
+		if err := w.Validate(); err != nil {
+			t.Errorf("weight bits %d should validate: %v", bits, err)
+		}
+	}
+	w.WeightBits = 4
+	if err := w.Validate(); err == nil {
+		t.Error("4-bit weights are not modeled and should be rejected")
+	}
+}
+
+func TestWeightQuantizationShrinksWeightMatmuls(t *testing.T) {
+	fp16 := PaperWorkload(GPT3_175B())
+	fp8 := fp16
+	fp8.WeightBits = 8
+	pick := func(ops []perf.Op, name string) perf.Matmul {
+		for _, op := range ops {
+			if m, ok := op.(perf.Matmul); ok && m.Name == name {
+				return m
+			}
+		}
+		t.Fatalf("missing op %s", name)
+		return perf.Matmul{}
+	}
+	// Weight matmuls carry the narrower B operand...
+	if got := pick(fp8.DecodeOps(), "ffn-up").BBytesPerElem; got != 1 {
+		t.Errorf("fp8 ffn-up B width = %d, want 1", got)
+	}
+	if got := pick(fp16.DecodeOps(), "ffn-up").BBytesPerElem; got != 2 {
+		t.Errorf("fp16 ffn-up B width = %d, want 2", got)
+	}
+	// ...while attention matmuls stream the FP16 KV cache unchanged.
+	if got := pick(fp8.DecodeOps(), "attn-score").BBytesPerElem; got != 0 {
+		t.Errorf("fp8 attn-score should keep the FP16 default, got %d", got)
+	}
+}

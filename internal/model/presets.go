@@ -1,0 +1,38 @@
+package model
+
+// Additional decoder-only presets beyond the paper's two Table 2 workloads,
+// for sweeps over the broader model family the paper's introduction cites
+// (LLaMA, GPT-3, PaLM). All follow public architecture cards.
+
+// GPT3_13B returns the 13-billion-parameter GPT-3 configuration.
+func GPT3_13B() Model {
+	return Model{Name: "GPT-3 13B", Layers: 40, Dim: 5120, FFNDim: 20480,
+		Heads: 40, KVHeads: 40, Act: GELU}
+}
+
+// Llama2_70B returns the Llama 2 70B configuration: grouped-query attention
+// with 8 KV heads and SwiGLU, the class of model that made GQA standard.
+func Llama2_70B() Model {
+	return Model{Name: "Llama 2 70B", Layers: 80, Dim: 8192, FFNDim: 28672,
+		Heads: 64, KVHeads: 8, Act: SwiGLU}
+}
+
+// Llama3_70B returns the Llama 3 70B configuration.
+func Llama3_70B() Model {
+	return Model{Name: "Llama 3 70B", Layers: 80, Dim: 8192, FFNDim: 28672,
+		Heads: 64, KVHeads: 8, Act: SwiGLU}
+}
+
+// PaLM540BStyle returns a PaLM-540B-style configuration with multi-query
+// attention (one KV head, the extreme of the KV-sharing spectrum) and the
+// SwiGLU feed-forward PaLM introduced at scale.
+func PaLM540BStyle() Model {
+	return Model{Name: "PaLM-540B-style", Layers: 118, Dim: 18432, FFNDim: 73728,
+		Heads: 48, KVHeads: 1, Act: SwiGLU}
+}
+
+// Catalog returns every built-in model, paper workloads first.
+func Catalog() []Model {
+	return []Model{GPT3_175B(), Llama3_8B(), GPT3_13B(), Llama2_70B(),
+		Llama3_70B(), PaLM540BStyle()}
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/perf"
+)
+
+func TestCatalogAllValid(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 6 {
+		t.Fatalf("catalog has %d models, want ≥ 6", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, m := range cat {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", m.Name, err)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate model %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}
+
+func TestPresetParamCounts(t *testing.T) {
+	cases := []struct {
+		m        Model
+		min, max float64 // billions
+	}{
+		{GPT3_13B(), 11, 14},
+		{Llama2_70B(), 62, 72},
+		{Llama3_70B(), 62, 72},
+		{PaLM540BStyle(), 480, 580},
+	}
+	for _, c := range cases {
+		if p := c.m.Params() / 1e9; p < c.min || p > c.max {
+			t.Errorf("%s params = %.1fB, want within [%g, %g]B", c.m.Name, p, c.min, c.max)
+		}
+	}
+}
+
+func TestMQAExtremeKVSharing(t *testing.T) {
+	palm := PaLM540BStyle()
+	// Multi-query attention: one KV head → the per-layer KV cache shrinks
+	// by Heads× relative to an MHA twin.
+	mha := palm
+	mha.KVHeads = mha.Heads
+	ratio := mha.KVCacheBytesPerLayer(32, 3072) / palm.KVCacheBytesPerLayer(32, 3072)
+	if ratio != float64(palm.Heads) {
+		t.Errorf("MQA KV-cache saving = %.0f×, want %d×", ratio, palm.Heads)
+	}
+}
+
+func TestPresetsLowerAndSimulate(t *testing.T) {
+	// Every preset must lower into operators that simulate cleanly on the
+	// A100 with a TP degree dividing its heads.
+	e := perf.Default()
+	for _, m := range Catalog() {
+		w := PaperWorkload(m)
+		if m.Heads%w.TensorParallel != 0 {
+			w.TensorParallel = 1
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s workload: %v", m.Name, err)
+		}
+		for _, op := range append(w.PrefillOps(), w.DecodeOps()...) {
+			if _, err := e.Simulate(arch.A100(), w.TensorParallel, op); err != nil {
+				t.Errorf("%s op %s: %v", m.Name, op.OpName(), err)
+			}
+		}
+	}
+}
+
+func TestBiggerModelsAreSlower(t *testing.T) {
+	// Weight streaming dominates decoding, so per-layer decode bytes (and
+	// a fortiori full-model TBT) must order with parameter count per layer.
+	small := PaperWorkload(GPT3_13B())
+	big := PaperWorkload(GPT3_175B())
+	if small.Model.ParamsPerLayer() >= big.Model.ParamsPerLayer() {
+		t.Fatal("13B layer should be smaller than 175B layer")
+	}
+}

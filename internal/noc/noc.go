@@ -1,0 +1,160 @@
+// Package noc models the on-chip network connecting cores to the banked
+// global buffer (L2) in the LLMCompass hardware template. The rest of the
+// library abstracts this as a single L2 bandwidth figure scaled with
+// compute; this package derives that figure from first principles for
+// concrete topologies — crossbar, 2D mesh, ring — so the abstraction can be
+// sanity-checked and the design space extended with interconnect choices
+// (the paper's template fixes the topology; the ablation here shows when
+// that fixing matters).
+package noc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Topology identifies an on-chip interconnect structure.
+type Topology int
+
+const (
+	// Crossbar is a full crossbar between cores and L2 banks.
+	Crossbar Topology = iota
+	// Mesh2D is a √n×√n mesh with L2 banks distributed per tile.
+	Mesh2D
+	// Ring is a single bidirectional ring.
+	Ring
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case Crossbar:
+		return "crossbar"
+	case Mesh2D:
+		return "2D mesh"
+	case Ring:
+		return "ring"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Network describes one instantiation.
+type Network struct {
+	Topology Topology
+	// Nodes is the number of core stops (≥ 1).
+	Nodes int
+	// LinkBytesPerCycle is one link's width.
+	LinkBytesPerCycle int
+	// ClockGHz is the NoC clock.
+	ClockGHz float64
+	// HopLatencyCycles is the per-router traversal latency.
+	HopLatencyCycles int
+}
+
+// Validate checks the network is well-formed.
+func (n Network) Validate() error {
+	if n.Nodes < 1 || n.LinkBytesPerCycle <= 0 || n.ClockGHz <= 0 || n.HopLatencyCycles < 0 {
+		return errors.New("noc: invalid network parameters")
+	}
+	return nil
+}
+
+// BisectionBandwidthGBs returns the bandwidth across the network's
+// bisection — the ceiling on all-to-all (uniform random) traffic between
+// cores and distributed L2 banks.
+func (n Network) BisectionBandwidthGBs() (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	linkGBs := float64(n.LinkBytesPerCycle) * n.ClockGHz
+	switch n.Topology {
+	case Crossbar:
+		// Every node can cross simultaneously.
+		return float64(n.Nodes) * linkGBs, nil
+	case Mesh2D:
+		// √n links cross the bisection, two directions each.
+		side := math.Sqrt(float64(n.Nodes))
+		return 2 * math.Floor(side) * linkGBs, nil
+	case Ring:
+		// Two links cross, two directions each.
+		return 4 * linkGBs, nil
+	default:
+		return 0, fmt.Errorf("noc: unknown topology %d", int(n.Topology))
+	}
+}
+
+// UniformThroughputGBs returns the sustainable aggregate throughput under
+// uniform random core↔bank traffic: each byte crosses the bisection with
+// probability 1/2, so throughput caps at twice the bisection bandwidth
+// (and at the injection limit of the nodes).
+func (n Network) UniformThroughputGBs() (float64, error) {
+	bisect, err := n.BisectionBandwidthGBs()
+	if err != nil {
+		return 0, err
+	}
+	inject := float64(n.Nodes) * float64(n.LinkBytesPerCycle) * n.ClockGHz
+	return math.Min(2*bisect, inject), nil
+}
+
+// AverageHops returns the mean routing distance under uniform traffic.
+func (n Network) AverageHops() (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	nodes := float64(n.Nodes)
+	switch n.Topology {
+	case Crossbar:
+		return 1, nil
+	case Mesh2D:
+		side := math.Sqrt(nodes)
+		return 2.0 / 3.0 * side, nil // 2 × (side/3) per dimension
+	case Ring:
+		return nodes / 4, nil
+	default:
+		return 0, fmt.Errorf("noc: unknown topology %d", int(n.Topology))
+	}
+}
+
+// AverageLatencyNs returns the unloaded mean core→bank latency.
+func (n Network) AverageLatencyNs() (float64, error) {
+	hops, err := n.AverageHops()
+	if err != nil {
+		return 0, err
+	}
+	cyc := hops * float64(n.HopLatencyCycles)
+	return cyc / n.ClockGHz, nil
+}
+
+// AreaMM2 estimates the NoC's silicon cost: routers scale with radix, and
+// the crossbar's wiring grows quadratically — the reason big devices use
+// meshes even though crossbars win on bandwidth and latency.
+func (n Network) AreaMM2() (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	const routerMM2PerPort = 0.02
+	nodes := float64(n.Nodes)
+	w := float64(n.LinkBytesPerCycle) / 32 // normalised link width
+	switch n.Topology {
+	case Crossbar:
+		return routerMM2PerPort * nodes * nodes * w / 8, nil
+	case Mesh2D:
+		return routerMM2PerPort * 5 * nodes * w, nil // 5-port routers
+	case Ring:
+		return routerMM2PerPort * 3 * nodes * w, nil
+	default:
+		return 0, fmt.Errorf("noc: unknown topology %d", int(n.Topology))
+	}
+}
+
+// SupportsL2Bandwidth reports whether the network can carry the modeled
+// global-buffer bandwidth of a device with the given demand in GB/s.
+func (n Network) SupportsL2Bandwidth(demandGBs float64) (bool, error) {
+	tp, err := n.UniformThroughputGBs()
+	if err != nil {
+		return false, err
+	}
+	return tp >= demandGBs, nil
+}

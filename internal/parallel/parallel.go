@@ -1,0 +1,168 @@
+// Package parallel compares the two standard ways of spreading a
+// Transformer across a device group — tensor parallelism (each layer
+// sharded across all devices, two all-reduces per layer) and pipeline
+// parallelism (contiguous layer stages, point-to-point activations between
+// stages). The October 2022 rule caps exactly the resource that separates
+// them: aggregate device-device bandwidth. Tensor parallelism leans on the
+// interconnect every layer; pipeline parallelism crosses it once per stage
+// boundary, so bandwidth-capped export devices (A800-class, 400 GB/s; PCIe
+// consumer parts, 32 GB/s) shift the optimal mapping — an architectural
+// response to the sanction that this package quantifies.
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Mapping identifies a parallelisation strategy.
+type Mapping int
+
+const (
+	// TensorParallel shards every layer over all devices.
+	TensorParallel Mapping = iota
+	// PipelineParallel assigns contiguous layer ranges to devices.
+	PipelineParallel
+)
+
+// String names the mapping.
+func (m Mapping) String() string {
+	if m == TensorParallel {
+		return "tensor parallel"
+	}
+	return "pipeline parallel"
+}
+
+// Plan is one evaluated mapping of a model onto a device group.
+type Plan struct {
+	Mapping Mapping
+	Devices int
+	// Microbatches is the prefill pipeline depth (pipeline mapping only).
+	Microbatches int
+	// TTFTSeconds and TBTSeconds are full-model latencies.
+	TTFTSeconds float64
+	TBTSeconds  float64
+	// CommSeconds is the per-token (decode) interconnect time, for
+	// diagnosing bandwidth sensitivity.
+	CommSeconds float64
+}
+
+// Evaluate computes full-model latencies for the mapping on n devices.
+//
+// Tensor parallel reuses the per-layer simulator directly (TP = n).
+// Pipeline parallel simulates one unsharded layer per device (TP = 1),
+// stages layers/n of them per device, and adds the pipeline structure:
+// prefill fills the pipe with m microbatches,
+//
+//	TTFT ≈ (layers/n)·t_layer·(m + n − 1)/m + (n−1)·t_xfer,
+//
+// while decoding is inherently sequential across stages,
+//
+//	TBT = layers·t_decode_layer + (n−1)·t_xfer.
+func Evaluate(cfg arch.Config, m model.Model, mapping Mapping, n, microbatches int) (Plan, error) {
+	if n < 1 {
+		return Plan{}, fmt.Errorf("parallel: need ≥ 1 device, got %d", n)
+	}
+	if m.Layers%n != 0 && mapping == PipelineParallel {
+		return Plan{}, fmt.Errorf("parallel: %d layers not divisible into %d stages", m.Layers, n)
+	}
+	s := sim.New()
+	switch mapping {
+	case TensorParallel:
+		w := model.PaperWorkload(m)
+		w.TensorParallel = n
+		r, err := s.Simulate(cfg, w)
+		if err != nil {
+			return Plan{}, err
+		}
+		var comm float64
+		for _, op := range r.DecodeOps {
+			comm += op.CommSeconds
+		}
+		return Plan{
+			Mapping:     TensorParallel,
+			Devices:     n,
+			TTFTSeconds: r.FullModelTTFTSeconds(),
+			TBTSeconds:  r.FullModelTBTSeconds(),
+			CommSeconds: comm * float64(m.Layers),
+		}, nil
+
+	case PipelineParallel:
+		if microbatches < 1 {
+			return Plan{}, fmt.Errorf("parallel: need ≥ 1 microbatch, got %d", microbatches)
+		}
+		w := model.PaperWorkload(m)
+		w.TensorParallel = 1
+		if w.Batch%microbatches != 0 {
+			return Plan{}, fmt.Errorf("parallel: batch %d not divisible into %d microbatches",
+				w.Batch, microbatches)
+		}
+		// Prefill runs the pipeline on real microbatches: each stage
+		// processes Batch/m sequences at a time, paying the genuine
+		// small-batch utilisation loss rather than an idealised 1/m.
+		wMicro := w
+		wMicro.Batch = w.Batch / microbatches
+		rMicro, err := s.Simulate(cfg, wMicro)
+		if err != nil {
+			return Plan{}, err
+		}
+		// Decoding keeps the full batch resident (one token per step flows
+		// through the stages sequentially).
+		r, err := s.Simulate(cfg, w)
+		if err != nil {
+			return Plan{}, err
+		}
+		layers := float64(m.Layers)
+		stages := float64(n)
+		mb := float64(microbatches)
+
+		// Per-stage-boundary activation transfer: the microbatch's hidden
+		// state, over one direction of the link.
+		prefillXfer := transferSec(cfg, float64(wMicro.Batch*w.InputLen)*float64(m.Dim)*2)
+		decodeXfer := transferSec(cfg, float64(w.Batch)*float64(m.Dim)*2)
+
+		stagePerMicrobatch := layers / stages * rMicro.TTFTSeconds
+		ttft := stagePerMicrobatch*(mb+stages-1) + (stages-1)*prefillXfer
+		tbt := layers*r.TBTSeconds + (stages-1)*decodeXfer
+		return Plan{
+			Mapping:      PipelineParallel,
+			Devices:      n,
+			Microbatches: microbatches,
+			TTFTSeconds:  ttft,
+			TBTSeconds:   tbt,
+			CommSeconds:  (stages - 1) * decodeXfer,
+		}, nil
+
+	default:
+		return Plan{}, fmt.Errorf("parallel: unknown mapping %d", int(mapping))
+	}
+}
+
+// transferSec is a point-to-point activation transfer over one direction of
+// the device link, plus a fixed hop latency.
+func transferSec(cfg arch.Config, bytes float64) float64 {
+	const hopLatency = 2e-6
+	perDirection := cfg.DeviceBWGBs * 1e9 / 2
+	if perDirection <= 0 {
+		return hopLatency
+	}
+	return bytes/perDirection + hopLatency
+}
+
+// Best returns the lower-TTFT plan between tensor and pipeline mappings for
+// the given group size, with the pipeline depth fixed at the batch size
+// (one sequence per microbatch slot is the natural upper bound).
+func Best(cfg arch.Config, m model.Model, n int) (Plan, Plan, error) {
+	tp, err := Evaluate(cfg, m, TensorParallel, n, 0)
+	if err != nil {
+		return Plan{}, Plan{}, err
+	}
+	pp, err := Evaluate(cfg, m, PipelineParallel, n, model.PaperWorkload(m).Batch)
+	if err != nil {
+		return Plan{}, Plan{}, err
+	}
+	return tp, pp, nil
+}

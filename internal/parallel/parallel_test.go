@@ -1,0 +1,158 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+func TestTensorParallelMatchesSimulator(t *testing.T) {
+	p, err := Evaluate(arch.A100(), model.GPT3_175B(), TensorParallel, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-model GPT-3 on 4 A100s: 96 × ~240 ms prefill ≈ 23 s,
+	// 96 × ~1.4 ms decode ≈ 136 ms.
+	if p.TTFTSeconds < 15 || p.TTFTSeconds > 35 {
+		t.Errorf("TP4 full-model TTFT = %.1f s, want ≈ 23 s", p.TTFTSeconds)
+	}
+	if p.TBTSeconds < 0.08 || p.TBTSeconds > 0.25 {
+		t.Errorf("TP4 full-model TBT = %.0f ms, want ≈ 136 ms", p.TBTSeconds*1e3)
+	}
+	if p.CommSeconds <= 0 {
+		t.Error("tensor parallel must spend interconnect time")
+	}
+}
+
+func TestPipelineDecodeIsSequential(t *testing.T) {
+	cfg := arch.A100()
+	m := model.GPT3_175B()
+	tp, pp, err := Best(cfg, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoding cannot be accelerated by pipelining: per-token latency is
+	// the whole unsharded model plus hops, roughly 4× the TP figure.
+	if pp.TBTSeconds < 2.5*tp.TBTSeconds {
+		t.Errorf("PP TBT (%.0f ms) should be ≫ TP TBT (%.0f ms)",
+			pp.TBTSeconds*1e3, tp.TBTSeconds*1e3)
+	}
+	// With deep microbatching, prefill pipelines well: within ~2× of TP.
+	if pp.TTFTSeconds > 2*tp.TTFTSeconds {
+		t.Errorf("PP TTFT (%.1f s) should be within 2× of TP (%.1f s)",
+			pp.TTFTSeconds, tp.TTFTSeconds)
+	}
+}
+
+// TestBandwidthCapShiftsTheMapping is the package's reason to exist: on an
+// NVLink-class link, tensor parallelism wins prefill outright, but on a
+// PCIe-class (32 GB/s) consumer link — the interconnect the sanctions and
+// market segmentation leave available — the all-reduce bill makes pipeline
+// parallelism competitive or better.
+func TestBandwidthCapShiftsTheMapping(t *testing.T) {
+	m := model.GPT3_175B()
+	nvlink := arch.A100()
+	tpFast, ppFast, err := Best(nvlink, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On NVLink the two mappings trade a ~7% all-reduce bill against a
+	// ~9% pipeline bubble: they must land within 15% of each other.
+	if r := ppFast.TTFTSeconds / tpFast.TTFTSeconds; r < 0.85 || r > 1.15 {
+		t.Errorf("at 600 GB/s TP and PP should be comparable: TP %.2f s vs PP %.2f s",
+			tpFast.TTFTSeconds, ppFast.TTFTSeconds)
+	}
+
+	pcie := arch.A100().WithDeviceBW(32)
+	tpSlow, ppSlow, err := Best(pcie, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a PCIe-class link the all-reduce bill explodes while the pipeline
+	// hops stay cheap: PP must win prefill decisively.
+	if ppSlow.TTFTSeconds >= tpSlow.TTFTSeconds*0.8 {
+		t.Errorf("at 32 GB/s PP should win prefill decisively: TP %.2f s vs PP %.2f s",
+			tpSlow.TTFTSeconds, ppSlow.TTFTSeconds)
+	}
+	if tpSlow.TTFTSeconds < tpFast.TTFTSeconds*1.5 {
+		t.Errorf("capping the link should blow TP prefill up ≥ 1.5×: %.2f → %.2f s",
+			tpFast.TTFTSeconds, tpSlow.TTFTSeconds)
+	}
+	if ppSlow.TTFTSeconds > ppFast.TTFTSeconds*1.1 {
+		t.Errorf("PP prefill should barely notice the cap: %.2f → %.2f s",
+			ppFast.TTFTSeconds, ppSlow.TTFTSeconds)
+	}
+	// And the mechanism: TP's decode comm collapses with the link.
+	if tpSlow.CommSeconds <= tpFast.CommSeconds {
+		t.Error("capping the link must inflate TP communication time")
+	}
+	if ppSlow.CommSeconds >= tpSlow.CommSeconds {
+		t.Error("PP should spend less interconnect time than TP on a slow link")
+	}
+}
+
+func TestMicrobatchDepthAmortisesFill(t *testing.T) {
+	cfg := arch.A100()
+	m := model.Llama3_8B()
+	shallow, err := Evaluate(cfg, m, PipelineParallel, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Evaluate(cfg, m, PipelineParallel, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.TTFTSeconds >= shallow.TTFTSeconds {
+		t.Errorf("deeper microbatching should cut pipeline-fill overhead: %.2f vs %.2f s",
+			deep.TTFTSeconds, shallow.TTFTSeconds)
+	}
+	// m=1: the pipe never overlaps; TTFT ≈ stages × stage time = the
+	// whole model sequentially.
+	if shallow.TTFTSeconds < deep.TTFTSeconds*1.5 {
+		t.Error("single-microbatch pipeline should pay nearly the full serial time")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	cfg := arch.A100()
+	m := model.GPT3_175B()
+	if _, err := Evaluate(cfg, m, TensorParallel, 0, 0); err == nil {
+		t.Error("zero devices should error")
+	}
+	if _, err := Evaluate(cfg, m, PipelineParallel, 4, 0); err == nil {
+		t.Error("zero microbatches should error")
+	}
+	if _, err := Evaluate(cfg, m, PipelineParallel, 7, 4); err == nil {
+		t.Error("non-divisible stage count should error")
+	}
+	if _, err := Evaluate(cfg, m, Mapping(9), 4, 4); err == nil {
+		t.Error("unknown mapping should error")
+	}
+}
+
+func TestMappingStrings(t *testing.T) {
+	if TensorParallel.String() != "tensor parallel" || PipelineParallel.String() != "pipeline parallel" {
+		t.Error("mapping names changed")
+	}
+}
+
+func TestSingleDeviceDegenerates(t *testing.T) {
+	m := model.Llama3_8B()
+	tp, err := Evaluate(arch.A100(), m, TensorParallel, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Evaluate(arch.A100(), m, PipelineParallel, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.CommSeconds != 0 || pp.CommSeconds != 0 {
+		t.Error("single device has no interconnect time")
+	}
+	// One stage, any microbatching: PP degenerates to the serial model.
+	rel := pp.TTFTSeconds / tp.TTFTSeconds
+	if rel < 0.95 || rel > 1.05 {
+		t.Errorf("single-device PP and TP should coincide: ratio %.3f", rel)
+	}
+}

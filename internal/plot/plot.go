@@ -1,0 +1,253 @@
+// Package plot renders the paper's figures as CSV data series (for external
+// plotting) and as ASCII scatter/box charts (for terminal inspection). The
+// repo has no plotting dependency, so every figure is regenerable as data
+// plus a terminal rendering.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one scatter sample with a class label (the figures color points
+// by classification, memory bandwidth, TPP tier, etc.).
+type Point struct {
+	X, Y  float64
+	Class string
+	Label string
+}
+
+// Scatter is a classed scatter figure.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// WriteCSV emits the scatter as x,y,class,label rows with a header.
+func (s Scatter) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n%s,%s,class,label\n", s.Title, csvEscape(s.XLabel), csvEscape(s.YLabel)); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%g,%g,%s,%s\n", p.X, p.Y, csvEscape(p.Class), csvEscape(p.Label)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// classGlyphs assigns a stable glyph per class, in first-appearance order.
+func classGlyphs(points []Point) (map[string]byte, []string) {
+	glyphs := []byte("ox+*#@%&=~")
+	m := map[string]byte{}
+	var order []string
+	for _, p := range points {
+		if _, ok := m[p.Class]; !ok {
+			m[p.Class] = glyphs[len(order)%len(glyphs)]
+			order = append(order, p.Class)
+		}
+	}
+	return m, order
+}
+
+// RenderASCII draws the scatter on a width×height character grid with axis
+// ranges from the data, returning a legend line per class.
+func (s Scatter) RenderASCII(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	if len(s.Points) == 0 {
+		return fmt.Sprintf("%s\n(no points)\n", s.Title)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs, order := classGlyphs(s.Points)
+	for _, p := range s.Points {
+		col := int(float64(width-1) * (p.X - minX) / (maxX - minX))
+		row := height - 1 - int(float64(height-1)*(p.Y-minY)/(maxY-minY))
+		grid[row][col] = glyphs[p.Class]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", s.Title)
+	fmt.Fprintf(&sb, "y: %s [%.4g, %.4g]\n", s.YLabel, minY, maxY)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&sb, "x: %s [%.4g, %.4g]\n", s.XLabel, minX, maxX)
+	for _, class := range order {
+		fmt.Fprintf(&sb, "  %c = %s\n", glyphs[class], class)
+	}
+	return sb.String()
+}
+
+// Box is one labelled distribution for a box-plot figure.
+type Box struct {
+	Label  string
+	Values []float64
+}
+
+// BoxFigure is a Figure-11/12-style set of distributions.
+type BoxFigure struct {
+	Title  string
+	YLabel string
+	Boxes  []Box
+}
+
+// WriteCSV emits label,value rows.
+func (b BoxFigure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\nlabel,%s\n", b.Title, csvEscape(b.YLabel)); err != nil {
+		return err
+	}
+	for _, box := range b.Boxes {
+		for _, v := range box.Values {
+			if _, err := fmt.Fprintf(w, "%s,%g\n", csvEscape(box.Label), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderASCII draws horizontal box-and-whisker rows spanning the common
+// range of all boxes.
+func (b BoxFigure) RenderASCII(width int) string {
+	if width < 32 {
+		width = 32
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, box := range b.Boxes {
+		for _, v := range box.Values {
+			minV, maxV = math.Min(minV, v), math.Max(maxV, v)
+		}
+	}
+	if math.IsInf(minV, 1) {
+		return fmt.Sprintf("%s\n(no data)\n", b.Title)
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	pos := func(v float64) int {
+		p := int(float64(width-1) * (v - minV) / (maxV - minV))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (%s: [%.4g, %.4g])\n", b.Title, b.YLabel, minV, maxV)
+	labelW := 0
+	for _, box := range b.Boxes {
+		if len(box.Label) > labelW {
+			labelW = len(box.Label)
+		}
+	}
+	for _, box := range b.Boxes {
+		if len(box.Values) == 0 {
+			fmt.Fprintf(&sb, "%-*s (empty)\n", labelW, box.Label)
+			continue
+		}
+		sorted := append([]float64(nil), box.Values...)
+		sort.Float64s(sorted)
+		q := func(f float64) float64 {
+			idx := f * float64(len(sorted)-1)
+			lo := int(idx)
+			if lo >= len(sorted)-1 {
+				return sorted[len(sorted)-1]
+			}
+			frac := idx - float64(lo)
+			return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+		}
+		row := []byte(strings.Repeat(" ", width))
+		for i := pos(sorted[0]); i <= pos(sorted[len(sorted)-1]); i++ {
+			row[i] = '-'
+		}
+		for i := pos(q(0.25)); i <= pos(q(0.75)); i++ {
+			row[i] = '='
+		}
+		row[pos(q(0.5))] = '|'
+		fmt.Fprintf(&sb, "%-*s %s\n", labelW, box.Label, string(row))
+	}
+	return sb.String()
+}
+
+// Table renders aligned rows for terminal reports; the first row is the
+// header.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, cell)
+		}
+		sb.WriteString("\n")
+		if ri == 0 {
+			for _, w := range widths {
+				sb.WriteString(strings.Repeat("-", w) + "  ")
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// WriteTableCSV emits rows as CSV.
+func WriteTableCSV(w io.Writer, rows [][]string) error {
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = csvEscape(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleScatter() Scatter {
+	return Scatter{
+		Title:  "Fig X",
+		XLabel: "Die Area (mm2)",
+		YLabel: "TPP",
+		Points: []Point{
+			{X: 826, Y: 4992, Class: "License Required", Label: "A100"},
+			{X: 294, Y: 968, Class: "Not Applicable", Label: "L4"},
+			{X: 609, Y: 2896, Class: "NAC Eligible", Label: "L40"},
+		},
+	}
+}
+
+func TestScatterCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleScatter().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# Fig X", "826,4992,License Required,A100", "294,968"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Errorf("CSV should have 5 lines (comment, header, 3 rows), got %d", got)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	s := Scatter{Title: "t", XLabel: "x,label", YLabel: `y"label`,
+		Points: []Point{{X: 1, Y: 2, Class: "a,b", Label: "c\nd"}}}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"x,label"`) || !strings.Contains(out, `"y""label"`) ||
+		!strings.Contains(out, `"a,b"`) {
+		t.Errorf("escaping broken:\n%s", out)
+	}
+}
+
+func TestScatterASCII(t *testing.T) {
+	out := sampleScatter().RenderASCII(40, 10)
+	for _, want := range []string{"Fig X", "License Required", "NAC Eligible", "Not Applicable", "Die Area"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+	// Three classes → three distinct glyphs in the legend.
+	if !strings.Contains(out, "o = ") || !strings.Contains(out, "x = ") || !strings.Contains(out, "+ = ") {
+		t.Errorf("legend glyphs missing:\n%s", out)
+	}
+}
+
+func TestScatterASCIIEdgeCases(t *testing.T) {
+	empty := Scatter{Title: "E"}
+	if out := empty.RenderASCII(40, 10); !strings.Contains(out, "no points") {
+		t.Errorf("empty scatter should say so:\n%s", out)
+	}
+	// Single point and degenerate ranges must not panic or divide by zero.
+	one := Scatter{Title: "One", Points: []Point{{X: 5, Y: 5, Class: "c"}}}
+	if out := one.RenderASCII(1, 1); out == "" {
+		t.Error("degenerate dimensions should still render")
+	}
+	same := Scatter{Title: "Same", Points: []Point{
+		{X: 5, Y: 5, Class: "a"}, {X: 5, Y: 5, Class: "b"}}}
+	_ = same.RenderASCII(30, 8)
+}
+
+func TestBoxFigure(t *testing.T) {
+	b := BoxFigure{
+		Title:  "Fig 11a",
+		YLabel: "TTFT (ms)",
+		Boxes: []Box{
+			{Label: "TPP only", Values: []float64{260, 300, 340, 380, 420}},
+			{Label: "2.8 TB/s", Values: []float64{300, 305, 310}},
+			{Label: "empty"},
+		},
+	}
+	out := b.RenderASCII(60)
+	if !strings.Contains(out, "TPP only") || !strings.Contains(out, "2.8 TB/s") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(empty)") {
+		t.Errorf("empty box should be marked:\n%s", out)
+	}
+	if !strings.Contains(out, "=") || !strings.Contains(out, "|") {
+		t.Errorf("box glyphs missing:\n%s", out)
+	}
+
+	var sb strings.Builder
+	if err := b.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "TPP only,"); got != 5 {
+		t.Errorf("CSV rows for first box = %d, want 5", got)
+	}
+}
+
+func TestBoxFigureNoData(t *testing.T) {
+	b := BoxFigure{Title: "empty fig"}
+	if out := b.RenderASCII(40); !strings.Contains(out, "no data") {
+		t.Errorf("no-data figure should say so:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([][]string{
+		{"Parameter", "PD Compliant", "Non-Compliant"},
+		{"Die Area", "753 mm2", "523 mm2"},
+		{"TTFT", "465 ms", "470 ms"},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table should have header + rule + 2 rows:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing header rule:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[2], "Die Area") {
+		t.Errorf("row misaligned:\n%s", out)
+	}
+	if Table(nil) != "" {
+		t.Error("empty table should render empty")
+	}
+}
+
+func TestWriteTableCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTableCSV(&sb, [][]string{{"a", "b,c"}, {"1", "2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,\"b,c\"\n1,2\n" {
+		t.Errorf("CSV wrong: %q", sb.String())
+	}
+}
+
+func TestGlyphStability(t *testing.T) {
+	// Glyphs assign in first-appearance order and stay stable across calls.
+	pts := []Point{{Class: "z"}, {Class: "a"}, {Class: "z"}}
+	m1, order := classGlyphs(pts)
+	if order[0] != "z" || order[1] != "a" {
+		t.Errorf("order wrong: %v", order)
+	}
+	m2, _ := classGlyphs(pts)
+	if m1["z"] != m2["z"] || m1["a"] != m2["a"] {
+		t.Error("glyph assignment not deterministic")
+	}
+	if m1["z"] == m1["a"] {
+		t.Error("distinct classes share a glyph")
+	}
+}

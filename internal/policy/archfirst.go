@@ -1,0 +1,212 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DeviceSpec carries the datasheet-level architectural quantities that §5's
+// architecture-first policies regulate. It deliberately contains only
+// parameters that vendors commonly disclose on datasheets and white papers,
+// the paper's criterion for implementable policy.
+type DeviceSpec struct {
+	Name    string
+	Segment Segment
+
+	// TPP and DeviceBWGBs and DieAreaMM2 mirror Metrics.
+	TPP         float64
+	DeviceBWGBs float64
+	DieAreaMM2  float64
+
+	// MemoryCapacityGB and MemoryBWGBs describe the off-chip memory system
+	// (the paper's Fig. 10 classification axes).
+	MemoryCapacityGB float64
+	MemoryBWGBs      float64
+
+	// MatmulTOPS is the dense tensor/matrix-core throughput; zero means the
+	// device has no matmul accelerator (pre-RDNA3 AMD consumer GPUs).
+	MatmulTOPS float64
+	// SystolicDim is the matmul accelerator's tile dimension (0 if none).
+	SystolicDim int
+	// L1KBPerCore and L2MB describe the on-chip SRAM hierarchy.
+	L1KBPerCore float64
+	L2MB        float64
+}
+
+// Metrics projects the spec onto the quantities the statutory ACRs use.
+func (d DeviceSpec) Metrics() Metrics {
+	return Metrics{TPP: d.TPP, DeviceBWGBs: d.DeviceBWGBs,
+		DieAreaMM2: d.DieAreaMM2, Segment: d.Segment}
+}
+
+// Rule is a composable architecture-first policy: a named predicate over a
+// device spec that reports whether the device is restricted. Rules compose
+// with And/Or/Not so regulators can express, e.g., "matmul throughput above
+// X AND memory bandwidth above Y".
+type Rule struct {
+	Name string
+	Test func(DeviceSpec) bool
+}
+
+// Applies reports whether the rule restricts the device.
+func (r Rule) Applies(d DeviceSpec) bool { return r.Test(d) }
+
+// And returns a rule matching devices restricted by both rules.
+func (r Rule) And(other Rule) Rule {
+	return Rule{
+		Name: fmt.Sprintf("(%s AND %s)", r.Name, other.Name),
+		Test: func(d DeviceSpec) bool { return r.Test(d) && other.Test(d) },
+	}
+}
+
+// Or returns a rule matching devices restricted by either rule.
+func (r Rule) Or(other Rule) Rule {
+	return Rule{
+		Name: fmt.Sprintf("(%s OR %s)", r.Name, other.Name),
+		Test: func(d DeviceSpec) bool { return r.Test(d) || other.Test(d) },
+	}
+}
+
+// Not returns the complement rule.
+func (r Rule) Not() Rule {
+	return Rule{
+		Name: fmt.Sprintf("NOT %s", r.Name),
+		Test: func(d DeviceSpec) bool { return !r.Test(d) },
+	}
+}
+
+// Threshold builds a rule restricting devices whose metric meets or exceeds
+// a limit.
+func Threshold(name string, limit float64, metric func(DeviceSpec) float64) Rule {
+	return Rule{
+		Name: fmt.Sprintf("%s ≥ %g", name, limit),
+		Test: func(d DeviceSpec) bool { return metric(d) >= limit },
+	}
+}
+
+// Common datasheet metrics for Threshold.
+var (
+	MetricTPP         = func(d DeviceSpec) float64 { return d.TPP }
+	MetricMemCapacity = func(d DeviceSpec) float64 { return d.MemoryCapacityGB }
+	MetricMemBW       = func(d DeviceSpec) float64 { return d.MemoryBWGBs }
+	MetricMatmulTOPS  = func(d DeviceSpec) float64 { return d.MatmulTOPS }
+	MetricDeviceBW    = func(d DeviceSpec) float64 { return d.DeviceBWGBs }
+	MetricL1KB        = func(d DeviceSpec) float64 { return d.L1KBPerCore }
+	MetricL2MB        = func(d DeviceSpec) float64 { return d.L2MB }
+)
+
+// ArchitecturalDataCenter is the paper's Fig. 10 segment classifier: a
+// device is architecturally a data-center part when it has more than 32 GB
+// of memory or more than 1600 GB/s of memory bandwidth. Unlike the
+// marketing-based split, this gives manufacturers a concrete design target.
+func ArchitecturalDataCenter(d DeviceSpec) bool {
+	return d.MemoryCapacityGB > 32 || d.MemoryBWGBs > 1600
+}
+
+// ArchitecturalSegment returns the Fig. 10 classification as a Segment.
+func ArchitecturalSegment(d DeviceSpec) Segment {
+	if ArchitecturalDataCenter(d) {
+		return DataCenter
+	}
+	return NonDataCenter
+}
+
+// GamingSafeHarbor is the §5.4 case-study policy: a device is restricted
+// unless it is architecturally limited for AI work. AI capability requires
+// all three of: a matmul accelerator with meaningful throughput, enough
+// memory bandwidth to stream weights during decoding, and enough memory to
+// hold useful model shards. A gaming design that keeps its SIMT/texture/RT
+// pipelines but caps any one of these axes escapes the rule by
+// construction, which is the externality reduction the paper argues for.
+func GamingSafeHarbor(matmulTOPSLimit, memBWLimit, memCapLimit float64) Rule {
+	matmul := Threshold("matmul TOPS", matmulTOPSLimit, MetricMatmulTOPS)
+	bw := Threshold("memory BW GB/s", memBWLimit, MetricMemBW)
+	capacity := Threshold("memory GB", memCapLimit, MetricMemCapacity)
+	r := matmul.And(bw).And(capacity)
+	r.Name = fmt.Sprintf("AI-capable(matmul≥%g TOPS AND mem BW≥%g GB/s AND mem≥%g GB)",
+		matmulTOPSLimit, memBWLimit, memCapLimit)
+	return r
+}
+
+// Mismatch describes one device whose marketing-based and counterfactual
+// classifications disagree (Fig. 9) or whose marketing segment disagrees
+// with its architectural segment (Fig. 10).
+type Mismatch struct {
+	Name string
+	// Kind is "false data center" or "false non-data center".
+	Kind string
+	// Detail explains the disagreement.
+	Detail string
+}
+
+// MarketingConsistency classifies a device under both October 2023 segment
+// rule sets and reports the Fig. 9 categories:
+//
+//   - a false data-center device is data-center marketed and currently
+//     restricted, but would be entirely outside the rule if rebranded as a
+//     consumer device;
+//   - a false non-data-center device is consumer/workstation marketed and
+//     currently unrestricted, but would require a regular license if
+//     marketed as a data-center device (merely becoming NAC-eligible does
+//     not count, since the NAC exception is the rule's intended path for
+//     such devices).
+func MarketingConsistency(d DeviceSpec) (asDC, asNDC Classification, mismatch *Mismatch) {
+	m := d.Metrics()
+	m.Segment = DataCenter
+	asDC = Oct2023(m)
+	m.Segment = NonDataCenter
+	asNDC = Oct2023(m)
+
+	switch d.Segment {
+	case DataCenter:
+		if asDC.Restricted() && asNDC == NotApplicable {
+			return asDC, asNDC, &Mismatch{
+				Name: d.Name,
+				Kind: "false data center",
+				Detail: fmt.Sprintf("%s as data center but %s if rebranded consumer",
+					asDC, asNDC),
+			}
+		}
+	case NonDataCenter:
+		if asNDC == NotApplicable && asDC == LicenseRequired {
+			return asDC, asNDC, &Mismatch{
+				Name: d.Name,
+				Kind: "false non-data center",
+				Detail: fmt.Sprintf("unrestricted as consumer but %s if marketed data center",
+					asDC),
+			}
+		}
+	}
+	return asDC, asNDC, nil
+}
+
+// ArchitecturalConsistency compares a device's marketing segment with its
+// Fig. 10 architectural segment and reports the mismatch, if any.
+func ArchitecturalConsistency(d DeviceSpec) *Mismatch {
+	pred := ArchitecturalSegment(d)
+	if pred == d.Segment {
+		return nil
+	}
+	if d.Segment == DataCenter {
+		return &Mismatch{Name: d.Name, Kind: "false data center",
+			Detail: fmt.Sprintf("marketed data center but architecturally consumer-class (%.0f GB, %.0f GB/s)",
+				d.MemoryCapacityGB, d.MemoryBWGBs)}
+	}
+	return &Mismatch{Name: d.Name, Kind: "false non-data center",
+		Detail: fmt.Sprintf("marketed consumer but architecturally data-center-class (%.0f GB, %.0f GB/s)",
+			d.MemoryCapacityGB, d.MemoryBWGBs)}
+}
+
+// Summary renders a mismatch list grouped by kind.
+func Summary(ms []Mismatch) string {
+	byKind := map[string][]string{}
+	for _, m := range ms {
+		byKind[m.Kind] = append(byKind[m.Kind], m.Name)
+	}
+	var sb strings.Builder
+	for _, kind := range []string{"false data center", "false non-data center"} {
+		names := byKind[kind]
+		fmt.Fprintf(&sb, "%s (%d): %s\n", kind, len(names), strings.Join(names, ", "))
+	}
+	return sb.String()
+}

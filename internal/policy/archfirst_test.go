@@ -1,0 +1,177 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func spec(name string, seg Segment, tpp, area, memGB, memBW float64) DeviceSpec {
+	return DeviceSpec{Name: name, Segment: seg, TPP: tpp, DieAreaMM2: area,
+		MemoryCapacityGB: memGB, MemoryBWGBs: memBW}
+}
+
+func TestRuleCombinators(t *testing.T) {
+	big := Threshold("TPP", 4800, MetricTPP)
+	fast := Threshold("mem BW", 1600, MetricMemBW)
+	both := big.And(fast)
+	either := big.Or(fast)
+	small := big.Not()
+
+	d := spec("x", DataCenter, 5000, 800, 80, 2000)
+	if !big.Applies(d) || !fast.Applies(d) || !both.Applies(d) || !either.Applies(d) || small.Applies(d) {
+		t.Error("combinators wrong on a device matching both")
+	}
+	d2 := spec("y", DataCenter, 5000, 800, 24, 1000)
+	if both.Applies(d2) || !either.Applies(d2) {
+		t.Error("And/Or wrong on a device matching one")
+	}
+	for _, r := range []Rule{both, either, small} {
+		if r.Name == "" {
+			t.Error("composed rules must carry names")
+		}
+	}
+	if !strings.Contains(both.Name, "AND") || !strings.Contains(either.Name, "OR") ||
+		!strings.Contains(small.Name, "NOT") {
+		t.Errorf("rule names should show structure: %q %q %q", both.Name, either.Name, small.Name)
+	}
+}
+
+func TestArchitecturalDataCenterRule(t *testing.T) {
+	// Fig. 10: > 32 GB memory or > 1600 GB/s memory bandwidth ⇒ data center.
+	cases := []struct {
+		name         string
+		memGB, memBW float64
+		wantDC       bool
+	}{
+		{"A100", 80, 2039, true},
+		{"H20", 96, 4000, true},
+		{"MI210", 64, 1638, true},
+		{"L4", 24, 300, false},
+		{"RTX 4090", 24, 1008, false},
+		{"RTX 3060", 12, 360, false},
+		{"exactly 32 GB", 32, 1000, false},
+		{"exactly 1600 GB/s", 16, 1600, false},
+		{"bandwidth alone", 16, 1700, true},
+	}
+	for _, c := range cases {
+		d := spec(c.name, NonDataCenter, 1000, 500, c.memGB, c.memBW)
+		if got := ArchitecturalDataCenter(d); got != c.wantDC {
+			t.Errorf("%s: ArchitecturalDataCenter = %v, want %v", c.name, got, c.wantDC)
+		}
+		wantSeg := NonDataCenter
+		if c.wantDC {
+			wantSeg = DataCenter
+		}
+		if got := ArchitecturalSegment(d); got != wantSeg {
+			t.Errorf("%s: segment = %v, want %v", c.name, got, wantSeg)
+		}
+	}
+}
+
+func TestMarketingConsistencyFalseDataCenter(t *testing.T) {
+	// MI210-shaped: NAC as data center, free as consumer → false DC.
+	mi210 := spec("MI210", DataCenter, 2896, 724, 64, 1638)
+	asDC, asNDC, mm := MarketingConsistency(mi210)
+	if asDC != NACEligible || asNDC != NotApplicable {
+		t.Fatalf("MI210 classes: DC %v, NDC %v", asDC, asNDC)
+	}
+	if mm == nil || mm.Kind != "false data center" {
+		t.Errorf("MI210 should be false data center, got %+v", mm)
+	}
+	// A100-shaped: restricted both ways → consistent.
+	a100 := spec("A100", DataCenter, 4992, 826, 80, 2039)
+	if _, _, mm := MarketingConsistency(a100); mm != nil {
+		t.Errorf("A100 should be consistent, got %+v", mm)
+	}
+}
+
+func TestMarketingConsistencyFalseNonDataCenter(t *testing.T) {
+	// RTX 4080-shaped: free as consumer, license-required as DC → false NDC.
+	rtx4080 := spec("RTX 4080", NonDataCenter, 3118, 379, 16, 717)
+	asDC, asNDC, mm := MarketingConsistency(rtx4080)
+	if asDC != LicenseRequired || asNDC != NotApplicable {
+		t.Fatalf("RTX 4080 classes: DC %v, NDC %v", asDC, asNDC)
+	}
+	if mm == nil || mm.Kind != "false non-data center" {
+		t.Errorf("RTX 4080 should be false non-data center, got %+v", mm)
+	}
+	// 3090-shaped (NAC as DC): not counted — NAC is the intended path.
+	rtx3090 := spec("RTX 3090", NonDataCenter, 2272, 628, 24, 936)
+	if _, _, mm := MarketingConsistency(rtx3090); mm != nil {
+		t.Errorf("merely-NAC-as-DC consumer device should be consistent, got %+v", mm)
+	}
+	// RTX 4090-shaped: restricted as consumer already → consistent.
+	rtx4090 := spec("RTX 4090", NonDataCenter, 5285, 609, 24, 1008)
+	if _, _, mm := MarketingConsistency(rtx4090); mm != nil {
+		t.Errorf("RTX 4090 should be consistent (restricted both ways), got %+v", mm)
+	}
+}
+
+func TestArchitecturalConsistency(t *testing.T) {
+	l4 := spec("L4", DataCenter, 968, 294, 24, 300)
+	mm := ArchitecturalConsistency(l4)
+	if mm == nil || mm.Kind != "false data center" {
+		t.Errorf("L4 should be architecturally consumer-class, got %+v", mm)
+	}
+	w48 := spec("48GB workstation", NonDataCenter, 2088, 754, 48, 672)
+	mm = ArchitecturalConsistency(w48)
+	if mm == nil || mm.Kind != "false non-data center" {
+		t.Errorf("48 GB workstation card should be architecturally DC-class, got %+v", mm)
+	}
+	a100 := spec("A100", DataCenter, 4992, 826, 80, 2039)
+	if mm := ArchitecturalConsistency(a100); mm != nil {
+		t.Errorf("A100 should be consistent, got %+v", mm)
+	}
+	gamer := spec("RTX 3070", NonDataCenter, 1301, 392, 8, 448)
+	if mm := ArchitecturalConsistency(gamer); mm != nil {
+		t.Errorf("RTX 3070 should be consistent, got %+v", mm)
+	}
+}
+
+func TestGamingSafeHarbor(t *testing.T) {
+	r := GamingSafeHarbor(200, 1600, 32)
+	aiFocused := DeviceSpec{Name: "accelerator", MatmulTOPS: 312,
+		MemoryBWGBs: 2039, MemoryCapacityGB: 80}
+	if !r.Applies(aiFocused) {
+		t.Error("AI accelerator should be restricted")
+	}
+	// A gaming design keeping its matmul units but with GDDR-class memory
+	// escapes via the bandwidth axis.
+	gamer := DeviceSpec{Name: "gamer", MatmulTOPS: 330,
+		MemoryBWGBs: 1008, MemoryCapacityGB: 24}
+	if r.Applies(gamer) {
+		t.Error("gaming-focused design should escape the safe-harbor rule")
+	}
+	// Removing the systolic arrays entirely also escapes, regardless of
+	// memory system.
+	noMatmul := DeviceSpec{Name: "pure-simt", MatmulTOPS: 0,
+		MemoryBWGBs: 3000, MemoryCapacityGB: 128}
+	if r.Applies(noMatmul) {
+		t.Error("device without matmul hardware should escape")
+	}
+	if !strings.Contains(r.Name, "AND") {
+		t.Errorf("safe-harbor rule should be a conjunction: %s", r.Name)
+	}
+}
+
+func TestSummaryGroupsByKind(t *testing.T) {
+	s := Summary([]Mismatch{
+		{Name: "A30", Kind: "false data center"},
+		{Name: "RTX 4080", Kind: "false non-data center"},
+		{Name: "MI210", Kind: "false data center"},
+	})
+	if !strings.Contains(s, "false data center (2): A30, MI210") {
+		t.Errorf("summary missing grouped false DC line:\n%s", s)
+	}
+	if !strings.Contains(s, "false non-data center (1): RTX 4080") {
+		t.Errorf("summary missing false NDC line:\n%s", s)
+	}
+}
+
+func TestSpecMetricsProjection(t *testing.T) {
+	d := spec("x", DataCenter, 2896, 724, 64, 1638)
+	m := d.Metrics()
+	if m.TPP != d.TPP || m.DieAreaMM2 != d.DieAreaMM2 || m.Segment != DataCenter {
+		t.Errorf("Metrics projection lost fields: %+v", m)
+	}
+}

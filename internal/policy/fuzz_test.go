@@ -1,0 +1,55 @@
+package policy
+
+import (
+	"testing"
+)
+
+// FuzzOct2023Invariants drives the October 2023 classifier with arbitrary
+// metrics and checks the rule's structural invariants: classification never
+// relaxes as TPP grows or area shrinks, consumer devices never need a
+// regular license, and sub-1600-TPP devices are never touched.
+func FuzzOct2023Invariants(f *testing.F) {
+	f.Add(4992.0, 826.0, 600.0, false)
+	f.Add(2368.0, 814.0, 900.0, false)
+	f.Add(5285.0, 609.0, 32.0, true)
+	f.Add(0.0, 0.0, 0.0, true)
+	f.Add(1599.9, 1.0, 0.0, false)
+	f.Fuzz(func(t *testing.T, tpp, area, bw float64, consumer bool) {
+		if tpp < 0 || tpp > 1e7 || area < 0 || area > 1e6 || bw < 0 || bw > 1e6 {
+			return
+		}
+		m := Metrics{TPP: tpp, DieAreaMM2: area, DeviceBWGBs: bw}
+		if consumer {
+			m.Segment = NonDataCenter
+		}
+		got := Oct2023(m)
+		if consumer && got == LicenseRequired {
+			t.Fatalf("consumer device license-required: %+v", m)
+		}
+		if tpp < Oct2023TPPLowTier && got != NotApplicable {
+			t.Fatalf("sub-1600-TPP device classified %v: %+v", got, m)
+		}
+		// Monotonicity in TPP.
+		m2 := m
+		m2.TPP = tpp * 1.5
+		if Oct2023(m2) < got {
+			t.Fatalf("raising TPP relaxed the classification: %+v", m)
+		}
+		// Monotonicity in density (shrinking area) for data-center parts.
+		if !consumer && area > 0 {
+			m3 := m
+			m3.DieAreaMM2 = area / 2
+			if Oct2023(m3) < got {
+				t.Fatalf("shrinking area relaxed the classification: %+v", m)
+			}
+		}
+		// The October 2022 rule is monotone in both of its knobs too.
+		o := Oct2022(m)
+		m4 := m
+		m4.TPP *= 2
+		m4.DeviceBWGBs *= 2
+		if Oct2022(m4) < o {
+			t.Fatalf("raising both Oct-2022 knobs relaxed the outcome: %+v", m)
+		}
+	})
+}

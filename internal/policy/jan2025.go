@@ -1,0 +1,105 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The January 2025 "Framework for Artificial Intelligence Diffusion"
+// (§2.1) moved beyond per-device thresholds to quantity controls: national
+// caps on the aggregate TPP of AI-focused devices exportable to
+// non-sanctioned countries. This file models that aggregation arithmetic:
+// converting a national TPP allocation into device counts, and tracking an
+// exporter's consumption of an allocation across shipments.
+
+// H100TPP is the reference TPP of the flagship the framework's public
+// discussion used as its unit ("H100 equivalents").
+const H100TPP = 15824
+
+// CountryAllocation is one destination's aggregate TPP budget.
+type CountryAllocation struct {
+	Country string
+	// TPPCap is the cumulative TPP of covered devices that may be
+	// exported.
+	TPPCap float64
+	// consumed tracks shipped TPP.
+	consumed float64
+}
+
+// NewAllocation returns an allocation with the given cap.
+func NewAllocation(country string, tppCap float64) (*CountryAllocation, error) {
+	if tppCap <= 0 {
+		return nil, fmt.Errorf("policy: allocation for %q needs a positive cap", country)
+	}
+	return &CountryAllocation{Country: country, TPPCap: tppCap}, nil
+}
+
+// Remaining returns the unshipped TPP budget.
+func (a *CountryAllocation) Remaining() float64 { return a.TPPCap - a.consumed }
+
+// H100Equivalents converts the remaining budget to flagship units.
+func (a *CountryAllocation) H100Equivalents() float64 {
+	return a.Remaining() / H100TPP
+}
+
+// Ship records an export of n devices of the given per-device TPP; it
+// fails without consuming anything when the shipment would breach the cap.
+func (a *CountryAllocation) Ship(n int, deviceTPP float64) error {
+	if n <= 0 || deviceTPP < 0 {
+		return fmt.Errorf("policy: invalid shipment (%d devices of TPP %.0f)", n, deviceTPP)
+	}
+	total := float64(n) * deviceTPP
+	if total > a.Remaining() {
+		return fmt.Errorf("policy: shipment of %.0f TPP exceeds %q's remaining %.0f",
+			total, a.Country, a.Remaining())
+	}
+	a.consumed += total
+	return nil
+}
+
+// MaxDevices returns how many devices of the given TPP still fit.
+func (a *CountryAllocation) MaxDevices(deviceTPP float64) int {
+	if deviceTPP <= 0 {
+		return math.MaxInt32
+	}
+	return int(math.Floor(a.Remaining() / deviceTPP))
+}
+
+// FleetMix is one way of spending an allocation: device name → count.
+type FleetMix map[string]int
+
+// BestFleet greedily fills an allocation with the device that maximises
+// the given value metric per TPP (e.g. memory bandwidth per TPP for a
+// decode-bound buyer — the §4 observation that the quantity framework,
+// like TPP itself, does not see memory systems).
+func BestFleet(a *CountryAllocation, options map[string]struct{ TPP, Value float64 }) (FleetMix, float64) {
+	type opt struct {
+		name       string
+		tpp, value float64
+	}
+	sorted := make([]opt, 0, len(options))
+	for name, o := range options {
+		if o.TPP <= 0 {
+			continue
+		}
+		sorted = append(sorted, opt{name, o.TPP, o.Value})
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].value/sorted[i].tpp > sorted[j].value/sorted[j].tpp
+	})
+	mix := FleetMix{}
+	var total float64
+	for _, o := range sorted {
+		n := a.MaxDevices(o.tpp)
+		if n <= 0 {
+			continue
+		}
+		if err := a.Ship(n, o.tpp); err != nil {
+			continue
+		}
+		mix[o.name] = n
+		total += float64(n) * o.value
+	}
+	return mix, total
+}

@@ -1,0 +1,88 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllocationArithmetic(t *testing.T) {
+	a, err := NewAllocation("tier2-country", 790e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ≈ 50k H100 equivalents, the framework's headline figure.
+	if eq := a.H100Equivalents(); math.Abs(eq-49924) > 100 {
+		t.Errorf("H100 equivalents = %.0f, want ≈ 49,900", eq)
+	}
+	if err := a.Ship(1000, H100TPP); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Remaining(); math.Abs(got-(790e6-1000*H100TPP)) > 1e-6 {
+		t.Errorf("remaining = %v", got)
+	}
+	if a.MaxDevices(H100TPP) != 48924 {
+		t.Errorf("max H100s after shipment = %d", a.MaxDevices(H100TPP))
+	}
+}
+
+func TestShipRejectsOverCap(t *testing.T) {
+	a, _ := NewAllocation("x", 100000)
+	if err := a.Ship(7, H100TPP); err == nil {
+		t.Error("7 H100s exceed a 100k-TPP cap")
+	}
+	if a.Remaining() != 100000 {
+		t.Error("failed shipment must not consume the allocation")
+	}
+	if err := a.Ship(6, H100TPP); err != nil {
+		t.Errorf("6 H100s (94,944 TPP) should fit: %v", err)
+	}
+	if err := a.Ship(0, H100TPP); err == nil {
+		t.Error("zero-device shipment should error")
+	}
+	if err := a.Ship(1, -5); err == nil {
+		t.Error("negative TPP should error")
+	}
+}
+
+func TestNewAllocationValidation(t *testing.T) {
+	if _, err := NewAllocation("x", 0); err == nil {
+		t.Error("zero cap should error")
+	}
+}
+
+// TestBestFleetSeesOnlyTPP is the §4 observation carried to the quantity
+// framework: per-TPP value maximisation fills the budget with the device
+// that carries the most memory bandwidth per TPP — the capped H20-class
+// part, not the flagship — because the framework, like TPP, never prices
+// the memory system.
+func TestBestFleetSeesOnlyTPP(t *testing.T) {
+	a, _ := NewAllocation("x", 10e6)
+	options := map[string]struct{ TPP, Value float64 }{
+		"H100": {TPP: 15824, Value: 3350}, // mem BW GB/s per device
+		"H20":  {TPP: 2368, Value: 4000},
+	}
+	mix, totalBW := BestFleet(a, options)
+	if mix["H20"] == 0 {
+		t.Fatalf("fleet should be H20-heavy: %v", mix)
+	}
+	if mix["H20"] < mix["H100"] {
+		t.Errorf("H20 (1.69 GB/s/TPP) should dominate H100 (0.21): %v", mix)
+	}
+	// An all-H100 spend of the same budget carries far less bandwidth.
+	b, _ := NewAllocation("y", 10e6)
+	nH100 := b.MaxDevices(15824)
+	if totalBW <= float64(nH100)*3350 {
+		t.Errorf("bandwidth-optimal fleet (%.0f GB/s) should beat all-H100 (%.0f GB/s)",
+			totalBW, float64(nH100)*3350)
+	}
+	if a.Remaining() > 15824 {
+		t.Errorf("greedy fill should leave less than one flagship of headroom: %v", a.Remaining())
+	}
+}
+
+func TestMaxDevicesZeroTPP(t *testing.T) {
+	a, _ := NewAllocation("x", 1000)
+	if a.MaxDevices(0) != math.MaxInt32 {
+		t.Error("zero-TPP devices are uncapped by a TPP budget")
+	}
+}

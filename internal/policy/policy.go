@@ -1,0 +1,238 @@
+// Package policy implements the Advanced Computing Rule (ACR) export-control
+// specifications the paper studies — the October 2022 rule (Table 1a), the
+// October 2023 rule (Table 1b) with its data-center / non-data-center split
+// and Notified Advanced Computing (NAC) tier, and the December 2024 HBM
+// memory-bandwidth-density rule — together with a composable
+// "architecture-first" policy language used by §5 of the paper to build
+// finer-grained rules from architectural metrics.
+//
+// Nothing in this package is legal advice; it encodes the paper's reading of
+// the public rule text for architectural analysis.
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Classification is the export-control outcome for a device.
+type Classification int
+
+const (
+	// NotApplicable: the device is outside the rule; no license needed.
+	NotApplicable Classification = iota
+	// NACEligible: the device falls in the Notified Advanced Computing
+	// tier and may be exported under the NAC license exception if granted.
+	NACEligible
+	// LicenseRequired: a regular export license is required.
+	LicenseRequired
+)
+
+// String returns the outcome label used in the paper's figures.
+func (c Classification) String() string {
+	switch c {
+	case NotApplicable:
+		return "Not Applicable"
+	case NACEligible:
+		return "NAC Eligible"
+	case LicenseRequired:
+		return "License Required"
+	default:
+		return fmt.Sprintf("Classification(%d)", int(c))
+	}
+}
+
+// Restricted reports whether the outcome imposes any export requirement.
+func (c Classification) Restricted() bool { return c != NotApplicable }
+
+// Segment is the marketing segment of a device, the distinction the
+// October 2023 rule hinges on.
+type Segment int
+
+const (
+	// DataCenter marks devices designed or marketed for data centers.
+	DataCenter Segment = iota
+	// NonDataCenter marks consumer and workstation devices.
+	NonDataCenter
+)
+
+// String returns the segment label.
+func (s Segment) String() string {
+	if s == DataCenter {
+		return "data center"
+	}
+	return "non-data center"
+}
+
+// Metrics carries the quantities the ACRs regulate for one device.
+type Metrics struct {
+	// TPP is Total Processing Performance: max TOPS × operation bitwidth,
+	// aggregated over all dies in the package, non-sparse.
+	TPP float64
+	// DeviceBWGBs is the aggregate bidirectional I/O transfer rate in GB/s.
+	DeviceBWGBs float64
+	// DieAreaMM2 is the applicable die area: total area of dies built on
+	// non-planar transistor processes. Zero means no applicable area.
+	DieAreaMM2 float64
+	// Segment is the marketing segment under the October 2023 rule.
+	Segment Segment
+}
+
+// PerformanceDensity returns TPP per mm² of applicable die area, or 0 when
+// the device has no applicable area (all-planar dies cannot trip PD
+// thresholds).
+func (m Metrics) PerformanceDensity() float64 {
+	if m.DieAreaMM2 <= 0 {
+		return 0
+	}
+	return m.TPP / m.DieAreaMM2
+}
+
+// October 2022 rule thresholds (Table 1a).
+const (
+	Oct2022TPPThreshold      = 4800
+	Oct2022DeviceBWThreshold = 600
+)
+
+// Oct2022 classifies a device under the October 2022 Advanced Computing
+// Rule: a regular license is required when TPP ≥ 4800 AND the bidirectional
+// device bandwidth ≥ 600 GB/s. The rule has no NAC tier and no segment
+// distinction.
+func Oct2022(m Metrics) Classification {
+	if m.TPP >= Oct2022TPPThreshold && m.DeviceBWGBs >= Oct2022DeviceBWThreshold {
+		return LicenseRequired
+	}
+	return NotApplicable
+}
+
+// October 2023 rule thresholds (Table 1b).
+const (
+	Oct2023TPPLicense  = 4800
+	Oct2023TPPMidTier  = 2400
+	Oct2023TPPLowTier  = 1600
+	Oct2023PDLicense   = 5.92
+	Oct2023PDMidFloor  = 1.6
+	Oct2023PDHighFloor = 3.2
+)
+
+// Oct2023 classifies a device under the October 2023 specification:
+//
+//	Data center:     license when TPP ≥ 4800, or TPP ≥ 1600 and PD ≥ 5.92;
+//	                 NAC when 4800 > TPP ≥ 2400 and 5.92 > PD ≥ 1.6,
+//	                 or TPP ≥ 1600 and 5.92 > PD ≥ 3.2.
+//	Non-data center: NAC when TPP ≥ 4800; never a regular license.
+func Oct2023(m Metrics) Classification {
+	pd := m.PerformanceDensity()
+	if m.Segment == NonDataCenter {
+		if m.TPP >= Oct2023TPPLicense {
+			return NACEligible
+		}
+		return NotApplicable
+	}
+	switch {
+	case m.TPP >= Oct2023TPPLicense:
+		return LicenseRequired
+	case m.TPP >= Oct2023TPPLowTier && pd >= Oct2023PDLicense:
+		return LicenseRequired
+	case m.TPP >= Oct2023TPPMidTier && pd >= Oct2023PDMidFloor:
+		return NACEligible
+	case m.TPP >= Oct2023TPPLowTier && pd >= Oct2023PDHighFloor:
+		return NACEligible
+	default:
+		return NotApplicable
+	}
+}
+
+// MinAreaToAvoidOct2023 returns the minimum applicable die area (mm²) a
+// data-center device of the given TPP needs for the target outcome under
+// the October 2023 rule, and whether the target is achievable by growing
+// area at all. These are the §2.5 examples: a 2399-TPP device needs
+// > 750 mm² to escape entirely; a 1600-TPP device needs > 270 mm² to be NAC
+// eligible rather than license-required; a 4799-TPP device needs > 3000 mm²
+// (multi-die) to escape.
+func MinAreaToAvoidOct2023(tpp float64, target Classification) (minAreaMM2 float64, ok bool) {
+	if tpp <= 0 {
+		return 0, true
+	}
+	switch target {
+	case NotApplicable:
+		switch {
+		case tpp >= Oct2023TPPLicense:
+			return 0, false // TPP alone requires a license at any area
+		case tpp >= Oct2023TPPMidTier:
+			return tpp / Oct2023PDMidFloor, true
+		case tpp >= Oct2023TPPLowTier:
+			return tpp / Oct2023PDHighFloor, true
+		default:
+			return 0, true
+		}
+	case NACEligible, LicenseRequired:
+		if tpp >= Oct2023TPPLicense {
+			if target == LicenseRequired {
+				return 0, true
+			}
+			return 0, false // TPP ≥ 4800 is license-required at any area
+		}
+		if tpp >= Oct2023TPPLowTier {
+			return tpp / Oct2023PDLicense, true // PD < 5.92 avoids license
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// December 2024 HBM rule thresholds: packages with memory bandwidth density
+// above 2 GB/s/mm² are controlled; below 3.3 GB/s/mm² they may apply for
+// License Exception HBM.
+const (
+	HBMDensityControlled       = 2.0
+	HBMDensityExceptionCeiling = 3.3
+)
+
+// HBMPackage describes a commodity high-bandwidth-memory package.
+type HBMPackage struct {
+	// BandwidthGBs is the package's memory bandwidth.
+	BandwidthGBs float64
+	// PackageAreaMM2 is the package area.
+	PackageAreaMM2 float64
+	// InstalledInDevice reports the HBM ships inside a computing device,
+	// which the December 2024 rule does not reach.
+	InstalledInDevice bool
+}
+
+// BandwidthDensity returns GB/s per mm² of package area.
+func (h HBMPackage) BandwidthDensity() float64 {
+	if h.PackageAreaMM2 <= 0 {
+		return 0
+	}
+	return h.BandwidthGBs / h.PackageAreaMM2
+}
+
+// Dec2024HBM classifies a commodity HBM package under the December 2024
+// rule. Packages installed in devices before export are out of scope.
+func Dec2024HBM(h HBMPackage) Classification {
+	if h.InstalledInDevice {
+		return NotApplicable
+	}
+	d := h.BandwidthDensity()
+	switch {
+	case d <= HBMDensityControlled:
+		return NotApplicable
+	case d < HBMDensityExceptionCeiling:
+		return NACEligible // eligible for License Exception HBM
+	default:
+		return LicenseRequired
+	}
+}
+
+// TPPFromTOPS converts a peak TOPS figure at the given operand bitwidth to
+// TPP, counting a fused multiply-accumulate as two operations as the rule
+// directs for tensor operations.
+func TPPFromTOPS(tops float64, bits int) float64 { return tops * float64(bits) }
+
+// MaxTOPSForTPP inverts TPPFromTOPS: the highest advertisable TOPS at the
+// given bitwidth that stays strictly below a TPP ceiling.
+func MaxTOPSForTPP(tppCeiling float64, bits int) float64 {
+	return math.Nextafter(tppCeiling/float64(bits), 0)
+}

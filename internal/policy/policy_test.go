@@ -1,0 +1,212 @@
+package policy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func dc(tpp, bw, area float64) Metrics {
+	return Metrics{TPP: tpp, DeviceBWGBs: bw, DieAreaMM2: area, Segment: DataCenter}
+}
+
+func TestOct2022KnownDevices(t *testing.T) {
+	cases := []struct {
+		name    string
+		tpp, bw float64
+		want    Classification
+	}{
+		{"A100", 4992, 600, LicenseRequired},
+		{"A800 (BW capped)", 4992, 400, NotApplicable},
+		{"H100", 15824, 900, LicenseRequired},
+		{"H800 (BW capped)", 15824, 400, NotApplicable},
+		{"MI250X", 6128, 800, LicenseRequired},
+		{"MI210", 2896, 300, NotApplicable},
+		{"H20 (TPP capped)", 2368, 900, NotApplicable},
+		{"exactly at both thresholds", 4800, 600, LicenseRequired},
+		{"just under TPP", 4799, 900, NotApplicable},
+		{"just under BW", 9999, 599, NotApplicable},
+	}
+	for _, c := range cases {
+		if got := Oct2022(Metrics{TPP: c.tpp, DeviceBWGBs: c.bw}); got != c.want {
+			t.Errorf("Oct2022(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestOct2023KnownDataCenterDevices(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Metrics
+		want Classification
+	}{
+		{"A100 (PD 6.04)", dc(4992, 600, 826), LicenseRequired},
+		{"A800 (PD 6.04)", dc(4992, 400, 826), LicenseRequired},
+		{"H800 (PD 19.45)", dc(15824, 400, 814), LicenseRequired},
+		{"MI210 (PD 4.0)", dc(2896, 300, 724), NACEligible},
+		{"A30 (PD 3.2)", dc(2640, 200, 826), NACEligible},
+		{"L40 (PD 4.76)", dc(2896, 64, 609), NACEligible},
+		{"L20 (PD 3.14)", dc(1912, 64, 609), NotApplicable},
+		{"H20 (PD 2.91)", dc(2368, 900, 814), NotApplicable},
+		{"L4 (TPP < 1600)", dc(968, 64, 294), NotApplicable},
+		{"low-TPP high-PD", dc(1599, 64, 100), NotApplicable},
+		{"mid-tier license: TPP 1600+ PD 5.92+", dc(1700, 64, 280), LicenseRequired},
+	}
+	for _, c := range cases {
+		if got := Oct2023(c.m); got != c.want {
+			t.Errorf("Oct2023(%s) = %v, want %v (PD %.2f)", c.name, got, c.want,
+				c.m.PerformanceDensity())
+		}
+	}
+}
+
+func TestOct2023NonDataCenter(t *testing.T) {
+	// RTX 4090 (TPP 5285) needs NAC; RTX 4090D (4708) escapes — the exact
+	// redesign the paper describes (§2.2).
+	rtx4090 := Metrics{TPP: 5285, DieAreaMM2: 609, Segment: NonDataCenter}
+	if got := Oct2023(rtx4090); got != NACEligible {
+		t.Errorf("RTX 4090 = %v, want NAC Eligible", got)
+	}
+	rtx4090d := Metrics{TPP: 4708, DieAreaMM2: 609, Segment: NonDataCenter}
+	if got := Oct2023(rtx4090d); got != NotApplicable {
+		t.Errorf("RTX 4090D = %v, want Not Applicable", got)
+	}
+	// Non-data-center devices never need a regular license regardless of PD.
+	hot := Metrics{TPP: 4799, DieAreaMM2: 100, Segment: NonDataCenter}
+	if got := Oct2023(hot); got != NotApplicable {
+		t.Errorf("high-PD consumer device = %v, want Not Applicable", got)
+	}
+}
+
+func TestOct2023PlanarDiesHaveNoPD(t *testing.T) {
+	// A device with no applicable (non-planar) die area cannot trip PD
+	// thresholds: DieAreaMM2 = 0 encodes that.
+	m := Metrics{TPP: 2600, DieAreaMM2: 0, Segment: DataCenter}
+	if pd := m.PerformanceDensity(); pd != 0 {
+		t.Errorf("no applicable area should give PD 0, got %v", pd)
+	}
+	if got := Oct2023(m); got != NotApplicable {
+		t.Errorf("PD-exempt 2600-TPP device = %v, want Not Applicable", got)
+	}
+}
+
+func TestMinAreaToAvoidPaperExamples(t *testing.T) {
+	// §2.5: a 2399-TPP device avoids the ACR entirely above 750 mm²; a
+	// 1600-TPP device is NAC-eligible (not license-required) above 270 mm²;
+	// a 4799-TPP device needs > 3000 mm² to escape.
+	a, ok := MinAreaToAvoidOct2023(2399, NotApplicable)
+	if !ok || math.Abs(a-750) > 1 {
+		t.Errorf("2399 TPP escape area = %.1f (ok=%v), want ≈ 750", a, ok)
+	}
+	a, ok = MinAreaToAvoidOct2023(1600, NACEligible)
+	if !ok || math.Abs(a-270.3) > 1 {
+		t.Errorf("1600 TPP NAC area = %.1f (ok=%v), want ≈ 270", a, ok)
+	}
+	a, ok = MinAreaToAvoidOct2023(4799, NotApplicable)
+	if !ok || math.Abs(a-3000) > 1 {
+		t.Errorf("4799 TPP escape area = %.1f (ok=%v), want ≈ 3000", a, ok)
+	}
+	// TPP ≥ 4800 cannot escape at any area.
+	if _, ok := MinAreaToAvoidOct2023(4800, NotApplicable); ok {
+		t.Error("4800 TPP should be inescapable by area")
+	}
+	if _, ok := MinAreaToAvoidOct2023(4800, NACEligible); ok {
+		t.Error("4800 TPP cannot reach NAC by area")
+	}
+	// Below 1600 TPP nothing applies.
+	if a, ok := MinAreaToAvoidOct2023(1500, NotApplicable); !ok || a != 0 {
+		t.Errorf("1500 TPP should need no area: %v %v", a, ok)
+	}
+}
+
+func TestMinAreaIsConsistentWithClassifier(t *testing.T) {
+	// Property: at the returned boundary area the device achieves the
+	// target (with a hair above), and just below it does not.
+	f := func(tppU uint16) bool {
+		tpp := float64(tppU%4700) + 100
+		area, ok := MinAreaToAvoidOct2023(tpp, NotApplicable)
+		if !ok {
+			return tpp >= Oct2023TPPLicense
+		}
+		if area == 0 {
+			return Oct2023(dc(tpp, 0, 1)) == NotApplicable ||
+				Oct2023(dc(tpp, 0, 10000)) == NotApplicable
+		}
+		atBoundary := Oct2023(dc(tpp, 0, area*1.001))
+		below := Oct2023(dc(tpp, 0, area*0.95))
+		return atBoundary == NotApplicable && below != NotApplicable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDec2024HBM(t *testing.T) {
+	cases := []struct {
+		name string
+		h    HBMPackage
+		want Classification
+	}{
+		{"low density", HBMPackage{BandwidthGBs: 180, PackageAreaMM2: 100}, NotApplicable},
+		{"exception band", HBMPackage{BandwidthGBs: 300, PackageAreaMM2: 100}, NACEligible},
+		{"high density", HBMPackage{BandwidthGBs: 400, PackageAreaMM2: 100}, LicenseRequired},
+		{"installed in device", HBMPackage{BandwidthGBs: 400, PackageAreaMM2: 100, InstalledInDevice: true}, NotApplicable},
+		{"zero area", HBMPackage{BandwidthGBs: 400}, NotApplicable},
+	}
+	for _, c := range cases {
+		if got := Dec2024HBM(c.h); got != c.want {
+			t.Errorf("Dec2024HBM(%s) = %v, want %v (density %.2f)",
+				c.name, got, c.want, c.h.BandwidthDensity())
+		}
+	}
+}
+
+func TestTPPConversions(t *testing.T) {
+	// A100: 312 TOPS at FP16 → TPP 4992.
+	if got := TPPFromTOPS(312, 16); got != 4992 {
+		t.Errorf("TPPFromTOPS(312, 16) = %v, want 4992", got)
+	}
+	// The highest marketable FP16 TOPS under the 4800 ceiling is just
+	// under 300 — how the RTX 4090D was sized.
+	tops := MaxTOPSForTPP(4800, 16)
+	if tops >= 300 || tops < 299.9 {
+		t.Errorf("MaxTOPSForTPP(4800, 16) = %v, want just under 300", tops)
+	}
+	if TPPFromTOPS(tops, 16) >= 4800 {
+		t.Error("MaxTOPSForTPP result should stay under the ceiling")
+	}
+}
+
+func TestClassificationStrings(t *testing.T) {
+	if NotApplicable.String() != "Not Applicable" ||
+		NACEligible.String() != "NAC Eligible" ||
+		LicenseRequired.String() != "License Required" {
+		t.Error("classification labels changed")
+	}
+	if !strings.Contains(Classification(7).String(), "7") {
+		t.Error("unknown classification should print its value")
+	}
+	if NotApplicable.Restricted() || !NACEligible.Restricted() || !LicenseRequired.Restricted() {
+		t.Error("Restricted() wrong")
+	}
+	if DataCenter.String() != "data center" || NonDataCenter.String() != "non-data center" {
+		t.Error("segment labels changed")
+	}
+}
+
+func TestOct2023MonotoneInTPPAndPD(t *testing.T) {
+	// Property: for data-center devices, raising TPP (same area) or
+	// shrinking area (same TPP) never relaxes the classification.
+	f := func(tppU, areaU uint16) bool {
+		tpp := float64(tppU%6000) + 1
+		area := float64(areaU%1500) + 50
+		base := Oct2023(dc(tpp, 0, area))
+		moreTPP := Oct2023(dc(tpp*1.3, 0, area))
+		lessArea := Oct2023(dc(tpp, 0, area*0.7))
+		return moreTPP >= base && lessArea >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package power estimates device power for designs built from the
+// LLMCompass hardware template, at the fidelity the paper's §4.4 argument
+// needs: Performance-Density-driven die inflation adds SRAM, and "if all
+// are turned on, these caches increase static and dynamic power which
+// increase operating costs". The model combines area-proportional leakage
+// (with SRAM leaking at its own rate), activity-based dynamic power for the
+// systolic arrays, vector units and memory interfaces, and converts power
+// to operating cost via energy price.
+//
+// Calibration anchor: an A100-like configuration at full LLM-inference
+// activity lands near the A100's 400 W SXM TDP.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/area"
+)
+
+// Model holds the 7 nm-class power coefficients.
+type Model struct {
+	// LogicLeakageWPerMM2 is the leakage density of logic area.
+	LogicLeakageWPerMM2 float64
+	// SRAMLeakageWPerMB is the leakage of on-chip SRAM per MiB.
+	SRAMLeakageWPerMB float64
+	// MACEnergyPJ is the energy of one FP16 multiply-accumulate, including
+	// its share of operand movement within the array.
+	MACEnergyPJ float64
+	// VectorOpEnergyPJ is the energy of one FP16 vector operation.
+	VectorOpEnergyPJ float64
+	// L1AccessEnergyPJPerByte and L2AccessEnergyPJPerByte price on-chip
+	// data movement.
+	L1AccessEnergyPJPerByte float64
+	L2AccessEnergyPJPerByte float64
+	// HBMEnergyPJPerByte prices off-chip accesses (HBM2e class).
+	HBMEnergyPJPerByte float64
+	// DevLinkEnergyPJPerByte prices device-device transfers.
+	DevLinkEnergyPJPerByte float64
+	// UncoreW is the fixed power of the host interface and clocks.
+	UncoreW float64
+}
+
+// Default7nm is calibrated so that the modeled A100 at full inference
+// activity draws ≈ 400 W.
+var Default7nm = Model{
+	LogicLeakageWPerMM2:     0.045,
+	SRAMLeakageWPerMB:       0.25,
+	MACEnergyPJ:             2.2,
+	VectorOpEnergyPJ:        1.5,
+	L1AccessEnergyPJPerByte: 0.4,
+	L2AccessEnergyPJPerByte: 1.2,
+	HBMEnergyPJPerByte:      30.0,
+	DevLinkEnergyPJPerByte:  15.0,
+	UncoreW:                 30,
+}
+
+// Activity describes a sustained operating point as utilisation fractions
+// in [0, 1] of each resource's peak rate.
+type Activity struct {
+	// MACUtil is systolic-array utilisation (≈ prefill MFU).
+	MACUtil float64
+	// VectorUtil is vector-unit utilisation.
+	VectorUtil float64
+	// L1Util and L2Util are on-chip bandwidth utilisations.
+	L1Util float64
+	L2Util float64
+	// HBMUtil is memory-bandwidth utilisation (≈ 1 during decoding).
+	HBMUtil float64
+	// DevLinkUtil is interconnect utilisation.
+	DevLinkUtil float64
+}
+
+// PrefillActivity is a representative compute-bound operating point.
+func PrefillActivity() Activity {
+	return Activity{MACUtil: 0.8, VectorUtil: 0.2, L1Util: 0.6, L2Util: 0.5,
+		HBMUtil: 0.3, DevLinkUtil: 0.3}
+}
+
+// DecodeActivity is a representative bandwidth-bound operating point.
+func DecodeActivity() Activity {
+	return Activity{MACUtil: 0.05, VectorUtil: 0.1, L1Util: 0.1, L2Util: 0.2,
+		HBMUtil: 0.95, DevLinkUtil: 0.05}
+}
+
+// Idle is the all-zero activity: leakage and uncore only.
+func Idle() Activity { return Activity{} }
+
+func (a Activity) validate() error {
+	for _, u := range []float64{a.MACUtil, a.VectorUtil, a.L1Util, a.L2Util, a.HBMUtil, a.DevLinkUtil} {
+		if u < 0 || u > 1 {
+			return fmt.Errorf("power: utilisation %v outside [0, 1]", u)
+		}
+	}
+	return nil
+}
+
+// Breakdown reports power by source, in watts.
+type Breakdown struct {
+	LogicLeakageW float64
+	SRAMLeakageW  float64
+	MACDynamicW   float64
+	VectorW       float64
+	L1W           float64
+	L2W           float64
+	HBMW          float64
+	DevLinkW      float64
+	UncoreW       float64
+}
+
+// Total returns total device power in watts.
+func (b Breakdown) Total() float64 {
+	return b.LogicLeakageW + b.SRAMLeakageW + b.MACDynamicW + b.VectorW +
+		b.L1W + b.L2W + b.HBMW + b.DevLinkW + b.UncoreW
+}
+
+// Estimate returns the power breakdown of cfg at activity a.
+func (m Model) Estimate(cfg arch.Config, a Activity) (Breakdown, error) {
+	if err := cfg.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if err := a.validate(); err != nil {
+		return Breakdown{}, err
+	}
+	ab := area.DefaultModel.Estimate(cfg)
+	sramMB := area.SRAMTotalMB(cfg)
+	logicArea := ab.Total() - ab.L1SRAM - ab.L2SRAM
+
+	pjToW := 1e-12 // pJ per op × ops/sec = 1e-12 W units
+	macRate := float64(cfg.MACsPerDevice()) * cfg.ClockGHz * 1e9
+	vecRate := float64(cfg.CoreCount*cfg.LanesPerCore*cfg.VectorWidth) * cfg.ClockGHz * 1e9
+	l1Rate := float64(cfg.CoreCount) * cfg.L1BandwidthGBsPerCore() * 1e9
+	l2Rate := cfg.L2BandwidthGBs() * 1e9
+	hbmRate := cfg.HBMBandwidthGBs * 1e9
+	devRate := cfg.DeviceBWGBs * 1e9
+
+	return Breakdown{
+		LogicLeakageW: logicArea * m.LogicLeakageWPerMM2,
+		SRAMLeakageW:  sramMB * m.SRAMLeakageWPerMB,
+		MACDynamicW:   macRate * a.MACUtil * m.MACEnergyPJ * pjToW,
+		VectorW:       vecRate * a.VectorUtil * m.VectorOpEnergyPJ * pjToW,
+		L1W:           l1Rate * a.L1Util * m.L1AccessEnergyPJPerByte * pjToW,
+		L2W:           l2Rate * a.L2Util * m.L2AccessEnergyPJPerByte * pjToW,
+		HBMW:          hbmRate * a.HBMUtil * m.HBMEnergyPJPerByte * pjToW,
+		DevLinkW:      devRate * a.DevLinkUtil * m.DevLinkEnergyPJPerByte * pjToW,
+		UncoreW:       m.UncoreW,
+	}, nil
+}
+
+// Estimate evaluates under the default 7 nm model.
+func Estimate(cfg arch.Config, a Activity) (Breakdown, error) {
+	return Default7nm.Estimate(cfg, a)
+}
+
+// AnnualEnergyCostUSD converts sustained watts to a yearly electricity
+// bill at the given $/kWh rate and a datacenter PUE.
+func AnnualEnergyCostUSD(watts, usdPerKWh, pue float64) float64 {
+	const hoursPerYear = 24 * 365
+	return watts / 1000 * hoursPerYear * usdPerKWh * pue
+}

@@ -1,0 +1,135 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestA100NearTDP(t *testing.T) {
+	b, err := Estimate(arch.A100(), PrefillActivity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := b.Total(); w < 300 || w > 500 {
+		t.Errorf("A100-like prefill power = %.0f W, want near the 400 W TDP", w)
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	b, err := Estimate(arch.A100(), DecodeActivity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := b.LogicLeakageW + b.SRAMLeakageW + b.MACDynamicW + b.VectorW +
+		b.L1W + b.L2W + b.HBMW + b.DevLinkW + b.UncoreW
+	if math.Abs(sum-b.Total()) > 1e-9 {
+		t.Errorf("Total %.2f != sum %.2f", b.Total(), sum)
+	}
+}
+
+func TestIdleIsLeakagePlusUncore(t *testing.T) {
+	b, err := Estimate(arch.A100(), Idle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MACDynamicW != 0 || b.HBMW != 0 || b.VectorW != 0 {
+		t.Error("idle activity should have zero dynamic power")
+	}
+	if b.LogicLeakageW <= 0 || b.SRAMLeakageW <= 0 || b.UncoreW <= 0 {
+		t.Error("idle power should still include leakage and uncore")
+	}
+	full, _ := Estimate(arch.A100(), PrefillActivity())
+	if b.Total() >= full.Total() {
+		t.Error("idle must draw less than active")
+	}
+}
+
+// TestSRAMInflationRaisesPower reproduces the §4.4 point: the Table 4
+// PD-compliant design carries ≈ 3× the SRAM of the non-compliant design and
+// therefore pays more static power at identical activity.
+func TestSRAMInflationRaisesPower(t *testing.T) {
+	small := arch.A100()
+	small.CoreCount = 103
+	small.LanesPerCore = 2
+	small.L1KB = 192
+	small.L2MB = 32
+	big := small
+	big.L1KB = 1024
+	big.L2MB = 48
+
+	ps, err := Estimate(small, DecodeActivity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Estimate(big, DecodeActivity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.SRAMLeakageW <= ps.SRAMLeakageW*2 {
+		t.Errorf("3× SRAM should more than double SRAM leakage: %.1f vs %.1f W",
+			pb.SRAMLeakageW, ps.SRAMLeakageW)
+	}
+	if pb.Total() <= ps.Total() {
+		t.Error("the SRAM-inflated design must draw more total power")
+	}
+}
+
+func TestDecodeDominatedByHBM(t *testing.T) {
+	b, err := Estimate(arch.A100(), DecodeActivity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.HBMW <= b.MACDynamicW {
+		t.Errorf("decoding power should be HBM-dominated: HBM %.1f W vs MAC %.1f W",
+			b.HBMW, b.MACDynamicW)
+	}
+}
+
+func TestPrefillDominatedByCompute(t *testing.T) {
+	b, err := Estimate(arch.A100(), PrefillActivity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MACDynamicW <= b.HBMW {
+		t.Errorf("prefill power should be MAC-dominated: MAC %.1f W vs HBM %.1f W",
+			b.MACDynamicW, b.HBMW)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := Estimate(arch.Config{}, Idle()); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := Estimate(arch.A100(), Activity{MACUtil: 1.5}); err == nil {
+		t.Error("utilisation above 1 should error")
+	}
+	if _, err := Estimate(arch.A100(), Activity{HBMUtil: -0.1}); err == nil {
+		t.Error("negative utilisation should error")
+	}
+}
+
+func TestPowerMonotoneInActivity(t *testing.T) {
+	f := func(u uint8) bool {
+		util := float64(u) / 255
+		lo, err1 := Estimate(arch.A100(), Activity{MACUtil: util / 2, HBMUtil: util / 2})
+		hi, err2 := Estimate(arch.A100(), Activity{MACUtil: util, HBMUtil: util})
+		return err1 == nil && err2 == nil && hi.Total() >= lo.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnnualEnergyCost(t *testing.T) {
+	// 400 W at $0.10/kWh and PUE 1.5: 0.4 kW × 8760 h × 0.10 × 1.5 ≈ $526.
+	got := AnnualEnergyCostUSD(400, 0.10, 1.5)
+	if math.Abs(got-525.6) > 0.1 {
+		t.Errorf("annual cost = %.1f, want ≈ 525.6", got)
+	}
+	if AnnualEnergyCostUSD(0, 0.10, 1.5) != 0 {
+		t.Error("zero power should cost nothing")
+	}
+}

@@ -1,0 +1,147 @@
+// Package robustness quantifies how sensitive the reproduction's headline
+// conclusions are to the performance model's calibration constants. The
+// analytic engine carries four tunables (DRAM efficiency, vector efficiency,
+// launch overhead, L2 fill fraction); this package re-runs the §4.2
+// compliant-design optimisation under seeded random perturbations of all of
+// them and reports the distribution of the headline gains. A conclusion
+// that flips sign under ±15% constant noise would be an artifact of tuning;
+// the tests pin that it does not.
+package robustness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/dse"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/stats"
+)
+
+// Perturbation bounds the relative noise applied to each engine constant.
+type Perturbation struct {
+	// Relative is the uniform ±fraction applied to DRAM efficiency, vector
+	// efficiency and L2 fill fraction.
+	Relative float64
+	// OverheadSpan multiplies/divides the launch overhead by up to this
+	// factor (log-uniform).
+	OverheadSpan float64
+}
+
+// DefaultPerturbation is ±15% on efficiencies and a 2× overhead span.
+func DefaultPerturbation() Perturbation {
+	return Perturbation{Relative: 0.15, OverheadSpan: 2}
+}
+
+// engine draws a perturbed engine.
+func (p Perturbation) engine(rng *rand.Rand) *perf.Engine {
+	jitter := func(v float64) float64 {
+		return v * (1 + (rng.Float64()*2-1)*p.Relative)
+	}
+	e := perf.Default()
+	e.DRAMEfficiency = clamp01(jitter(e.DRAMEfficiency))
+	e.VectorEfficiency = clamp01(jitter(e.VectorEfficiency))
+	e.L2FillFraction = clamp01(jitter(e.L2FillFraction))
+	span := p.OverheadSpan
+	if span < 1 {
+		span = 1
+	}
+	// Log-uniform in [1/span, span].
+	exp := rng.Float64()*2 - 1
+	e.LaunchOverheadSec *= math.Pow(span, exp)
+	return e
+}
+
+func clamp01(v float64) float64 {
+	if v <= 0.05 {
+		return 0.05
+	}
+	if v >= 1 {
+		return 1
+	}
+	return v
+}
+
+// Draw is one Monte-Carlo sample's headline outcome.
+type Draw struct {
+	// TTFTGain and TBTGain are the compliant optimum's improvements over
+	// the A100 under the perturbed engine (positive = faster).
+	TTFTGain float64
+	TBTGain  float64
+}
+
+// Headline summarises the Monte-Carlo study.
+type Headline struct {
+	Draws []Draw
+	// TTFT and TBT summarise the gain distributions.
+	TTFT stats.Summary
+	TBT  stats.Summary
+	// TTFTPositiveFrac and TBTPositiveFrac are the fractions of draws in
+	// which the compliant optimum still beats the A100.
+	TTFTPositiveFrac float64
+	TBTPositiveFrac  float64
+}
+
+// Study re-runs the Fig-6 optimisation (Table 3 at TPP 4800, 600 GB/s,
+// reticle-filtered, best-TBT among A100-beating-TTFT designs) for n
+// perturbed engines.
+func Study(seed int64, n int, p Perturbation, m model.Model) (Headline, error) {
+	if n < 1 {
+		return Headline{}, errors.New("robustness: need at least one draw")
+	}
+	if p.Relative < 0 || p.Relative >= 1 {
+		return Headline{}, fmt.Errorf("robustness: relative perturbation %v outside [0, 1)", p.Relative)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := model.PaperWorkload(m)
+	grid := dse.Table3(4800, []float64{600})
+
+	var h Headline
+	ttfts := make([]float64, 0, n)
+	tbts := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		e := p.engine(rng)
+		ex := dse.NewExplorer()
+		ex.Sim.Engine = e
+		a100, err := ex.Sim.Simulate(arch.A100(), w)
+		if err != nil {
+			return Headline{}, err
+		}
+		points, err := ex.Run(grid, w)
+		if err != nil {
+			return Headline{}, err
+		}
+		manufacturable := dse.Filter(points, func(pt dse.Point) bool { return pt.FitsReticle })
+		pool := dse.Filter(manufacturable, func(pt dse.Point) bool {
+			return pt.TTFT() <= a100.TTFTSeconds
+		})
+		if len(pool) == 0 {
+			pool = manufacturable
+		}
+		best, err := dse.Best(pool, dse.MetricTBT)
+		if err != nil {
+			return Headline{}, err
+		}
+		d := Draw{
+			TTFTGain: 1 - best.TTFT()/a100.TTFTSeconds,
+			TBTGain:  1 - best.TBT()/a100.TBTSeconds,
+		}
+		h.Draws = append(h.Draws, d)
+		ttfts = append(ttfts, d.TTFTGain)
+		tbts = append(tbts, d.TBTGain)
+		if d.TTFTGain > 0 {
+			h.TTFTPositiveFrac++
+		}
+		if d.TBTGain > 0 {
+			h.TBTPositiveFrac++
+		}
+	}
+	h.TTFT = stats.Summarize(ttfts)
+	h.TBT = stats.Summarize(tbts)
+	h.TTFTPositiveFrac /= float64(n)
+	h.TBTPositiveFrac /= float64(n)
+	return h, nil
+}

@@ -1,0 +1,89 @@
+package robustness
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestHeadlineSurvivesConstantNoise(t *testing.T) {
+	// 24 draws of ±15% constant noise: the §4.2 conclusion — compliant
+	// designs beat the A100 on decode by a wide margin and at least match
+	// it on prefill — must hold in essentially every draw.
+	h, err := Study(1, 24, DefaultPerturbation(), model.GPT3_175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TBTPositiveFrac < 0.99 {
+		t.Errorf("TBT gain positive in only %.0f%% of draws", h.TBTPositiveFrac*100)
+	}
+	if h.TBT.Min < 0.15 {
+		t.Errorf("worst-draw TBT gain = %.1f%%, want ≥ 15%%", h.TBT.Min*100)
+	}
+	if h.TTFTPositiveFrac < 0.8 {
+		t.Errorf("TTFT gain positive in only %.0f%% of draws", h.TTFTPositiveFrac*100)
+	}
+	// The gains stay in the paper's neighbourhood, not just positive.
+	if h.TBT.Median < 0.2 || h.TBT.Median > 0.5 {
+		t.Errorf("median TBT gain = %.1f%%, want in the 20–50%% band", h.TBT.Median*100)
+	}
+	if len(h.Draws) != 24 {
+		t.Errorf("draw count = %d", len(h.Draws))
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	a, err := Study(7, 4, DefaultPerturbation(), model.Llama3_8B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Study(7, 4, DefaultPerturbation(), model.Llama3_8B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Draws {
+		if a.Draws[i] != b.Draws[i] {
+			t.Fatal("same seed must reproduce the study")
+		}
+	}
+	c, err := Study(8, 4, DefaultPerturbation(), model.Llama3_8B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Draws {
+		if a.Draws[i] != c.Draws[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestStudyValidation(t *testing.T) {
+	if _, err := Study(1, 0, DefaultPerturbation(), model.GPT3_175B()); err == nil {
+		t.Error("zero draws should error")
+	}
+	if _, err := Study(1, 1, Perturbation{Relative: 1.2}, model.GPT3_175B()); err == nil {
+		t.Error("perturbation ≥ 1 should error")
+	}
+}
+
+func TestZeroPerturbationMatchesCalibrated(t *testing.T) {
+	// With no noise every draw is the calibrated headline: TTFT gain ≈
+	// +1.2%, TBT gain ≈ +35%.
+	h, err := Study(1, 2, Perturbation{Relative: 0, OverheadSpan: 1}, model.GPT3_175B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TTFT.Range() > 1e-12 || h.TBT.Range() > 1e-12 {
+		t.Errorf("zero noise should collapse the distributions: %+v %+v", h.TTFT, h.TBT)
+	}
+	if h.TTFT.Median < 0.005 || h.TTFT.Median > 0.05 {
+		t.Errorf("calibrated TTFT gain = %.2f%%, want ≈ 1.2%%", h.TTFT.Median*100)
+	}
+	if h.TBT.Median < 0.25 || h.TBT.Median > 0.45 {
+		t.Errorf("calibrated TBT gain = %.1f%%, want ≈ 35%%", h.TBT.Median*100)
+	}
+}

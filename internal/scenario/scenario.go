@@ -1,0 +1,192 @@
+// Package scenario is a what-if engine for future Advanced Computing Rules.
+// The paper's closing argument is that computer architects should help
+// shape the next round of policy; this package makes candidate rules
+// executable: a rule is an ordered list of threshold clauses over the
+// statutory metrics (TPP, device bandwidth, performance density), so
+// "what if the TPP license line dropped to 2400?" or "what if performance
+// density were abandoned for a memory-bandwidth floor?" become one-line
+// specifications whose market impact (newly restricted devices) and design
+// impact (surviving design-space volume) can be measured immediately.
+//
+// The built-in October 2022 and October 2023 specifications are expressed
+// in the same clause language and are tested to agree exactly with the
+// hand-coded statutes in package policy.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/devices"
+	"repro/internal/policy"
+)
+
+// Clause is one threshold condition: it fires when every set floor is met
+// and every set ceiling is respected. Zero-valued floors are ignored;
+// ceilings use negative-is-unset semantics via the Max fields' pointers
+// being unnecessary — instead a ceiling of 0 means "unset".
+type Clause struct {
+	// MinTPP fires when TPP ≥ MinTPP (0 = no TPP condition).
+	MinTPP float64
+	// MaxTPP additionally requires TPP < MaxTPP (0 = no ceiling).
+	MaxTPP float64
+	// MinDeviceBW requires device bandwidth ≥ the floor (0 = none).
+	MinDeviceBW float64
+	// MinPD requires performance density ≥ the floor (0 = none).
+	MinPD float64
+	// MaxPD additionally requires PD < MaxPD (0 = no ceiling).
+	MaxPD float64
+	// Outcome is the classification when the clause fires.
+	Outcome policy.Classification
+}
+
+func (c Clause) matches(m policy.Metrics) bool {
+	pd := m.PerformanceDensity()
+	switch {
+	case c.MinTPP > 0 && m.TPP < c.MinTPP:
+		return false
+	case c.MaxTPP > 0 && m.TPP >= c.MaxTPP:
+		return false
+	case c.MinDeviceBW > 0 && m.DeviceBWGBs < c.MinDeviceBW:
+		return false
+	case c.MinPD > 0 && pd < c.MinPD:
+		return false
+	case c.MaxPD > 0 && pd >= c.MaxPD:
+		return false
+	default:
+		return true
+	}
+}
+
+// Spec is an ordered rule: the first matching clause decides; no match
+// means Not Applicable. Data-center and non-data-center devices may have
+// separate clause lists (nil NonDataCenter means "same as data center").
+type Spec struct {
+	Name          string
+	DataCenter    []Clause
+	NonDataCenter []Clause
+}
+
+// Validate checks the spec has at least one clause.
+func (s Spec) Validate() error {
+	if len(s.DataCenter) == 0 {
+		return errors.New("scenario: spec needs at least one data-center clause")
+	}
+	return nil
+}
+
+// Classify applies the spec to a device's metrics.
+func (s Spec) Classify(m policy.Metrics) policy.Classification {
+	clauses := s.DataCenter
+	if m.Segment == policy.NonDataCenter && s.NonDataCenter != nil {
+		clauses = s.NonDataCenter
+	}
+	for _, c := range clauses {
+		if c.matches(m) {
+			return c.Outcome
+		}
+	}
+	return policy.NotApplicable
+}
+
+// Oct2022Spec expresses the October 2022 statute in clause form.
+func Oct2022Spec() Spec {
+	return Spec{
+		Name: "October 2022 (statute)",
+		DataCenter: []Clause{{
+			MinTPP:      policy.Oct2022TPPThreshold,
+			MinDeviceBW: policy.Oct2022DeviceBWThreshold,
+			Outcome:     policy.LicenseRequired,
+		}},
+	}
+}
+
+// Oct2023Spec expresses the October 2023 statute in clause form.
+func Oct2023Spec() Spec {
+	return Spec{
+		Name: "October 2023 (statute)",
+		DataCenter: []Clause{
+			{MinTPP: policy.Oct2023TPPLicense, Outcome: policy.LicenseRequired},
+			{MinTPP: policy.Oct2023TPPLowTier, MinPD: policy.Oct2023PDLicense,
+				Outcome: policy.LicenseRequired},
+			{MinTPP: policy.Oct2023TPPMidTier, MaxTPP: policy.Oct2023TPPLicense,
+				MinPD: policy.Oct2023PDMidFloor, MaxPD: policy.Oct2023PDLicense,
+				Outcome: policy.NACEligible},
+			{MinTPP: policy.Oct2023TPPLowTier, MinPD: policy.Oct2023PDHighFloor,
+				MaxPD: policy.Oct2023PDLicense, Outcome: policy.NACEligible},
+		},
+		NonDataCenter: []Clause{
+			{MinTPP: policy.Oct2023TPPLicense, Outcome: policy.NACEligible},
+		},
+	}
+}
+
+// Tightened returns a hypothetical future rule: the October 2023 structure
+// with the license line moved down to newTPPLicense.
+func Tightened(newTPPLicense float64) Spec {
+	s := Oct2023Spec()
+	s.Name = fmt.Sprintf("hypothetical: license line at TPP %.0f", newTPPLicense)
+	s.DataCenter[0].MinTPP = newTPPLicense
+	s.NonDataCenter[0].MinTPP = newTPPLicense
+	return s
+}
+
+// Impact is a rule change's effect on the device catalogue.
+type Impact struct {
+	Baseline Spec
+	Proposed Spec
+	// NewlyRestricted devices were free under the baseline and are
+	// restricted under the proposal; NewlyFreed is the reverse.
+	NewlyRestricted []string
+	NewlyFreed      []string
+	// RestrictedBaseline and RestrictedProposed count restricted devices
+	// under each rule.
+	RestrictedBaseline int
+	RestrictedProposed int
+}
+
+// Assess compares two specs over a device set (nil = the built-in
+// catalogue).
+func Assess(baseline, proposed Spec, ds []devices.Device) (Impact, error) {
+	if err := baseline.Validate(); err != nil {
+		return Impact{}, err
+	}
+	if err := proposed.Validate(); err != nil {
+		return Impact{}, err
+	}
+	if ds == nil {
+		ds = devices.All()
+	}
+	imp := Impact{Baseline: baseline, Proposed: proposed}
+	for _, d := range ds {
+		m := d.Metrics()
+		was := baseline.Classify(m).Restricted()
+		is := proposed.Classify(m).Restricted()
+		if was {
+			imp.RestrictedBaseline++
+		}
+		if is {
+			imp.RestrictedProposed++
+		}
+		switch {
+		case !was && is:
+			imp.NewlyRestricted = append(imp.NewlyRestricted, d.Name)
+		case was && !is:
+			imp.NewlyFreed = append(imp.NewlyFreed, d.Name)
+		}
+	}
+	return imp, nil
+}
+
+// String summarises the impact.
+func (i Impact) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s → %s: restricted %d → %d\n",
+		i.Baseline.Name, i.Proposed.Name, i.RestrictedBaseline, i.RestrictedProposed)
+	fmt.Fprintf(&sb, "newly restricted (%d): %s\n",
+		len(i.NewlyRestricted), strings.Join(i.NewlyRestricted, ", "))
+	fmt.Fprintf(&sb, "newly freed (%d): %s\n",
+		len(i.NewlyFreed), strings.Join(i.NewlyFreed, ", "))
+	return sb.String()
+}

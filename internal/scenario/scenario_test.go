@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/devices"
+	"repro/internal/policy"
+)
+
+// TestSpecsAgreeWithStatutes is the package's anchor: the clause-form
+// specifications must agree with the hand-coded statutes on every device in
+// the catalogue and on randomised metrics.
+func TestSpecsAgreeWithStatutes(t *testing.T) {
+	o22 := Oct2022Spec()
+	o23 := Oct2023Spec()
+	for _, d := range devices.All() {
+		m := d.Metrics()
+		if got, want := o22.Classify(m), policy.Oct2022(m); got != want {
+			t.Errorf("%s: Oct2022 spec %v vs statute %v", d.Name, got, want)
+		}
+		if got, want := o23.Classify(m), policy.Oct2023(m); got != want {
+			t.Errorf("%s: Oct2023 spec %v vs statute %v", d.Name, got, want)
+		}
+	}
+	f := func(tppU, areaU, bwU uint16, ndc bool) bool {
+		m := policy.Metrics{
+			TPP:         float64(tppU % 8000),
+			DieAreaMM2:  float64(areaU%1600) + 1,
+			DeviceBWGBs: float64(bwU % 1200),
+		}
+		if ndc {
+			m.Segment = policy.NonDataCenter
+		}
+		return o22.Classify(m) == policy.Oct2022(m) &&
+			o23.Classify(m) == policy.Oct2023(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClauseMatching(t *testing.T) {
+	c := Clause{MinTPP: 1000, MaxTPP: 2000, MinPD: 2, MaxPD: 4,
+		Outcome: policy.NACEligible}
+	cases := []struct {
+		tpp, area float64
+		want      bool
+	}{
+		{1500, 500, true},   // PD 3, inside both windows
+		{999, 500, false},   // below TPP floor
+		{2000, 700, false},  // at TPP ceiling
+		{1500, 1000, false}, // PD 1.5 below floor
+		{1500, 300, false},  // PD 5 at/above ceiling
+	}
+	for _, tc := range cases {
+		m := policy.Metrics{TPP: tc.tpp, DieAreaMM2: tc.area}
+		if got := c.matches(m); got != tc.want {
+			t.Errorf("TPP %v area %v: matches = %v, want %v", tc.tpp, tc.area, got, tc.want)
+		}
+	}
+	// Device-bandwidth floor.
+	bw := Clause{MinTPP: 100, MinDeviceBW: 600, Outcome: policy.LicenseRequired}
+	if bw.matches(policy.Metrics{TPP: 200, DeviceBWGBs: 599}) {
+		t.Error("bandwidth floor should block")
+	}
+	if !bw.matches(policy.Metrics{TPP: 200, DeviceBWGBs: 600}) {
+		t.Error("bandwidth floor should pass at the threshold")
+	}
+}
+
+func TestFirstMatchingClauseWins(t *testing.T) {
+	s := Spec{Name: "ordered", DataCenter: []Clause{
+		{MinTPP: 4000, Outcome: policy.LicenseRequired},
+		{MinTPP: 1000, Outcome: policy.NACEligible},
+	}}
+	if got := s.Classify(policy.Metrics{TPP: 5000}); got != policy.LicenseRequired {
+		t.Errorf("5000 TPP = %v", got)
+	}
+	if got := s.Classify(policy.Metrics{TPP: 2000}); got != policy.NACEligible {
+		t.Errorf("2000 TPP = %v", got)
+	}
+	if got := s.Classify(policy.Metrics{TPP: 500}); got != policy.NotApplicable {
+		t.Errorf("500 TPP = %v", got)
+	}
+}
+
+func TestNonDataCenterFallback(t *testing.T) {
+	s := Spec{Name: "shared", DataCenter: []Clause{
+		{MinTPP: 1000, Outcome: policy.LicenseRequired}}}
+	m := policy.Metrics{TPP: 1500, Segment: policy.NonDataCenter}
+	if got := s.Classify(m); got != policy.LicenseRequired {
+		t.Errorf("nil NDC clauses should fall back to DC clauses, got %v", got)
+	}
+}
+
+func TestTightenedRuleImpact(t *testing.T) {
+	imp, err := Assess(Oct2023Spec(), Tightened(2400), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.RestrictedProposed <= imp.RestrictedBaseline {
+		t.Errorf("tightening must restrict more devices: %d → %d",
+			imp.RestrictedBaseline, imp.RestrictedProposed)
+	}
+	if len(imp.NewlyFreed) != 0 {
+		t.Errorf("tightening should free nothing: %v", imp.NewlyFreed)
+	}
+	// Dropping the license line to 2400 catches previously-free consumer
+	// flagships like the RTX 3090 Ti (TPP 2560) as NAC.
+	found := false
+	for _, n := range imp.NewlyRestricted {
+		if n == "RTX 3090 Ti" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("RTX 3090 Ti should be newly restricted at a 2400 line: %v",
+			imp.NewlyRestricted)
+	}
+	s := imp.String()
+	if !strings.Contains(s, "newly restricted") {
+		t.Errorf("impact string malformed: %s", s)
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	if _, err := Assess(Spec{}, Oct2023Spec(), nil); err == nil {
+		t.Error("empty baseline should error")
+	}
+	if _, err := Assess(Oct2023Spec(), Spec{}, nil); err == nil {
+		t.Error("empty proposal should error")
+	}
+}
+
+func TestAssessCustomDeviceSet(t *testing.T) {
+	ds := []devices.Device{
+		{Name: "X", TPP: 3000, DieAreaMM2: 800, Segment: policy.DataCenter,
+			MemoryGB: 1, MemoryBWGBs: 1},
+	}
+	imp, err := Assess(Oct2023Spec(), Tightened(2400), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X: TPP 3000 PD 3.75 → NAC under both (restricted both) → no change.
+	if imp.RestrictedBaseline != 1 || imp.RestrictedProposed != 1 ||
+		len(imp.NewlyRestricted) != 0 {
+		t.Errorf("unexpected impact: %+v", imp)
+	}
+}

@@ -1,0 +1,144 @@
+// Package sensitivity performs one-at-a-time elasticity analysis on the
+// performance model: how many percent does TTFT or TBT move per percent of
+// change in each architectural knob, around a chosen design point. This is
+// the tornado-chart view of the paper's Figs 11–12: where those figures
+// show distribution narrowing across a grid, elasticities rank the same
+// knobs locally — and make explicit which knobs a rule writer must cap to
+// move each metric.
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Knob identifies a perturbable parameter.
+type Knob int
+
+const (
+	// Cores scales compute (and therefore TPP).
+	Cores Knob = iota
+	// L1 scales the per-core local buffer.
+	L1
+	// L2 scales the global buffer.
+	L2
+	// MemoryBW scales HBM bandwidth.
+	MemoryBW
+	// DeviceBW scales the interconnect.
+	DeviceBW
+)
+
+// String names the knob.
+func (k Knob) String() string {
+	switch k {
+	case Cores:
+		return "cores (TPP)"
+	case L1:
+		return "L1 per core"
+	case L2:
+		return "L2 capacity"
+	case MemoryBW:
+		return "memory bandwidth"
+	case DeviceBW:
+		return "device bandwidth"
+	default:
+		return fmt.Sprintf("Knob(%d)", int(k))
+	}
+}
+
+// Knobs returns all perturbable parameters.
+func Knobs() []Knob { return []Knob{Cores, L1, L2, MemoryBW, DeviceBW} }
+
+// scale returns cfg with the knob multiplied by factor (integer knobs are
+// rounded, floored at 1).
+func scale(cfg arch.Config, k Knob, factor float64) arch.Config {
+	scaleInt := func(v int) int {
+		s := int(float64(v)*factor + 0.5)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	switch k {
+	case Cores:
+		cfg.CoreCount = scaleInt(cfg.CoreCount)
+	case L1:
+		cfg.L1KB = scaleInt(cfg.L1KB)
+	case L2:
+		cfg.L2MB = scaleInt(cfg.L2MB)
+	case MemoryBW:
+		cfg.HBMBandwidthGBs *= factor
+	case DeviceBW:
+		cfg.DeviceBWGBs *= factor
+	}
+	return cfg
+}
+
+// Elasticity is one knob's local effect.
+type Elasticity struct {
+	Knob Knob
+	// TTFT and TBT are d(log latency)/d(log knob): −0.9 means a 1% knob
+	// increase cuts the latency 0.9%.
+	TTFT float64
+	TBT  float64
+}
+
+// Analyze computes central-difference elasticities at the design point,
+// using ±step (relative, e.g. 0.25 for ±25%).
+func Analyze(cfg arch.Config, w model.Workload, step float64) ([]Elasticity, error) {
+	if step <= 0 || step >= 1 {
+		return nil, fmt.Errorf("sensitivity: step %v outside (0, 1)", step)
+	}
+	s := sim.New()
+	base, err := s.Simulate(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	_ = base
+	out := make([]Elasticity, 0, len(Knobs()))
+	for _, k := range Knobs() {
+		up, err := s.Simulate(scale(cfg, k, 1+step), w)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %v up: %w", k, err)
+		}
+		down, err := s.Simulate(scale(cfg, k, 1-step), w)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %v down: %w", k, err)
+		}
+		denom := 2 * step
+		out = append(out, Elasticity{
+			Knob: k,
+			TTFT: (up.TTFTSeconds - down.TTFTSeconds) / base.TTFTSeconds / denom,
+			TBT:  (up.TBTSeconds - down.TBTSeconds) / base.TBTSeconds / denom,
+		})
+	}
+	return out, nil
+}
+
+// RankByTBT returns the knobs ordered by decode leverage (most negative
+// TBT elasticity first) — the ordering an architecture-first decode policy
+// should cap.
+func RankByTBT(es []Elasticity) []Knob {
+	sorted := append([]Elasticity(nil), es...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TBT < sorted[j].TBT })
+	out := make([]Knob, len(sorted))
+	for i, e := range sorted {
+		out[i] = e.Knob
+	}
+	return out
+}
+
+// RankByTTFT is the prefill counterpart.
+func RankByTTFT(es []Elasticity) []Knob {
+	sorted := append([]Elasticity(nil), es...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TTFT < sorted[j].TTFT })
+	out := make([]Knob, len(sorted))
+	for i, e := range sorted {
+		out[i] = e.Knob
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package sensitivity
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+func analyze(t *testing.T) []Elasticity {
+	t.Helper()
+	es, err := Analyze(arch.A100(), model.PaperWorkload(model.GPT3_175B()), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return es
+}
+
+func byKnob(es []Elasticity) map[Knob]Elasticity {
+	m := map[Knob]Elasticity{}
+	for _, e := range es {
+		m[e.Knob] = e
+	}
+	return m
+}
+
+func TestElasticitySigns(t *testing.T) {
+	m := byKnob(analyze(t))
+	// More of any resource never hurts: elasticities are ≤ 0 (latency
+	// falls or stays put as a knob grows).
+	for k, e := range m {
+		if e.TTFT > 1e-9 || e.TBT > 1e-9 {
+			t.Errorf("%v: positive elasticity (TTFT %.3f, TBT %.3f)", k, e.TTFT, e.TBT)
+		}
+	}
+}
+
+func TestPrefillLeverageIsCompute(t *testing.T) {
+	m := byKnob(analyze(t))
+	// Cores dominate TTFT (≈ −0.8 at the compute-bound point); memory and
+	// device bandwidth are second-order.
+	if m[Cores].TTFT > -0.4 {
+		t.Errorf("cores TTFT elasticity = %.3f, want strongly negative", m[Cores].TTFT)
+	}
+	if m[Cores].TTFT > m[MemoryBW].TTFT {
+		t.Errorf("cores (%.3f) should out-lever memory BW (%.3f) on TTFT",
+			m[Cores].TTFT, m[MemoryBW].TTFT)
+	}
+}
+
+func TestDecodeLeverageIsMemoryBW(t *testing.T) {
+	m := byKnob(analyze(t))
+	if m[MemoryBW].TBT > -0.4 {
+		t.Errorf("memory BW TBT elasticity = %.3f, want strongly negative", m[MemoryBW].TBT)
+	}
+	// Device bandwidth is nearly irrelevant to decode (paper: 0.27% for a
+	// 67% bandwidth increase → elasticity ≈ −0.004).
+	if m[DeviceBW].TBT < -0.05 {
+		t.Errorf("device BW TBT elasticity = %.3f, should be ≈ 0", m[DeviceBW].TBT)
+	}
+	rank := RankByTBT(analyze(t))
+	if rank[0] != MemoryBW {
+		t.Errorf("TBT leverage ranking should start with memory BW: %v", rank)
+	}
+}
+
+func TestRankByTTFTStartsWithCores(t *testing.T) {
+	rank := RankByTTFT(analyze(t))
+	if rank[0] != Cores {
+		t.Errorf("TTFT leverage ranking should start with cores: %v", rank)
+	}
+	if len(rank) != len(Knobs()) {
+		t.Errorf("ranking length %d != knob count %d", len(rank), len(Knobs()))
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	if _, err := Analyze(arch.A100(), w, 0); err == nil {
+		t.Error("zero step should error")
+	}
+	if _, err := Analyze(arch.A100(), w, 1); err == nil {
+		t.Error("step of 1 should error")
+	}
+	if _, err := Analyze(arch.Config{}, w, 0.25); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestScaleFloorsIntegers(t *testing.T) {
+	tiny := arch.A100()
+	tiny.CoreCount = 1
+	scaled := scale(tiny, Cores, 0.1)
+	if scaled.CoreCount != 1 {
+		t.Errorf("core scaling must floor at 1, got %d", scaled.CoreCount)
+	}
+	if got := scale(arch.A100(), MemoryBW, 0.5).HBMBandwidthGBs; got != 1000 {
+		t.Errorf("memory BW scaling wrong: %v", got)
+	}
+}
+
+func TestKnobNames(t *testing.T) {
+	for _, k := range Knobs() {
+		if k.String() == "" {
+			t.Error("empty knob name")
+		}
+	}
+	if !strings.Contains(Knob(9).String(), "9") {
+		t.Error("unknown knob should print numerically")
+	}
+}

@@ -1,0 +1,141 @@
+// Package serving lifts the simulator's per-layer TTFT/TBT numbers to the
+// service-level metrics §3.1 says they derive: end-to-end request latency
+// and throughput for an inference endpoint under load. The endpoint runs
+// the paper's batched continuous-decoding regime: a tensor-parallel device
+// group serves Batch concurrent sequences, prefill admits requests at TTFT
+// cost, and decoding advances all sequences one token per TBT step.
+//
+// Queueing uses the M/D/1 model — Poisson arrivals, deterministic service —
+// which matches the simulator's deterministic latencies and gives
+// closed-form waiting times, so policy-constrained designs can be compared
+// by the load they sustain at a latency SLO, not just by raw TBT.
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Instance is one serving endpoint built on a simulated design.
+type Instance struct {
+	// Result is the simulated profile of the workload on the design; its
+	// workload fixes the batch size and output length.
+	Result sim.Result
+}
+
+// RequestSeconds returns the in-service time of one request at full batch:
+// full-model prefill plus one full-model decode step per output token.
+func (in Instance) RequestSeconds() float64 {
+	return in.Result.FullModelTTFTSeconds() +
+		float64(in.Result.Workload.OutputLen)*in.Result.FullModelTBTSeconds()
+}
+
+// CapacityRequestsPerSec returns the saturation throughput: the batch
+// drains Batch requests every RequestSeconds.
+func (in Instance) CapacityRequestsPerSec() float64 {
+	rs := in.RequestSeconds()
+	if rs <= 0 {
+		return 0
+	}
+	return float64(in.Result.Workload.Batch) / rs
+}
+
+// TokensPerSec returns steady-state generated-token throughput at
+// saturation.
+func (in Instance) TokensPerSec() float64 {
+	tbt := in.Result.FullModelTBTSeconds()
+	if tbt <= 0 {
+		return 0
+	}
+	return float64(in.Result.Workload.Batch) / tbt
+}
+
+// Load is the endpoint's response to an offered request rate.
+type Load struct {
+	// Utilization is ρ = λ/μ.
+	Utilization float64
+	// QueueWaitSeconds is the mean M/D/1 queueing delay.
+	QueueWaitSeconds float64
+	// E2ESeconds is mean end-to-end latency: queueing + prefill + decode.
+	E2ESeconds float64
+}
+
+// ErrOverloaded reports an offered rate at or beyond capacity.
+var ErrOverloaded = errors.New("serving: offered load meets or exceeds capacity")
+
+// AtRate returns the endpoint's steady-state behaviour at an offered
+// arrival rate (requests per second).
+func (in Instance) AtRate(lambda float64) (Load, error) {
+	if lambda < 0 {
+		return Load{}, fmt.Errorf("serving: negative arrival rate %v", lambda)
+	}
+	mu := in.CapacityRequestsPerSec()
+	if mu <= 0 {
+		return Load{}, errors.New("serving: instance has zero capacity")
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return Load{}, fmt.Errorf("%w: ρ = %.3f", ErrOverloaded, rho)
+	}
+	// M/D/1 mean wait: Wq = ρ / (2μ(1 − ρ)).
+	wq := rho / (2 * mu * (1 - rho))
+	return Load{
+		Utilization:      rho,
+		QueueWaitSeconds: wq,
+		E2ESeconds:       wq + in.RequestSeconds(),
+	}, nil
+}
+
+// MaxRateForSLO returns the highest request rate at which mean end-to-end
+// latency stays within sloSeconds, found by bisection. It returns 0 when
+// even an unloaded request misses the SLO.
+func (in Instance) MaxRateForSLO(sloSeconds float64) (float64, error) {
+	if sloSeconds <= 0 {
+		return 0, fmt.Errorf("serving: non-positive SLO %v", sloSeconds)
+	}
+	if in.RequestSeconds() > sloSeconds {
+		return 0, nil
+	}
+	mu := in.CapacityRequestsPerSec()
+	lo, hi := 0.0, mu*(1-1e-9)
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		l, err := in.AtRate(mid)
+		if err != nil || l.E2ESeconds > sloSeconds {
+			hi = mid
+			continue
+		}
+		lo = mid
+	}
+	return lo, nil
+}
+
+// FleetSize returns the number of instances needed to serve a demand rate
+// within the SLO, rounded up; errors when one instance cannot meet the SLO
+// at any load.
+func (in Instance) FleetSize(demandReqPerSec, sloSeconds float64) (int, error) {
+	per, err := in.MaxRateForSLO(sloSeconds)
+	if err != nil {
+		return 0, err
+	}
+	if per <= 0 {
+		return 0, fmt.Errorf("serving: SLO %.1fs unreachable — unloaded request takes %.1fs",
+			sloSeconds, in.RequestSeconds())
+	}
+	return int(math.Ceil(demandReqPerSec / per)), nil
+}
+
+// FleetCostUSD combines the fleet size with a per-instance device cost
+// (devices per instance = the workload's tensor-parallel degree), giving
+// the §4.4-style economics at service level: a design with worse TBT needs
+// more silicon to serve the same demand.
+func (in Instance) FleetCostUSD(demandReqPerSec, sloSeconds, perDeviceUSD float64) (float64, error) {
+	n, err := in.FleetSize(demandReqPerSec, sloSeconds)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) * float64(in.Result.Workload.TensorParallel) * perDeviceUSD, nil
+}

@@ -1,0 +1,191 @@
+package serving
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func a100Instance(t *testing.T, m model.Model) Instance {
+	t.Helper()
+	s := sim.New()
+	r, err := s.Simulate(arch.A100(), model.PaperWorkload(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Instance{Result: r}
+}
+
+func TestCapacityConsistency(t *testing.T) {
+	in := a100Instance(t, model.Llama3_8B())
+	rs := in.RequestSeconds()
+	if rs <= 0 {
+		t.Fatal("non-positive request time")
+	}
+	wantCap := float64(in.Result.Workload.Batch) / rs
+	if math.Abs(in.CapacityRequestsPerSec()-wantCap) > 1e-12 {
+		t.Error("capacity inconsistent with request time")
+	}
+	if in.TokensPerSec() <= 0 {
+		t.Error("token throughput must be positive")
+	}
+	// A request is prefill + 1024 decode steps; decode dominates.
+	if in.Result.FullModelTTFTSeconds() > rs/2 {
+		t.Error("decode should dominate request time at 1024 output tokens")
+	}
+}
+
+func TestAtRateBehaviour(t *testing.T) {
+	in := a100Instance(t, model.Llama3_8B())
+	mu := in.CapacityRequestsPerSec()
+
+	idle, err := in.AtRate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.QueueWaitSeconds != 0 || idle.Utilization != 0 {
+		t.Errorf("zero load should have no queueing: %+v", idle)
+	}
+	if math.Abs(idle.E2ESeconds-in.RequestSeconds()) > 1e-12 {
+		t.Error("unloaded E2E should equal the request time")
+	}
+
+	half, err := in.AtRate(mu / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Utilization != 0.5 || half.QueueWaitSeconds <= 0 {
+		t.Errorf("half load wrong: %+v", half)
+	}
+	// M/D/1 at ρ=0.5: Wq = 0.5/(2μ·0.5) = 1/(2μ).
+	if math.Abs(half.QueueWaitSeconds-1/(2*mu)) > 1e-9 {
+		t.Errorf("M/D/1 wait at ρ=0.5 = %v, want %v", half.QueueWaitSeconds, 1/(2*mu))
+	}
+
+	if _, err := in.AtRate(mu); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("at capacity should be overloaded, got %v", err)
+	}
+	if _, err := in.AtRate(-1); err == nil {
+		t.Error("negative rate should error")
+	}
+}
+
+func TestLatencyMonotoneInLoadProperty(t *testing.T) {
+	in := a100Instance(t, model.Llama3_8B())
+	mu := in.CapacityRequestsPerSec()
+	f := func(a, b uint8) bool {
+		ra := float64(a) / 256 * mu
+		rb := float64(b) / 256 * mu
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		la, err1 := in.AtRate(ra)
+		lb, err2 := in.AtRate(rb)
+		return err1 == nil && err2 == nil && lb.E2ESeconds >= la.E2ESeconds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxRateForSLO(t *testing.T) {
+	in := a100Instance(t, model.Llama3_8B())
+	rs := in.RequestSeconds()
+
+	// A generous SLO admits nearly the full capacity.
+	rate, err := in.MaxRateForSLO(rs * 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 || rate >= in.CapacityRequestsPerSec() {
+		t.Errorf("rate under generous SLO = %v, capacity %v", rate, in.CapacityRequestsPerSec())
+	}
+	// The found rate actually meets the SLO, and a slightly higher one
+	// either misses it or overloads.
+	l, err := in.AtRate(rate)
+	if err != nil || l.E2ESeconds > rs*10 {
+		t.Errorf("found rate misses SLO: %+v, %v", l, err)
+	}
+	// An SLO below the unloaded request time is unreachable.
+	rate, err = in.MaxRateForSLO(rs * 0.5)
+	if err != nil || rate != 0 {
+		t.Errorf("unreachable SLO should give zero rate: %v, %v", rate, err)
+	}
+	if _, err := in.MaxRateForSLO(0); err == nil {
+		t.Error("non-positive SLO should error")
+	}
+}
+
+func TestFleetSizing(t *testing.T) {
+	in := a100Instance(t, model.Llama3_8B())
+	slo := in.RequestSeconds() * 3
+	per, err := in.MaxRateForSLO(slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := in.FleetSize(per*7.5, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Errorf("fleet for 7.5× one instance's rate = %d, want 8", n)
+	}
+	if _, err := in.FleetSize(10, in.RequestSeconds()*0.1); err == nil {
+		t.Error("unreachable SLO should fail fleet sizing")
+	}
+	cost, err := in.FleetCostUSD(per*7.5, slo, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8.0 * float64(in.Result.Workload.TensorParallel) * 10000
+	if math.Abs(cost-want) > 1e-6 {
+		t.Errorf("fleet cost = %v, want %v", cost, want)
+	}
+}
+
+// TestBandwidthRestrictedDesignNeedsBiggerFleet ties serving back to the
+// paper: capping memory bandwidth (the architecture-first AI restriction)
+// inflates the fleet needed for the same demand and SLO.
+func TestBandwidthRestrictedDesignNeedsBiggerFleet(t *testing.T) {
+	s := sim.New()
+	w := model.PaperWorkload(model.GPT3_175B())
+	fast, err := s.Simulate(arch.A100(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := s.Simulate(arch.A100().WithHBMBandwidth(800), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastIn := Instance{Result: fast}
+	slowIn := Instance{Result: slow}
+	slo := fastIn.RequestSeconds() * 4
+	demand := fastIn.CapacityRequestsPerSec() * 3
+
+	nFast, err := fastIn.FleetSize(demand, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSlow, err := slowIn.FleetSize(demand, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nSlow <= nFast {
+		t.Errorf("bandwidth-capped design should need a bigger fleet: %d vs %d", nSlow, nFast)
+	}
+}
+
+func TestZeroInstance(t *testing.T) {
+	var in Instance
+	if in.CapacityRequestsPerSec() != 0 || in.TokensPerSec() != 0 {
+		t.Error("zero instance should have zero capacity")
+	}
+	if _, err := in.AtRate(1); err == nil {
+		t.Error("zero-capacity instance should error on load")
+	}
+}

@@ -1,0 +1,203 @@
+// Package sim simulates LLM inference on a candidate device: it lowers a
+// workload's Transformer layer into operators (package model), times each
+// operator on the device (package perf), and aggregates the two latency
+// metrics the paper reports — time to first token (TTFT, the prefill
+// latency) and time between tokens (TBT, the per-token decode latency) —
+// together with model-FLOPs utilisation (MFU).
+//
+// Following the paper's methodology (§3.2), only one standard layer is
+// simulated and scaled by the layer count: LLMs are stacks of identical
+// Transformer layers, so one layer determines the whole model.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/perf"
+)
+
+// Result is a simulated inference profile for one workload on one device
+// configuration.
+type Result struct {
+	Config   arch.Config
+	Workload model.Workload
+
+	// TTFTSeconds is the prefill latency of one standard Transformer layer
+	// — the paper's reported TTFT metric (§3.2: LLMs are stacks of
+	// identical layers, so one layer is simulated and reported).
+	TTFTSeconds float64
+	// TBTSeconds is the steady-state per-token decode latency of one layer.
+	TBTSeconds float64
+
+	// PrefillMFU and DecodeMFU are model-FLOPs utilisation of each phase:
+	// observed throughput over the tensor-parallel group's peak FLOPs.
+	PrefillMFU float64
+	DecodeMFU  float64
+
+	// PrefillOps and DecodeOps are the per-operator profiles for one layer.
+	PrefillOps []perf.Time
+	DecodeOps  []perf.Time
+}
+
+// Simulator binds a performance engine so operator-level model constants
+// can be overridden in one place. The zero value is not useful; use New.
+type Simulator struct {
+	Engine *perf.Engine
+}
+
+// New returns a Simulator with the default calibrated engine.
+func New() *Simulator { return &Simulator{Engine: perf.Default()} }
+
+// Simulate runs prefill and decode for the workload on cfg.
+func (s *Simulator) Simulate(cfg arch.Config, w model.Workload) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if s.Engine == nil {
+		return Result{}, fmt.Errorf("sim: Simulator has no engine; use sim.New")
+	}
+
+	prefill, err := s.phase(cfg, w, w.PrefillOps())
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: prefill: %w", err)
+	}
+	decode, err := s.phase(cfg, w, w.DecodeOps())
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: decode: %w", err)
+	}
+
+	r := Result{
+		Config:      cfg,
+		Workload:    w,
+		TTFTSeconds: sumSeconds(prefill),
+		TBTSeconds:  sumSeconds(decode),
+		PrefillOps:  prefill,
+		DecodeOps:   decode,
+	}
+	peak := cfg.TensorTOPS() * 1e12
+	if r.TTFTSeconds > 0 {
+		r.PrefillMFU = sumFLOPs(prefill) / (r.TTFTSeconds * peak)
+	}
+	if r.TBTSeconds > 0 {
+		r.DecodeMFU = sumFLOPs(decode) / (r.TBTSeconds * peak)
+	}
+	return r, nil
+}
+
+func (s *Simulator) phase(cfg arch.Config, w model.Workload, ops []perf.Op) ([]perf.Time, error) {
+	times := make([]perf.Time, 0, len(ops))
+	for _, op := range ops {
+		t, err := s.Engine.Simulate(cfg, w.TensorParallel, op)
+		if err != nil {
+			return nil, fmt.Errorf("op %s: %w", op.OpName(), err)
+		}
+		times = append(times, t)
+	}
+	return times, nil
+}
+
+func sumSeconds(ts []perf.Time) float64 {
+	var sum float64
+	for _, t := range ts {
+		sum += t.Seconds
+	}
+	return sum
+}
+
+func sumFLOPs(ts []perf.Time) float64 {
+	var sum float64
+	for _, t := range ts {
+		sum += t.FLOPs
+	}
+	return sum
+}
+
+// FullModelTTFTSeconds returns the prefill latency across all layers.
+func (r Result) FullModelTTFTSeconds() float64 {
+	return r.TTFTSeconds * float64(r.Workload.Model.Layers)
+}
+
+// FullModelTBTSeconds returns the per-token decode latency across all
+// layers.
+func (r Result) FullModelTBTSeconds() float64 {
+	return r.TBTSeconds * float64(r.Workload.Model.Layers)
+}
+
+// EndToEndSeconds returns the full-request, full-model latency: prefill
+// plus one decode step per generated token.
+func (r Result) EndToEndSeconds() float64 {
+	return r.FullModelTTFTSeconds() + float64(r.Workload.OutputLen)*r.FullModelTBTSeconds()
+}
+
+// ThroughputTokensPerSec returns generated tokens per second at steady
+// state across the batch for the full model.
+func (r Result) ThroughputTokensPerSec() float64 {
+	if r.TBTSeconds == 0 {
+		return 0
+	}
+	return float64(r.Workload.Batch) / r.FullModelTBTSeconds()
+}
+
+// PhaseBreakdown classifies one phase's layer time by bound resource.
+type PhaseBreakdown struct {
+	ComputeBoundSec float64
+	MemoryBoundSec  float64
+	CommSec         float64
+	OverheadSec     float64
+}
+
+// Breakdown classifies each operator of the given per-layer profile by its
+// binding resource, the decomposition behind the paper's "prefill is
+// compute-bound, decoding is bandwidth-bound" analysis.
+func Breakdown(ops []perf.Time) PhaseBreakdown {
+	var b PhaseBreakdown
+	for _, t := range ops {
+		switch {
+		case t.CommSeconds > 0:
+			b.CommSec += t.Seconds
+		case t.DRAMSeconds >= t.ComputeSeconds:
+			b.MemoryBoundSec += t.Seconds
+		default:
+			b.ComputeBoundSec += t.Seconds
+		}
+	}
+	return b
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("%s on %s (TP%d): TTFT %.1f ms, TBT %.3f ms, MFU prefill %.0f%% decode %.1f%%",
+		r.Workload.Model.Name, r.Config.Name, r.Workload.TensorParallel,
+		r.TTFTSeconds*1e3, r.TBTSeconds*1e3, r.PrefillMFU*100, r.DecodeMFU*100)
+}
+
+// ProfileTable renders a per-operator latency table for one phase, slowest
+// operators first, for debugging and the llmsim CLI.
+func ProfileTable(ops []perf.Time) string {
+	sorted := make([]perf.Time, len(ops))
+	copy(sorted, ops)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Seconds > sorted[j].Seconds })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %8s\n", "op", "total(µs)", "compute", "dram", "bound")
+	for _, t := range sorted {
+		bound := "compute"
+		switch {
+		case t.CommSeconds > 0:
+			bound = "comm"
+		case t.DRAMSeconds >= t.ComputeSeconds:
+			bound = "memory"
+		case t.FeedLimited:
+			bound = "L1-feed"
+		}
+		fmt.Fprintf(&sb, "%-16s %10.1f %10.1f %10.1f %8s\n",
+			t.Name, t.Seconds*1e6, t.ComputeSeconds*1e6, t.DRAMSeconds*1e6, bound)
+	}
+	return sb.String()
+}

@@ -1,0 +1,187 @@
+// Package stats provides the distribution statistics behind the paper's
+// architecture-first performance-indicator analysis (Figures 11 and 12):
+// summaries of latency distributions, the distribution-narrowing ratio that
+// quantifies how strongly fixing one architectural parameter pins down
+// workload performance, and grouped-distribution helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes one sample's distribution.
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+	StdDev float64
+}
+
+// Range returns Max − Min, the width the paper's narrowing ratios compare.
+func (s Summary) Range() float64 { return s.Max - s.Min }
+
+// IQR returns the interquartile range.
+func (s Summary) IQR() float64 { return s.Q3 - s.Q1 }
+
+// String renders the five-number summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g",
+		s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max)
+}
+
+// Summarize computes the summary of xs. It panics on NaN input (the sweeps
+// never produce NaN; a NaN here is a bug upstream) and returns a zero
+// Summary for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if math.IsNaN(sorted[len(sorted)-1]) || math.IsNaN(sorted[0]) {
+		panic("stats: NaN in sample")
+	}
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Q1:     quantile(sorted, 0.25),
+		Median: quantile(sorted, 0.5),
+		Q3:     quantile(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// quantile returns the linearly interpolated q-quantile of sorted data.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// NarrowingRatio returns how much narrower the constrained distribution is
+// than the baseline: baseline range divided by constrained range. This is
+// the paper's headline indicator metric ("up to 42.4× narrower
+// distributions"). A constrained range of zero returns +Inf — the
+// constraint fully determines the metric.
+func NarrowingRatio(baseline, constrained Summary) float64 {
+	if constrained.Range() == 0 {
+		return math.Inf(1)
+	}
+	return baseline.Range() / constrained.Range()
+}
+
+// Group is a named sub-distribution of a baseline sample, e.g. "all 4800
+// TPP designs with memory bandwidth fixed at 2.8 TB/s".
+type Group struct {
+	Name    string
+	Summary Summary
+	// Narrowing is the baseline-range over group-range ratio.
+	Narrowing float64
+	// MedianShift is the group's median relative to the baseline median
+	// (+0.5 = 50% slower), the §5.3 "median TBT 110% slower" metric.
+	MedianShift float64
+}
+
+// GroupBy summarises the baseline sample and each named sub-sample against
+// it. Sub-samples are typically the baseline filtered on one architectural
+// parameter.
+func GroupBy(baseline []float64, groups map[string][]float64) (Summary, []Group) {
+	base := Summarize(baseline)
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Group, 0, len(names))
+	for _, name := range names {
+		s := Summarize(groups[name])
+		g := Group{Name: name, Summary: s, Narrowing: NarrowingRatio(base, s)}
+		if base.Median != 0 {
+			g.MedianShift = s.Median/base.Median - 1
+		}
+		out = append(out, g)
+	}
+	return base, out
+}
+
+// Histogram bins xs into n equal-width buckets over [min, max] and returns
+// the counts; used by the ASCII box/violin rendering in package plot.
+func Histogram(xs []float64, n int) (counts []int, lo, hi float64) {
+	if len(xs) == 0 || n <= 0 {
+		return nil, 0, 0
+	}
+	s := Summarize(xs)
+	lo, hi = s.Min, s.Max
+	counts = make([]int, n)
+	if hi == lo {
+		counts[0] = len(xs)
+		return counts, lo, hi
+	}
+	for _, x := range xs {
+		i := int(float64(n) * (x - lo) / (hi - lo))
+		if i >= n {
+			i = n - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		counts[i]++
+	}
+	return counts, lo, hi
+}
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length samples, used to quantify how well an architectural metric
+// predicts workload latency across a sweep.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need ≥ 2 samples, got %d", len(xs))
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		syy += ys[i] * ys[i]
+		sxy += xs[i] * ys[i]
+	}
+	n := float64(len(xs))
+	cov := sxy/n - sx/n*sy/n
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	if vx <= 0 || vy <= 0 {
+		return 0, fmt.Errorf("stats: zero variance")
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}

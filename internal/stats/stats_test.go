@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles wrong: q1=%v q3=%v", s.Q1, s.Q3)
+	}
+	if s.Range() != 4 || s.IQR() != 2 {
+		t.Errorf("range/IQR wrong: %v %v", s.Range(), s.IQR())
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("stddev = %v, want √2", s.StdDev)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty sample should give zero summary: %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Q1 != 7 || s.Q3 != 7 {
+		t.Errorf("singleton summary wrong: %+v", s)
+	}
+	if s.Range() != 0 {
+		t.Error("singleton range should be 0")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Summarize must not reorder its input")
+	}
+}
+
+func TestSummarizePanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on NaN")
+		}
+	}()
+	Summarize([]float64{1, math.NaN(), 2})
+}
+
+func TestNarrowingRatio(t *testing.T) {
+	base := Summarize([]float64{0, 100})
+	narrow := Summarize([]float64{50, 55})
+	if r := NarrowingRatio(base, narrow); math.Abs(r-20) > 1e-12 {
+		t.Errorf("narrowing = %v, want 20", r)
+	}
+	point := Summarize([]float64{50})
+	if r := NarrowingRatio(base, point); !math.IsInf(r, 1) {
+		t.Errorf("zero-width group should narrow infinitely, got %v", r)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	baseline := []float64{10, 12, 14, 16, 18, 20}
+	base, groups := GroupBy(baseline, map[string][]float64{
+		"fixed-bw": {14, 15, 16},
+		"fixed-l1": {10, 20},
+	})
+	if base.N != 6 {
+		t.Fatalf("baseline N = %d", base.N)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	// Groups are name-sorted for deterministic reports.
+	if groups[0].Name != "fixed-bw" || groups[1].Name != "fixed-l1" {
+		t.Errorf("groups not sorted: %v %v", groups[0].Name, groups[1].Name)
+	}
+	if math.Abs(groups[0].Narrowing-5) > 1e-12 {
+		t.Errorf("fixed-bw narrowing = %v, want 5 (10/2)", groups[0].Narrowing)
+	}
+	if math.Abs(groups[1].Narrowing-1) > 1e-12 {
+		t.Errorf("fixed-l1 narrowing = %v, want 1", groups[1].Narrowing)
+	}
+	// Median shift: fixed-bw median 15 vs baseline 15 → 0.
+	if math.Abs(groups[0].MedianShift) > 1e-12 {
+		t.Errorf("fixed-bw median shift = %v, want 0", groups[0].MedianShift)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if s.Q1 != 2.5 || s.Median != 5 || s.Q3 != 7.5 {
+		t.Errorf("interpolated quantiles wrong: %+v", s)
+	}
+}
+
+func TestSummarizeAgainstSortInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, lo, hi := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if lo != 0 || hi != 9 {
+		t.Errorf("bounds %v %v", lo, hi)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram loses samples: %v", counts)
+	}
+	// Degenerate cases.
+	if counts, _, _ := Histogram(nil, 5); counts != nil {
+		t.Error("empty data should give nil histogram")
+	}
+	counts, _, _ = Histogram([]float64{4, 4, 4}, 3)
+	if counts[0] != 3 {
+		t.Errorf("constant sample should fill the first bin: %v", counts)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if r, err := Correlation(xs, []float64{2, 4, 6, 8}); err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect correlation: r=%v err=%v", r, err)
+	}
+	if r, err := Correlation(xs, []float64{8, 6, 4, 2}); err != nil || math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation: r=%v err=%v", r, err)
+	}
+	if _, err := Correlation(xs, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := Correlation([]float64{1}, []float64{1}); err == nil {
+		t.Error("too-small sample should error")
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero variance should error")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3}).String()
+	if !strings.Contains(s, "med=2") || !strings.Contains(s, "n=3") {
+		t.Errorf("summary string unexpected: %s", s)
+	}
+}

@@ -1,0 +1,233 @@
+// Package tilesim is a discrete-event, tile-granularity simulator for
+// matmuls on the LLMCompass hardware template — a second, independent
+// evaluation path for the analytic model in package perf. Where perf
+// computes max(compute, feed, HBM) in closed form, tilesim actually
+// schedules macro-tiles onto lanes over time: each lane double-buffers
+// operand panels fetched through two *shared, contended* channels (HBM into
+// L2, L2 into the lane) and overlaps fetch with systolic compute.
+//
+// The cross-validation tests assert the two models agree on compute-bound,
+// feed-bound and HBM-bound shapes; disagreement beyond tolerance in either
+// direction is a regression in one of the models.
+package tilesim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/perf"
+)
+
+// channel is a shared bandwidth resource serving requests FIFO.
+type channel struct {
+	bytesPerSec float64
+	freeAt      float64
+}
+
+// serve returns the completion time of a transfer of the given bytes
+// requested at time t.
+func (c *channel) serve(t, bytes float64) float64 {
+	start := t
+	if c.freeAt > start {
+		start = c.freeAt
+	}
+	c.freeAt = start + bytes/c.bytesPerSec
+	return c.freeAt
+}
+
+// laneTask is one lane's remaining work.
+type laneTask struct {
+	tilesLeft   int
+	computeSec  float64 // per macro-tile
+	hbmBytes    float64 // per macro-tile, compulsory DRAM share
+	l2Bytes     float64 // per macro-tile, L2→lane operand traffic
+	bufferReady float64 // when the prefetched panel is ready
+	at          float64 // lane-local clock
+	index       int
+}
+
+// eventQueue orders lanes by their next availability.
+type eventQueue []*laneTask
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *eventQueue) Push(x interface{}) { t := x.(*laneTask); t.index = len(*q); *q = append(*q, t) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	*q = old[:n-1]
+	return t
+}
+
+// Result is the event-driven execution profile.
+type Result struct {
+	Seconds float64
+	// MacroTiles is the total scheduled tile count.
+	MacroTiles int
+	// LanesUsed is the number of lanes that received work.
+	LanesUsed int
+}
+
+// Simulate executes the matmul tile-by-tile and returns its latency.
+func Simulate(cfg arch.Config, m perf.Matmul) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if m.Batch < 1 || m.M < 1 || m.K < 1 || m.N < 1 {
+		return Result{}, errors.New("tilesim: matmul dimensions must be positive")
+	}
+
+	// Macro-tile selection mirrors the analytic model's L1 tiling: square
+	// tiles sized to the lane's buffer share, quantised to the array.
+	mt, nt := macroTile(cfg, m)
+	tilesM := ceilDiv(m.M, mt)
+	tilesN := ceilDiv(m.N, nt)
+	totalTiles := m.Batch * tilesM * tilesN
+
+	lanes := cfg.CoreCount * cfg.LanesPerCore
+	used := lanes
+	if totalTiles < lanes {
+		used = totalTiles
+	}
+	if used == 0 {
+		return Result{}, errors.New("tilesim: no work")
+	}
+
+	// Per-macro-tile work. Compute: K-streaming through the array at one
+	// column per cycle per DX×DY block.
+	blocks := float64(ceilDiv(mt, cfg.SystolicDimX) * ceilDiv(nt, cfg.SystolicDimY))
+	cycles := blocks * float64(m.K+cfg.SystolicDimX+cfg.SystolicDimY)
+	computeSec := cycles / (cfg.ClockGHz * 1e9)
+
+	// Operand traffic per macro-tile: A and B panels from L2; the panels'
+	// compulsory DRAM share amortises each operand over its cross-tile
+	// reuse (A re-read per N-block, B per M-block — matching the blocked
+	// analytic traffic at L2 scale).
+	l2Bytes := 2 * float64(m.K) * float64(mt+nt)
+	hbmBytes := l2Bytes / reuseFactor(cfg, m)
+
+	base := float64(totalTiles) / float64(used) // tiles per lane (fractional)
+	perLane := int(base)
+	extra := totalTiles - perLane*used
+
+	dram := &channel{bytesPerSec: cfg.HBMBandwidthGBs * 1e9 * 0.82}
+	l2 := &channel{bytesPerSec: cfg.L2BandwidthGBs() * 1e9}
+
+	q := make(eventQueue, 0, used)
+	for i := 0; i < used; i++ {
+		tiles := perLane
+		if i < extra {
+			tiles++
+		}
+		if tiles == 0 {
+			continue
+		}
+		q = append(q, &laneTask{tilesLeft: tiles, computeSec: computeSec,
+			hbmBytes: hbmBytes, l2Bytes: l2Bytes, index: len(q)})
+	}
+	heap.Init(&q)
+
+	// Each lane alternates: wait for its prefetched panel, compute while
+	// prefetching the next panel through the shared channels.
+	var makespan float64
+	for q.Len() > 0 {
+		lane := heap.Pop(&q).(*laneTask)
+		// Fetch the panel for the current tile (serialised through DRAM
+		// then L2, both shared).
+		ready := l2.serve(dram.serve(lane.at, lane.hbmBytes), lane.l2Bytes)
+		if ready < lane.bufferReady {
+			ready = lane.bufferReady
+		}
+		done := ready + lane.computeSec
+		lane.tilesLeft--
+		if done > makespan {
+			makespan = done
+		}
+		if lane.tilesLeft > 0 {
+			// Double buffering: the next fetch may start as soon as this
+			// tile's fetch finished; compute occupies the lane.
+			lane.bufferReady = ready
+			lane.at = ready
+			// The lane is next schedulable when its array frees.
+			lane.at = done - lane.computeSec // fetch can overlap compute
+			lane.bufferReady = done
+			heap.Push(&q, lane)
+		}
+	}
+	return Result{Seconds: makespan, MacroTiles: totalTiles, LanesUsed: used}, nil
+}
+
+func macroTile(cfg arch.Config, m perf.Matmul) (mt, nt int) {
+	capBytes := cfg.L1BytesPerLane()
+	dx, dy := cfg.SystolicDimX, cfg.SystolicDimY
+	// Same capacity constraint as the analytic tiler with Kt = 32:
+	// 4·Kt·(mt+nt) + 4·mt·nt ≤ cap, square seed.
+	kt := 32
+	if kt > m.K {
+		kt = m.K
+	}
+	t := 16
+	for (4*kt*(2*(t+dx)) + 4*(t+dx)*(t+dx)) <= capBytes {
+		t += dx
+	}
+	mt = clampMult(t, dx, m.M)
+	nt = clampMult(t, dy, m.N)
+	return mt, nt
+}
+
+func clampMult(t, dim, limit int) int {
+	v := t / dim * dim
+	if v < dim {
+		v = dim
+	}
+	max := ceilDiv(limit, dim) * dim
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// reuseFactor approximates how many times each operand byte fetched into L2
+// is consumed before eviction, i.e. the ratio of L2-side to DRAM-side
+// traffic under blocked scheduling.
+func reuseFactor(cfg arch.Config, m perf.Matmul) float64 {
+	e := perf.Default()
+	t, err := e.Simulate(cfg, 1, perf.Matmul{Name: "probe", Batch: m.Batch,
+		M: m.M, K: m.K, N: m.N, BBytesPerElem: m.BBytesPerElem})
+	if err != nil || t.DRAMBytes <= 0 {
+		return 1
+	}
+	mt, nt := macroTile(cfg, m)
+	l2Total := 2 * float64(m.K) * float64(mt+nt) *
+		float64(m.Batch*ceilDiv(m.M, mt)*ceilDiv(m.N, nt))
+	r := l2Total / t.DRAMBytes
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Compare runs both models on the same matmul and returns their ratio
+// (event-driven over analytic compute+memory time, overheads excluded).
+func Compare(cfg arch.Config, m perf.Matmul) (eventSec, analyticSec, ratio float64, err error) {
+	ev, err := Simulate(cfg, m)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	e := perf.Default()
+	an, err := e.Simulate(cfg, 1, m)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	analytic := an.Seconds - e.LaunchOverheadSec
+	if analytic <= 0 {
+		return 0, 0, 0, fmt.Errorf("tilesim: degenerate analytic time")
+	}
+	return ev.Seconds, analytic, ev.Seconds / analytic, nil
+}

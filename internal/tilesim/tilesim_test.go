@@ -1,0 +1,152 @@
+package tilesim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/perf"
+)
+
+func TestCrossValidationComputeBound(t *testing.T) {
+	// On the big compute-bound shapes — where the paper's TPP story lives —
+	// the event-driven and analytic models must agree within 10%.
+	cfg := arch.A100()
+	for _, m := range []perf.Matmul{
+		{Name: "ffn-prefill", Batch: 1, M: 65536, K: 12288, N: 12288},
+		{Name: "attn-score", Batch: 768, M: 2048, K: 128, N: 2048},
+	} {
+		_, _, r, err := Compare(cfg, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if r < 0.9 || r > 1.1 {
+			t.Errorf("%s: event/analytic ratio = %.2f, want within 10%%", m.Name, r)
+		}
+	}
+}
+
+func TestCrossValidationMemoryBound(t *testing.T) {
+	// Memory-bound shapes: the event model serialises channel hops the
+	// analytic max() overlaps, so it may run up to ~2× slower but never
+	// faster than the analytic bound.
+	cfg := arch.A100()
+	for _, m := range []perf.Matmul{
+		{Name: "decode", Batch: 1, M: 32, K: 12288, N: 12288},
+		{Name: "mid", Batch: 1, M: 4096, K: 4096, N: 4096},
+	} {
+		_, _, r, err := Compare(cfg, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if r < 0.95 || r > 2.5 {
+			t.Errorf("%s: event/analytic ratio = %.2f, want within [0.95, 2.5]", m.Name, r)
+		}
+	}
+}
+
+func TestEventModelConfirmsFeedStarvation(t *testing.T) {
+	// The analytic model's headline mechanism: shrinking L1 starves the
+	// arrays. The independent event model must reproduce the slowdown.
+	m := perf.Matmul{Name: "ffn", Batch: 1, M: 65536, K: 12288, N: 12288}
+	base, err := Simulate(arch.A100(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved := arch.A100()
+	starved.L1KB = 32
+	slow, err := Simulate(starved, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Seconds < base.Seconds*1.5 {
+		t.Errorf("event model should confirm L1 starvation: %.1f → %.1f ms",
+			base.Seconds*1e3, slow.Seconds*1e3)
+	}
+}
+
+func TestEventModelScalesWithBandwidth(t *testing.T) {
+	m := perf.Matmul{Name: "decode", Batch: 1, M: 32, K: 12288, N: 12288}
+	fast, err := Simulate(arch.A100(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Simulate(arch.A100().WithHBMBandwidth(1000), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := slow.Seconds / fast.Seconds; r < 1.6 || r > 2.4 {
+		t.Errorf("halving HBM should ≈ double decode time in the event model: %.2f×", r)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := perf.Matmul{Name: "mid", Batch: 4, M: 2048, K: 4096, N: 4096}
+	a, err := Simulate(arch.A100(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(arch.A100(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("event simulation must be deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestWorkAccounting(t *testing.T) {
+	m := perf.Matmul{Name: "small", Batch: 2, M: 100, K: 256, N: 300}
+	r, err := Simulate(arch.A100(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MacroTiles < 2 {
+		t.Errorf("expected ≥ 2 macro-tiles, got %d", r.MacroTiles)
+	}
+	if r.LanesUsed < 1 || r.LanesUsed > 432 {
+		t.Errorf("lanes used = %d", r.LanesUsed)
+	}
+	if r.Seconds <= 0 {
+		t.Error("non-positive latency")
+	}
+	// Fewer tiles than lanes: every tile gets its own lane.
+	tiny := perf.Matmul{Name: "tiny", Batch: 1, M: 16, K: 64, N: 16}
+	rt, err := Simulate(arch.A100(), tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.LanesUsed != rt.MacroTiles {
+		t.Errorf("tiny matmul: lanes %d != tiles %d", rt.LanesUsed, rt.MacroTiles)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(arch.Config{}, perf.Matmul{Batch: 1, M: 1, K: 1, N: 1}); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := Simulate(arch.A100(), perf.Matmul{Batch: 0, M: 1, K: 1, N: 1}); err == nil {
+		t.Error("zero batch should error")
+	}
+	if _, _, _, err := Compare(arch.Config{}, perf.Matmul{Batch: 1, M: 1, K: 1, N: 1}); err == nil {
+		t.Error("Compare should propagate validation errors")
+	}
+}
+
+func TestMoreLanesNeverSlower(t *testing.T) {
+	m := perf.Matmul{Name: "mid", Batch: 8, M: 4096, K: 2048, N: 4096}
+	small := arch.A100()
+	small.CoreCount = 54
+	big := arch.A100()
+	rs, err := Simulate(small, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Simulate(big, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Seconds > rs.Seconds*1.02 {
+		t.Errorf("doubling cores must not slow the event model: %.2f vs %.2f ms",
+			rb.Seconds*1e3, rs.Seconds*1e3)
+	}
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonTraceShape(t *testing.T) {
+	reqs, err := PoissonTrace(1, 10000, 50, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 10000 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	// Arrival times strictly increase; empirical rate near 50/s.
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].ArrivalSec <= reqs[i-1].ArrivalSec {
+			t.Fatal("arrivals not increasing")
+		}
+	}
+	empRate := float64(len(reqs)) / reqs[len(reqs)-1].ArrivalSec
+	if math.Abs(empRate-50) > 2.5 {
+		t.Errorf("empirical rate = %.1f/s, want ≈ 50", empRate)
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	a, _ := PoissonTrace(7, 100, 10, 0.05)
+	b, _ := PoissonTrace(7, 100, 10, 0.05)
+	c, _ := PoissonTrace(8, 100, 10, 0.05)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the trace")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := PoissonTrace(1, 0, 10, 1); err == nil {
+		t.Error("zero n should error")
+	}
+	if _, err := PoissonTrace(1, 10, -1, 1); err == nil {
+		t.Error("negative rate should error")
+	}
+	if _, err := LognormalServiceTrace(1, 10, 10, 0, 0.5); err == nil {
+		t.Error("zero mean service should error")
+	}
+	if _, err := Replay(nil); err == nil {
+		t.Error("empty trace should error")
+	}
+	if _, err := Replay([]Request{{ArrivalSec: 1, ServiceSec: 0}}); err == nil {
+		t.Error("zero service time should error")
+	}
+	if _, err := Replay([]Request{{ArrivalSec: 2, ServiceSec: 1}, {ArrivalSec: 1, ServiceSec: 1}}); err == nil {
+		t.Error("out-of-order arrivals should error")
+	}
+}
+
+// TestReplayMatchesMD1 is the package's purpose: the empirical mean wait of
+// a long Poisson/deterministic replay must match the closed-form M/D/1
+// value that package serving relies on.
+func TestReplayMatchesMD1(t *testing.T) {
+	const service = 0.02
+	for _, rho := range []float64{0.3, 0.5, 0.7, 0.85} {
+		lambda := rho / service
+		reqs, err := PoissonTrace(42, 200000, lambda, service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Replay(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := MD1MeanWait(lambda, service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(st.MeanWaitSec-want) / want; rel > 0.08 {
+			t.Errorf("ρ=%.2f: empirical wait %.5f vs analytic %.5f (%.1f%% off)",
+				rho, st.MeanWaitSec, want, rel*100)
+		}
+		if math.Abs(st.ServerBusyFrac-rho) > 0.03 {
+			t.Errorf("ρ=%.2f: busy fraction %.3f", rho, st.ServerBusyFrac)
+		}
+	}
+}
+
+func TestHeavyTailRaisesWaits(t *testing.T) {
+	// Same mean service and load: lognormal service (M/G/1 with CV > 0)
+	// must queue worse than deterministic service.
+	const service, lambda = 0.02, 25.0 // ρ = 0.5
+	det, err := PoissonTrace(9, 100000, lambda, service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := LognormalServiceTrace(9, 100000, lambda, service, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Replay(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := Replay(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.MeanWaitSec <= ds.MeanWaitSec {
+		t.Errorf("heavy-tailed service should queue worse: %.5f vs %.5f",
+			hs.MeanWaitSec, ds.MeanWaitSec)
+	}
+	if hs.P99WaitSec <= ds.P99WaitSec {
+		t.Error("tail waits should be worse under lognormal service")
+	}
+}
+
+func TestLognormalMeanCalibration(t *testing.T) {
+	reqs, err := LognormalServiceTrace(3, 200000, 1, 0.5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range reqs {
+		sum += r.ServiceSec
+	}
+	if mean := sum / float64(len(reqs)); math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("lognormal service mean = %.3f, want 0.5", mean)
+	}
+}
+
+func TestStatsInternals(t *testing.T) {
+	// Two back-to-back requests: the second waits exactly the overlap.
+	reqs := []Request{
+		{ArrivalSec: 0, ServiceSec: 1},
+		{ArrivalSec: 0.25, ServiceSec: 1},
+	}
+	st, err := Replay(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanWaitSec != 0.375 || st.MaxWaitSec != 0.75 {
+		t.Errorf("waits wrong: %+v", st)
+	}
+	if st.MakespanSeconds != 2 {
+		t.Errorf("makespan = %v, want 2 (second request starts at t=1)", st.MakespanSeconds)
+	}
+	if math.Abs(st.MeanSystemSec-(1+1.75)/2) > 1e-12 {
+		t.Errorf("mean system = %v", st.MeanSystemSec)
+	}
+}
+
+func TestSortFloat64sAgainstStdlib(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		mine := append([]float64(nil), xs...)
+		ref := append([]float64(nil), xs...)
+		sortFloat64s(mine)
+		sort.Float64s(ref)
+		for i := range mine {
+			if mine[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMD1MeanWaitEdges(t *testing.T) {
+	if _, err := MD1MeanWait(-1, 1); err == nil {
+		t.Error("negative lambda should error")
+	}
+	if _, err := MD1MeanWait(1, 0); err == nil {
+		t.Error("zero service should error")
+	}
+	w, err := MD1MeanWait(2, 1)
+	if err != nil || !math.IsInf(w, 1) {
+		t.Errorf("overloaded queue should have infinite wait: %v %v", w, err)
+	}
+	w, err = MD1MeanWait(0, 1)
+	if err != nil || w != 0 {
+		t.Errorf("idle queue should have zero wait: %v %v", w, err)
+	}
+}
