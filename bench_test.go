@@ -10,6 +10,10 @@ package repro
 
 import (
 	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/arch"
@@ -17,6 +21,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/server"
 	"repro/internal/sim"
 )
 
@@ -166,6 +171,59 @@ func BenchmarkQuota(b *testing.B)     { benchExperiment(b, "quota") }
 // Escape-package performance and elasticity benchmarks.
 func BenchmarkEscapePerf(b *testing.B) { benchExperiment(b, "escapeperf") }
 func BenchmarkTornado(b *testing.B)    { benchExperiment(b, "tornado") }
+
+// Serving-layer benchmarks: the acrserve hot path and the DSE cache win.
+
+// BenchmarkServerClassify times the full synchronous serving hot path —
+// HTTP round trip, JSON decode, policy evaluation, JSON encode — for one
+// /v1/classify request.
+func BenchmarkServerClassify(b *testing.B) {
+	s := server.New(server.Config{
+		Workers: 1,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := `{"tpp":4992,"device_bw_gbs":600,"die_area_mm2":826}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/classify", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkDSECacheHit times the Fig 6 sweep served entirely from the
+// explorer's warmed result cache — the repeated-grid case the serving
+// layer optimises. Compare with BenchmarkDSESweep512 (cold, fresh
+// explorer per iteration) for the cache win.
+func BenchmarkDSECacheHit(b *testing.B) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	g := dse.Table3(4800, []float64{600})
+	ex := dse.NewExplorer()
+	if _, err := ex.Run(g, w); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Run(g, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := ex.Cache.Stats(); s.Hits == 0 {
+		b.Fatal("benchmark never hit the cache")
+	}
+}
 
 // BenchmarkCrossVal times the event-driven/analytic cross-validation.
 func BenchmarkCrossVal(b *testing.B) { benchExperiment(b, "crossval") }

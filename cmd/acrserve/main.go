@@ -1,0 +1,61 @@
+// Command acrserve serves the library's core facade over HTTP/JSON:
+// Advanced Computing Rule classification, LLM-inference simulation,
+// compliance audits with remediation menus, and asynchronous design-space
+// sweeps with job polling and cancellation.
+//
+//	acrserve -addr :8080
+//
+//	curl -X POST localhost:8080/v1/classify -d '{"tpp":4992,"device_bw_gbs":600}'
+//	curl -X POST localhost:8080/v1/dse -d '{"table3":{"tpp":4800},"rule":"oct2022"}'
+//	curl localhost:8080/metrics
+//
+// The process drains gracefully on SIGINT/SIGTERM: in-flight requests
+// finish, queued sweep jobs are cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+		backlog    = flag.Int("backlog", 64, "max queued sweep jobs before 503 back-pressure")
+		cache      = flag.Int("cache", 0, "result cache entries (0 = default, -1 = disabled)")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job deadline (-1s = none)")
+		verbose    = flag.Bool("v", false, "debug-level logs")
+	)
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	s := server.New(server.Config{
+		Workers:      *workers,
+		Backlog:      *backlog,
+		CacheEntries: *cache,
+		JobTimeout:   *jobTimeout,
+		Logger:       logger,
+	})
+	if err := s.ListenAndServe(ctx, *addr); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "acrserve:", err)
+		os.Exit(1)
+	}
+}

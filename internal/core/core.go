@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -194,6 +195,15 @@ type Optimum struct {
 // threshold) under RuleOct2022 and the paper's {500, 700, 900} set under
 // RuleOct2023, where device bandwidth is unregulated.
 func OptimizeCompliant(r Rule, tppBudget float64, w model.Workload, obj Objective) (Optimum, error) {
+	return OptimizeCompliantContext(context.Background(), nil, r, tppBudget, w, obj)
+}
+
+// OptimizeCompliantContext is OptimizeCompliant with cancellation and an
+// optional shared explorer: a cancelled ctx aborts the sweep early, and a
+// non-nil ex reuses its result cache across calls (the acrserve job queue
+// passes its long-lived explorer here). A nil ex uses a fresh default
+// explorer.
+func OptimizeCompliantContext(ctx context.Context, ex *dse.Explorer, r Rule, tppBudget float64, w model.Workload, obj Objective) (Optimum, error) {
 	metric, err := obj.metric()
 	if err != nil {
 		return Optimum{}, err
@@ -202,8 +212,10 @@ func OptimizeCompliant(r Rule, tppBudget float64, w model.Workload, obj Objectiv
 	if r == RuleOct2023 {
 		devBW = []float64{500, 700, 900}
 	}
-	ex := dse.NewExplorer()
-	points, err := ex.Run(dse.Table3(tppBudget, devBW), w)
+	if ex == nil {
+		ex = dse.NewExplorer()
+	}
+	points, err := ex.RunContext(ctx, dse.Table3(tppBudget, devBW), w)
 	if err != nil {
 		return Optimum{}, err
 	}
@@ -313,8 +325,16 @@ type Indicator struct {
 // Indicators runs the paper's Table 3 sweep at TPP 4800 and computes the
 // narrowing power of the given parameter for both inference phases.
 func Indicators(w model.Workload, p Param) (Indicator, error) {
-	ex := dse.NewExplorer()
-	points, err := ex.Run(dse.Table3(4800, []float64{500, 700, 900}), w)
+	return IndicatorsContext(context.Background(), nil, w, p)
+}
+
+// IndicatorsContext is Indicators with cancellation and an optional shared
+// explorer (nil means a fresh default one).
+func IndicatorsContext(ctx context.Context, ex *dse.Explorer, w model.Workload, p Param) (Indicator, error) {
+	if ex == nil {
+		ex = dse.NewExplorer()
+	}
+	points, err := ex.RunContext(ctx, dse.Table3(4800, []float64{500, 700, 900}), w)
 	if err != nil {
 		return Indicator{}, err
 	}

@@ -7,6 +7,10 @@
 package dse
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -16,6 +20,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/area"
 	"repro/internal/cost"
+	"repro/internal/lru"
 	"repro/internal/model"
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -167,56 +172,124 @@ type Explorer struct {
 	Wafer cost.Wafer
 	// Parallelism bounds worker goroutines; 0 means GOMAXPROCS.
 	Parallelism int
+	// Cache memoises evaluated points by CacheKey so overlapping grids
+	// (and repeated service requests) skip re-simulation. The key covers
+	// the config and workload only: explorers whose Sim engine or Wafer
+	// model differ from the defaults must not share a cache (set it to
+	// nil, or give each explorer its own). Nil disables caching.
+	Cache *lru.Cache[Point]
 }
 
-// NewExplorer returns an Explorer with the calibrated simulator and 7 nm
-// wafer model.
+// DefaultCacheEntries bounds the explorer's result cache: larger than the
+// biggest paper sweep (Table 5's 2304 designs) so a full grid fits, small
+// enough (a few MB of Points) to be negligible next to the sweeps.
+const DefaultCacheEntries = 8192
+
+// NewExplorer returns an Explorer with the calibrated simulator, the 7 nm
+// wafer model, and a result cache of DefaultCacheEntries points.
 func NewExplorer() *Explorer {
-	return &Explorer{Sim: sim.New(), Wafer: cost.N7Wafer}
+	return &Explorer{
+		Sim:   sim.New(),
+		Wafer: cost.N7Wafer,
+		Cache: lru.New[Point](DefaultCacheEntries, 0),
+	}
+}
+
+// CacheKey returns the canonical result-cache key for one evaluation: a
+// SHA-256 digest over the simulation-relevant fields of the configuration
+// (its display name excluded) and the workload.
+func CacheKey(cfg arch.Config, w model.Workload) string {
+	sum := sha256.Sum256([]byte(sim.ConfigFingerprint(cfg) + "\x00" + sim.WorkloadFingerprint(w)))
+	return hex.EncodeToString(sum[:])
 }
 
 // Evaluate simulates every configuration for the workload and returns the
-// evaluated points in the same order.
+// evaluated points in the same order. It is EvaluateContext without
+// cancellation, kept for existing callers.
 func (e *Explorer) Evaluate(configs []arch.Config, w model.Workload) ([]Point, error) {
+	return e.EvaluateContext(context.Background(), configs, w)
+}
+
+// EvaluateContext simulates every configuration for the workload. On full
+// success the points come back in input order with a nil error. When the
+// context is cancelled, in-flight work stops promptly, remaining configs
+// are skipped, and the points evaluated so far are returned (compacted,
+// input order preserved) alongside an error wrapping ctx.Err(). Configs
+// that individually fail are likewise skipped, their errors joined via
+// errors.Join, and every successful point still returned — one bad design
+// no longer discards an entire sweep.
+func (e *Explorer) EvaluateContext(ctx context.Context, configs []arch.Config, w model.Workload) ([]Point, error) {
 	points := make([]Point, len(configs))
+	done := make([]bool, len(configs))
+	errs := make([]error, len(configs))
 	workers := e.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
 	jobs := make(chan int)
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: drain without evaluating
+				}
 				p, err := e.evaluateOne(configs[idx], w)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("dse: %s: %w", configs[idx].Name, err)
-					}
-					mu.Unlock()
+					errs[idx] = fmt.Errorf("dse: %s: %w", configs[idx].Name, err)
 					continue
 				}
 				points[idx] = p
+				done[idx] = true
 			}
 		}()
 	}
+feed:
 	for i := range configs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	allErrs := make([]error, 0, 1)
+	for _, err := range errs {
+		if err != nil {
+			allErrs = append(allErrs, err)
+		}
 	}
-	return points, nil
+	if err := ctx.Err(); err != nil {
+		allErrs = append(allErrs, fmt.Errorf("dse: sweep aborted: %w", err))
+	}
+	if len(allErrs) == 0 {
+		return points, nil
+	}
+	kept := points[:0]
+	for i, ok := range done {
+		if ok {
+			kept = append(kept, points[i])
+		}
+	}
+	return kept, errors.Join(allErrs...)
 }
 
 func (e *Explorer) evaluateOne(cfg arch.Config, w model.Workload) (Point, error) {
+	var key string
+	if e.Cache != nil {
+		key = CacheKey(cfg, w)
+		if p, ok := e.Cache.Get(key); ok {
+			// The cached point may have been evaluated under a different
+			// grid's display name; restore the requested one.
+			p.Config = cfg
+			p.Result.Config = cfg
+			return p, nil
+		}
+	}
 	r, err := e.Sim.Simulate(cfg, w)
 	if err != nil {
 		return Point{}, err
@@ -239,12 +312,21 @@ func (e *Explorer) evaluateOne(cfg arch.Config, w model.Workload) (Point, error)
 		p.DieCostUSD = rep.DieCostUSD
 		p.GoodDieCostUSD = rep.GoodDieUSD
 	}
+	if e.Cache != nil {
+		e.Cache.Put(key, p)
+	}
 	return p, nil
 }
 
 // Run expands and evaluates a grid in one call.
 func (e *Explorer) Run(g Grid, w model.Workload) ([]Point, error) {
 	return e.Evaluate(g.Expand(), w)
+}
+
+// RunContext expands and evaluates a grid under a context; see
+// EvaluateContext for cancellation and partial-result semantics.
+func (e *Explorer) RunContext(ctx context.Context, g Grid, w model.Workload) ([]Point, error) {
+	return e.EvaluateContext(ctx, g.Expand(), w)
 }
 
 // Filter returns the points satisfying keep.

@@ -1,6 +1,8 @@
 package dse
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -193,6 +195,107 @@ func TestEvaluatePropagatesErrors(t *testing.T) {
 	w.TensorParallel = 3
 	if _, err := e.Evaluate([]arch.Config{arch.A100()}, w); err == nil {
 		t.Error("invalid workload should surface an error")
+	}
+}
+
+func TestEvaluateReturnsPartialResultsOnBadConfig(t *testing.T) {
+	// One invalid design among good ones must not discard the sweep: the
+	// good points come back alongside an error naming the bad design.
+	e := NewExplorer()
+	bad := arch.A100()
+	bad.L2MB = 0
+	bad.Name = "broken-design"
+	configs := []arch.Config{arch.A100(), bad, arch.A100().WithCores(64)}
+	pts, err := e.Evaluate(configs, model.PaperWorkload(model.Llama3_8B()))
+	if err == nil {
+		t.Fatal("expected an error for the invalid config")
+	}
+	if !strings.Contains(err.Error(), "broken-design") {
+		t.Errorf("error should name the failing design: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d partial points, want 2", len(pts))
+	}
+	if pts[0].Config.Name != "modeled-A100" || pts[1].Config.CoreCount != 64 {
+		t.Errorf("partial points out of order: %s, %s", pts[0].Config.Name, pts[1].Config.Name)
+	}
+}
+
+func TestEvaluateContextCancellation(t *testing.T) {
+	e := NewExplorer()
+	e.Parallelism = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the sweep must abort before evaluating everything
+	pts, err := e.RunContext(ctx, Table3(4800, []float64{600}), model.PaperWorkload(model.Llama3_8B()))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(pts) >= 512 {
+		t.Errorf("cancelled sweep still evaluated all %d points", len(pts))
+	}
+}
+
+func TestCacheSkipsReSimulation(t *testing.T) {
+	e := NewExplorer()
+	w := model.PaperWorkload(model.Llama3_8B())
+	g := smallGrid(4800)
+	if _, err := e.Run(g, w); err != nil {
+		t.Fatal(err)
+	}
+	cold := e.Cache.Stats()
+	if cold.Hits != 0 || cold.Len == 0 {
+		t.Fatalf("cold sweep stats unexpected: %+v", cold)
+	}
+	// The same grid under a different name must be served from cache,
+	// with the new display names restored on the cached points.
+	g2 := g
+	g2.Name = "renamed"
+	pts, err := e.Run(g2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := e.Cache.Stats()
+	if warm.Hits != uint64(len(pts)) {
+		t.Errorf("warm sweep hits = %d, want %d", warm.Hits, len(pts))
+	}
+	for _, p := range pts {
+		if !strings.Contains(p.Config.Name, "renamed") {
+			t.Errorf("cached point kept stale name %q", p.Config.Name)
+		}
+		if p.TTFT() <= 0 || p.DieCostUSD <= 0 {
+			t.Errorf("cached point lost data: %+v", p)
+		}
+	}
+	// A different workload must not hit.
+	if _, err := e.Run(g, model.PaperWorkload(model.GPT3_175B())); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.Cache.Stats(); after.Hits != warm.Hits {
+		t.Errorf("different workload produced spurious hits: %+v", after)
+	}
+}
+
+func TestCacheKeyIgnoresNameOnly(t *testing.T) {
+	w := model.PaperWorkload(model.Llama3_8B())
+	a, b := arch.A100(), arch.A100()
+	b.Name = "same-silicon-other-name"
+	if CacheKey(a, w) != CacheKey(b, w) {
+		t.Error("renaming a config must not change its cache key")
+	}
+	b.L1KB++
+	if CacheKey(a, w) == CacheKey(b, w) {
+		t.Error("distinct silicon must produce distinct keys")
+	}
+	w2 := w
+	w2.Batch++
+	if CacheKey(a, w) == CacheKey(a, w2) {
+		t.Error("distinct workloads must produce distinct keys")
+	}
+	// WeightBits 0 means FP16: both spellings must share a key.
+	w16 := w
+	w16.WeightBits = 16
+	if CacheKey(a, w) != CacheKey(a, w16) {
+		t.Error("WeightBits 0 and 16 should fingerprint identically")
 	}
 }
 

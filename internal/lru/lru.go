@@ -1,0 +1,163 @@
+// Package lru provides a sharded, size-bounded LRU cache safe for
+// concurrent use. It is the result-cache substrate shared by the DSE
+// explorer (memoising evaluated design points across overlapping grids)
+// and the acrserve HTTP layer (memoising simulation responses), so both
+// the CLIs and the service skip re-simulation of identical
+// (configuration, workload) pairs.
+//
+// Sharding bounds lock contention: keys are FNV-1a hashed onto
+// independently locked shards, each holding its own recency list, so
+// concurrent sweeps scale across cores instead of serialising on one
+// mutex.
+package lru
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes since construction.
+	Hits   uint64
+	Misses uint64
+	// Evictions counts entries displaced by the size bound.
+	Evictions uint64
+	// Len is the current number of cached entries across all shards.
+	Len int
+	// Capacity is the configured maximum entry count.
+	Capacity int
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded LRU mapping string keys to values of type V.
+// The zero value is not usable; construct with New.
+type Cache[V any] struct {
+	shards    []*shard[V]
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent
+	entries  map[string]*list.Element
+}
+
+type entry[V any] struct {
+	key   string
+	value V
+}
+
+// DefaultShards is the shard count used when New is given a non-positive
+// shard argument.
+const DefaultShards = 16
+
+// New returns a cache bounded to capacity entries spread over the given
+// number of shards. A non-positive shard count falls back to
+// DefaultShards; capacity is raised to at least one entry per shard so
+// every shard can hold something.
+func New[V any](capacity, shards int) *Cache[V] {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if capacity < shards {
+		capacity = shards
+	}
+	c := &Cache[V]{shards: make([]*shard[V], shards)}
+	per := capacity / shards
+	extra := capacity % shards
+	for i := range c.shards {
+		cap := per
+		if i < extra {
+			cap++
+		}
+		c.shards[i] = &shard[V]{
+			capacity: cap,
+			order:    list.New(),
+			entries:  make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*entry[V]).value, true
+	}
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes key, evicting the shard's least recently used
+// entry when the shard is full.
+func (c *Cache[V]) Put(key string, value V) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*entry[V]).value = value
+		s.order.MoveToFront(el)
+		return
+	}
+	if s.order.Len() >= s.capacity {
+		oldest := s.order.Back()
+		if oldest != nil {
+			s.order.Remove(oldest)
+			delete(s.entries, oldest.Value.(*entry[V]).key)
+			c.evictions.Add(1)
+		}
+	}
+	s.entries[key] = s.order.PushFront(&entry[V]{key: key, value: value})
+}
+
+// Len returns the current entry count across all shards.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[V]) Stats() Stats {
+	capacity := 0
+	for _, s := range c.shards {
+		capacity += s.capacity
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Len:       c.Len(),
+		Capacity:  capacity,
+	}
+}

@@ -1,0 +1,100 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutAndEviction(t *testing.T) {
+	// One shard makes eviction order deterministic.
+	c := New[int](2, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "a" is now most recent; inserting "c" must evict "b".
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if got := c.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New[string](2, 1)
+	c.Put("k", "v1")
+	c.Put("k", "v2")
+	if v, _ := c.Get("k"); v != "v2" {
+		t.Errorf("refresh failed: %q", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := New[int](4, 2)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("missing")
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit 1 miss", s)
+	}
+	if s.Capacity != 4 {
+		t.Errorf("capacity = %d, want 4", s.Capacity)
+	}
+	if r := s.HitRatio(); r != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", r)
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Error("empty stats hit ratio should be 0")
+	}
+}
+
+func TestCapacityRaisedToShardCount(t *testing.T) {
+	c := New[int](1, 8)
+	for i := 0; i < 8; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if s := c.Stats(); s.Capacity != 8 {
+		t.Errorf("capacity = %d, want 8 (one per shard)", s.Capacity)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%200)
+				if v, ok := c.Get(key); ok && v != (g*31+i)%200 {
+					t.Errorf("corrupt value for %s: %d", key, v)
+					return
+				}
+				c.Put(key, (g*31+i)%200)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 128 {
+		t.Errorf("cache exceeded capacity: %d", c.Len())
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses == 0 {
+		t.Error("no lookups recorded")
+	}
+}

@@ -1,0 +1,18 @@
+package server
+
+import (
+	"repro/internal/dse"
+	"repro/internal/lru"
+)
+
+// cacheShards spreads the shared result cache over enough locks that the
+// worker pool and synchronous handlers don't serialise on lookups.
+const cacheShards = 32
+
+// newPointCache builds the shared evaluated-point cache used by every
+// simulation the server runs, synchronous or queued. Keys are
+// dse.CacheKey digests, so identical (config, workload) pairs — whatever
+// endpoint or grid they arrive through — are simulated once.
+func newPointCache(entries int) *lru.Cache[dse.Point] {
+	return lru.New[dse.Point](entries, cacheShards)
+}

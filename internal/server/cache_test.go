@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/dse"
+	"repro/internal/model"
+)
+
+// TestCacheConcurrentStress hammers the shared point cache from many
+// goroutines mixing hits, misses and evictions; run with -race it proves
+// the sharded LRU and the explorer wiring are data-race free.
+func TestCacheConcurrentStress(t *testing.T) {
+	cache := newPointCache(256)
+	w := model.PaperWorkload(model.Llama3_8B())
+	base := arch.A100()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				cfg := base
+				cfg.L2MB = 8 + (g*13+i)%512 // many distinct keys force evictions
+				key := dse.CacheKey(cfg, w)
+				if p, ok := cache.Get(key); ok && p.Config.L2MB != cfg.L2MB {
+					t.Errorf("cache returned a point for the wrong key: L2 %d != %d",
+						p.Config.L2MB, cfg.L2MB)
+					return
+				}
+				cache.Put(key, dse.Point{Config: cfg})
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := cache.Stats()
+	if s.Len > s.Capacity {
+		t.Errorf("cache exceeded its bound: %d > %d", s.Len, s.Capacity)
+	}
+	if s.Evictions == 0 {
+		t.Error("stress should have forced evictions")
+	}
+}
+
+// TestConcurrentSimulateRequests drives the full handler stack — HTTP
+// decode, shared explorer, shared cache, metrics — from concurrent
+// clients. With -race this is the end-to-end concurrency check for the
+// synchronous path.
+func TestConcurrentSimulateRequests(t *testing.T) {
+	s := New(Config{
+		Workers: 2,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				// Four distinct configs across all goroutines: plenty of
+				// contention on the same cache entries.
+				body := fmt.Sprintf(
+					`{"config":{"preset":"a100","l2_mb":%d},"workload":{"model":"llama3"}}`,
+					40+8*((g+i)%4))
+				resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+					strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	stats := s.Explorer().Cache.Stats()
+	if stats.Misses < 4 {
+		t.Errorf("expected at least 4 distinct simulations, got %d misses", stats.Misses)
+	}
+	if stats.Hits == 0 {
+		t.Error("80 requests over 4 configs should mostly hit the cache")
+	}
+}

@@ -1,0 +1,350 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobState is the lifecycle position of an async job.
+type JobState int
+
+const (
+	// JobPending is queued, not yet picked up by a worker.
+	JobPending JobState = iota
+	// JobRunning is executing on a worker.
+	JobRunning
+	// JobSucceeded finished and holds a result.
+	JobSucceeded
+	// JobFailed finished with an error.
+	JobFailed
+	// JobCancelled was cancelled before or during execution.
+	JobCancelled
+)
+
+// String returns the wire name of the state.
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "pending"
+	case JobRunning:
+		return "running"
+	case JobSucceeded:
+		return "succeeded"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobSucceeded || s == JobFailed || s == JobCancelled
+}
+
+// JobFunc is the unit of queued work. It must honour ctx: when the job is
+// cancelled or exceeds its deadline, ctx is cancelled and the func should
+// return promptly (a ctx-derived error marks the job cancelled rather
+// than failed).
+type JobFunc func(ctx context.Context) (any, error)
+
+// Job tracks one submitted unit of work.
+type Job struct {
+	ID string
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	err      error
+	result   any
+	cancel   context.CancelFunc
+	fn       JobFunc
+}
+
+// JobStatus is the wire representation of a job. Timestamps are RFC 3339
+// strings, empty until the corresponding transition happens.
+type JobStatus struct {
+	ID         string  `json:"id"`
+	State      string  `json:"state"`
+	CreatedAt  string  `json:"created_at"`
+	StartedAt  string  `json:"started_at,omitempty"`
+	FinishedAt string  `json:"finished_at,omitempty"`
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Result     any     `json:"result,omitempty"`
+}
+
+func rfc3339OrEmpty(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format(time.RFC3339Nano)
+}
+
+// Status snapshots the job for serialisation.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:         j.ID,
+		State:      j.state.String(),
+		CreatedAt:  rfc3339OrEmpty(j.created),
+		StartedAt:  rfc3339OrEmpty(j.started),
+		FinishedAt: rfc3339OrEmpty(j.finished),
+	}
+	if !j.started.IsZero() && !j.finished.IsZero() {
+		st.DurationMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.state == JobSucceeded {
+		st.Result = j.result
+	}
+	return st
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// ErrQueueFull is returned by Submit when the backlog is at capacity;
+// callers should translate it to 503/429 back-pressure.
+var ErrQueueFull = errors.New("server: job queue backlog full")
+
+// Queue is a bounded worker-pool job queue. Jobs carry a per-job
+// context.Context derived from the queue's base context plus the
+// configured deadline, so cancelling a job (or shutting the queue down)
+// aborts its work promptly.
+type Queue struct {
+	base    context.Context
+	stop    context.CancelFunc
+	pending chan *Job
+	workers int
+	timeout time.Duration
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  uint64
+
+	wg        sync.WaitGroup
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// maxRetainedJobs bounds the finished-job history kept for polling; the
+// oldest terminal jobs are pruned past this point so a long-lived server
+// does not grow without bound.
+const maxRetainedJobs = 1024
+
+// NewQueue starts a queue of the given worker count and backlog.
+// Non-positive arguments fall back to 1 worker and a backlog of 64;
+// jobTimeout <= 0 means no per-job deadline.
+func NewQueue(workers, backlog int, jobTimeout time.Duration) *Queue {
+	if workers <= 0 {
+		workers = 1
+	}
+	if backlog <= 0 {
+		backlog = 64
+	}
+	base, stop := context.WithCancel(context.Background())
+	q := &Queue{
+		base:    base,
+		stop:    stop,
+		pending: make(chan *Job, backlog),
+		workers: workers,
+		timeout: jobTimeout,
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.base.Done():
+			return
+		case j, ok := <-q.pending:
+			if !ok {
+				return
+			}
+			q.run(j)
+		}
+	}
+}
+
+func (q *Queue) run(j *Job) {
+	j.mu.Lock()
+	if j.state != JobPending { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	ctx := q.base
+	var cancel context.CancelFunc
+	if q.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, q.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	fn := j.fn
+	j.mu.Unlock()
+	defer cancel()
+
+	result, err := fn(ctx)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		j.state = JobCancelled
+		j.err = err
+		q.cancelled.Add(1)
+	case err != nil:
+		j.state = JobFailed
+		j.err = err
+		q.failed.Add(1)
+	default:
+		j.state = JobSucceeded
+		j.result = result
+		q.completed.Add(1)
+	}
+}
+
+// Submit enqueues fn and returns its job handle, or ErrQueueFull when the
+// backlog is at capacity.
+func (q *Queue) Submit(fn JobFunc) (*Job, error) {
+	q.mu.Lock()
+	q.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", q.seq),
+		state:   JobPending,
+		created: time.Now(),
+		fn:      fn,
+	}
+	q.jobs[j.ID] = j
+	q.pruneLocked()
+	q.mu.Unlock()
+
+	select {
+	case q.pending <- j:
+		q.submitted.Add(1)
+		return j, nil
+	default:
+		q.mu.Lock()
+		delete(q.jobs, j.ID)
+		q.mu.Unlock()
+		q.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// pruneLocked evicts the oldest terminal jobs past maxRetainedJobs.
+// Callers hold q.mu.
+func (q *Queue) pruneLocked() {
+	if len(q.jobs) <= maxRetainedJobs {
+		return
+	}
+	var oldest *Job
+	for _, j := range q.jobs {
+		if !j.State().Terminal() {
+			continue
+		}
+		if oldest == nil || j.created.Before(oldest.created) {
+			oldest = j
+		}
+	}
+	if oldest != nil {
+		delete(q.jobs, oldest.ID)
+	}
+}
+
+// Get returns the job with the given ID.
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// Cancel aborts the identified job: a pending job is marked cancelled
+// without running, a running job has its context cancelled (the state
+// turns cancelled when the JobFunc returns). It reports whether the job
+// exists and whether the cancellation took effect (false when the job had
+// already finished).
+func (q *Queue) Cancel(id string) (found, cancelled bool) {
+	j, ok := q.Get(id)
+	if !ok {
+		return false, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobPending:
+		j.state = JobCancelled
+		j.finished = time.Now()
+		j.err = context.Canceled
+		q.cancelled.Add(1)
+		return true, true
+	case JobRunning:
+		j.cancel() // run() records the terminal state when fn returns
+		return true, true
+	default:
+		return true, false
+	}
+}
+
+// Depth returns the number of jobs queued but not yet started.
+func (q *Queue) Depth() int { return len(q.pending) }
+
+// Snapshot exports the queue counters for /metrics.
+func (q *Queue) Snapshot() QueueSnapshot {
+	return QueueSnapshot{
+		Depth:     q.Depth(),
+		Workers:   q.workers,
+		Submitted: q.submitted.Load(),
+		Completed: q.completed.Load(),
+		Failed:    q.failed.Load(),
+		Cancelled: q.cancelled.Load(),
+		Rejected:  q.rejected.Load(),
+	}
+}
+
+// Shutdown cancels the base context — aborting running jobs — and waits
+// for the workers to exit or ctx to expire.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.stop()
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: queue shutdown: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches a terminal state or the deadline
+// expires.
+func waitTerminal(t *testing.T, j *Job) JobState {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := j.State(); s.Terminal() {
+			return s
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state (stuck at %v)", j.ID, j.State())
+	return 0
+}
+
+func TestQueueRunsJobToSuccess(t *testing.T) {
+	q := NewQueue(2, 8, 0)
+	defer q.Shutdown(context.Background())
+	j, err := q.Submit(func(ctx context.Context) (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitTerminal(t, j); s != JobSucceeded {
+		t.Fatalf("state = %v, want succeeded", s)
+	}
+	st := j.Status()
+	if st.Result != 42 || st.Error != "" || st.State != "succeeded" {
+		t.Errorf("status = %+v", st)
+	}
+	if st.CreatedAt == "" || st.StartedAt == "" || st.FinishedAt == "" {
+		t.Errorf("missing timestamps: %+v", st)
+	}
+	if q.Snapshot().Completed != 1 {
+		t.Errorf("snapshot = %+v, want 1 completed", q.Snapshot())
+	}
+}
+
+func TestQueueRecordsFailure(t *testing.T) {
+	q := NewQueue(1, 8, 0)
+	defer q.Shutdown(context.Background())
+	j, _ := q.Submit(func(ctx context.Context) (any, error) {
+		return nil, errors.New("boom")
+	})
+	if s := waitTerminal(t, j); s != JobFailed {
+		t.Fatalf("state = %v, want failed", s)
+	}
+	if st := j.Status(); st.Error != "boom" || st.Result != nil {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestQueueCancelRunningJob(t *testing.T) {
+	q := NewQueue(1, 8, 0)
+	defer q.Shutdown(context.Background())
+	started := make(chan struct{})
+	j, _ := q.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // block until cancelled
+		return nil, ctx.Err()
+	})
+	<-started
+	found, cancelled := q.Cancel(j.ID)
+	if !found || !cancelled {
+		t.Fatalf("Cancel = %v, %v", found, cancelled)
+	}
+	if s := waitTerminal(t, j); s != JobCancelled {
+		t.Fatalf("state = %v, want cancelled", s)
+	}
+}
+
+func TestQueueCancelPendingJob(t *testing.T) {
+	q := NewQueue(1, 8, 0)
+	defer q.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	q.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started // the single worker is now occupied
+	ran := false
+	j2, _ := q.Submit(func(ctx context.Context) (any, error) {
+		ran = true
+		return nil, nil
+	})
+	if found, cancelled := q.Cancel(j2.ID); !found || !cancelled {
+		t.Fatalf("cancel pending failed")
+	}
+	close(block)
+	if s := waitTerminal(t, j2); s != JobCancelled {
+		t.Fatalf("state = %v, want cancelled", s)
+	}
+	// Give the worker a chance to (wrongly) pick the cancelled job up.
+	time.Sleep(10 * time.Millisecond)
+	if ran {
+		t.Error("cancelled pending job still executed")
+	}
+	if _, cancelled := q.Cancel(j2.ID); cancelled {
+		t.Error("re-cancelling a finished job should report no effect")
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	q := NewQueue(1, 1, 0)
+	defer q.Shutdown(context.Background())
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{})
+	q.Submit(func(ctx context.Context) (any, error) { close(started); <-block; return nil, nil })
+	<-started
+	q.Submit(func(ctx context.Context) (any, error) { return nil, nil }) // fills the backlog
+	_, err := q.Submit(func(ctx context.Context) (any, error) { return nil, nil })
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if q.Snapshot().Rejected != 1 {
+		t.Errorf("snapshot = %+v, want 1 rejected", q.Snapshot())
+	}
+}
+
+func TestQueueDeadlineCancelsJob(t *testing.T) {
+	q := NewQueue(1, 8, 10*time.Millisecond)
+	defer q.Shutdown(context.Background())
+	j, _ := q.Submit(func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if s := waitTerminal(t, j); s != JobCancelled {
+		t.Fatalf("state = %v, want cancelled after deadline", s)
+	}
+	if st := j.Status(); st.Error == "" {
+		t.Error("deadline cancellation should record an error")
+	}
+}
+
+func TestQueueShutdownAbortsRunningJobs(t *testing.T) {
+	q := NewQueue(1, 8, 0)
+	started := make(chan struct{})
+	j, _ := q.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	if err := q.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s := j.State(); s != JobCancelled {
+		t.Errorf("state after shutdown = %v, want cancelled", s)
+	}
+}
+
+func TestQueueConcurrentSubmitters(t *testing.T) {
+	q := NewQueue(4, 256, 0)
+	defer q.Shutdown(context.Background())
+	const n = 64
+	jobs := make([]*Job, n)
+	for i := 0; i < n; i++ {
+		j, err := q.Submit(func(ctx context.Context) (any, error) { return "ok", nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.ID] {
+			t.Fatalf("duplicate job ID %s", j.ID)
+		}
+		seen[j.ID] = true
+		if s := waitTerminal(t, j); s != JobSucceeded {
+			t.Fatalf("%s: state %v", j.ID, s)
+		}
+	}
+	if got := q.Snapshot().Completed; got != n {
+		t.Errorf("completed = %d, want %d", got, n)
+	}
+}
+
+func TestJobStateStrings(t *testing.T) {
+	for s, want := range map[JobState]string{
+		JobPending: "pending", JobRunning: "running", JobSucceeded: "succeeded",
+		JobFailed: "failed", JobCancelled: "cancelled",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s, want)
+		}
+	}
+	if fmt.Sprint(JobState(99)) != "JobState(99)" {
+		t.Error("unknown state formatting")
+	}
+}

@@ -1,0 +1,476 @@
+// Package server exposes the library's core facade — ACR classification,
+// inference simulation, compliance auditing, and design-space exploration
+// — as a concurrent stdlib-only HTTP/JSON service (command acrserve).
+//
+// Synchronous endpoints answer directly; heavy DSE sweeps go through an
+// async job API backed by a bounded worker-pool queue with per-job
+// context cancellation and deadlines. Every simulation, synchronous or
+// queued, flows through one shared dse.Explorer whose sharded LRU result
+// cache (package lru) makes repeated and overlapping sweeps cheap. The
+// observability surface — /healthz, /metrics with request counts, latency
+// histograms, cache hit ratio and queue depth, plus structured request
+// logging — rides on the standard library alone.
+//
+//	POST   /v1/classify   device metrics or config → rule verdicts
+//	POST   /v1/simulate   config + workload → evaluated design point
+//	POST   /v1/audit      config → audit + remediation menu
+//	POST   /v1/dse        grid → 202 + job ID (async sweep)
+//	GET    /v1/jobs/{id}  poll job status / result
+//	DELETE /v1/jobs/{id}  cancel a pending or running job
+//	GET    /healthz       liveness
+//	GET    /metrics       counters, histograms, cache, queue
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/area"
+	"repro/internal/compliance"
+	"repro/internal/dse"
+	"repro/internal/lru"
+	"repro/internal/policy"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers bounds concurrent sweep jobs; 0 means GOMAXPROCS.
+	Workers int
+	// Backlog bounds queued-but-not-started jobs; 0 means 64. A full
+	// backlog turns into 503 back-pressure on POST /v1/dse.
+	Backlog int
+	// CacheEntries bounds the shared result cache; 0 means
+	// dse.DefaultCacheEntries, negative disables caching.
+	CacheEntries int
+	// JobTimeout is the per-job deadline; 0 means 10 minutes, negative
+	// disables the deadline.
+	JobTimeout time.Duration
+	// MaxGridSize rejects sweeps larger than this many designs; 0 means
+	// 65536.
+	MaxGridSize int
+	// Logger receives structured request and lifecycle logs; nil means
+	// text logs on stderr at Info level.
+	Logger *slog.Logger
+}
+
+// Server is the HTTP service state. Construct with New.
+type Server struct {
+	cfg      Config
+	explorer *dse.Explorer
+	queue    *Queue
+	metrics  *metrics
+	log      *slog.Logger
+	mux      *http.ServeMux
+}
+
+// New returns a started Server (its worker pool is live; Close releases
+// it).
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Backlog <= 0 {
+		cfg.Backlog = 64
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = 10 * time.Minute
+	}
+	if cfg.MaxGridSize <= 0 {
+		cfg.MaxGridSize = 65536
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	ex := dse.NewExplorer()
+	switch {
+	case cfg.CacheEntries < 0:
+		ex.Cache = nil
+	case cfg.CacheEntries > 0:
+		ex.Cache = newPointCache(cfg.CacheEntries)
+	}
+	s := &Server{
+		cfg:      cfg,
+		explorer: ex,
+		queue:    NewQueue(cfg.Workers, cfg.Backlog, cfg.JobTimeout),
+		metrics:  newMetrics(),
+		log:      cfg.Logger,
+		mux:      http.NewServeMux(),
+	}
+	s.route("POST /v1/classify", s.handleClassify)
+	s.route("POST /v1/simulate", s.handleSimulate)
+	s.route("POST /v1/audit", s.handleAudit)
+	s.route("POST /v1/dse", s.handleDSE)
+	s.route("GET /v1/jobs/{id}", s.handleJobGet)
+	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Explorer returns the server's shared explorer (tests and benchmarks
+// inspect its cache).
+func (s *Server) Explorer() *dse.Explorer { return s.explorer }
+
+// Queue returns the server's job queue.
+func (s *Server) Queue() *Queue { return s.queue }
+
+// Close shuts the job queue down, aborting running jobs.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.queue.Shutdown(ctx)
+}
+
+// statusRecorder captures the response code for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// route registers a handler wrapped with metrics and structured logging,
+// labelled by its mux pattern.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		elapsed := time.Since(start)
+		s.metrics.observe(pattern, rec.status, elapsed)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// Handler returns the service's root handler (used directly by httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until ctx is cancelled (SIGTERM in
+// acrserve), then drains in-flight requests and shuts the job queue down
+// gracefully.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	s.log.Info("acrserve listening", "addr", addr, "workers", s.cfg.Workers, "backlog", s.cfg.Backlog)
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+		s.log.Info("acrserve shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		err := srv.Shutdown(shutCtx)
+		if qerr := s.queue.Shutdown(shutCtx); err == nil {
+			err = qerr
+		}
+		return err
+	}
+}
+
+// maxBodyBytes bounds request bodies; the largest legitimate request (an
+// explicit grid) is well under this.
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client disconnects are not actionable
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON parses the request body into v, rejecting unknown fields and
+// trailing garbage so malformed requests fail loudly with a 400.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: trailing data")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	m := policy.Metrics{TPP: req.TPP, DeviceBWGBs: req.DeviceBWGBs, DieAreaMM2: req.DieAreaMM2}
+	if req.Config != nil {
+		cfg, err := req.Config.Config()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "config: %v", err)
+			return
+		}
+		m = policy.Metrics{TPP: cfg.TPP(), DeviceBWGBs: cfg.DeviceBWGBs}
+		if cfg.Process.NonPlanar() {
+			m.DieAreaMM2 = area.Estimate(cfg)
+		}
+	} else if req.TPP <= 0 {
+		writeError(w, http.StatusBadRequest, "provide a config or a positive tpp")
+		return
+	}
+	switch req.Segment {
+	case "", "datacenter":
+	case "consumer", "non-datacenter":
+		// The response always carries both segments; the field only
+		// gates validation.
+	default:
+		writeError(w, http.StatusBadRequest, "unknown segment %q (datacenter, consumer)", req.Segment)
+		return
+	}
+
+	resp := ClassifyResponse{
+		TPP:                m.TPP,
+		DeviceBWGBs:        m.DeviceBWGBs,
+		DieAreaMM2:         m.DieAreaMM2,
+		PerformanceDensity: m.PerformanceDensity(),
+		Oct2022:            policy.Oct2022(m).String(),
+	}
+	m.Segment = policy.DataCenter
+	dc := policy.Oct2023(m)
+	resp.Oct2023DataCenter = dc.String()
+	m.Segment = policy.NonDataCenter
+	resp.Oct2023Consumer = policy.Oct2023(m).String()
+	m.Segment = policy.DataCenter
+	resp.Restricted = policy.Oct2022(m).Restricted() || dc.Restricted()
+	if minA, ok := policy.MinAreaToAvoidOct2023(m.TPP, policy.NotApplicable); ok && minA > m.DieAreaMM2 {
+		resp.MinAreaToEscapeOct2023MM2 = minA
+	}
+	if req.HBM != nil {
+		resp.HBMDec2024 = policy.Dec2024HBM(policy.HBMPackage{
+			BandwidthGBs:   req.HBM.BandwidthGBs,
+			PackageAreaMM2: req.HBM.PackageAreaMM2,
+		}).String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	cfg, err := req.Config.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "config: %v", err)
+		return
+	}
+	wl, err := req.Workload.Workload()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "workload: %v", err)
+		return
+	}
+	pts, err := s.explorer.EvaluateContext(r.Context(), []arch.Config{cfg}, wl)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			writeError(w, statusClientClosedRequest, "request cancelled")
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, "simulation failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simulateResponse(pts[0], wl))
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	var req AuditRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	cfg, err := req.Config.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "config: %v", err)
+		return
+	}
+	audit, err := compliance.Run(cfg)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "audit failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, auditResponse(audit))
+}
+
+// statusClientClosedRequest mirrors nginx's 499 for work abandoned by the
+// caller.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
+	var req DSERequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	grid, err := req.grid()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if grid.Size() > s.cfg.MaxGridSize {
+		writeError(w, http.StatusBadRequest, "grid of %d designs exceeds the %d-design limit",
+			grid.Size(), s.cfg.MaxGridSize)
+		return
+	}
+	metric, err := req.metric()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	keep, err := req.admissible()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wreq := WorkloadRequest{}
+	if req.Workload != nil {
+		wreq = *req.Workload
+	}
+	wl, err := wreq.Workload()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "workload: %v", err)
+		return
+	}
+	top := req.Top
+	if top <= 0 {
+		top = 5
+	}
+	rule := req.Rule
+	if rule == "" {
+		rule = "none"
+	}
+	objective := req.Objective
+	if objective == "" {
+		objective = "ttft"
+	}
+
+	job, err := s.queue.Submit(func(ctx context.Context) (any, error) {
+		start := time.Now()
+		var before lru.Stats
+		if s.explorer.Cache != nil {
+			before = s.explorer.Cache.Stats()
+		}
+		points, err := s.explorer.RunContext(ctx, grid, wl)
+		if err != nil {
+			return nil, err
+		}
+		admissible := dse.Filter(points, keep)
+		sort.Slice(admissible, func(i, j int) bool {
+			return metric(admissible[i]) < metric(admissible[j])
+		})
+		if top > len(admissible) {
+			top = len(admissible)
+		}
+		res := DSEResult{
+			Grid:       grid.Name,
+			Workload:   wl.Model.Name,
+			Rule:       rule,
+			Objective:  objective,
+			Designs:    len(points),
+			Admissible: len(admissible),
+			DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		if s.explorer.Cache != nil {
+			after := s.explorer.Cache.Stats()
+			res.CacheHits = after.Hits - before.Hits
+			res.CacheMisses = after.Misses - before.Misses
+		}
+		for i, p := range admissible[:top] {
+			res.Top = append(res.Top, DesignSummary{
+				Rank:       i + 1,
+				Config:     p.Config.Name,
+				TTFTMS:     p.TTFT() * 1e3,
+				TBTMS:      p.TBT() * 1e3,
+				AreaMM2:    p.AreaMM2,
+				PD:         p.PD,
+				DieCostUSD: p.DieCostUSD,
+			})
+		}
+		return res, nil
+	})
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			writeError(w, http.StatusServiceUnavailable, "job queue full, retry later")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.log.Info("dse job enqueued", "job", job.ID, "grid", grid.Name, "designs", grid.Size())
+	writeJSON(w, http.StatusAccepted, EnqueueResponse{
+		JobID:   job.ID,
+		State:   job.State().String(),
+		PollURL: "/v1/jobs/" + job.ID,
+		Designs: grid.Size(),
+	})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	found, cancelled := s.queue.Cancel(id)
+	if !found {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	job, _ := s.queue.Get(id)
+	if !cancelled {
+		writeJSON(w, http.StatusConflict, job.Status()) // already finished
+		return
+	}
+	s.log.Info("job cancelled", "job", id)
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": s.queue.Depth(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var cache lru.Stats
+	if s.explorer.Cache != nil {
+		cache = s.explorer.Cache.Stats()
+	}
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(cache, s.queue.Snapshot()))
+}

@@ -1,0 +1,507 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{
+		Workers: 2,
+		Backlog: 8,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestClassifyFromMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A100 datasheet numbers: restricted under both device rules.
+	resp, body := postJSON(t, ts.URL+"/v1/classify",
+		`{"tpp":4992,"device_bw_gbs":600,"die_area_mm2":826}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr ClassifyResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Oct2022 != "License Required" {
+		t.Errorf("oct2022 = %q, want License Required", cr.Oct2022)
+	}
+	if !cr.Restricted {
+		t.Error("A100 should be restricted")
+	}
+	if cr.PerformanceDensity <= 0 {
+		t.Error("PD should be computed from area")
+	}
+}
+
+func TestClassifyFromConfigWithHBM(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/classify",
+		`{"config":{"preset":"a100"},"hbm":{"bandwidth_gbs":819,"package_area_mm2":110}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr ClassifyResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.TPP < 4900 || cr.TPP > 5100 {
+		t.Errorf("modeled A100 TPP = %v, want ≈4992", cr.TPP)
+	}
+	if cr.DieAreaMM2 <= 0 {
+		t.Error("config classify should model die area")
+	}
+	if cr.HBMDec2024 == "" {
+		t.Error("HBM verdict missing")
+	}
+}
+
+func TestClassifyRejectsMalformedJSON(t *testing.T) {
+	_, ts := newTestServer(t)
+	for name, body := range map[string]string{
+		"syntax":        `{"tpp":`,
+		"unknown field": `{"tpp":100,"bogus":true}`,
+		"trailing data": `{"tpp":100}{"again":1}`,
+		"no metrics":    `{}`,
+		"bad segment":   `{"tpp":100,"segment":"submarine"}`,
+	} {
+		resp, data := postJSON(t, ts.URL+"/v1/classify", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, resp.StatusCode, data)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(data, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error envelope missing: %s", name, data)
+		}
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/simulate",
+		`{"config":{"preset":"a100"},"workload":{"model":"llama3"}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.TTFTMS <= 0 || sr.TBTMS <= 0 || sr.TTFTMS < sr.TBTMS {
+		t.Errorf("implausible latencies: %+v", sr)
+	}
+	if sr.Workload != "Llama 3 8B" || sr.AreaMM2 <= 0 || sr.DieCostUSD <= 0 {
+		t.Errorf("response incomplete: %+v", sr)
+	}
+}
+
+func TestSimulateRejectsInvalidConfigAndWorkload(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/v1/simulate",
+		`{"config":{"core_count":10},"workload":{}}`) // missing lanes, dims, caches…
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid config: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/simulate",
+		`{"config":{"preset":"a100"},"workload":{"tensor_parallel":7}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid workload: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSimulateUsesSharedCache(t *testing.T) {
+	s, ts := newTestServer(t)
+	body := `{"config":{"preset":"a100"},"workload":{"model":"llama3"}}`
+	postJSON(t, ts.URL+"/v1/simulate", body)
+	cold := s.Explorer().Cache.Stats()
+	resp, _ := postJSON(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("second simulate failed")
+	}
+	warm := s.Explorer().Cache.Stats()
+	if warm.Hits != cold.Hits+1 {
+		t.Errorf("repeat simulate should hit the cache: %+v → %+v", cold, warm)
+	}
+}
+
+func TestAuditEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/audit", `{"config":{"preset":"a100"}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var ar AuditResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Compliant {
+		t.Error("the A100 is the canonical restricted device")
+	}
+	if len(ar.Remediations) == 0 {
+		t.Error("audit of a restricted device should offer remediations")
+	}
+	for _, rem := range ar.Remediations {
+		if rem.Kind == "" || rem.Description == "" {
+			t.Errorf("incomplete remediation: %+v", rem)
+		}
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/audit", `{"config":{"l1_kb":-4}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid audit config: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// smallDSEBody is a 16-design sweep that finishes quickly.
+const smallDSEBody = `{
+	"grid": {
+		"name": "test-sweep",
+		"tpp_target": 4800,
+		"systolic_dims": [16],
+		"lanes_per_core": [2, 4],
+		"l1_kb": [192, 1024],
+		"l2_mb": [32, 64],
+		"hbm_bandwidth_gbs": [2000, 3200],
+		"device_bw_gbs": [600]
+	},
+	"workload": {"model": "llama3"},
+	"rule": "oct2022",
+	"objective": "tbt",
+	"top": 3
+}`
+
+// pollJob polls the job until it reaches a terminal state.
+func pollJob(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		resp := getJSON(t, base+"/v1/jobs/"+id, &st)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", resp.StatusCode)
+		}
+		switch st.State {
+		case "succeeded", "failed", "cancelled":
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job never finished")
+	return JobStatus{}
+}
+
+func decodeDSEResult(t *testing.T, st JobStatus) DSEResult {
+	t.Helper()
+	raw, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res DSEResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("result is not a DSEResult: %v (%s)", err, raw)
+	}
+	return res
+}
+
+func TestDSEJobLifecycleAndCacheWin(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/dse", smallDSEBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var enq EnqueueResponse
+	if err := json.Unmarshal(body, &enq); err != nil {
+		t.Fatal(err)
+	}
+	if enq.JobID == "" || enq.Designs != 16 || !strings.HasPrefix(enq.PollURL, "/v1/jobs/") {
+		t.Fatalf("enqueue response incomplete: %+v", enq)
+	}
+
+	st := pollJob(t, ts.URL, enq.JobID)
+	if st.State != "succeeded" {
+		t.Fatalf("job %s: %s (%s)", enq.JobID, st.State, st.Error)
+	}
+	res := decodeDSEResult(t, st)
+	if res.Designs != 16 || res.Admissible == 0 || len(res.Top) != 3 {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+	if res.CacheMisses != 16 || res.CacheHits != 0 {
+		t.Errorf("cold sweep cache deltas = %d hits / %d misses, want 0/16",
+			res.CacheHits, res.CacheMisses)
+	}
+	for i := 1; i < len(res.Top); i++ {
+		if res.Top[i].TBTMS < res.Top[i-1].TBTMS {
+			t.Error("top designs not sorted by the tbt objective")
+		}
+	}
+
+	// The identical grid again: every point must come from cache, and the
+	// sweep must be measurably faster.
+	resp, body = postJSON(t, ts.URL+"/v1/dse", smallDSEBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second enqueue: %d", resp.StatusCode)
+	}
+	var enq2 EnqueueResponse
+	json.Unmarshal(body, &enq2)
+	st2 := pollJob(t, ts.URL, enq2.JobID)
+	if st2.State != "succeeded" {
+		t.Fatalf("second job: %s (%s)", st2.State, st2.Error)
+	}
+	res2 := decodeDSEResult(t, st2)
+	if res2.CacheHits != 16 || res2.CacheMisses != 0 {
+		t.Errorf("warm sweep cache deltas = %d hits / %d misses, want 16/0",
+			res2.CacheHits, res2.CacheMisses)
+	}
+	if res2.DurationMS >= res.DurationMS {
+		t.Errorf("warm sweep (%.3f ms) not faster than cold (%.3f ms)",
+			res2.DurationMS, res.DurationMS)
+	}
+	if res2.Top[0].Config != res.Top[0].Config {
+		t.Errorf("cache changed the winner: %q vs %q", res2.Top[0].Config, res.Top[0].Config)
+	}
+}
+
+func TestDSEJobCancellation(t *testing.T) {
+	// A ~16k-design sweep takes long enough (hundreds of ms) that the
+	// DELETE below lands while the job is in flight.
+	big := `{
+		"grid": {
+			"name": "big-sweep",
+			"tpp_target": 4800,
+			"systolic_dims": [16],
+			"lanes_per_core": [1, 2, 4, 8],
+			"l1_kb": [32, 64, 128, 192, 256, 320, 384, 448],
+			"l2_mb": [8, 16, 24, 32, 40, 48, 56, 64],
+			"hbm_bandwidth_gbs": [800, 1200, 1600, 2000, 2400, 2800, 3200, 3600],
+			"device_bw_gbs": [400, 500, 600, 700]
+		}
+	}`
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/dse", big)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var enq EnqueueResponse
+	if err := json.Unmarshal(body, &enq); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+enq.JobID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status %d, want 202", dresp.StatusCode)
+	}
+
+	st := pollJob(t, ts.URL, enq.JobID)
+	if st.State != "cancelled" {
+		t.Fatalf("state = %s, want cancelled (err %q)", st.State, st.Error)
+	}
+	if st.Result != nil {
+		t.Error("cancelled job should carry no result")
+	}
+}
+
+func TestJobsUnknownID(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp := getJSON(t, ts.URL+"/v1/jobs/job-999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown job: %d, want 404", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/job-999999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCancelFinishedJobConflicts(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, body := postJSON(t, ts.URL+"/v1/dse", smallDSEBody)
+	var enq EnqueueResponse
+	if err := json.Unmarshal(body, &enq); err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, ts.URL, enq.JobID)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+enq.JobID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("cancel finished job: %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestDSERejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	for name, body := range map[string]string{
+		"no grid":       `{}`,
+		"two grids":     `{"table3":{"tpp":4800},"table5":true}`,
+		"bad rule":      `{"table3":{"tpp":4800},"rule":"oct2077"}`,
+		"bad objective": `{"table3":{"tpp":4800},"objective":"vibes"}`,
+		"bad tpp":       `{"table3":{"tpp":-5}}`,
+		"bad workload":  `{"table3":{"tpp":4800},"workload":{"model":"gpt5"}}`,
+	} {
+		if resp, data := postJSON(t, ts.URL+"/v1/dse", body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, resp.StatusCode, data)
+		}
+	}
+}
+
+func TestDSEBackpressure503(t *testing.T) {
+	s := New(Config{
+		Workers: 1,
+		Backlog: 1,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	// Saturate the single worker, then the single backlog slot.
+	seen503 := false
+	for i := 0; i < 8 && !seen503; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/dse", smallDSEBody)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			seen503 = true
+		} else if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if !seen503 {
+		t.Skip("worker drained the backlog too fast to observe 503 on this machine")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var h map[string]any
+	if resp := getJSON(t, ts.URL+"/healthz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if h["status"] != "ok" {
+		t.Errorf("healthz = %v", h)
+	}
+}
+
+func TestMetricsSurface(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Generate traffic: a classify, a bad request, and a cached sweep pair.
+	postJSON(t, ts.URL+"/v1/classify", `{"tpp":4992,"device_bw_gbs":600}`)
+	postJSON(t, ts.URL+"/v1/classify", `{broken`)
+	for i := 0; i < 2; i++ {
+		_, body := postJSON(t, ts.URL+"/v1/dse", smallDSEBody)
+		var enq EnqueueResponse
+		if err := json.Unmarshal(body, &enq); err != nil {
+			t.Fatal(err)
+		}
+		pollJob(t, ts.URL, enq.JobID)
+	}
+
+	var m MetricsSnapshot
+	if resp := getJSON(t, ts.URL+"/metrics", &m); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	cls, ok := m.Requests["POST /v1/classify"]
+	if !ok || cls.Count != 2 || cls.Errors != 1 {
+		t.Errorf("classify counters = %+v", cls)
+	}
+	if len(cls.LatencyMS) == 0 {
+		t.Error("latency histogram empty")
+	}
+	if m.Cache.Hits == 0 || m.Cache.HitRatio <= 0 || m.Cache.HitRatio > 1 {
+		t.Errorf("cache stats = %+v, want visible hits from the repeated sweep", m.Cache)
+	}
+	if m.Queue.Workers != 2 || m.Queue.Completed < 2 {
+		t.Errorf("queue stats = %+v", m.Queue)
+	}
+	if m.UptimeSeconds <= 0 {
+		t.Error("uptime missing")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp := getJSON(t, ts.URL+"/v1/classify", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET classify: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestConfigRequestDefaults(t *testing.T) {
+	// Sparse config: secondary fields default to A100-class values.
+	cr := ConfigRequest{
+		CoreCount: 64, LanesPerCore: 4, SystolicDimX: 16, SystolicDimY: 16,
+		L1KB: 192, L2MB: 40, HBMBandwidthGBs: 2000, DeviceBWGBs: 600,
+	}
+	cfg, err := cr.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.VectorWidth != 32 || cfg.HBMCapacityGB != 80 || cfg.ClockGHz == 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if _, err := (ConfigRequest{Preset: "h100"}).Config(); err == nil {
+		t.Error("unknown preset should fail")
+	}
+	if _, err := (ConfigRequest{Preset: "a100", Process: "3nm"}).Config(); err == nil {
+		t.Error("unknown process should fail")
+	}
+	cfg, err = (ConfigRequest{Preset: "a100", L2MB: 80, Name: "grown"}).Config()
+	if err != nil || cfg.L2MB != 80 || cfg.Name != "grown" || cfg.CoreCount != 108 {
+		t.Errorf("preset override broken: %+v (%v)", cfg, err)
+	}
+	msg := fmt.Sprintf("%v", cfg)
+	if !strings.Contains(msg, "grown") {
+		t.Errorf("config string lost the name: %s", msg)
+	}
+}

@@ -1,0 +1,442 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/compliance"
+	"repro/internal/dse"
+	"repro/internal/model"
+	"repro/internal/policy"
+)
+
+// ConfigRequest is the wire form of an accelerator configuration.
+// Omitted secondary fields take the modeled-A100 defaults (vector width
+// 32, 80 GB HBM, 1.41 GHz, 7 nm); "preset": "a100" starts from the full
+// A100 baseline and overrides only the fields present.
+type ConfigRequest struct {
+	Preset          string  `json:"preset,omitempty"`
+	Name            string  `json:"name,omitempty"`
+	CoreCount       int     `json:"core_count,omitempty"`
+	LanesPerCore    int     `json:"lanes_per_core,omitempty"`
+	SystolicDimX    int     `json:"systolic_dim_x,omitempty"`
+	SystolicDimY    int     `json:"systolic_dim_y,omitempty"`
+	VectorWidth     int     `json:"vector_width,omitempty"`
+	L1KB            int     `json:"l1_kb,omitempty"`
+	L2MB            int     `json:"l2_mb,omitempty"`
+	HBMCapacityGB   int     `json:"hbm_capacity_gb,omitempty"`
+	HBMBandwidthGBs float64 `json:"hbm_bandwidth_gbs,omitempty"`
+	DeviceBWGBs     float64 `json:"device_bw_gbs,omitempty"`
+	ClockGHz        float64 `json:"clock_ghz,omitempty"`
+	Process         string  `json:"process,omitempty"`
+}
+
+func parseProcess(s string) (arch.Process, error) {
+	switch s {
+	case "", "7nm":
+		return arch.ProcessN7, nil
+	case "5nm":
+		return arch.ProcessN5, nil
+	case "16nm":
+		return arch.ProcessN16, nil
+	case "planar":
+		return arch.ProcessPlanar, nil
+	default:
+		return 0, fmt.Errorf("unknown process %q (7nm, 5nm, 16nm, planar)", s)
+	}
+}
+
+// Config materialises and validates the request.
+func (r ConfigRequest) Config() (arch.Config, error) {
+	var cfg arch.Config
+	switch r.Preset {
+	case "a100":
+		cfg = arch.A100()
+	case "":
+		cfg = arch.Config{
+			VectorWidth:   32,
+			HBMCapacityGB: 80,
+			ClockGHz:      arch.A100ClockGHz,
+			Process:       arch.ProcessN7,
+		}
+	default:
+		return arch.Config{}, fmt.Errorf("unknown preset %q (a100)", r.Preset)
+	}
+	if r.Name != "" {
+		cfg.Name = r.Name
+	}
+	if cfg.Name == "" {
+		cfg.Name = "request"
+	}
+	if r.CoreCount != 0 {
+		cfg.CoreCount = r.CoreCount
+	}
+	if r.LanesPerCore != 0 {
+		cfg.LanesPerCore = r.LanesPerCore
+	}
+	if r.SystolicDimX != 0 {
+		cfg.SystolicDimX = r.SystolicDimX
+	}
+	if r.SystolicDimY != 0 {
+		cfg.SystolicDimY = r.SystolicDimY
+	}
+	if r.VectorWidth != 0 {
+		cfg.VectorWidth = r.VectorWidth
+	}
+	if r.L1KB != 0 {
+		cfg.L1KB = r.L1KB
+	}
+	if r.L2MB != 0 {
+		cfg.L2MB = r.L2MB
+	}
+	if r.HBMCapacityGB != 0 {
+		cfg.HBMCapacityGB = r.HBMCapacityGB
+	}
+	if r.HBMBandwidthGBs != 0 {
+		cfg.HBMBandwidthGBs = r.HBMBandwidthGBs
+	}
+	if r.DeviceBWGBs != 0 {
+		cfg.DeviceBWGBs = r.DeviceBWGBs
+	}
+	if r.ClockGHz != 0 {
+		cfg.ClockGHz = r.ClockGHz
+	}
+	if r.Process != "" {
+		p, err := parseProcess(r.Process)
+		if err != nil {
+			return arch.Config{}, err
+		}
+		cfg.Process = p
+	}
+	if err := cfg.Validate(); err != nil {
+		return arch.Config{}, err
+	}
+	return cfg, nil
+}
+
+// WorkloadRequest is the wire form of an inference workload. The model is
+// "gpt3" (default) or "llama3"; the remaining fields default to the
+// paper's standard setting (batch 32, input 2048, output 1024, TP 4).
+type WorkloadRequest struct {
+	Model          string `json:"model,omitempty"`
+	Batch          int    `json:"batch,omitempty"`
+	InputLen       int    `json:"input_len,omitempty"`
+	OutputLen      int    `json:"output_len,omitempty"`
+	TensorParallel int    `json:"tensor_parallel,omitempty"`
+	WeightBits     int    `json:"weight_bits,omitempty"`
+}
+
+// Workload materialises and validates the request.
+func (r WorkloadRequest) Workload() (model.Workload, error) {
+	var m model.Model
+	switch r.Model {
+	case "", "gpt3":
+		m = model.GPT3_175B()
+	case "llama3":
+		m = model.Llama3_8B()
+	default:
+		return model.Workload{}, fmt.Errorf("unknown model %q (gpt3, llama3)", r.Model)
+	}
+	w := model.PaperWorkload(m)
+	if r.Batch != 0 {
+		w.Batch = r.Batch
+	}
+	if r.InputLen != 0 {
+		w.InputLen = r.InputLen
+	}
+	if r.OutputLen != 0 {
+		w.OutputLen = r.OutputLen
+	}
+	if r.TensorParallel != 0 {
+		w.TensorParallel = r.TensorParallel
+	}
+	if r.WeightBits != 0 {
+		w.WeightBits = r.WeightBits
+	}
+	if err := w.Validate(); err != nil {
+		return model.Workload{}, err
+	}
+	return w, nil
+}
+
+// HBMRequest carries a memory package for the December 2024 HBM rule.
+type HBMRequest struct {
+	BandwidthGBs   float64 `json:"bandwidth_gbs"`
+	PackageAreaMM2 float64 `json:"package_area_mm2"`
+}
+
+// ClassifyRequest classifies a device from either a full configuration
+// (TPP and die area are then modeled) or raw datasheet metrics.
+type ClassifyRequest struct {
+	Config      *ConfigRequest `json:"config,omitempty"`
+	TPP         float64        `json:"tpp,omitempty"`
+	DeviceBWGBs float64        `json:"device_bw_gbs,omitempty"`
+	DieAreaMM2  float64        `json:"die_area_mm2,omitempty"`
+	Segment     string         `json:"segment,omitempty"` // datacenter (default) or consumer
+	HBM         *HBMRequest    `json:"hbm,omitempty"`
+}
+
+// ClassifyResponse reports every rule verdict for the device.
+type ClassifyResponse struct {
+	TPP                float64 `json:"tpp"`
+	DeviceBWGBs        float64 `json:"device_bw_gbs"`
+	DieAreaMM2         float64 `json:"die_area_mm2"`
+	PerformanceDensity float64 `json:"performance_density"`
+	Oct2022            string  `json:"oct2022"`
+	Oct2023DataCenter  string  `json:"oct2023_datacenter"`
+	Oct2023Consumer    string  `json:"oct2023_consumer"`
+	// Restricted is the strict data-center criterion: any export
+	// requirement under either device-level rule.
+	Restricted bool `json:"restricted"`
+	// MinAreaToEscapeOct2023MM2 is the smallest applicable die area that
+	// escapes the October 2023 rule entirely at this TPP, when one exists.
+	MinAreaToEscapeOct2023MM2 float64 `json:"min_area_to_escape_oct2023_mm2,omitempty"`
+	// HBMDec2024 is the December 2024 memory-rule verdict, present when
+	// the request carried an HBM package.
+	HBMDec2024 string `json:"hbm_dec2024,omitempty"`
+}
+
+// SimulateRequest evaluates one configuration on one workload.
+type SimulateRequest struct {
+	Config   ConfigRequest   `json:"config"`
+	Workload WorkloadRequest `json:"workload"`
+}
+
+// SimulateResponse is the evaluated design point: latency, utilisation,
+// silicon, cost and regulatory status.
+type SimulateResponse struct {
+	Config       string  `json:"config"`
+	Workload     string  `json:"workload"`
+	TPP          float64 `json:"tpp"`
+	TTFTMS       float64 `json:"ttft_ms"`
+	TBTMS        float64 `json:"tbt_ms"`
+	AreaMM2      float64 `json:"area_mm2"`
+	PD           float64 `json:"performance_density"`
+	FitsReticle  bool    `json:"fits_reticle"`
+	DieCostUSD   float64 `json:"die_cost_usd"`
+	GoodDieUSD   float64 `json:"good_die_cost_usd"`
+	Oct2023Class string  `json:"oct2023_datacenter"`
+}
+
+func simulateResponse(p dse.Point, w model.Workload) SimulateResponse {
+	return SimulateResponse{
+		Config:       p.Config.Name,
+		Workload:     w.Model.Name,
+		TPP:          p.TPP,
+		TTFTMS:       p.TTFT() * 1e3,
+		TBTMS:        p.TBT() * 1e3,
+		AreaMM2:      p.AreaMM2,
+		PD:           p.PD,
+		FitsReticle:  p.FitsReticle,
+		DieCostUSD:   p.DieCostUSD,
+		GoodDieUSD:   p.GoodDieCostUSD,
+		Oct2023Class: p.Oct2023Class.String(),
+	}
+}
+
+// AuditRequest audits one configuration against every rule.
+type AuditRequest struct {
+	Config ConfigRequest `json:"config"`
+}
+
+// RemediationResponse is one compliance-restoring redesign.
+type RemediationResponse struct {
+	Kind        string  `json:"kind"`
+	Description string  `json:"description"`
+	Config      string  `json:"config"`
+	TPPLoss     float64 `json:"tpp_loss,omitempty"`
+	AreaGainMM2 float64 `json:"area_gain_mm2,omitempty"`
+}
+
+// AuditResponse is the full audit: verdicts plus the remediation menu.
+type AuditResponse struct {
+	Config       string                `json:"config"`
+	TPP          float64               `json:"tpp"`
+	AreaMM2      float64               `json:"area_mm2"`
+	PD           float64               `json:"performance_density"`
+	Oct2022      string                `json:"oct2022"`
+	Oct2023DC    string                `json:"oct2023_datacenter"`
+	Oct2023NDC   string                `json:"oct2023_consumer"`
+	Compliant    bool                  `json:"compliant"`
+	Remediations []RemediationResponse `json:"remediations,omitempty"`
+}
+
+func auditResponse(a compliance.Audit) AuditResponse {
+	resp := AuditResponse{
+		Config:     a.Config.Name,
+		TPP:        a.TPP,
+		AreaMM2:    a.AreaMM2,
+		PD:         a.PD,
+		Oct2022:    a.Oct2022.String(),
+		Oct2023DC:  a.Oct2023DC.String(),
+		Oct2023NDC: a.Oct2023NDC.String(),
+		Compliant:  a.Compliant(),
+	}
+	for _, r := range a.Remediations {
+		resp.Remediations = append(resp.Remediations, RemediationResponse{
+			Kind:        r.Kind,
+			Description: r.Description,
+			Config:      r.Config.Name,
+			TPPLoss:     r.TPPLoss,
+			AreaGainMM2: r.AreaGainMM2,
+		})
+	}
+	return resp
+}
+
+// GridRequest is an explicit DSE sweep specification, mirroring dse.Grid.
+type GridRequest struct {
+	Name            string    `json:"name,omitempty"`
+	TPPTarget       float64   `json:"tpp_target"`
+	SystolicDims    []int     `json:"systolic_dims"`
+	LanesPerCore    []int     `json:"lanes_per_core"`
+	L1KB            []int     `json:"l1_kb"`
+	L2MB            []int     `json:"l2_mb"`
+	HBMBandwidthGBs []float64 `json:"hbm_bandwidth_gbs"`
+	DeviceBWGBs     []float64 `json:"device_bw_gbs"`
+	HBMCapacityGB   int       `json:"hbm_capacity_gb,omitempty"`
+	ClockGHz        float64   `json:"clock_ghz,omitempty"`
+}
+
+// Table3Request selects the paper's Table 3 grid at a TPP budget.
+type Table3Request struct {
+	TPP         float64   `json:"tpp"`
+	DeviceBWGBs []float64 `json:"device_bw_gbs,omitempty"` // default {600}
+}
+
+// DSERequest enqueues an asynchronous design-space sweep. Exactly one of
+// Grid, Table3 or Table5 selects the design space.
+type DSERequest struct {
+	Grid      *GridRequest     `json:"grid,omitempty"`
+	Table3    *Table3Request   `json:"table3,omitempty"`
+	Table5    bool             `json:"table5,omitempty"`
+	Workload  *WorkloadRequest `json:"workload,omitempty"`
+	Rule      string           `json:"rule,omitempty"`      // none (default), oct2022, oct2023
+	Objective string           `json:"objective,omitempty"` // ttft (default), tbt, ttftcost, tbtcost
+	Top       int              `json:"top,omitempty"`       // default 5
+}
+
+func (r DSERequest) grid() (dse.Grid, error) {
+	selected := 0
+	for _, on := range []bool{r.Grid != nil, r.Table3 != nil, r.Table5} {
+		if on {
+			selected++
+		}
+	}
+	if selected != 1 {
+		return dse.Grid{}, fmt.Errorf("specify exactly one of grid, table3, table5")
+	}
+	switch {
+	case r.Table3 != nil:
+		if r.Table3.TPP <= 0 {
+			return dse.Grid{}, fmt.Errorf("table3.tpp must be positive")
+		}
+		bw := r.Table3.DeviceBWGBs
+		if len(bw) == 0 {
+			bw = []float64{600}
+		}
+		return dse.Table3(r.Table3.TPP, bw), nil
+	case r.Table5:
+		return dse.Table5(), nil
+	default:
+		g := dse.Grid{
+			Name:            r.Grid.Name,
+			TPPTarget:       r.Grid.TPPTarget,
+			SystolicDims:    r.Grid.SystolicDims,
+			LanesPerCore:    r.Grid.LanesPerCore,
+			L1KB:            r.Grid.L1KB,
+			L2MB:            r.Grid.L2MB,
+			HBMBandwidthGBs: r.Grid.HBMBandwidthGBs,
+			DeviceBWGBs:     r.Grid.DeviceBWGBs,
+			HBMCapacityGB:   r.Grid.HBMCapacityGB,
+			ClockGHz:        r.Grid.ClockGHz,
+		}
+		if g.Name == "" {
+			g.Name = "request"
+		}
+		if g.HBMCapacityGB == 0 {
+			g.HBMCapacityGB = 80
+		}
+		if g.ClockGHz == 0 {
+			g.ClockGHz = arch.A100ClockGHz
+		}
+		if g.TPPTarget <= 0 || g.Size() == 0 {
+			return dse.Grid{}, fmt.Errorf("grid needs a positive tpp_target and non-empty dimension lists")
+		}
+		return g, nil
+	}
+}
+
+func (r DSERequest) metric() (func(dse.Point) float64, error) {
+	switch r.Objective {
+	case "", "ttft":
+		return dse.MetricTTFT, nil
+	case "tbt":
+		return dse.MetricTBT, nil
+	case "ttftcost":
+		return dse.MetricTTFTCost, nil
+	case "tbtcost":
+		return dse.MetricTBTCost, nil
+	default:
+		return nil, fmt.Errorf("unknown objective %q (ttft, tbt, ttftcost, tbtcost)", r.Objective)
+	}
+}
+
+func (r DSERequest) admissible() (func(dse.Point) bool, error) {
+	switch r.Rule {
+	case "", "none":
+		return func(p dse.Point) bool { return p.FitsReticle }, nil
+	case "oct2022":
+		return func(p dse.Point) bool {
+			return p.FitsReticle && !policy.Oct2022(policy.Metrics{
+				TPP: p.TPP, DeviceBWGBs: p.Config.DeviceBWGBs,
+			}).Restricted()
+		}, nil
+	case "oct2023":
+		return func(p dse.Point) bool { return p.Compliant() }, nil
+	default:
+		return nil, fmt.Errorf("unknown rule %q (none, oct2022, oct2023)", r.Rule)
+	}
+}
+
+// DesignSummary is one ranked design in a DSE result.
+type DesignSummary struct {
+	Rank       int     `json:"rank"`
+	Config     string  `json:"config"`
+	TTFTMS     float64 `json:"ttft_ms"`
+	TBTMS      float64 `json:"tbt_ms"`
+	AreaMM2    float64 `json:"area_mm2"`
+	PD         float64 `json:"performance_density"`
+	DieCostUSD float64 `json:"die_cost_usd"`
+}
+
+// DSEResult is the terminal payload of a sweep job.
+type DSEResult struct {
+	Grid       string          `json:"grid"`
+	Workload   string          `json:"workload"`
+	Rule       string          `json:"rule"`
+	Objective  string          `json:"objective"`
+	Designs    int             `json:"designs"`
+	Admissible int             `json:"admissible"`
+	Top        []DesignSummary `json:"top,omitempty"`
+	// CacheHits and CacheMisses are the sweep's own cache deltas, the
+	// /metrics-visible evidence that a repeated grid skipped
+	// re-simulation.
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	DurationMS  float64 `json:"duration_ms"`
+}
+
+// EnqueueResponse acknowledges an accepted async job.
+type EnqueueResponse struct {
+	JobID   string `json:"job_id"`
+	State   string `json:"state"`
+	PollURL string `json:"poll_url"`
+	// Designs is the sweep size about to be evaluated.
+	Designs int `json:"designs"`
+}
+
+// errorResponse is the uniform error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -103,6 +103,32 @@ func (s *Simulator) phase(cfg arch.Config, w model.Workload, ops []perf.Op) ([]p
 	return times, nil
 }
 
+// ConfigFingerprint returns a canonical encoding of every Config field
+// that influences simulation, area, cost and classification — everything
+// except the display Name. Two configs with equal fingerprints produce
+// identical results, so the fingerprint is the config half of a result
+// cache key.
+func ConfigFingerprint(cfg arch.Config) string {
+	return fmt.Sprintf("c%d/l%d/s%dx%d/v%d/L1:%d/L2:%d/hbm%d@%g/dev%g/clk%g/p%d",
+		cfg.CoreCount, cfg.LanesPerCore, cfg.SystolicDimX, cfg.SystolicDimY,
+		cfg.VectorWidth, cfg.L1KB, cfg.L2MB, cfg.HBMCapacityGB,
+		cfg.HBMBandwidthGBs, cfg.DeviceBWGBs, cfg.ClockGHz, int(cfg.Process))
+}
+
+// WorkloadFingerprint returns a canonical encoding of every Workload field
+// that influences simulation. The zero WeightBits value is normalised to
+// its FP16 meaning so that equivalent workloads fingerprint identically.
+func WorkloadFingerprint(w model.Workload) string {
+	bits := w.WeightBits
+	if bits == 0 {
+		bits = 16
+	}
+	m := w.Model
+	return fmt.Sprintf("L%d/d%d/f%d/h%d/kv%d/a%d|b%d/in%d/out%d/tp%d/w%d",
+		m.Layers, m.Dim, m.FFNDim, m.Heads, m.KVHeads, int(m.Act),
+		w.Batch, w.InputLen, w.OutputLen, w.TensorParallel, bits)
+}
+
 func sumSeconds(ts []perf.Time) float64 {
 	var sum float64
 	for _, t := range ts {
