@@ -1,0 +1,111 @@
+package dse
+
+import (
+	"testing"
+)
+
+// Edge cases of the optimisation helpers: duplicates, exact ties at the
+// tolerance boundary, and degenerate inputs. The values below are all
+// exactly representable in binary floating point so "exactly at the
+// boundary" means what it says.
+
+func synthetic(name string, area, ttft float64) Point {
+	p := Point{AreaMM2: area}
+	p.Config.Name = name
+	p.Result.TTFTSeconds = ttft
+	return p
+}
+
+func TestParetoFrontDropsDuplicates(t *testing.T) {
+	points := []Point{
+		synthetic("a", 100, 2),
+		synthetic("a-dup", 100, 2),
+		synthetic("b", 200, 1),
+		synthetic("b-dup", 200, 1),
+	}
+	front := ParetoFront(points, MetricArea, MetricTTFT)
+	if len(front) != 2 {
+		t.Fatalf("front of duplicated pair has %d members, want 2", len(front))
+	}
+	if front[0].AreaMM2 != 100 || front[1].AreaMM2 != 200 {
+		t.Errorf("front not sorted by x: %v, %v", front[0].AreaMM2, front[1].AreaMM2)
+	}
+}
+
+func TestParetoFrontDominance(t *testing.T) {
+	points := []Point{
+		synthetic("small-slow", 100, 4),
+		synthetic("dominated", 150, 4), // same y as small-slow but larger area
+		synthetic("mid", 150, 2),
+		synthetic("big-fast", 300, 1),
+		synthetic("strictly-worse", 400, 3), // dominated by mid on both axes
+	}
+	front := ParetoFront(points, MetricArea, MetricTTFT)
+	want := []string{"small-slow", "mid", "big-fast"}
+	if len(front) != len(want) {
+		t.Fatalf("front has %d members, want %d", len(front), len(want))
+	}
+	for i, name := range want {
+		if front[i].Config.Name != name {
+			t.Errorf("front[%d] = %s, want %s", i, front[i].Config.Name, name)
+		}
+	}
+}
+
+func TestParetoFrontDegenerateInputs(t *testing.T) {
+	if got := ParetoFront(nil, MetricArea, MetricTTFT); got != nil {
+		t.Errorf("front of nil input = %v, want nil", got)
+	}
+	one := []Point{synthetic("only", 100, 1)}
+	front := ParetoFront(one, MetricArea, MetricTTFT)
+	if len(front) != 1 || front[0].Config.Name != "only" {
+		t.Errorf("front of single point = %v", front)
+	}
+}
+
+func TestBestWithTieBreakExactBoundary(t *testing.T) {
+	// tol = 0.5 and primary optimum 10 give limit = 15 exactly; a point
+	// whose primary is exactly 15 is inside the tie band (≤, not <).
+	points := []Point{
+		synthetic("optimum-big", 500, 10),
+		synthetic("boundary-small", 100, 15),
+		synthetic("just-outside", 50, 15.0000000001),
+	}
+	best, err := BestWithTieBreak(points, MetricTTFT, MetricArea, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Config.Name != "boundary-small" {
+		t.Errorf("tie break chose %s, want boundary-small (exactly at the band edge)", best.Config.Name)
+	}
+}
+
+func TestBestWithTieBreakExactPrimaryTie(t *testing.T) {
+	// Two points with identical primaries: even tol = 0 must tie-break on
+	// the secondary.
+	points := []Point{
+		synthetic("tied-big", 400, 10),
+		synthetic("tied-small", 100, 10),
+	}
+	best, err := BestWithTieBreak(points, MetricTTFT, MetricArea, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Config.Name != "tied-small" {
+		t.Errorf("exact primary tie chose %s, want tied-small", best.Config.Name)
+	}
+}
+
+func TestBestHelpersDegenerateInputs(t *testing.T) {
+	if _, err := Best(nil, MetricTTFT); err == nil {
+		t.Error("Best on empty input did not error")
+	}
+	if _, err := BestWithTieBreak(nil, MetricTTFT, MetricArea, 0.1); err == nil {
+		t.Error("BestWithTieBreak on empty input did not error")
+	}
+	one := []Point{synthetic("only", 100, 1)}
+	best, err := BestWithTieBreak(one, MetricTTFT, MetricArea, 0.1)
+	if err != nil || best.Config.Name != "only" {
+		t.Errorf("single-point BestWithTieBreak = %v, %v", best.Config.Name, err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package golden is the repository's regression net for the analytical
+// core. It pins the paper's headline artifacts — the Table 3/5 sweep
+// summaries, per-operator latency breakdowns, area/cost breakdowns, and
+// policy classifications — as canonical JSON fixtures under
+// testdata/golden/, and layers reusable invariant and differential checks
+// (package golden's Check* functions) on top, so a refactor of
+// internal/perf, internal/area, internal/cost or internal/policy that
+// silently shifts downstream results fails CI with a readable diff
+// instead of landing unnoticed.
+//
+// Workflow: `go test ./internal/golden/...` compares current model output
+// against the committed fixtures; `go test ./internal/golden/... -update`
+// regenerates them after an intentional model change. Floats are stored
+// with 9 significant digits and compared with a relative tolerance
+// (DefaultRelTol), so cross-platform floating-point noise never churns
+// fixtures while a 1% shift in any model constant fails loudly.
+package golden
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures instead of comparing against them")
+
+// Update reports whether the test run was invoked with -update, i.e.
+// fixtures are being regenerated rather than enforced.
+func Update() bool { return *update }
+
+// DefaultRelTol is the relative tolerance used when comparing numbers
+// against a fixture. It is far below any meaningful model change (a 1%
+// perturbation of a constant is 4 orders of magnitude larger) but far
+// above cross-platform floating-point noise (FMA contraction, libm
+// differences), so fixtures are portable yet tight.
+const DefaultRelTol = 1e-6
+
+// Dir is the fixture directory relative to the calling test's package.
+const Dir = "testdata/golden"
+
+// Path returns the fixture path for a name.
+func Path(name string) string { return filepath.Join(Dir, name+".json") }
+
+// Compare checks got against the named fixture at DefaultRelTol, or
+// rewrites the fixture under -update.
+func Compare(t *testing.T, name string, got any) {
+	t.Helper()
+	CompareTol(t, name, got, DefaultRelTol)
+}
+
+// CompareTol checks got against the named fixture with an explicit
+// relative tolerance. Under -update it canonicalises got and rewrites the
+// fixture instead. On mismatch it fails the test with a per-field diff and
+// the command that regenerates the fixture.
+func CompareTol(t *testing.T, name string, got any, relTol float64) {
+	t.Helper()
+	data, err := Canonical(got)
+	if err != nil {
+		t.Fatalf("golden: canonicalising %s: %v", name, err)
+	}
+	path := Path(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("golden: %v", err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("golden: %v", err)
+		}
+		t.Logf("golden: wrote %s (%d bytes)", path, len(data))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden: missing fixture %s (%v)\nrun `go test ./internal/golden/... -update` to create it", path, err)
+	}
+	diffs, err := DiffJSON(want, data, relTol)
+	if err != nil {
+		t.Fatalf("golden: comparing %s: %v", path, err)
+	}
+	if len(diffs) == 0 {
+		return
+	}
+	t.Errorf("golden: %s drifted from fixture %s (rel tol %.1g):\n%s\nIf the change is intentional, regenerate with `go test ./internal/golden/... -update` and commit the diff.",
+		name, path, relTol, FormatDiffs(diffs, 20))
+}
+
+// Canonical marshals v to deterministic, human-diffable JSON: object keys
+// sorted, scalar-only arrays inlined on one line, and every float rendered
+// with at most 9 significant digits so sub-tolerance noise cannot appear
+// in the file at all.
+func Canonical(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var tree any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	render(&buf, tree, "")
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', 9, 64)
+}
+
+func isScalar(v any) bool {
+	switch v.(type) {
+	case map[string]any, []any:
+		return false
+	}
+	return true
+}
+
+func renderScalar(buf *bytes.Buffer, v any) {
+	switch x := v.(type) {
+	case float64:
+		buf.WriteString(formatFloat(x))
+	case string:
+		b, _ := json.Marshal(x)
+		buf.Write(b)
+	case bool:
+		buf.WriteString(strconv.FormatBool(x))
+	case nil:
+		buf.WriteString("null")
+	default:
+		b, _ := json.Marshal(x)
+		buf.Write(b)
+	}
+}
+
+func render(buf *bytes.Buffer, v any, indent string) {
+	const step = "  "
+	switch x := v.(type) {
+	case map[string]any:
+		if len(x) == 0 {
+			buf.WriteString("{}")
+			return
+		}
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteString("{\n")
+		for i, k := range keys {
+			buf.WriteString(indent + step)
+			kb, _ := json.Marshal(k)
+			buf.Write(kb)
+			buf.WriteString(": ")
+			render(buf, x[k], indent+step)
+			if i < len(keys)-1 {
+				buf.WriteByte(',')
+			}
+			buf.WriteByte('\n')
+		}
+		buf.WriteString(indent + "}")
+	case []any:
+		if len(x) == 0 {
+			buf.WriteString("[]")
+			return
+		}
+		allScalar := true
+		for _, e := range x {
+			if !isScalar(e) {
+				allScalar = false
+				break
+			}
+		}
+		if allScalar {
+			buf.WriteByte('[')
+			for i, e := range x {
+				if i > 0 {
+					buf.WriteString(", ")
+				}
+				renderScalar(buf, e)
+			}
+			buf.WriteByte(']')
+			return
+		}
+		buf.WriteString("[\n")
+		for i, e := range x {
+			buf.WriteString(indent + step)
+			render(buf, e, indent+step)
+			if i < len(x)-1 {
+				buf.WriteByte(',')
+			}
+			buf.WriteByte('\n')
+		}
+		buf.WriteString(indent + "]")
+	default:
+		renderScalar(buf, v)
+	}
+}
+
+// Diff is one fixture mismatch, addressed by a JSONPath-like location.
+type Diff struct {
+	Path   string
+	Golden string
+	Got    string
+	// RelErr is the relative numeric error for number mismatches, 0 for
+	// structural ones.
+	RelErr float64
+}
+
+func (d Diff) String() string {
+	if d.RelErr > 0 {
+		return fmt.Sprintf("%s: golden %s, got %s (rel Δ %.2g)", d.Path, d.Golden, d.Got, d.RelErr)
+	}
+	return fmt.Sprintf("%s: golden %s, got %s", d.Path, d.Golden, d.Got)
+}
+
+// DiffJSON structurally compares two JSON documents, treating numbers as
+// equal within the relative tolerance. It returns one Diff per mismatched
+// leaf (or structural divergence), in document order.
+func DiffJSON(golden, got []byte, relTol float64) ([]Diff, error) {
+	var a, b any
+	if err := json.Unmarshal(golden, &a); err != nil {
+		return nil, fmt.Errorf("golden document: %w", err)
+	}
+	if err := json.Unmarshal(got, &b); err != nil {
+		return nil, fmt.Errorf("got document: %w", err)
+	}
+	var diffs []Diff
+	diffValue("$", a, b, relTol, &diffs)
+	return diffs, nil
+}
+
+// FormatDiffs renders up to max diffs one per line, with a trailer when
+// more were suppressed.
+func FormatDiffs(diffs []Diff, max int) string {
+	var buf bytes.Buffer
+	for i, d := range diffs {
+		if i == max {
+			fmt.Fprintf(&buf, "  ... and %d more", len(diffs)-max)
+			break
+		}
+		fmt.Fprintf(&buf, "  %s\n", d)
+	}
+	return buf.String()
+}
+
+func describe(v any) string {
+	switch v.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	}
+	var buf bytes.Buffer
+	renderScalar(&buf, v)
+	return buf.String()
+}
+
+func diffValue(path string, a, b any, relTol float64, out *[]Diff) {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			*out = append(*out, Diff{Path: path, Golden: "object", Got: describe(b)})
+			return
+		}
+		keys := make([]string, 0, len(av))
+		for k := range av {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sub := path + "." + k
+			if bvk, ok := bv[k]; ok {
+				diffValue(sub, av[k], bvk, relTol, out)
+			} else {
+				*out = append(*out, Diff{Path: sub, Golden: describe(av[k]), Got: "<missing>"})
+			}
+		}
+		extra := make([]string, 0)
+		for k := range bv {
+			if _, ok := av[k]; !ok {
+				extra = append(extra, k)
+			}
+		}
+		sort.Strings(extra)
+		for _, k := range extra {
+			*out = append(*out, Diff{Path: path + "." + k, Golden: "<missing>", Got: describe(bv[k])})
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok {
+			*out = append(*out, Diff{Path: path, Golden: "array", Got: describe(b)})
+			return
+		}
+		if len(av) != len(bv) {
+			*out = append(*out, Diff{Path: path,
+				Golden: fmt.Sprintf("array of %d", len(av)),
+				Got:    fmt.Sprintf("array of %d", len(bv))})
+		}
+		n := len(av)
+		if len(bv) < n {
+			n = len(bv)
+		}
+		for i := 0; i < n; i++ {
+			diffValue(fmt.Sprintf("%s[%d]", path, i), av[i], bv[i], relTol, out)
+		}
+	case float64:
+		bf, ok := b.(float64)
+		if !ok {
+			*out = append(*out, Diff{Path: path, Golden: formatFloat(av), Got: describe(b)})
+			return
+		}
+		if rel := relErr(av, bf); rel > relTol {
+			*out = append(*out, Diff{Path: path, Golden: formatFloat(av), Got: formatFloat(bf), RelErr: rel})
+		}
+	default:
+		if a != b {
+			*out = append(*out, Diff{Path: path, Golden: describe(a), Got: describe(b)})
+		}
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) / scale
+}

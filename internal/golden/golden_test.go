@@ -1,0 +1,253 @@
+package golden
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cost"
+	"repro/internal/devices"
+	"repro/internal/dse"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// The fixture suite: each test rebuilds one of the paper's headline
+// artifacts from the calibrated models and compares it against the
+// committed snapshot. Run with -update after an intentional model change.
+
+func TestGoldenTable3SweepGPT3(t *testing.T) {
+	s, err := BuildSweepSummary(dse.NewExplorer(), dse.Table3(4800, []float64{600}),
+		model.PaperWorkload(model.GPT3_175B()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Designs != 512 {
+		t.Fatalf("Table 3 @ 600 GB/s must have 512 designs, got %d", s.Designs)
+	}
+	Compare(t, "sweep_table3_tpp4800_gpt3", s)
+}
+
+func TestGoldenTable3SweepLlama3(t *testing.T) {
+	s, err := BuildSweepSummary(dse.NewExplorer(), dse.Table3(2400, []float64{500, 700, 900}),
+		model.PaperWorkload(model.Llama3_8B()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Designs != 1536 {
+		t.Fatalf("Table 3 @ 3 device BWs must have 1536 designs, got %d", s.Designs)
+	}
+	Compare(t, "sweep_table3_tpp2400_3bw_llama3", s)
+}
+
+func TestGoldenTable5Sweep(t *testing.T) {
+	s, err := BuildSweepSummary(dse.NewExplorer(), dse.Table5(),
+		model.PaperWorkload(model.GPT3_175B()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Designs != 2304 {
+		t.Fatalf("Table 5 must have 2304 designs, got %d", s.Designs)
+	}
+	Compare(t, "sweep_table5_gpt3", s)
+}
+
+func TestGoldenOperatorBreakdowns(t *testing.T) {
+	type pin struct {
+		name string
+		cfg  arch.Config
+		m    model.Model
+	}
+	pins := []pin{
+		{"operators_a100_gpt3", arch.A100(), model.GPT3_175B()},
+		{"operators_a100_llama3", arch.A100(), model.Llama3_8B()},
+		{"operators_h100like_gpt3", H100Like(), model.GPT3_175B()},
+		{"operators_h100like_llama3", H100Like(), model.Llama3_8B()},
+	}
+	for _, p := range pins {
+		t.Run(p.name, func(t *testing.T) {
+			s, err := BuildProfileSummary(sim.New(), p.cfg, model.PaperWorkload(p.m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Prefill) == 0 || len(s.Decode) == 0 {
+				t.Fatal("empty operator profile")
+			}
+			Compare(t, p.name, s)
+		})
+	}
+}
+
+func TestGoldenAreaCostBreakdowns(t *testing.T) {
+	type snapshot struct {
+		Areas []AreaRow `json:"areas"`
+		Costs []CostRow `json:"costs"`
+	}
+	var s snapshot
+	// Floorplans: the two presets plus the extreme designs of the Table 3
+	// grid (first and last in Expand order) so every area coefficient is
+	// exercised at two operating points.
+	cfgs := dse.Table3(4800, []float64{600}).Expand()
+	for _, cfg := range []arch.Config{arch.A100(), H100Like(), cfgs[0], cfgs[len(cfgs)-1]} {
+		s.Areas = append(s.Areas, BuildAreaRow(cfg))
+	}
+	// Manufacturing economics: the paper's Table 4 die pair on the
+	// calibrated 7 nm wafer, plus the same dies on 5 nm for the
+	// forward-looking sweeps.
+	for _, c := range []struct {
+		name string
+		w    cost.Wafer
+		area float64
+	}{
+		{"N7", cost.N7Wafer, 523},
+		{"N7", cost.N7Wafer, 753},
+		{"N7", cost.N7Wafer, arch.GA100DieAreaMM2},
+		{"N5", cost.N5Wafer, 523},
+		{"N5", cost.N5Wafer, 753},
+	} {
+		row, err := BuildCostRow(c.name, c.w, c.area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Costs = append(s.Costs, row)
+	}
+	Compare(t, "area_cost_breakdowns", s)
+}
+
+func TestGoldenPolicyClassifications(t *testing.T) {
+	rows := make([]ClassificationRow, 0)
+	for _, d := range devices.All() {
+		m := d.Metrics()
+		rows = append(rows, ClassificationRow{
+			Device:  d.Name,
+			Segment: d.Segment.String(),
+			TPP:     d.TPP,
+			PD:      m.PerformanceDensity(),
+			Oct2022: policy.Oct2022(m).String(),
+			Oct2023: policy.Oct2023(m).String(),
+		})
+	}
+	if len(rows) < 20 {
+		t.Fatalf("device catalogue suspiciously small: %d", len(rows))
+	}
+	Compare(t, "policy_classifications", map[string]any{"devices": rows})
+}
+
+// TestPerturbationIsDetected is the harness's self-test: a deliberate 1%
+// perturbation of a model constant must produce a non-empty, readable
+// diff against the committed fixture. This is what guarantees the golden
+// suite actually guards the constants rather than vacuously passing.
+func TestPerturbationIsDetected(t *testing.T) {
+	if Update() {
+		t.Skip("fixtures are being regenerated")
+	}
+	type perturbation struct {
+		name    string
+		fixture string
+		build   func() (any, error)
+	}
+	cases := []perturbation{
+		{"perf.DRAMEfficiency +1%", "sweep_table3_tpp4800_gpt3", func() (any, error) {
+			e := dse.NewExplorer()
+			e.Cache = nil
+			e.Sim.Engine.DRAMEfficiency *= 1.01
+			return BuildSweepSummary(e, dse.Table3(4800, []float64{600}),
+				model.PaperWorkload(model.GPT3_175B()))
+		}},
+		{"cost wafer price +1%", "area_cost_breakdowns", func() (any, error) {
+			w := cost.N7Wafer
+			w.PriceUSD *= 1.01
+			row, err := BuildCostRow("N7", w, 523)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]any{"costs": []CostRow{row}}, nil
+		}},
+		{"perf.LaunchOverheadSec +1%", "operators_a100_gpt3", func() (any, error) {
+			s := sim.New()
+			s.Engine.LaunchOverheadSec *= 1.01
+			return BuildProfileSummary(s, arch.A100(), model.PaperWorkload(model.GPT3_175B()))
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := Canonical(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(Path(c.fixture))
+			if err != nil {
+				t.Fatalf("fixture missing (run -update first): %v", err)
+			}
+			diffs, err := DiffJSON(want, data, DefaultRelTol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diffs) == 0 {
+				t.Fatalf("1%% perturbation (%s) produced no diff — the fixture does not pin this constant", c.name)
+			}
+			rendered := FormatDiffs(diffs, 5)
+			if !strings.Contains(rendered, "golden") || !strings.Contains(rendered, "got") {
+				t.Errorf("diff rendering not readable: %q", rendered)
+			}
+			t.Logf("perturbation detected with %d diffs, e.g.\n%s", len(diffs), FormatDiffs(diffs, 3))
+		})
+	}
+}
+
+// TestCanonicalFormattingIsStable pins the harness's own float formatting:
+// re-canonicalising a parsed fixture must be byte-identical, otherwise
+// -update runs would churn files without model changes.
+func TestCanonicalFormattingIsStable(t *testing.T) {
+	s, err := BuildProfileSummary(sim.New(), arch.A100(), model.PaperWorkload(model.Llama3_8B()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Canonical(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roundTrip any
+	if err := json.Unmarshal(first, &roundTrip); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Canonical(roundTrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("canonical form is not a fixed point of parse→render")
+	}
+	diffs, err := DiffJSON(first, second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("round trip diffs: %v", diffs)
+	}
+}
+
+func TestDiffReportsStructuralMismatches(t *testing.T) {
+	a := []byte(`{"x": 1, "gone": true, "arr": [1, 2, 3], "s": "a"}`)
+	b := []byte(`{"x": 1.5, "extra": 2, "arr": [1, 2], "s": "b"}`)
+	diffs, err := DiffJSON(a, b, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := FormatDiffs(diffs, 100)
+	for _, want := range []string{"$.x", "$.gone", "$.extra", "$.arr", "$.s", "<missing>", "rel Δ"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diff output missing %q:\n%s", want, joined)
+		}
+	}
+	if got, _ := DiffJSON(a, a, 0); len(got) != 0 {
+		t.Errorf("self-diff not empty: %v", got)
+	}
+}

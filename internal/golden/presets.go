@@ -1,0 +1,28 @@
+package golden
+
+import "repro/internal/arch"
+
+// H100Like returns an H100-class pin for the golden profiles: 132 cores of
+// 8 lanes of 16×16 FP16 systolic arrays at 1.83 GHz (TPP ≈ 15,830,
+// matching the H100's 15,824 within rounding), 256 KB L1, 50 MB L2, 80 GB
+// HBM3 at 3.35 TB/s, and 900 GB/s NVLink, on a 5 nm-class node. Like
+// arch.A100 it is a modeled stand-in, not a die shot — its role here is to
+// pin the model on a second, bandwidth-rich operating point far from the
+// A100 calibration target.
+func H100Like() arch.Config {
+	return arch.Config{
+		Name:            "modeled-H100",
+		CoreCount:       132,
+		LanesPerCore:    8,
+		SystolicDimX:    16,
+		SystolicDimY:    16,
+		VectorWidth:     32,
+		L1KB:            256,
+		L2MB:            50,
+		HBMCapacityGB:   80,
+		HBMBandwidthGBs: 3350,
+		DeviceBWGBs:     900,
+		ClockGHz:        1.83,
+		Process:         arch.ProcessN5,
+	}
+}

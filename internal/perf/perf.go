@@ -299,6 +299,11 @@ func (e *Engine) dramTraffic(cfg arch.Config, m, k, n int, bBytesPerElem float64
 		}
 	}
 	e.mu.Lock()
+	if e.dramCache == nil {
+		// Engines built as literals (tests perturbing one constant) skip
+		// Default()'s map allocation.
+		e.dramCache = make(map[dramKey]float64)
+	}
 	e.dramCache[key] = best
 	e.mu.Unlock()
 	return best

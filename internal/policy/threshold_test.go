@@ -1,0 +1,170 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven tests pinning behaviour exactly at, just below and just
+// above every numeric threshold of the three rule generations. "Just
+// below" uses math.Nextafter so the test exercises the tightest float64
+// neighbour, and the performance-density probes use area/TPP pairs whose
+// quotient is exactly representable (e.g. 2368/400 = 5.92), so ≥ vs >
+// mistakes at a boundary cannot hide behind rounding.
+
+func below(x float64) float64 { return math.Nextafter(x, 0) }
+
+func TestOct2022Thresholds(t *testing.T) {
+	cases := []struct {
+		name    string
+		tpp, bw float64
+		want    Classification
+	}{
+		{"both at threshold", 4800, 600, LicenseRequired},
+		{"both above", 5000, 700, LicenseRequired},
+		{"tpp just below", below(4800), 600, NotApplicable},
+		{"bw just below", 4800, below(600), NotApplicable},
+		{"both just below", below(4800), below(600), NotApplicable},
+		{"high tpp, low bw", 100000, 599, NotApplicable},
+		{"low tpp, high bw", 100, 10000, NotApplicable},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Oct2022(Metrics{TPP: c.tpp, DeviceBWGBs: c.bw})
+			if got != c.want {
+				t.Errorf("Oct2022(TPP=%v, BW=%v) = %v, want %v", c.tpp, c.bw, got, c.want)
+			}
+		})
+	}
+}
+
+func TestOct2023DataCenterThresholds(t *testing.T) {
+	// Each case states TPP and an area chosen so TPP/area lands exactly
+	// on (or beside) a PD threshold.
+	cases := []struct {
+		name      string
+		tpp, area float64
+		want      Classification
+	}{
+		// TPP ≥ 4800: license regardless of density.
+		{"license tier at 4800", 4800, 1e6, LicenseRequired},
+		{"just below 4800 huge die", below(4800), 1e6, NotApplicable},
+
+		// TPP ≥ 1600 with PD ≥ 5.92: license. 2368/400 = 5.92 exactly.
+		{"pd license exactly 5.92", 2368, 400, LicenseRequired},
+		{"pd just below 5.92", 2368, math.Nextafter(400, 500), NACEligible},
+		{"pd 5.92 but tpp just below 1600", below(1600), 1600 / 5.92, NotApplicable},
+
+		// 4800 > TPP ≥ 2400 with 5.92 > PD ≥ 1.6: NAC. 2400/1500 = 1.6.
+		{"mid tier at 2400 pd 1.6", 2400, 1500, NACEligible},
+		{"mid tier pd just below 1.6", 2400, math.Nextafter(1500, 2000), NotApplicable},
+		{"mid tier tpp just below 2400 pd 1.6", below(2400), below(2400) / 1.6, NotApplicable},
+
+		// TPP ≥ 1600 with 5.92 > PD ≥ 3.2: NAC. 1600/500 = 3.2.
+		{"low tier at 1600 pd 3.2", 1600, 500, NACEligible},
+		{"low tier pd just below 3.2", 1600, math.Nextafter(500, 600), NotApplicable},
+		{"low tier tpp just below 1600 pd 3.2", below(1600), 499, NotApplicable},
+
+		// Zero applicable area means PD never trips; only the 4800 gate works.
+		{"planar die mid tpp", 2400, 0, NotApplicable},
+		{"planar die at 4800", 4800, 0, LicenseRequired},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Oct2023(Metrics{TPP: c.tpp, DieAreaMM2: c.area, Segment: DataCenter})
+			if got != c.want {
+				pd := Metrics{TPP: c.tpp, DieAreaMM2: c.area}.PerformanceDensity()
+				t.Errorf("Oct2023(TPP=%v, PD=%v) = %v, want %v", c.tpp, pd, got, c.want)
+			}
+		})
+	}
+}
+
+func TestOct2023NonDataCenterThresholds(t *testing.T) {
+	cases := []struct {
+		name string
+		tpp  float64
+		want Classification
+	}{
+		{"at 4800", 4800, NACEligible},
+		{"just below 4800", below(4800), NotApplicable},
+		{"far above 4800 never a license", 50000, NACEligible},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Absurdly high density: the non-data-center branch must ignore it.
+			got := Oct2023(Metrics{TPP: c.tpp, DieAreaMM2: 1, Segment: NonDataCenter})
+			if got != c.want {
+				t.Errorf("Oct2023(non-DC, TPP=%v) = %v, want %v", c.tpp, got, c.want)
+			}
+		})
+	}
+}
+
+func TestDec2024HBMThresholds(t *testing.T) {
+	cases := []struct {
+		name     string
+		bw, area float64
+		want     Classification
+	}{
+		// 800/400 = 2.0 exactly: the controlled threshold is ≤, so exactly
+		// 2.0 GB/s/mm² stays unregulated.
+		{"exactly 2.0 uncontrolled", 800, 400, NotApplicable},
+		{"just above 2.0 NAC", math.Nextafter(800, 900), 400, NACEligible},
+		// 1320/400 = 3.3 exactly: the exception ceiling is <, so exactly
+		// 3.3 requires a license.
+		{"just below 3.3 still NAC", below(1320), 400, NACEligible},
+		{"exactly 3.3 license", 1320, 400, LicenseRequired},
+		{"far above 3.3 license", 4000, 400, LicenseRequired},
+		{"zero area uncontrolled", 800, 0, NotApplicable},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Dec2024HBM(HBMPackage{BandwidthGBs: c.bw, PackageAreaMM2: c.area})
+			if got != c.want {
+				t.Errorf("Dec2024HBM(%v GB/s / %v mm²) = %v, want %v", c.bw, c.area, got, c.want)
+			}
+		})
+	}
+	installed := HBMPackage{BandwidthGBs: 4000, PackageAreaMM2: 400, InstalledInDevice: true}
+	if got := Dec2024HBM(installed); got != NotApplicable {
+		t.Errorf("installed HBM classified %v, want NotApplicable regardless of density", got)
+	}
+}
+
+func TestJan2025AllocationBoundaries(t *testing.T) {
+	// Shipping exactly up to the cap succeeds and exhausts it.
+	a, err := NewAllocation("x", 10*H100TPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Ship(10, H100TPP); err != nil {
+		t.Fatalf("shipment exactly at cap rejected: %v", err)
+	}
+	if r := a.Remaining(); r != 0 {
+		t.Errorf("remaining after exact-cap shipment = %v, want 0", r)
+	}
+	if err := a.Ship(1, 1); err == nil {
+		t.Error("shipment into an exhausted allocation succeeded")
+	}
+
+	// One TPP over the cap fails and must not consume any allocation.
+	b, err := NewAllocation("y", 10*H100TPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Ship(1, 10*H100TPP+1); err == nil {
+		t.Error("over-cap shipment accepted")
+	}
+	if r := b.Remaining(); r != 10*H100TPP {
+		t.Errorf("failed shipment consumed allocation: remaining %v, want %v", r, 10.0*H100TPP)
+	}
+
+	// MaxDevices at an exact division, and one TPP beyond it.
+	if got := b.MaxDevices(H100TPP); got != 10 {
+		t.Errorf("MaxDevices(H100TPP) = %d, want 10 (exact division)", got)
+	}
+	if got := b.MaxDevices(H100TPP + 1); got != 9 {
+		t.Errorf("MaxDevices(H100TPP+1) = %d, want 9", got)
+	}
+}
