@@ -18,8 +18,10 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/dse"
 	"repro/internal/experiments"
+	"repro/internal/ir"
 	"repro/internal/model"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -222,6 +224,74 @@ func BenchmarkDSECacheHit(b *testing.B) {
 	b.StopTimer()
 	if s := ex.Cache.Stats(); s.Hits == 0 {
 		b.Fatal("benchmark never hit the cache")
+	}
+}
+
+// BenchmarkSweepTable3Memo measures the memoization layers on the Fig 6
+// grid, coldest to warmest. "cold" is uncached evaluation: a fresh engine
+// and no point LRU every iteration, so every component term and every
+// design point is computed from scratch (the engine still self-warms
+// within a single sweep — that sharing is intrinsic to the grid). "engine"
+// keeps the point LRU off but shares one simulator across iterations, so
+// every compute/feed/DRAM/comm term is a map hit while each point still
+// re-aggregates and re-costs. "warm" is the full memoized-DSE path: a
+// pre-warmed NewExplorer serving every point from the IR-hash-keyed LRU.
+// TestSweepMemoBitEqual pins all three paths to bit-equal results.
+func BenchmarkSweepTable3Memo(b *testing.B) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	grid := dse.Table3(4800, []float64{600})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ex := &dse.Explorer{Sim: sim.New(), Wafer: cost.N7Wafer}
+			if _, err := ex.Run(grid, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		shared := sim.New()
+		if _, err := (&dse.Explorer{Sim: shared, Wafer: cost.N7Wafer}).Run(grid, w); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex := &dse.Explorer{Sim: shared, Wafer: cost.N7Wafer}
+			if _, err := ex.Run(grid, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		ex := dse.NewExplorer()
+		if _, err := ex.Run(grid, w); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Run(grid, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if s := ex.Cache.Stats(); s.Hits == 0 {
+			b.Fatal("warm sweep never hit the point cache")
+		}
+	})
+}
+
+// BenchmarkLowerGPT3Layer times the workload→operator-graph lowering pass
+// on its own — the fixed cost the explorer pays once per sweep rather than
+// once per design point.
+func BenchmarkLowerGPT3Layer(b *testing.B) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ir.Lower(w); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/ir"
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -80,12 +81,18 @@ func main() {
 		rep.Oct2022, rep.Oct2023DataCenter, rep.Oct2023Consumer)
 
 	if *profile {
-		s := sim.New()
-		r, err := s.Simulate(cfg, w)
+		g, err := ir.Lower(w)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "llmsim:", err)
 			os.Exit(1)
 		}
+		r, err := sim.New().SimulateGraph(cfg, g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "llmsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ngraph: %d ops (%d prefill, %d decode), fingerprint %016x\n",
+			len(g.Nodes), len(g.PhaseNodes(ir.Prefill)), len(g.PhaseNodes(ir.Decode)), g.Fingerprint())
 		fmt.Printf("\nPREFILL (one layer):\n%s", sim.ProfileTable(r.PrefillOps))
 		fmt.Printf("\nDECODE (one step, one layer):\n%s", sim.ProfileTable(r.DecodeOps))
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/area"
 	"repro/internal/cost"
 	"repro/internal/dse"
+	"repro/internal/ir"
 	"repro/internal/model"
 	"repro/internal/policy"
 	"repro/internal/power"
@@ -62,8 +63,11 @@ type DesignReport struct {
 
 // Evaluate produces a DesignReport for a configuration and workload.
 func Evaluate(cfg arch.Config, w model.Workload) (DesignReport, error) {
-	s := sim.New()
-	r, err := s.Simulate(cfg, w)
+	g, err := ir.Lower(w)
+	if err != nil {
+		return DesignReport{}, err
+	}
+	r, err := sim.New().SimulateGraph(cfg, g)
 	if err != nil {
 		return DesignReport{}, err
 	}

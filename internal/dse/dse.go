@@ -8,8 +8,6 @@ package dse
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"math"
@@ -20,6 +18,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/area"
 	"repro/internal/cost"
+	"repro/internal/ir"
 	"repro/internal/lru"
 	"repro/internal/model"
 	"repro/internal/policy"
@@ -195,12 +194,17 @@ func NewExplorer() *Explorer {
 	}
 }
 
-// CacheKey returns the canonical result-cache key for one evaluation: a
-// SHA-256 digest over the simulation-relevant fields of the configuration
-// (its display name excluded) and the workload.
+// CacheKey returns the canonical result-cache key for one evaluation: the
+// IR content hashes of the configuration (display name excluded) and the
+// workload, concatenated. The hashes are name-invariant and sensitive to
+// every simulation-relevant field, and CacheKey is total — it never lowers
+// or validates the workload, so arbitrary (fuzzer-supplied) inputs are safe.
 func CacheKey(cfg arch.Config, w model.Workload) string {
-	sum := sha256.Sum256([]byte(sim.ConfigFingerprint(cfg) + "\x00" + sim.WorkloadFingerprint(w)))
-	return hex.EncodeToString(sum[:])
+	return cacheKey(ir.ConfigHash(cfg), ir.WorkloadHash(w))
+}
+
+func cacheKey(configHash, workloadHash uint64) string {
+	return fmt.Sprintf("%016x-%016x", configHash, workloadHash)
 }
 
 // Evaluate simulates every configuration for the workload and returns the
@@ -219,6 +223,14 @@ func (e *Explorer) Evaluate(configs []arch.Config, w model.Workload) ([]Point, e
 // errors.Join, and every successful point still returned — one bad design
 // no longer discards an entire sweep.
 func (e *Explorer) EvaluateContext(ctx context.Context, configs []arch.Config, w model.Workload) ([]Point, error) {
+	// Lower once: the operator graph depends only on the workload, so every
+	// grid point shares it (the engine's component memo tables then share
+	// the per-node terms each changed axis doesn't touch).
+	g, err := ir.Lower(w)
+	if err != nil {
+		return nil, fmt.Errorf("dse: %w", err)
+	}
+	workloadHash := ir.WorkloadHash(w)
 	points := make([]Point, len(configs))
 	done := make([]bool, len(configs))
 	errs := make([]error, len(configs))
@@ -236,7 +248,7 @@ func (e *Explorer) EvaluateContext(ctx context.Context, configs []arch.Config, w
 				if ctx.Err() != nil {
 					continue // cancelled: drain without evaluating
 				}
-				p, err := e.evaluateOne(configs[idx], w)
+				p, err := e.evaluateOne(configs[idx], g, workloadHash)
 				if err != nil {
 					errs[idx] = fmt.Errorf("dse: %s: %w", configs[idx].Name, err)
 					continue
@@ -278,10 +290,10 @@ feed:
 	return kept, errors.Join(allErrs...)
 }
 
-func (e *Explorer) evaluateOne(cfg arch.Config, w model.Workload) (Point, error) {
+func (e *Explorer) evaluateOne(cfg arch.Config, g ir.Graph, workloadHash uint64) (Point, error) {
 	var key string
 	if e.Cache != nil {
-		key = CacheKey(cfg, w)
+		key = cacheKey(ir.ConfigHash(cfg), workloadHash) // == CacheKey(cfg, g.Workload)
 		if p, ok := e.Cache.Get(key); ok {
 			// The cached point may have been evaluated under a different
 			// grid's display name; restore the requested one.
@@ -290,7 +302,7 @@ func (e *Explorer) evaluateOne(cfg arch.Config, w model.Workload) (Point, error)
 			return p, nil
 		}
 	}
-	r, err := e.Sim.Simulate(cfg, w)
+	r, err := e.Sim.SimulateGraph(cfg, g)
 	if err != nil {
 		return Point{}, err
 	}

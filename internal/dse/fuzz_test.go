@@ -23,6 +23,12 @@ func FuzzCacheKey(f *testing.F) {
 	f.Add(uint16(108), uint8(4), uint8(16), uint16(192), uint16(40), uint16(1555), uint16(4), uint16(2048), "seed")
 	f.Add(uint16(1), uint8(1), uint8(4), uint16(32), uint16(8), uint16(100), uint16(1), uint16(1), "")
 	f.Add(uint16(4096), uint8(8), uint8(32), uint16(512), uint16(128), uint16(9000), uint16(64), uint16(8192), "big")
+	// IR-hash era seeds: the §4.2 compliant-optimum shape, misaligned odd
+	// sizes (exercise every hashed field at non-round values), and the
+	// Table 5 restricted floor.
+	f.Add(uint16(102), uint8(1), uint8(15), uint16(63), uint16(63), uint16(3199), uint16(31), uint16(2047), "compliant-optimum")
+	f.Add(uint16(215), uint8(6), uint8(30), uint16(1022), uint16(78), uint16(2399), uint16(15), uint16(4095), "odd-sizes")
+	f.Add(uint16(575), uint8(0), uint8(3), uint16(31), uint16(7), uint16(799), uint16(0), uint16(0), "table5-floor")
 	f.Fuzz(func(t *testing.T, cores uint16, lanes, dim uint8, l1, l2, hbmBW, batch, inLen uint16, name string) {
 		cfg := arch.Config{
 			Name:            "fuzz-base",

@@ -1,0 +1,71 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// TestSweepMemoBitEqual is the acceptance contract for memoized grid
+// evaluation: a warm explorer (point LRU plus the engine's component memo
+// tables all hot) must produce results bit-identical to an explorer with no
+// point cache and a cold engine. Covers the full sweep output — latencies,
+// MFU, per-operator profiles, area, PD and cost.
+func TestSweepMemoBitEqual(t *testing.T) {
+	grid := Table3(4800, []float64{600})
+	all := grid.Expand()
+	// Stride across the grid so every axis varies while the test stays fast.
+	configs := all[:0:0]
+	for i := 0; i < len(all); i += 7 {
+		configs = append(configs, all[i])
+	}
+	w := model.PaperWorkload(model.GPT3_175B())
+
+	warm := NewExplorer()
+	first, err := warm.Evaluate(configs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := warm.Evaluate(configs, w) // every point an LRU hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := &Explorer{Sim: sim.New(), Wafer: cost.N7Wafer} // no LRU, fresh engine
+	reference, err := cold.Evaluate(configs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(first) != len(configs) || len(second) != len(configs) || len(reference) != len(configs) {
+		t.Fatalf("point counts diverge: %d/%d/%d for %d configs",
+			len(first), len(second), len(reference), len(configs))
+	}
+	for i := range configs {
+		for pass, got := range map[string]Point{"warm-engine": first[i], "lru-hit": second[i]} {
+			ref := reference[i]
+			if got.Result.TTFTSeconds != ref.Result.TTFTSeconds ||
+				got.Result.TBTSeconds != ref.Result.TBTSeconds ||
+				got.Result.PrefillMFU != ref.Result.PrefillMFU ||
+				got.Result.DecodeMFU != ref.Result.DecodeMFU {
+				t.Errorf("%s: %s latencies diverge from cold evaluation", configs[i].Name, pass)
+			}
+			if got.AreaMM2 != ref.AreaMM2 || got.PD != ref.PD ||
+				got.DieCostUSD != ref.DieCostUSD || got.GoodDieCostUSD != ref.GoodDieCostUSD ||
+				got.TPP != ref.TPP || got.Oct2023Class != ref.Oct2023Class {
+				t.Errorf("%s: %s derived metrics diverge from cold evaluation", configs[i].Name, pass)
+			}
+			for j := range ref.Result.PrefillOps {
+				if got.Result.PrefillOps[j] != ref.Result.PrefillOps[j] {
+					t.Errorf("%s: %s prefill op %d diverges", configs[i].Name, pass, j)
+				}
+			}
+			for j := range ref.Result.DecodeOps {
+				if got.Result.DecodeOps[j] != ref.Result.DecodeOps[j] {
+					t.Errorf("%s: %s decode op %d diverges", configs[i].Name, pass, j)
+				}
+			}
+		}
+	}
+}

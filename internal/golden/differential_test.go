@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/dse"
+	"repro/internal/ir"
 	"repro/internal/perf"
 	"repro/internal/tilesim"
 )
@@ -58,6 +59,43 @@ func TestDifferentialA100ComputeBound(t *testing.T) {
 func TestDifferentialA100MemoryBound(t *testing.T) {
 	for _, m := range memoryShapes {
 		checkRatio(t, arch.A100(), m, 0.95, 2.50)
+	}
+}
+
+// TestDifferentialViaBackendInterface re-runs the differential through the
+// operator-graph Backend interface: the same matmul wrapped as an ir.Node,
+// timed by tilesim.Backend and ir.Analytic, must land in the same ratio
+// bounds as the direct tilesim.Compare path. This is what lets graph
+// evaluation swap timing models without a parallel code path.
+func TestDifferentialViaBackendInterface(t *testing.T) {
+	engine := perf.Default()
+	event := tilesim.Backend{Engine: engine}
+	analytic := ir.Analytic{Engine: engine}
+	cfg := arch.A100()
+	bounds := []struct {
+		shapes []perf.Matmul
+		lo, hi float64
+	}{
+		{computeShapes, 0.90, 1.10},
+		{memoryShapes, 0.95, 2.50},
+	}
+	for _, b := range bounds {
+		for _, m := range b.shapes {
+			n := ir.Node{Op: m, Phase: ir.Prefill, Hash: ir.OpHash(m)}
+			ev, err := event.Time(cfg, 1, n)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name, err)
+			}
+			an, err := analytic.Time(cfg, 1, n)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name, err)
+			}
+			// Overheads excluded on both sides, as in tilesim.Compare.
+			r := (ev.Seconds - engine.LaunchOverheadSec) / (an.Seconds - engine.LaunchOverheadSec)
+			if r < b.lo || r > b.hi {
+				t.Errorf("%s via backends: ratio %.3f outside [%.2f, %.2f]", m.Name, r, b.lo, b.hi)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,53 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/perf"
+)
+
+// TestAnalyticMatchesEngineSimulate pins the Backend adapter as a pure
+// refactor: timing every node of a lowered graph through ir.Analytic must
+// be bit-identical to calling Engine.Simulate on the wrapped operator.
+func TestAnalyticMatchesEngineSimulate(t *testing.T) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	g, err := Lower(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.A100()
+	engine := perf.Default()
+	be := Analytic{Engine: engine}
+	reference := perf.Default() // separate engine: no shared memo state
+	for _, n := range g.Nodes {
+		got, err := be.Time(cfg, w.TensorParallel, n)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Op.OpName(), err)
+		}
+		want, err := reference.Simulate(cfg, w.TensorParallel, n.Op)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Op.OpName(), err)
+		}
+		if got != want {
+			t.Errorf("%s (%v): backend %+v != engine %+v", n.Op.OpName(), n.Phase, got, want)
+		}
+	}
+}
+
+type unknownOp struct{}
+
+func (unknownOp) OpName() string { return "mystery" }
+
+func TestAnalyticRejectsUnknownOps(t *testing.T) {
+	be := Analytic{Engine: perf.Default()}
+	if _, err := be.Time(arch.A100(), 1, Node{Op: unknownOp{}}); err == nil {
+		t.Fatal("unknown operator type should error")
+	}
+	// Unknown types still hash (by type), so graphs carrying foreign ops
+	// keep distinct fingerprints instead of colliding at a sentinel value.
+	if OpHash(unknownOp{}) == OpHash(perf.Matmul{M: 1, K: 1, N: 1, Batch: 1}) {
+		t.Error("unknown op hash collides with a matmul")
+	}
+}

@@ -1,0 +1,56 @@
+package ir
+
+import "repro/internal/perf"
+
+// Bound names the resource that limits one timed operator.
+type Bound uint8
+
+const (
+	// BoundCompute: the systolic/vector compute rate limits the operator.
+	BoundCompute Bound = iota
+	// BoundMemory: HBM traffic limits the operator.
+	BoundMemory
+	// BoundComm: inter-device collective time limits the operator.
+	BoundComm
+	// BoundFeed: the L2→L1 operand feed path limits the operator — the
+	// arrays are compute-starved even though DRAM keeps up.
+	BoundFeed
+)
+
+// String returns the label used in profile tables and golden fixtures.
+func (b Bound) String() string {
+	switch b {
+	case BoundCompute:
+		return "compute"
+	case BoundMemory:
+		return "memory"
+	case BoundComm:
+		return "comm"
+	case BoundFeed:
+		return "L1-feed"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify assigns a timed operator to the resource that bounds it. This is
+// the single classification rule for the whole pipeline — sim.Breakdown,
+// sim.ProfileTable and the golden summaries all call it, so an operator can
+// no longer be "compute-bound" in one report and "L1-feed" in another.
+//
+// Priority: communication first (collectives carry no compute or DRAM
+// terms), then HBM traffic, then the L2→L1 feed path, then raw compute.
+// Memory outranks feed because when DRAM is the slower of the two the feed
+// stall is hidden behind it.
+func Classify(t perf.Time) Bound {
+	switch {
+	case t.CommSeconds > 0:
+		return BoundComm
+	case t.DRAMSeconds >= t.ComputeSeconds:
+		return BoundMemory
+	case t.FeedLimited:
+		return BoundFeed
+	default:
+		return BoundCompute
+	}
+}

@@ -1,0 +1,197 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/perf"
+)
+
+func gpt3Workload() model.Workload {
+	return model.PaperWorkload(model.GPT3_175B())
+}
+
+func TestLowerValidatesWorkload(t *testing.T) {
+	w := gpt3Workload()
+	w.Batch = 0
+	if _, err := Lower(w); err == nil {
+		t.Fatal("Lower accepted an invalid workload")
+	}
+}
+
+func TestLowerTagsPhasesAndHashes(t *testing.T) {
+	g, err := Lower(gpt3Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefill := g.PhaseNodes(Prefill)
+	decode := g.PhaseNodes(Decode)
+	if len(prefill) == 0 || len(decode) == 0 {
+		t.Fatalf("empty phase: %d prefill, %d decode nodes", len(prefill), len(decode))
+	}
+	if len(prefill)+len(decode) != len(g.Nodes) {
+		t.Fatalf("phases do not partition the graph: %d + %d != %d",
+			len(prefill), len(decode), len(g.Nodes))
+	}
+	for _, n := range g.Nodes {
+		if n.Hash != OpHash(n.Op) {
+			t.Errorf("node %s: stored hash %016x != OpHash %016x", n.Op.OpName(), n.Hash, OpHash(n.Op))
+		}
+	}
+}
+
+func TestFingerprintNameInvariant(t *testing.T) {
+	a := gpt3Workload()
+	b := gpt3Workload()
+	b.Model.Name = "renamed-model"
+	ga, err := Lower(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := Lower(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.Fingerprint() != gb.Fingerprint() {
+		t.Error("renaming the model changed the graph fingerprint")
+	}
+	if WorkloadHash(a) != WorkloadHash(b) {
+		t.Error("renaming the model changed the workload hash")
+	}
+}
+
+func TestFingerprintFieldSensitivity(t *testing.T) {
+	base, err := Lower(gpt3Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*model.Workload){
+		"Batch":          func(w *model.Workload) { w.Batch++ },
+		"InputLen":       func(w *model.Workload) { w.InputLen++ },
+		"OutputLen":      func(w *model.Workload) { w.OutputLen++ },
+		"TensorParallel": func(w *model.Workload) { w.TensorParallel = 2 },
+		"WeightBits":     func(w *model.Workload) { w.WeightBits = 8 },
+		"Model.Layers":   func(w *model.Workload) { w.Model.Layers++ },
+		"Model.Dim":      func(w *model.Workload) { w.Model.Dim += w.Model.Heads }, // keep heads dividing dim
+		"Model.FFNDim":   func(w *model.Workload) { w.Model.FFNDim += 16 },
+	}
+	for field, mutate := range mutations {
+		w := gpt3Workload()
+		mutate(&w)
+		g, err := Lower(w)
+		if err != nil {
+			t.Fatalf("%s: %v", field, err)
+		}
+		if g.Fingerprint() == base.Fingerprint() {
+			t.Errorf("changing %s did not change the graph fingerprint", field)
+		}
+		if WorkloadHash(w) == WorkloadHash(gpt3Workload()) {
+			t.Errorf("changing %s did not change the workload hash", field)
+		}
+	}
+}
+
+func TestOpHashStructural(t *testing.T) {
+	m := perf.Matmul{Name: "qkv", Batch: 1, M: 2048, K: 12288, N: 9216}
+	if OpHash(m) != OpHash(perf.Matmul{Name: "other", Batch: 1, M: 2048, K: 12288, N: 9216}) {
+		t.Error("matmul hash depends on the display name")
+	}
+	// Zero BBytesPerElem means FP16: it must hash like the explicit 2.
+	explicit := m
+	explicit.BBytesPerElem = 2
+	if OpHash(m) != OpHash(explicit) {
+		t.Error("zero and explicit FP16 weight widths hash differently")
+	}
+	for field, mutated := range map[string]perf.Matmul{
+		"Batch":         {Batch: 2, M: 2048, K: 12288, N: 9216},
+		"M":             {Batch: 1, M: 2049, K: 12288, N: 9216},
+		"K":             {Batch: 1, M: 2048, K: 12289, N: 9216},
+		"N":             {Batch: 1, M: 2048, K: 12288, N: 9217},
+		"BBytesPerElem": {Batch: 1, M: 2048, K: 12288, N: 9216, BBytesPerElem: 1},
+	} {
+		if OpHash(mutated) == OpHash(m) {
+			t.Errorf("changing matmul %s did not change the hash", field)
+		}
+	}
+
+	v := perf.Vector{Name: "softmax", Elements: 1e6, OpsPerElement: 5, ReadBytes: 2e6, WriteBytes: 2e6}
+	if OpHash(v) != OpHash(perf.Vector{Name: "x", Elements: 1e6, OpsPerElement: 5, ReadBytes: 2e6, WriteBytes: 2e6}) {
+		t.Error("vector hash depends on the display name")
+	}
+	for field, mutated := range map[string]perf.Vector{
+		"Elements":      {Elements: 2e6, OpsPerElement: 5, ReadBytes: 2e6, WriteBytes: 2e6},
+		"OpsPerElement": {Elements: 1e6, OpsPerElement: 6, ReadBytes: 2e6, WriteBytes: 2e6},
+		"ReadBytes":     {Elements: 1e6, OpsPerElement: 5, ReadBytes: 3e6, WriteBytes: 2e6},
+		"WriteBytes":    {Elements: 1e6, OpsPerElement: 5, ReadBytes: 2e6, WriteBytes: 3e6},
+	} {
+		if OpHash(mutated) == OpHash(v) {
+			t.Errorf("changing vector %s did not change the hash", field)
+		}
+	}
+
+	// Same byte count, different operator type: the tags must separate them.
+	if OpHash(perf.AllReduce{Bytes: 2e6}) == OpHash(perf.Vector{Elements: 2e6}) {
+		t.Error("all-reduce and vector hashes collide across types")
+	}
+	if OpHash(perf.AllReduce{Bytes: 1e6}) == OpHash(perf.AllReduce{Bytes: 2e6}) {
+		t.Error("changing all-reduce bytes did not change the hash")
+	}
+}
+
+func TestConfigHashFieldSensitivity(t *testing.T) {
+	base := arch.A100()
+	renamed := base
+	renamed.Name = "same-hardware-other-name"
+	if ConfigHash(base) != ConfigHash(renamed) {
+		t.Error("config hash depends on the display name")
+	}
+	mutations := map[string]func(*arch.Config){
+		"CoreCount":       func(c *arch.Config) { c.CoreCount++ },
+		"LanesPerCore":    func(c *arch.Config) { c.LanesPerCore++ },
+		"SystolicDimX":    func(c *arch.Config) { c.SystolicDimX++ },
+		"SystolicDimY":    func(c *arch.Config) { c.SystolicDimY++ },
+		"VectorWidth":     func(c *arch.Config) { c.VectorWidth++ },
+		"L1KB":            func(c *arch.Config) { c.L1KB++ },
+		"L2MB":            func(c *arch.Config) { c.L2MB++ },
+		"HBMCapacityGB":   func(c *arch.Config) { c.HBMCapacityGB++ },
+		"HBMBandwidthGBs": func(c *arch.Config) { c.HBMBandwidthGBs++ },
+		"DeviceBWGBs":     func(c *arch.Config) { c.DeviceBWGBs++ },
+		"ClockGHz":        func(c *arch.Config) { c.ClockGHz += 0.01 },
+		"Process":         func(c *arch.Config) { c.Process = arch.ProcessN5 },
+	}
+	for field, mutate := range mutations {
+		cfg := arch.A100()
+		mutate(&cfg)
+		if ConfigHash(cfg) == ConfigHash(base) {
+			t.Errorf("changing %s did not change the config hash", field)
+		}
+	}
+}
+
+func TestClassifyPriority(t *testing.T) {
+	cases := []struct {
+		name string
+		t    perf.Time
+		want Bound
+	}{
+		{"comm wins over everything", perf.Time{CommSeconds: 1, DRAMSeconds: 2, ComputeSeconds: 1, FeedLimited: true}, BoundComm},
+		{"memory when DRAM dominates", perf.Time{DRAMSeconds: 2, ComputeSeconds: 1}, BoundMemory},
+		{"memory hides the feed stall", perf.Time{DRAMSeconds: 2, ComputeSeconds: 1, FeedLimited: true}, BoundMemory},
+		{"feed when compute-side and starved", perf.Time{DRAMSeconds: 1, ComputeSeconds: 2, FeedLimited: true}, BoundFeed},
+		{"compute otherwise", perf.Time{DRAMSeconds: 1, ComputeSeconds: 2}, BoundCompute},
+	}
+	for _, c := range cases {
+		if got := Classify(c.t); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+	labels := map[Bound]string{
+		BoundCompute: "compute", BoundMemory: "memory", BoundComm: "comm", BoundFeed: "L1-feed",
+	}
+	for b, want := range labels {
+		if b.String() != want {
+			t.Errorf("Bound(%d).String() = %q, want %q", b, b, want)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package num holds the tiny integer helpers shared by the performance
+// model, the discrete-event tile scheduler and the operator-graph IR, so
+// each package does not carry its own copy. Everything here is trivially
+// inlinable; the package exists purely to have one definition.
+package num
+
+// CeilDiv returns ⌈a/b⌉ for positive b.
+func CeilDiv(a, b int) int { return (a + b - 1) / b }

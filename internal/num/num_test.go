@@ -1,0 +1,15 @@
+package num
+
+import "testing"
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0}, {1, 1, 1}, {1, 16, 1}, {16, 16, 1}, {17, 16, 2},
+		{2048, 16, 128}, {2049, 16, 129}, {31, 32, 1},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// memoProbeOps is a spread of operator shapes hitting every component
+// cache: compute-bound and memory-bound matmuls, a quantized-weight
+// matmul, a vector op and a collective.
+func memoProbeOps() []Op {
+	return []Op{
+		Matmul{Name: "prefill-gemm", Batch: 1, M: 65536, K: 12288, N: 3072},
+		Matmul{Name: "decode-gemm", Batch: 1, M: 32, K: 12288, N: 3072},
+		Matmul{Name: "quant-gemm", Batch: 1, M: 32, K: 12288, N: 3072, BBytesPerElem: 1},
+		Matmul{Name: "attn-score", Batch: 768, M: 2048, K: 128, N: 2048},
+		Vector{Name: "softmax", Elements: 3.2e8, OpsPerElement: 5, ReadBytes: 6.4e8, WriteBytes: 6.4e8},
+		AllReduce{Name: "allreduce", Bytes: 1.6e8},
+	}
+}
+
+func memoProbeConfigs() []arch.Config {
+	a := arch.A100()
+	starved := a
+	starved.L1KB = 32
+	starved.LanesPerCore = 8
+	fastMem := a
+	fastMem.HBMBandwidthGBs = 3200
+	narrowLink := a
+	narrowLink.DeviceBWGBs = 400
+	return []arch.Config{a, starved, fastMem, narrowLink}
+}
+
+// TestComponentMemoBitEquality is the transparency contract of the
+// component caches: a warm engine (every term a map hit) must return Times
+// bit-identical to a cold engine computing each term from scratch.
+func TestComponentMemoBitEquality(t *testing.T) {
+	shared := Default()
+	configs := memoProbeConfigs()
+	ops := memoProbeOps()
+
+	var cold []Time
+	for _, cfg := range configs {
+		for _, op := range ops {
+			got, err := shared.Simulate(cfg, 4, op)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", op.OpName(), cfg.Name, err)
+			}
+			cold = append(cold, got)
+		}
+	}
+	i := 0
+	for _, cfg := range configs {
+		for _, op := range ops {
+			warm, err := shared.Simulate(cfg, 4, op)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", op.OpName(), cfg.Name, err)
+			}
+			if warm != cold[i] {
+				t.Errorf("%s on %s: warm %+v != cold %+v", op.OpName(), cfg.Name, warm, cold[i])
+			}
+			fresh, err := Default().Simulate(cfg, 4, op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fresh != cold[i] {
+				t.Errorf("%s on %s: fresh engine %+v != memoized %+v", op.OpName(), cfg.Name, fresh, cold[i])
+			}
+			i++
+		}
+	}
+}
+
+// TestTimeOpMatchesSimulate: the unvalidated graph entry point must time
+// identically to Simulate on valid inputs.
+func TestTimeOpMatchesSimulate(t *testing.T) {
+	e := Default()
+	cfg := arch.A100()
+	for _, op := range memoProbeOps() {
+		a, err := e.TimeOp(cfg, 4, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Simulate(cfg, 4, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s: TimeOp %+v != Simulate %+v", op.OpName(), a, b)
+		}
+	}
+	if _, err := e.TimeOp(cfg, 1, nil); err == nil {
+		t.Error("TimeOp should reject unknown operator types")
+	}
+}
+
+// TestLiteralEngineMemoLazyInit: Engines built as composite literals (no
+// Default() map allocation) must lazily initialise every component cache
+// instead of panicking on first store.
+func TestLiteralEngineMemoLazyInit(t *testing.T) {
+	e := &Engine{
+		DRAMEfficiency:    0.82,
+		VectorEfficiency:  0.70,
+		LaunchOverheadSec: 4e-6,
+		LinkLatencySec:    2e-6,
+		L2FillFraction:    0.5,
+	}
+	cfg := arch.A100()
+	for _, op := range memoProbeOps() {
+		for pass := 0; pass < 2; pass++ { // second pass exercises the hit path
+			if _, err := e.Simulate(cfg, 4, op); err != nil {
+				t.Fatalf("%s pass %d: %v", op.OpName(), pass, err)
+			}
+		}
+	}
+}

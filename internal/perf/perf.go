@@ -19,6 +19,19 @@
 // structure: prefill is compute-bound (TPP-limited), decoding is HBM
 // bandwidth-bound, small local buffers starve the systolic arrays, and
 // device-interconnect bandwidth barely moves decode latency.
+//
+// # Component memoization
+//
+// An operator's latency is the max of independent resource-bound terms, and
+// each term reads only a few axes of the configuration: the compute/feed
+// term never sees HBM or interconnect bandwidth, the DRAM term only sees L2
+// capacity and the operand widths, the collective term only the link rate.
+// The engine therefore caches each term separately, keyed by the operator's
+// structural dimensions plus exactly the configuration fields that term
+// reads. A design-space sweep that varies one axis (say DeviceBWGBs) then
+// re-times thousands of configurations while recomputing only the term that
+// axis touches — every other component is a map hit. The caches are
+// transparent: memoized and cold evaluation produce bit-identical Times.
 package perf
 
 import (
@@ -27,6 +40,7 @@ import (
 	"sync"
 
 	"repro/internal/arch"
+	"repro/internal/num"
 )
 
 // Op is any schedulable operator.
@@ -117,6 +131,11 @@ type Time struct {
 // Engine evaluates operators against a device configuration. Engines are
 // safe for concurrent use; the zero value is not useful — use Default or
 // populate every field.
+//
+// The component caches key on every model constant and configuration field
+// the cached term reads, so perturbing a constant between simulations (as
+// the robustness sweeps do by building fresh Engines) can never serve a
+// stale entry; the ablation switches bypass the caches entirely.
 type Engine struct {
 	// DRAMEfficiency is the achievable fraction of peak HBM bandwidth for
 	// streaming operator traffic.
@@ -142,8 +161,16 @@ type Engine struct {
 	// array-sized tiles with no reuse beyond the array registers.
 	NaiveL1Tiling bool
 
-	mu        sync.Mutex
-	dramCache map[dramKey]float64
+	// Component memo tables. Each caches one resource-bound term keyed by
+	// the operator's structural dimensions and the configuration axes that
+	// term reads (nothing more — that is what lets sweep points share
+	// entries across the axes they don't touch). Maps are initialised
+	// lazily so Engines built as composite literals work.
+	mu        sync.RWMutex
+	dramCache map[dramKey]float64 // L2-blocked HBM traffic per batch element
+	feedCache map[feedKey]float64 // L1-tiled L2→L1 bytes per MAC
+	compCache map[compKey]compVal // joint compute∧feed-limited matmul time
+	commCache map[commKey]float64 // ring all-reduce wire+latency time
 }
 
 // Default returns an Engine with the calibrated model constants.
@@ -155,6 +182,9 @@ func Default() *Engine {
 		LinkLatencySec:    2e-6,
 		L2FillFraction:    0.5,
 		dramCache:         make(map[dramKey]float64),
+		feedCache:         make(map[feedKey]float64),
+		compCache:         make(map[compKey]compVal),
+		commCache:         make(map[commKey]float64),
 	}
 }
 
@@ -168,6 +198,14 @@ func (e *Engine) Simulate(cfg arch.Config, tp int, op Op) (Time, error) {
 	if tp < 1 {
 		return Time{}, fmt.Errorf("perf: tensor-parallel degree must be ≥ 1, got %d", tp)
 	}
+	return e.TimeOp(cfg, tp, op)
+}
+
+// TimeOp times op without re-validating cfg or tp. It exists for graph
+// evaluation: sim.SimulateGraph validates the configuration once and then
+// times every node through this entry point (Simulate validated per call,
+// which was measurable across a sweep's thousands of operators).
+func (e *Engine) TimeOp(cfg arch.Config, tp int, op Op) (Time, error) {
 	switch o := op.(type) {
 	case Matmul:
 		return e.matmul(cfg, o), nil
@@ -179,8 +217,6 @@ func (e *Engine) Simulate(cfg arch.Config, tp int, op Op) (Time, error) {
 		return Time{}, fmt.Errorf("perf: unknown operator type %T", op)
 	}
 }
-
-func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // l1Tile finds the best L1-level output tile (Mt×Nt with Kt-deep operand
 // staging) for one lane and returns the L2→L1 feed traffic per MAC in
@@ -194,8 +230,8 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // smaller L1) raises the feed bandwidth the arrays demand from L2 — the
 // starvation mechanism behind the paper's L1 and lanes-per-core findings.
 func l1Tile(capBytes, dimX, dimY, m, n, k int) (bytesPerMAC float64) {
-	mMax := ceilDiv(m, dimX) * dimX
-	nMax := ceilDiv(n, dimY) * dimY
+	mMax := num.CeilDiv(m, dimX) * dimX
+	nMax := num.CeilDiv(n, dimY) * dimY
 	best := math.Inf(1)
 	for _, kt := range []int{16, 32, 64, 128} {
 		if kt > k {
@@ -238,6 +274,33 @@ func l1Tile(capBytes, dimX, dimY, m, n, k int) (bytesPerMAC float64) {
 	return best
 }
 
+// feedKey identifies one L1-tiling solution: the matmul's shard dimensions
+// plus the only configuration axes l1Tile reads (array dims, per-lane L1).
+type feedKey struct {
+	m, n, k    int
+	dimX, dimY int
+	l1PerLane  int
+}
+
+// feedBytesPerMAC returns the memoized l1Tile solution for m on cfg.
+func (e *Engine) feedBytesPerMAC(cfg arch.Config, m Matmul) float64 {
+	key := feedKey{m.M, m.N, m.K, cfg.SystolicDimX, cfg.SystolicDimY, cfg.L1BytesPerLane()}
+	e.mu.RLock()
+	v, ok := e.feedCache[key]
+	e.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = l1Tile(cfg.L1BytesPerLane(), cfg.SystolicDimX, cfg.SystolicDimY, m.M, m.N, m.K)
+	e.mu.Lock()
+	if e.feedCache == nil {
+		e.feedCache = make(map[feedKey]float64)
+	}
+	e.feedCache[key] = v
+	e.mu.Unlock()
+	return v
+}
+
 type dramKey struct {
 	m, k, n int
 	bBytes  int
@@ -255,15 +318,15 @@ func (e *Engine) dramTraffic(cfg arch.Config, m, k, n int, bBytesPerElem float64
 	bN := bBytesPerElem * float64(k) * float64(n)
 	cN := 2 * float64(m) * float64(n)
 	if e.NaiveDRAMTraffic {
-		return aN*float64(ceilDiv(n, 16)) + bN + cN
+		return aN*float64(num.CeilDiv(n, 16)) + bN + cN
 	}
 	key := dramKey{m, k, n, int(bBytesPerElem * 8), cfg.L2MB, int(e.L2FillFraction * 100)}
-	e.mu.Lock()
-	if v, ok := e.dramCache[key]; ok {
-		e.mu.Unlock()
+	e.mu.RLock()
+	v, ok := e.dramCache[key]
+	e.mu.RUnlock()
+	if ok {
 		return v
 	}
-	e.mu.Unlock()
 
 	capBytes := e.L2FillFraction * float64(cfg.L2Bytes())
 	aBytes := 2 * float64(m) * float64(k)
@@ -283,9 +346,9 @@ func (e *Engine) dramTraffic(cfg arch.Config, m, k, n int, bBytesPerElem float64
 					if block > capBytes {
 						continue
 					}
-					nM := float64(ceilDiv(m, mbc))
-					nN := float64(ceilDiv(n, nbc))
-					nK := float64(ceilDiv(k, kbc))
+					nM := float64(num.CeilDiv(m, mbc))
+					nN := float64(num.CeilDiv(n, nbc))
+					nK := float64(num.CeilDiv(k, kbc))
 					traffic := aBytes*nN + bBytes*nM + cBytes*(2*nK-1)
 					if traffic < best {
 						best = traffic
@@ -295,7 +358,7 @@ func (e *Engine) dramTraffic(cfg arch.Config, m, k, n int, bBytesPerElem float64
 		}
 		if math.IsInf(best, 1) {
 			// Degenerate L2: stream everything with worst-case reuse.
-			best = aBytes*float64(ceilDiv(n, 16)) + bBytes + cBytes
+			best = aBytes*float64(num.CeilDiv(n, 16)) + bBytes + cBytes
 		}
 	}
 	e.mu.Lock()
@@ -309,7 +372,56 @@ func (e *Engine) dramTraffic(cfg arch.Config, m, k, n int, bBytesPerElem float64
 	return best
 }
 
-func (e *Engine) matmul(cfg arch.Config, m Matmul) Time {
+// compKey identifies one compute∧feed term: the matmul's shard dimensions
+// plus every configuration axis the term reads — core/lane/array geometry
+// and clock (peak rate, L2 feed bandwidth) and L1 capacity (tiling). HBM
+// and interconnect axes are deliberately absent: sweep points that differ
+// only there share the entry.
+type compKey struct {
+	batch, m, k, n int
+	cores, lanes   int
+	dimX, dimY     int
+	l1KB           int
+	clockBits      uint64
+}
+
+type compVal struct {
+	seconds     float64
+	feedLimited bool
+}
+
+// matmulCompute returns the joint compute/feed-limited time of m on cfg —
+// the systolic-array rate degraded by edge/fill/tail utilisation, capped by
+// the L2→L1 feed bandwidth — memoized across configurations that share the
+// compute-side axes. The NaiveL1Tiling ablation bypasses the cache.
+func (e *Engine) matmulCompute(cfg arch.Config, m Matmul) (float64, bool) {
+	if e.NaiveL1Tiling {
+		return e.matmulComputeRaw(cfg, m)
+	}
+	key := compKey{
+		batch: m.Batch, m: m.M, k: m.K, n: m.N,
+		cores: cfg.CoreCount, lanes: cfg.LanesPerCore,
+		dimX: cfg.SystolicDimX, dimY: cfg.SystolicDimY,
+		l1KB:      cfg.L1KB,
+		clockBits: math.Float64bits(cfg.ClockGHz),
+	}
+	e.mu.RLock()
+	v, ok := e.compCache[key]
+	e.mu.RUnlock()
+	if ok {
+		return v.seconds, v.feedLimited
+	}
+	sec, feedLimited := e.matmulComputeRaw(cfg, m)
+	e.mu.Lock()
+	if e.compCache == nil {
+		e.compCache = make(map[compKey]compVal)
+	}
+	e.compCache[key] = compVal{sec, feedLimited}
+	e.mu.Unlock()
+	return sec, feedLimited
+}
+
+func (e *Engine) matmulComputeRaw(cfg arch.Config, m Matmul) (float64, bool) {
 	macs := float64(m.Batch) * float64(m.M) * float64(m.K) * float64(m.N)
 	peakMACs := float64(cfg.MACsPerDevice()) * cfg.ClockGHz * 1e9
 
@@ -317,21 +429,23 @@ func (e *Engine) matmul(cfg arch.Config, m Matmul) Time {
 	// array dimensions, pipeline fill over the K dimension, and the tail
 	// wave when the tile count is not a multiple of the array count.
 	utilEdge := float64(m.M) * float64(m.N) /
-		(float64(ceilDiv(m.M, cfg.SystolicDimX)*cfg.SystolicDimX) *
-			float64(ceilDiv(m.N, cfg.SystolicDimY)*cfg.SystolicDimY))
+		(float64(num.CeilDiv(m.M, cfg.SystolicDimX)*cfg.SystolicDimX) *
+			float64(num.CeilDiv(m.N, cfg.SystolicDimY)*cfg.SystolicDimY))
 	utilFill := float64(m.K) / float64(m.K+cfg.SystolicDimX+cfg.SystolicDimY)
 	arrays := cfg.CoreCount * cfg.LanesPerCore
-	tiles := m.Batch * ceilDiv(m.M, cfg.SystolicDimX) * ceilDiv(m.N, cfg.SystolicDimY)
-	waves := ceilDiv(tiles, arrays)
+	tiles := m.Batch * num.CeilDiv(m.M, cfg.SystolicDimX) * num.CeilDiv(m.N, cfg.SystolicDimY)
+	waves := num.CeilDiv(tiles, arrays)
 	utilTail := float64(tiles) / (float64(waves) * float64(arrays))
 
 	computeRate := peakMACs * utilEdge * utilFill * utilTail
 
 	// Feed limit: the arrays collectively demand bytesPerMAC from L2.
-	bytesPerMAC := l1Tile(cfg.L1BytesPerLane(), cfg.SystolicDimX, cfg.SystolicDimY, m.M, m.N, m.K)
+	var bytesPerMAC float64
 	if e.NaiveL1Tiling {
 		bytesPerMAC = 2 * float64(cfg.SystolicDimX+cfg.SystolicDimY) /
 			(float64(cfg.SystolicDimX) * float64(cfg.SystolicDimY))
+	} else {
+		bytesPerMAC = e.feedBytesPerMAC(cfg, m)
 	}
 	l2Bytes := cfg.L2BandwidthGBs() * 1e9
 	feedRate := l2Bytes / bytesPerMAC
@@ -342,7 +456,12 @@ func (e *Engine) matmul(cfg arch.Config, m Matmul) Time {
 		rate = feedRate
 		feedLimited = true
 	}
-	tCompute := macs / rate
+	return macs / rate, feedLimited
+}
+
+func (e *Engine) matmul(cfg arch.Config, m Matmul) Time {
+	macs := float64(m.Batch) * float64(m.M) * float64(m.K) * float64(m.N)
+	tCompute, feedLimited := e.matmulCompute(cfg, m)
 
 	traffic := float64(m.Batch) * e.dramTraffic(cfg, m.M, m.K, m.N, m.bBytesPerElem())
 	tDRAM := traffic / (cfg.HBMBandwidthGBs * 1e9 * e.DRAMEfficiency)
@@ -360,6 +479,8 @@ func (e *Engine) matmul(cfg arch.Config, m Matmul) Time {
 }
 
 func (e *Engine) vector(cfg arch.Config, v Vector) Time {
+	// Vector operators stay closed-form and uncached: two divides and a max
+	// cost less than a map probe.
 	tCompute := v.FLOPs() / (cfg.VectorTFLOPS() * 1e12 * e.VectorEfficiency)
 	traffic := v.ReadBytes + v.WriteBytes
 	tDRAM := traffic / (cfg.HBMBandwidthGBs * 1e9 * e.DRAMEfficiency)
@@ -373,6 +494,17 @@ func (e *Engine) vector(cfg arch.Config, v Vector) Time {
 	}
 }
 
+// commKey identifies one ring all-reduce: the tensor size, group degree,
+// and the only inputs the collective reads — interconnect rate and the
+// engine's per-hop latency constant (keyed so perturbed-constant Engines
+// can never alias).
+type commKey struct {
+	bytesBits uint64
+	tp        int
+	devBWBits uint64
+	linkBits  uint64
+}
+
 // allReduce models a ring all-reduce: each of tp devices exchanges
 // 2·(tp−1)/tp of the tensor over its interconnect. DeviceBWGBs is the
 // aggregate bidirectional rate, so each direction sustains half of it.
@@ -380,14 +512,31 @@ func (e *Engine) allReduce(cfg arch.Config, tp int, a AllReduce) Time {
 	if tp == 1 || a.Bytes == 0 {
 		return Time{Name: a.Name}
 	}
-	perDirection := cfg.DeviceBWGBs * 1e9 / 2
-	wire := 2 * float64(tp-1) / float64(tp) * a.Bytes / perDirection
-	latency := float64(2*(tp-1)) * e.LinkLatencySec
-	sec := wire + latency + e.LaunchOverheadSec
+	key := commKey{
+		bytesBits: math.Float64bits(a.Bytes),
+		tp:        tp,
+		devBWBits: math.Float64bits(cfg.DeviceBWGBs),
+		linkBits:  math.Float64bits(e.LinkLatencySec),
+	}
+	e.mu.RLock()
+	comm, ok := e.commCache[key]
+	e.mu.RUnlock()
+	if !ok {
+		perDirection := cfg.DeviceBWGBs * 1e9 / 2
+		wire := 2 * float64(tp-1) / float64(tp) * a.Bytes / perDirection
+		latency := float64(2*(tp-1)) * e.LinkLatencySec
+		comm = wire + latency
+		e.mu.Lock()
+		if e.commCache == nil {
+			e.commCache = make(map[commKey]float64)
+		}
+		e.commCache[key] = comm
+		e.mu.Unlock()
+	}
 	return Time{
 		Name:        a.Name,
-		Seconds:     sec,
-		CommSeconds: wire + latency,
+		Seconds:     comm + e.LaunchOverheadSec,
+		CommSeconds: comm,
 	}
 }
 

@@ -10,9 +10,10 @@ import (
 const cacheShards = 32
 
 // newPointCache builds the shared evaluated-point cache used by every
-// simulation the server runs, synchronous or queued. Keys are
-// dse.CacheKey digests, so identical (config, workload) pairs — whatever
-// endpoint or grid they arrive through — are simulated once.
+// simulation the server runs, synchronous or queued. Keys are dse.CacheKey
+// strings (the IR content hashes of config and workload), so identical
+// (config, workload) pairs — whatever endpoint or grid they arrive through,
+// and whatever display names they carry — are simulated once.
 func newPointCache(entries int) *lru.Cache[dse.Point] {
 	return lru.New[dse.Point](entries, cacheShards)
 }

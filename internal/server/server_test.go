@@ -10,6 +10,10 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/perf"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -304,9 +308,23 @@ func TestDSEJobLifecycleAndCacheWin(t *testing.T) {
 	}
 }
 
+// throttledBackend delays every node timing so a sweep reliably outlives
+// the requests racing against it, no matter how warm the memo tables are.
+type throttledBackend struct {
+	engine *perf.Engine
+	delay  time.Duration
+}
+
+func (b throttledBackend) Time(cfg arch.Config, tp int, n ir.Node) (perf.Time, error) {
+	time.Sleep(b.delay)
+	return ir.Analytic{Engine: b.engine}.Time(cfg, tp, n)
+}
+
 func TestDSEJobCancellation(t *testing.T) {
-	// A ~16k-design sweep takes long enough (hundreds of ms) that the
-	// DELETE below lands while the job is in flight.
+	// A ~16k-design sweep with a throttled timing backend takes long enough
+	// (seconds, if left to finish) that the DELETE below lands while the
+	// job is in flight; component memoization would otherwise finish it
+	// before the cancel arrived.
 	big := `{
 		"grid": {
 			"name": "big-sweep",
@@ -319,7 +337,8 @@ func TestDSEJobCancellation(t *testing.T) {
 			"device_bw_gbs": [400, 500, 600, 700]
 		}
 	}`
-	_, ts := newTestServer(t)
+	s, ts := newTestServer(t)
+	s.Explorer().Sim.Backend = throttledBackend{engine: perf.Default(), delay: 20 * time.Microsecond}
 	resp, body := postJSON(t, ts.URL+"/v1/dse", big)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)

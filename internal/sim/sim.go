@@ -1,13 +1,19 @@
 // Package sim simulates LLM inference on a candidate device: it lowers a
-// workload's Transformer layer into operators (package model), times each
-// operator on the device (package perf), and aggregates the two latency
-// metrics the paper reports — time to first token (TTFT, the prefill
-// latency) and time between tokens (TBT, the per-token decode latency) —
-// together with model-FLOPs utilisation (MFU).
+// workload into an operator graph (package ir), times each node on the
+// device through a pluggable timing backend (the analytic engine in package
+// perf by default), and aggregates the two latency metrics the paper
+// reports — time to first token (TTFT, the prefill latency) and time
+// between tokens (TBT, the per-token decode latency) — together with
+// model-FLOPs utilisation (MFU).
 //
 // Following the paper's methodology (§3.2), only one standard layer is
 // simulated and scaled by the layer count: LLMs are stacks of identical
 // Transformer layers, so one layer determines the whole model.
+//
+// Callers that evaluate one workload across many configurations should
+// lower once with ir.Lower and call SimulateGraph per configuration; the
+// graph depends only on the workload, so re-lowering per point is wasted
+// work (this is what dse.Explorer does for its sweeps).
 package sim
 
 import (
@@ -16,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/ir"
 	"repro/internal/model"
 	"repro/internal/perf"
 )
@@ -43,39 +50,66 @@ type Result struct {
 	DecodeOps  []perf.Time
 }
 
-// Simulator binds a performance engine so operator-level model constants
-// can be overridden in one place. The zero value is not useful; use New.
+// Simulator binds a timing backend so operator-level model constants can be
+// overridden in one place. The zero value is not useful; use New.
 type Simulator struct {
+	// Engine holds the analytic model constants. When Backend is nil, each
+	// simulation wraps the engine in an ir.Analytic backend — wrapping per
+	// call, not at construction, so callers that swap Engine between runs
+	// (the robustness sweeps do) always time with the current engine.
 	Engine *perf.Engine
+	// Backend, when non-nil, overrides the analytic engine as the node
+	// timing model — e.g. tilesim.Backend for event-driven evaluation.
+	Backend ir.Backend
 }
 
-// New returns a Simulator with the default calibrated engine.
+// New returns a Simulator with the default calibrated analytic engine.
 func New() *Simulator { return &Simulator{Engine: perf.Default()} }
 
-// Simulate runs prefill and decode for the workload on cfg.
+// backend resolves the effective timing backend for one simulation.
+func (s *Simulator) backend() (ir.Backend, error) {
+	if s.Backend != nil {
+		return s.Backend, nil
+	}
+	if s.Engine == nil {
+		return nil, fmt.Errorf("sim: Simulator has no engine or backend; use sim.New")
+	}
+	return ir.Analytic{Engine: s.Engine}, nil
+}
+
+// Simulate lowers the workload and runs prefill and decode on cfg.
 func (s *Simulator) Simulate(cfg arch.Config, w model.Workload) (Result, error) {
-	if err := w.Validate(); err != nil {
+	g, err := ir.Lower(w)
+	if err != nil {
 		return Result{}, err
 	}
+	return s.SimulateGraph(cfg, g)
+}
+
+// SimulateGraph runs an already-lowered operator graph on cfg. The
+// configuration is validated once here; per-node timing goes through the
+// backend's unvalidated fast path.
+func (s *Simulator) SimulateGraph(cfg arch.Config, g ir.Graph) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	if s.Engine == nil {
-		return Result{}, fmt.Errorf("sim: Simulator has no engine; use sim.New")
+	be, err := s.backend()
+	if err != nil {
+		return Result{}, err
 	}
 
-	prefill, err := s.phase(cfg, w, w.PrefillOps())
+	prefill, err := s.phase(be, cfg, g, ir.Prefill)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: prefill: %w", err)
 	}
-	decode, err := s.phase(cfg, w, w.DecodeOps())
+	decode, err := s.phase(be, cfg, g, ir.Decode)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: decode: %w", err)
 	}
 
 	r := Result{
 		Config:      cfg,
-		Workload:    w,
+		Workload:    g.Workload,
 		TTFTSeconds: sumSeconds(prefill),
 		TBTSeconds:  sumSeconds(decode),
 		PrefillOps:  prefill,
@@ -91,42 +125,17 @@ func (s *Simulator) Simulate(cfg arch.Config, w model.Workload) (Result, error) 
 	return r, nil
 }
 
-func (s *Simulator) phase(cfg arch.Config, w model.Workload, ops []perf.Op) ([]perf.Time, error) {
-	times := make([]perf.Time, 0, len(ops))
-	for _, op := range ops {
-		t, err := s.Engine.Simulate(cfg, w.TensorParallel, op)
+func (s *Simulator) phase(be ir.Backend, cfg arch.Config, g ir.Graph, p ir.Phase) ([]perf.Time, error) {
+	nodes := g.PhaseNodes(p)
+	times := make([]perf.Time, 0, len(nodes))
+	for _, n := range nodes {
+		t, err := be.Time(cfg, g.Workload.TensorParallel, n)
 		if err != nil {
-			return nil, fmt.Errorf("op %s: %w", op.OpName(), err)
+			return nil, fmt.Errorf("op %s: %w", n.Op.OpName(), err)
 		}
 		times = append(times, t)
 	}
 	return times, nil
-}
-
-// ConfigFingerprint returns a canonical encoding of every Config field
-// that influences simulation, area, cost and classification — everything
-// except the display Name. Two configs with equal fingerprints produce
-// identical results, so the fingerprint is the config half of a result
-// cache key.
-func ConfigFingerprint(cfg arch.Config) string {
-	return fmt.Sprintf("c%d/l%d/s%dx%d/v%d/L1:%d/L2:%d/hbm%d@%g/dev%g/clk%g/p%d",
-		cfg.CoreCount, cfg.LanesPerCore, cfg.SystolicDimX, cfg.SystolicDimY,
-		cfg.VectorWidth, cfg.L1KB, cfg.L2MB, cfg.HBMCapacityGB,
-		cfg.HBMBandwidthGBs, cfg.DeviceBWGBs, cfg.ClockGHz, int(cfg.Process))
-}
-
-// WorkloadFingerprint returns a canonical encoding of every Workload field
-// that influences simulation. The zero WeightBits value is normalised to
-// its FP16 meaning so that equivalent workloads fingerprint identically.
-func WorkloadFingerprint(w model.Workload) string {
-	bits := w.WeightBits
-	if bits == 0 {
-		bits = 16
-	}
-	m := w.Model
-	return fmt.Sprintf("L%d/d%d/f%d/h%d/kv%d/a%d|b%d/in%d/out%d/tp%d/w%d",
-		m.Layers, m.Dim, m.FFNDim, m.Heads, m.KVHeads, int(m.Act),
-		w.Batch, w.InputLen, w.OutputLen, w.TensorParallel, bits)
 }
 
 func sumSeconds(ts []perf.Time) float64 {
@@ -175,21 +184,30 @@ func (r Result) ThroughputTokensPerSec() float64 {
 type PhaseBreakdown struct {
 	ComputeBoundSec float64
 	MemoryBoundSec  float64
-	CommSec         float64
-	OverheadSec     float64
+	// FeedBoundSec is time on matmuls whose systolic arrays were starved by
+	// the L2→L1 feed path — compute-side time, but bound by local-buffer
+	// bandwidth rather than the arrays themselves. Breakdown used to fold
+	// this into ComputeBoundSec while ProfileTable reported it as
+	// "L1-feed"; it is now its own bucket via the shared ir.Classify rule.
+	FeedBoundSec float64
+	CommSec      float64
+	OverheadSec  float64
 }
 
 // Breakdown classifies each operator of the given per-layer profile by its
 // binding resource, the decomposition behind the paper's "prefill is
-// compute-bound, decoding is bandwidth-bound" analysis.
+// compute-bound, decoding is bandwidth-bound" analysis. The classification
+// is ir.Classify — the same rule ProfileTable and the golden summaries use.
 func Breakdown(ops []perf.Time) PhaseBreakdown {
 	var b PhaseBreakdown
 	for _, t := range ops {
-		switch {
-		case t.CommSeconds > 0:
+		switch ir.Classify(t) {
+		case ir.BoundComm:
 			b.CommSec += t.Seconds
-		case t.DRAMSeconds >= t.ComputeSeconds:
+		case ir.BoundMemory:
 			b.MemoryBoundSec += t.Seconds
+		case ir.BoundFeed:
+			b.FeedBoundSec += t.Seconds
 		default:
 			b.ComputeBoundSec += t.Seconds
 		}
@@ -213,17 +231,8 @@ func ProfileTable(ops []perf.Time) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %8s\n", "op", "total(µs)", "compute", "dram", "bound")
 	for _, t := range sorted {
-		bound := "compute"
-		switch {
-		case t.CommSeconds > 0:
-			bound = "comm"
-		case t.DRAMSeconds >= t.ComputeSeconds:
-			bound = "memory"
-		case t.FeedLimited:
-			bound = "L1-feed"
-		}
 		fmt.Fprintf(&sb, "%-16s %10.1f %10.1f %10.1f %8s\n",
-			t.Name, t.Seconds*1e6, t.ComputeSeconds*1e6, t.DRAMSeconds*1e6, bound)
+			t.Name, t.Seconds*1e6, t.ComputeSeconds*1e6, t.DRAMSeconds*1e6, ir.Classify(t))
 	}
 	return sb.String()
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/ir"
 	"repro/internal/model"
 	"repro/internal/perf"
 )
@@ -225,6 +226,124 @@ func TestBreakdownClassifiesComm(t *testing.T) {
 	})
 	if b.ComputeBoundSec != 1 || b.MemoryBoundSec != 2 || b.CommSec != 3 {
 		t.Errorf("breakdown wrong: %+v", b)
+	}
+}
+
+func TestBreakdownSeparatesFeedBound(t *testing.T) {
+	// A feed-limited, compute-side matmul must land in FeedBoundSec — not
+	// be folded into ComputeBoundSec as before the shared classifier.
+	b := Breakdown([]perf.Time{
+		{Name: "starved", Seconds: 5, ComputeSeconds: 5, DRAMSeconds: 1, FeedLimited: true},
+		{Name: "healthy", Seconds: 1, ComputeSeconds: 1, DRAMSeconds: 0.2},
+	})
+	if b.FeedBoundSec != 5 || b.ComputeBoundSec != 1 {
+		t.Errorf("feed-limited op misbucketed: %+v", b)
+	}
+}
+
+// TestBreakdownAgreesWithProfileTable pins the satellite fix: Breakdown and
+// ProfileTable classify through the same ir.Classify rule, on the A100 /
+// GPT-3 profile and on an L1-starved variant whose prefill matmuls are
+// feed-limited (the case the old Breakdown misfiled as plain compute-bound).
+func TestBreakdownAgreesWithProfileTable(t *testing.T) {
+	s := New()
+	w := model.PaperWorkload(model.GPT3_175B())
+	starved := arch.A100()
+	starved.Name = "L1-starved"
+	starved.L1KB = 32
+	starved.LanesPerCore = 8
+	for _, cfg := range []arch.Config{arch.A100(), starved} {
+		r := mustSimulate(t, s, cfg, w)
+		for phase, ops := range map[string][]perf.Time{"prefill": r.PrefillOps, "decode": r.DecodeOps} {
+			b := Breakdown(ops)
+			var want PhaseBreakdown
+			tbl := ProfileTable(ops)
+			for _, op := range ops {
+				bound := ir.Classify(op)
+				switch bound {
+				case ir.BoundComm:
+					want.CommSec += op.Seconds
+				case ir.BoundMemory:
+					want.MemoryBoundSec += op.Seconds
+				case ir.BoundFeed:
+					want.FeedBoundSec += op.Seconds
+				default:
+					want.ComputeBoundSec += op.Seconds
+				}
+				if !strings.Contains(tbl, bound.String()) {
+					t.Errorf("%s/%s: table missing the %q bound it must report for %s",
+						cfg.Name, phase, bound, op.Name)
+				}
+			}
+			if b != want {
+				t.Errorf("%s/%s: Breakdown %+v disagrees with per-op classification %+v",
+					cfg.Name, phase, b, want)
+			}
+		}
+	}
+	// The starved device must actually exercise the disputed bucket.
+	r := mustSimulate(t, s, starved, w)
+	if b := Breakdown(r.PrefillOps); b.FeedBoundSec <= 0 {
+		t.Errorf("starved prefill should have feed-bound time, got %+v", b)
+	}
+	if !strings.Contains(ProfileTable(r.PrefillOps), "L1-feed") {
+		t.Error("starved prefill profile should label ops L1-feed")
+	}
+}
+
+// TestSimulateGraphMatchesSimulate pins the graph facade as a pure
+// refactor: lowering once and simulating the graph is bit-identical to the
+// one-shot Simulate path.
+func TestSimulateGraphMatchesSimulate(t *testing.T) {
+	w := model.PaperWorkload(model.Llama3_8B())
+	g, err := ir.Lower(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.A100()
+	viaGraph, err := New().SimulateGraph(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := mustSimulate(t, New(), cfg, w)
+	if viaGraph.TTFTSeconds != direct.TTFTSeconds || viaGraph.TBTSeconds != direct.TBTSeconds ||
+		viaGraph.PrefillMFU != direct.PrefillMFU || viaGraph.DecodeMFU != direct.DecodeMFU {
+		t.Errorf("graph path diverges: %+v vs %+v", viaGraph, direct)
+	}
+	for i := range direct.PrefillOps {
+		if viaGraph.PrefillOps[i] != direct.PrefillOps[i] {
+			t.Errorf("prefill op %d differs: %+v vs %+v", i, viaGraph.PrefillOps[i], direct.PrefillOps[i])
+		}
+	}
+	for i := range direct.DecodeOps {
+		if viaGraph.DecodeOps[i] != direct.DecodeOps[i] {
+			t.Errorf("decode op %d differs: %+v vs %+v", i, viaGraph.DecodeOps[i], direct.DecodeOps[i])
+		}
+	}
+}
+
+// countingBackend wraps the analytic backend and counts node timings, to
+// prove the Simulator honours a Backend override.
+type countingBackend struct {
+	inner ir.Backend
+	calls *int
+}
+
+func (b countingBackend) Time(cfg arch.Config, tp int, n ir.Node) (perf.Time, error) {
+	*b.calls++
+	return b.inner.Time(cfg, tp, n)
+}
+
+func TestSimulatorBackendOverride(t *testing.T) {
+	calls := 0
+	s := &Simulator{Backend: countingBackend{inner: ir.Analytic{Engine: perf.Default()}, calls: &calls}}
+	w := model.PaperWorkload(model.Llama3_8B())
+	r := mustSimulate(t, s, arch.A100(), w)
+	if calls != len(r.PrefillOps)+len(r.DecodeOps) {
+		t.Errorf("backend timed %d nodes, want %d", calls, len(r.PrefillOps)+len(r.DecodeOps))
+	}
+	if calls == 0 || r.TTFTSeconds <= 0 {
+		t.Error("override backend was not used")
 	}
 }
 

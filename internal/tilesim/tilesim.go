@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/num"
 	"repro/internal/perf"
 )
 
@@ -84,8 +85,8 @@ func Simulate(cfg arch.Config, m perf.Matmul) (Result, error) {
 	// Macro-tile selection mirrors the analytic model's L1 tiling: square
 	// tiles sized to the lane's buffer share, quantised to the array.
 	mt, nt := macroTile(cfg, m)
-	tilesM := ceilDiv(m.M, mt)
-	tilesN := ceilDiv(m.N, nt)
+	tilesM := num.CeilDiv(m.M, mt)
+	tilesN := num.CeilDiv(m.N, nt)
 	totalTiles := m.Batch * tilesM * tilesN
 
 	lanes := cfg.CoreCount * cfg.LanesPerCore
@@ -99,7 +100,7 @@ func Simulate(cfg arch.Config, m perf.Matmul) (Result, error) {
 
 	// Per-macro-tile work. Compute: K-streaming through the array at one
 	// column per cycle per DX×DY block.
-	blocks := float64(ceilDiv(mt, cfg.SystolicDimX) * ceilDiv(nt, cfg.SystolicDimY))
+	blocks := float64(num.CeilDiv(mt, cfg.SystolicDimX) * num.CeilDiv(nt, cfg.SystolicDimY))
 	cycles := blocks * float64(m.K+cfg.SystolicDimX+cfg.SystolicDimY)
 	computeSec := cycles / (cfg.ClockGHz * 1e9)
 
@@ -184,7 +185,7 @@ func clampMult(t, dim, limit int) int {
 	if v < dim {
 		v = dim
 	}
-	max := ceilDiv(limit, dim) * dim
+	max := num.CeilDiv(limit, dim) * dim
 	if v > max {
 		v = max
 	}
@@ -203,15 +204,13 @@ func reuseFactor(cfg arch.Config, m perf.Matmul) float64 {
 	}
 	mt, nt := macroTile(cfg, m)
 	l2Total := 2 * float64(m.K) * float64(mt+nt) *
-		float64(m.Batch*ceilDiv(m.M, mt)*ceilDiv(m.N, nt))
+		float64(m.Batch*num.CeilDiv(m.M, mt)*num.CeilDiv(m.N, nt))
 	r := l2Total / t.DRAMBytes
 	if r < 1 {
 		return 1
 	}
 	return r
 }
-
-func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // Compare runs both models on the same matmul and returns their ratio
 // (event-driven over analytic compute+memory time, overheads excluded).
