@@ -378,6 +378,7 @@ func ParetoFront(points []Point, x, y func(Point) float64) []Point {
 	copy(sorted, points)
 	sort.Slice(sorted, func(i, j int) bool {
 		xi, xj := x(sorted[i]), x(sorted[j])
+		//lint:ignore floateq sort comparator: a tolerance here would break strict weak ordering
 		if xi != xj {
 			return xi < xj
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dse"
 	"repro/internal/model"
+	"repro/internal/num"
 	"repro/internal/plot"
 	"repro/internal/stats"
 )
@@ -17,6 +18,11 @@ type IndicatorGroup struct {
 	Filter func(dse.Point) bool
 }
 
+// gridTol matches float config fields against enumerated grid values;
+// adjacent grid points differ by far more than 1e-6 relative, so this
+// selects exactly the intended column.
+const gridTol = 1e-6
+
 // fig11Groups are the Fig 11 columns: each fixes one Table 3 parameter at
 // the value the paper highlights.
 func fig11Groups() []IndicatorGroup {
@@ -24,8 +30,8 @@ func fig11Groups() []IndicatorGroup {
 		{"1 Lane", func(p dse.Point) bool { return p.Config.LanesPerCore == 1 }},
 		{"1024 KB L1", func(p dse.Point) bool { return p.Config.L1KB == 1024 }},
 		{"48 MB L2", func(p dse.Point) bool { return p.Config.L2MB == 48 }},
-		{"2.8 TB/s M. BW", func(p dse.Point) bool { return p.Config.HBMBandwidthGBs == 2800 }},
-		{"500 GB/s D. BW", func(p dse.Point) bool { return p.Config.DeviceBWGBs == 500 }},
+		{"2.8 TB/s M. BW", func(p dse.Point) bool { return num.ApproxEqual(p.Config.HBMBandwidthGBs, 2800, gridTol) }},
+		{"500 GB/s D. BW", func(p dse.Point) bool { return num.ApproxEqual(p.Config.DeviceBWGBs, 500, gridTol) }},
 	}
 }
 
@@ -35,8 +41,8 @@ func fig12Groups() []IndicatorGroup {
 		{"8 Lane", func(p dse.Point) bool { return p.Config.LanesPerCore == 8 }},
 		{"32 KB L1", func(p dse.Point) bool { return p.Config.L1KB == 32 }},
 		{"8 MB L2", func(p dse.Point) bool { return p.Config.L2MB == 8 }},
-		{"0.8 TB/s M. BW", func(p dse.Point) bool { return p.Config.HBMBandwidthGBs == 800 }},
-		{"400 GB/s D. BW", func(p dse.Point) bool { return p.Config.DeviceBWGBs == 400 }},
+		{"0.8 TB/s M. BW", func(p dse.Point) bool { return num.ApproxEqual(p.Config.HBMBandwidthGBs, 800, gridTol) }},
+		{"400 GB/s D. BW", func(p dse.Point) bool { return num.ApproxEqual(p.Config.DeviceBWGBs, 400, gridTol) }},
 	}
 }
 

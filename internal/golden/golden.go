@@ -27,6 +27,8 @@ import (
 	"sort"
 	"strconv"
 	"testing"
+
+	"repro/internal/num"
 )
 
 var update = flag.Bool("update", false, "rewrite golden fixtures instead of comparing against them")
@@ -111,6 +113,7 @@ func Canonical(v any) ([]byte, error) {
 }
 
 func formatFloat(f float64) string {
+	//lint:ignore floateq integer-valued floats must render exactly, without an exponent; Trunc equality is the test
 	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
 		return strconv.FormatFloat(f, 'f', -1, 64)
 	}
@@ -320,7 +323,7 @@ func diffValue(path string, a, b any, relTol float64, out *[]Diff) {
 			*out = append(*out, Diff{Path: path, Golden: formatFloat(av), Got: describe(b)})
 			return
 		}
-		if rel := relErr(av, bf); rel > relTol {
+		if rel := num.RelErr(av, bf); rel > relTol {
 			*out = append(*out, Diff{Path: path, Golden: formatFloat(av), Got: formatFloat(bf), RelErr: rel})
 		}
 	default:
@@ -328,12 +331,4 @@ func diffValue(path string, a, b any, relTol float64, out *[]Diff) {
 			*out = append(*out, Diff{Path: path, Golden: describe(a), Got: describe(b)})
 		}
 	}
-}
-
-func relErr(a, b float64) float64 {
-	if a == b {
-		return 0
-	}
-	scale := math.Max(math.Abs(a), math.Abs(b))
-	return math.Abs(a-b) / scale
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/area"
 	"repro/internal/cost"
 	"repro/internal/dse"
+	"repro/internal/num"
 	"repro/internal/perf"
 	"repro/internal/policy"
 )
@@ -91,7 +92,7 @@ func CheckBounds(points []dse.Point) []Violation {
 				}
 				sum += t.Seconds
 			}
-			if relErr(sum, ph.total) > 1e-12 {
+			if num.RelErr(sum, ph.total) > 1e-12 {
 				add(p, "%s latency %g is not the sum of its operators %g", ph.name, ph.total, sum)
 			}
 		}
@@ -111,16 +112,16 @@ func CheckConsistency(points []dse.Point) []Violation {
 	}
 	for _, p := range points {
 		cfg := p.Config
-		if relErr(p.TPP, cfg.TPP()) > 1e-12 {
+		if num.RelErr(p.TPP, cfg.TPP()) > 1e-12 {
 			add(p, "tpp", "point TPP %g != config TPP %g", p.TPP, cfg.TPP())
 		}
-		if want := policy.TPPFromTOPS(cfg.TensorTOPS(), arch.OperandBits); relErr(p.TPP, want) > 1e-12 {
+		if want := policy.TPPFromTOPS(cfg.TensorTOPS(), arch.OperandBits); num.RelErr(p.TPP, want) > 1e-12 {
 			add(p, "tpp", "TPP %g != policy conversion of arch TOPS %g", p.TPP, want)
 		}
-		if want := area.Estimate(cfg); relErr(p.AreaMM2, want) > 1e-12 {
+		if want := area.Estimate(cfg); num.RelErr(p.AreaMM2, want) > 1e-12 {
 			add(p, "area", "area %g != floorplan estimate %g", p.AreaMM2, want)
 		}
-		if want := area.PerformanceDensity(p.TPP, p.AreaMM2, cfg.Process); relErr(p.PD, want) > 1e-12 {
+		if want := area.PerformanceDensity(p.TPP, p.AreaMM2, cfg.Process); num.RelErr(p.PD, want) > 1e-12 {
 			add(p, "pd", "PD %g != TPP/area %g", p.PD, want)
 		}
 		if want := area.FitsReticle(p.AreaMM2); p.FitsReticle != want {
@@ -145,7 +146,7 @@ func CheckConsistency(points []dse.Point) []Violation {
 		if !(rep.Yield > 0 && rep.Yield <= 1) {
 			add(p, "cost", "yield %g outside (0,1]", rep.Yield)
 		}
-		if relErr(p.DieCostUSD, rep.DieCostUSD) > 1e-12 {
+		if num.RelErr(p.DieCostUSD, rep.DieCostUSD) > 1e-12 {
 			add(p, "cost", "die cost %g != wafer model %g", p.DieCostUSD, rep.DieCostUSD)
 		}
 		if p.GoodDieCostUSD < p.DieCostUSD {

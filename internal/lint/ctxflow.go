@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerCtxFlow guards the cancellation chain that PR 1 threaded through
+// the serving stack: an exported function that accepts a context.Context
+// must hand that context to the module-internal callees it invokes. Two
+// failure shapes are flagged:
+//
+//   - passing context.Background() or context.TODO() to a module callee
+//     that takes a context, which silently detaches the callee from the
+//     caller's deadline and cancellation;
+//
+//   - calling the context-free variant of a function whose package also
+//     provides a <Name>Context variant (Evaluate vs EvaluateContext, Run
+//     vs RunContext), which drops cancellation for the entire subtree.
+//
+// Only module-internal callees are checked: handing a fresh context to the
+// standard library (http.Server.Shutdown during graceful drain) is a
+// deliberate pattern.
+var analyzerCtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported ctx-taking functions must thread their ctx to every module callee that accepts one",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !hasContextParam(info, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCtxCall(p, call)
+				return true
+			})
+		}
+	}
+}
+
+// hasContextParam reports whether the function declares a context.Context
+// parameter.
+func hasContextParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, fl := range fd.Type.Params.List {
+		if t, ok := info.Types[fl.Type]; ok && isContextType(t.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCtxCall(p *Pass, call *ast.CallExpr) {
+	info := p.Pkg.Info
+	fn := calleeOf(info, call)
+	if fn == nil || !p.Prog.inModule(fn) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	ctxIdx := -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			ctxIdx = i
+			break
+		}
+	}
+	if ctxIdx >= 0 {
+		if ctxIdx < len(call.Args) && isFreshContext(info, call.Args[ctxIdx]) {
+			p.Reportf(call.Args[ctxIdx].Pos(), "call to %s detaches from the caller's context; pass the ctx parameter through instead of a fresh context", fn.Name())
+		}
+		return
+	}
+	// No context parameter: does a ctx-aware sibling exist?
+	if sibling := contextSibling(fn); sibling != nil {
+		p.Reportf(call.Pos(), "%s has a context-aware variant %s; call it with the caller's ctx so cancellation propagates", fn.Name(), sibling.Name())
+	}
+}
+
+// isFreshContext reports whether the argument is context.Background() or
+// context.TODO().
+func isFreshContext(info *types.Info, arg ast.Expr) bool {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	return fn.Name() == "Background" || fn.Name() == "TODO"
+}
+
+// contextSibling looks up <Name>Context with a context parameter next to
+// fn: in the method set of fn's receiver for methods, in fn's package
+// scope for functions.
+func contextSibling(fn *types.Func) *types.Func {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	name := fn.Name() + "Context"
+	var obj types.Object
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+	} else if fn.Pkg() != nil {
+		obj = fn.Pkg().Scope().Lookup(name)
+	}
+	sib, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sibSig, ok := sib.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sibSig.Params().Len(); i++ {
+		if isContextType(sibSig.Params().At(i).Type()) {
+			return sib
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// analyzerDupeHelper keeps the tiny numeric helpers single-sourced in
+// internal/num. PR 3 folded min/ceilDiv duplicates into that package; this
+// check stops them (and their cousins) from reappearing as private copies
+// that drift out of sync — the robustness sweep's old clamp01, for
+// example, silently clamped to [0.05, 1], not [0, 1], which its name
+// hid.
+var analyzerDupeHelper = &Analyzer{
+	Name: "dupehelper",
+	Doc:  "no local min/max/clamp/ceilDiv/abs/relErr helper copies outside internal/num",
+	Run:  runDupeHelper,
+}
+
+// dupeHelperNames maps lower-cased local helper names to the blessed
+// replacement.
+var dupeHelperNames = map[string]string{
+	"min":         "the built-in min",
+	"max":         "the built-in max",
+	"minint":      "the built-in min",
+	"maxint":      "the built-in max",
+	"minf":        "the built-in min",
+	"maxf":        "the built-in max",
+	"fmin":        "math.Min",
+	"fmax":        "math.Max",
+	"clamp":       "num.Clamp",
+	"clamp01":     "num.Clamp01",
+	"clampf":      "num.Clamp",
+	"ceildiv":     "num.CeilDiv",
+	"divceil":     "num.CeilDiv",
+	"divroundup":  "num.CeilDiv",
+	"abs":         "math.Abs (or a named int helper in num)",
+	"absf":        "math.Abs",
+	"relerr":      "num.RelErr",
+	"reldiff":     "num.RelErr",
+	"approxequal": "num.ApproxEqual",
+	"almostequal": "num.ApproxEqual",
+	"floateq":     "num.ApproxEqual",
+}
+
+func runDupeHelper(p *Pass) {
+	if strings.HasSuffix(p.Pkg.Path, "internal/num") {
+		return // the blessed home
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if repl, dupe := dupeHelperNames[strings.ToLower(fd.Name.Name)]; dupe {
+				p.Reportf(fd.Name.Pos(), "local helper %s duplicates %s; use that instead", fd.Name.Name, repl)
+			}
+		}
+	}
+}

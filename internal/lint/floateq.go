@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzerFloatEq flags == and != between floating-point operands. The
+// module's quantitative results are compared through the golden harness'
+// relative-tolerance machinery (num.RelErr / num.ApproxEqual, rel-tol
+// 1e-6); raw float equality in model or policy code is either a latent
+// precision bug or an undocumented exactness assumption. Two shapes stay
+// legal without suppression: comparison against an exact zero constant
+// (the module's "field unset" sentinel), and the bodies of the approved
+// comparators themselves.
+var analyzerFloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no == / != on floats outside zero sentinels and the approved tolerance helpers",
+	Run:  runFloatEq,
+}
+
+// approvedFloatEqFuncs may compare floats exactly: they are the module's
+// tolerance machinery (RelErr's a == b shortcut is what makes equal inputs
+// report zero error even at infinity).
+var approvedFloatEqFuncs = map[string]bool{
+	"internal/num.RelErr":      true,
+	"internal/num.ApproxEqual": true,
+}
+
+func runFloatEq(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if approvedFloatEq(p.Pkg.Path, fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				b, ok := n.(*ast.BinaryExpr)
+				if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+					return true
+				}
+				xt, xok := info.Types[b.X]
+				yt, yok := info.Types[b.Y]
+				if !xok || !yok {
+					return true
+				}
+				if !isFloatType(xt.Type) && !isFloatType(yt.Type) {
+					return true
+				}
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant folding, decided at compile time
+				}
+				if isZeroConst(xt) || isZeroConst(yt) {
+					return true // exact zero sentinel
+				}
+				p.Reportf(b.OpPos, "floating-point %s comparison; use num.ApproxEqual (the golden 1e-6 comparator) or compare against an exact zero sentinel", b.Op)
+				return true
+			})
+		}
+	}
+}
+
+// approvedFloatEq reports whether pkgPath.fn is an approved comparator.
+func approvedFloatEq(pkgPath, fn string) bool {
+	for qualified := range approvedFloatEqFuncs {
+		slash := strings.LastIndex(qualified, ".")
+		if strings.HasSuffix(pkgPath, qualified[:slash]) && fn == qualified[slash+1:] {
+			return true
+		}
+	}
+	return false
+}
+
+// isZeroConst reports whether the operand is a compile-time constant equal
+// to zero.
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs each analyzer over its fixture package under
+// testdata/src/<name> and compares the diagnostics, golden-style, against
+// the fixture's trailing comments:
+//
+//	expr // want "regex" `regex with "quotes"`
+//
+// Every diagnostic must match one want pattern on its line, and every want
+// pattern must be consumed by one diagnostic. The memokey fixture seeds the
+// exact failure mode the check exists for — a memoized term reading fields
+// its key does not cover — so this test is the proof that the analyzer
+// catches it.
+func TestFixtures(t *testing.T) {
+	for _, check := range []string{"memokey", "unitsafe", "lockguard", "floateq", "ctxflow", "dupehelper"} {
+		t.Run(check, func(t *testing.T) {
+			t.Parallel()
+			runFixture(t, check)
+		})
+	}
+}
+
+func runFixture(t *testing.T, check string) {
+	t.Helper()
+	prog, err := LoadPackages(filepath.Join("testdata", "src", check), "fixture/"+check, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := ByName(check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := prog.Run(analyzers)
+	wants := parseWants(prog)
+	for _, d := range diags {
+		pending := wants[fmt.Sprintf("%s:%d", d.File, d.Line)]
+		matched := false
+		for i, re := range pending {
+			if re != nil && re.MatchString(d.Message) {
+				pending[i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, pending := range wants {
+		for _, re := range pending {
+			if re != nil {
+				t.Errorf("%s: no diagnostic matching %q", key, re)
+			}
+		}
+	}
+}
+
+// wantPatternRE extracts the quoted patterns of one want comment; both
+// quoting styles are accepted so patterns may themselves contain quotes.
+var wantPatternRE = regexp.MustCompile("\"[^\"]*\"|`[^`]*`")
+
+// parseWants indexes the // want comments of every fixture file by
+// file:line.
+func parseWants(prog *Program) map[string][]*regexp.Regexp {
+	wants := make(map[string][]*regexp.Regexp)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, q := range wantPatternRE.FindAllString(rest, -1) {
+						wants[key] = append(wants[key], regexp.MustCompile(q[1:len(q)-1]))
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestSuppressions checks the //lint:ignore machinery end to end: reasoned
+// suppressions (standalone, trailing, and "all") waive their diagnostics,
+// while a reason-less suppression is reported itself and waives nothing.
+func TestSuppressions(t *testing.T) {
+	t.Parallel()
+	prog, err := LoadPackages(filepath.Join("testdata", "src", "suppress"), "fixture/suppress", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := ByName("floateq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lintDiags, floatDiags []Diagnostic
+	for _, d := range prog.Run(analyzers) {
+		switch d.Check {
+		case "lint":
+			lintDiags = append(lintDiags, d)
+		case "floateq":
+			floatDiags = append(floatDiags, d)
+		default:
+			t.Errorf("unexpected check %q: %s", d.Check, d)
+		}
+	}
+	if len(lintDiags) != 1 || !strings.Contains(lintDiags[0].Message, "malformed suppression") {
+		t.Errorf("want exactly one malformed-suppression finding, got %v", lintDiags)
+	}
+	if len(floatDiags) != 1 {
+		t.Fatalf("want exactly one surviving floateq finding, got %v", floatDiags)
+	}
+	if len(lintDiags) == 1 && floatDiags[0].Line != lintDiags[0].Line+1 {
+		t.Errorf("surviving floateq finding at line %d, want the line after the reason-less suppression (%d)",
+			floatDiags[0].Line, lintDiags[0].Line+1)
+	}
+}
+
+// TestByName covers the -checks flag's resolution rules.
+func TestByName(t *testing.T) {
+	t.Parallel()
+	all, err := ByName("all")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(all) = %d analyzers, err %v; want %d", len(all), err, len(All()))
+	}
+	two, err := ByName("memokey, floateq")
+	if err != nil || len(two) != 2 || two[0].Name != "memokey" || two[1].Name != "floateq" {
+		t.Fatalf("ByName(memokey, floateq) = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuchcheck"); err == nil {
+		t.Fatal("ByName(nosuchcheck) succeeded, want error")
+	}
+}
+
+// TestPartialLoad pins the partial-pattern contract: analyzing a single
+// package must load its module-internal dependencies into the call-graph
+// index, or memokey misreads fields reached through helper methods in
+// other packages (arch.Config.L2BandwidthGBs reading L2MB) as dead key
+// fields.
+func TestPartialLoad(t *testing.T) {
+	t.Parallel()
+	prog, err := Load(filepath.Join("..", ".."), []string{"./internal/perf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Packages) != 1 || !strings.HasSuffix(prog.Packages[0].Path, "internal/perf") {
+		t.Fatalf("Packages = %v, want just internal/perf", prog.Packages)
+	}
+	analyzers, err := ByName("memokey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range prog.Run(analyzers) {
+		t.Errorf("partial load over internal/perf: %s", d)
+	}
+}
+
+// TestRepoClean is the self-referential gate: the full suite over the real
+// module must come back empty, so a regression against any contract fails
+// this test as well as the CI acrlint run.
+func TestRepoClean(t *testing.T) {
+	t.Parallel()
+	prog, err := Load(filepath.Join("..", ".."), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range prog.Run(All()) {
+		t.Errorf("unexpected finding in clean tree: %s", d)
+	}
+}

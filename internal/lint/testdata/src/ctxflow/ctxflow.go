@@ -1,0 +1,39 @@
+// Package ctxflow exercises the context-threading analyzer: an exported
+// ctx-taking function must not detach its callees with a fresh context, and
+// must prefer a callee's <Name>Context variant when one exists.
+package ctxflow
+
+import "context"
+
+func leaf(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func Evaluate() int { return 1 }
+
+func EvaluateContext(ctx context.Context, x int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return x
+}
+
+func Detached(ctx context.Context) error {
+	return leaf(context.Background()) // want "detaches from the caller's context"
+}
+
+func Dropped(ctx context.Context) int {
+	return Evaluate() // want "Evaluate has a context-aware variant EvaluateContext"
+}
+
+func Good(ctx context.Context) error {
+	if EvaluateContext(ctx, 2) == 0 {
+		return context.Canceled
+	}
+	return leaf(ctx)
+}
+
+// unexported callers are not entry points and stay unchecked.
+func internal(ctx context.Context) int {
+	return Evaluate()
+}

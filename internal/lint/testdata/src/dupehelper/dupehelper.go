@@ -1,0 +1,31 @@
+// Package dupehelper exercises the helper-deduplication analyzer: local
+// copies of the internal/num helpers are flagged; methods are not.
+package dupehelper
+
+func clamp01(v float64) float64 { // want "local helper clamp01 duplicates num.Clamp01"
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func ceilDiv(a, b int) int { // want "local helper ceilDiv duplicates num.CeilDiv"
+	return (a + b - 1) / b
+}
+
+func relErr(a, b float64) float64 { // want "local helper relErr duplicates num.RelErr"
+	return a - b
+}
+
+type grid struct{ w int }
+
+// A method named min is not a helper copy.
+func (g grid) min(other int) int {
+	if g.w < other {
+		return g.w
+	}
+	return other
+}

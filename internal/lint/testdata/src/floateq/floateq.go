@@ -1,0 +1,23 @@
+// Package floateq exercises the float-equality analyzer: raw == / != on
+// floats is flagged; zero sentinels and constant folding are not.
+package floateq
+
+func Equalish(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func Different(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func Sentinel(a float64) bool {
+	return a == 0 // exact zero sentinel: legal
+}
+
+func Folded() bool {
+	return 1.5 == 3.0/2.0 // both constant: decided at compile time
+}
+
+func Ints(a, b int) bool {
+	return a == b // not floats
+}

@@ -1,0 +1,101 @@
+// Package memokey exercises the memo-key coverage analyzer on a miniature
+// of the perf.Engine shape: a receiver pairing a mutex with struct-keyed
+// cache maps, probed under RLock and stored under Lock.
+//
+// Eval seeds the exact failure mode the check exists for: the memoized
+// computation reads Config.Clock and Engine.Bias, but the key captures
+// neither, so flipping either field after a cache fill would serve a stale
+// entry. The key also captures Config.Stale, which the computation never
+// reads. EvalCovered is the clean control.
+package memokey
+
+import "sync"
+
+type Config struct {
+	L1KB  int
+	Clock float64
+	Stale int
+}
+
+type Engine struct {
+	Bias float64
+
+	mu     sync.RWMutex
+	cache  map[key]float64
+	cache2 map[ckey]float64
+}
+
+type key struct {
+	l1    int
+	stale int
+}
+
+type ckey struct {
+	l1    int
+	clock float64
+}
+
+func (e *Engine) Eval(cfg Config) float64 {
+	k := key{l1: cfg.L1KB, stale: cfg.Stale} // want "captures memokey.Config.Stale in its memo key"
+	e.mu.RLock()
+	v, ok := e.cache[k]
+	e.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = e.evalRaw(cfg) // want "reads memokey.Config.Clock" "reads memokey.Engine.Bias"
+	e.mu.Lock()
+	if e.cache == nil {
+		e.cache = make(map[key]float64)
+	}
+	e.cache[k] = v
+	e.mu.Unlock()
+	return v
+}
+
+func (e *Engine) evalRaw(cfg Config) float64 {
+	return float64(cfg.L1KB)*cfg.Clock + e.Bias
+}
+
+func (e *Engine) EvalCovered(cfg Config) float64 {
+	k := ckey{l1: cfg.L1KB, clock: cfg.Clock}
+	e.mu.RLock()
+	v, ok := e.cache2[k]
+	e.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = float64(cfg.L1KB) * cfg.Clock
+	e.mu.Lock()
+	if e.cache2 == nil {
+		e.cache2 = make(map[ckey]float64)
+	}
+	e.cache2[k] = v
+	e.mu.Unlock()
+	return v
+}
+
+// Work and Sub exercise the content-hash half of the analyzer.
+type Work struct {
+	Name string // display-only by module convention, exempt
+	M    int
+	N    int
+	Sub  Sub
+}
+
+type Sub struct {
+	Depth int
+}
+
+// WorkHash forgets Work.N, so two workloads differing only in N alias.
+func WorkHash(w Work) uint64 { // want "WorkHash does not fold in memokey.Work.N"
+	h := uint64(17)
+	h = h*31 + uint64(w.M)
+	h = h*31 + uint64(w.Sub.Depth)
+	return h
+}
+
+// SubHash is complete: no findings.
+func SubHash(s Sub) uint64 {
+	return uint64(s.Depth)
+}

@@ -1,0 +1,24 @@
+// Package suppress exercises the //lint:ignore machinery: a suppression
+// with a reason waives the diagnostic whether it trails the line or sits
+// above it, "all" waives every check, and a missing reason is itself a
+// finding while the underlying diagnostic survives.
+package suppress
+
+func Waived(a, b float64) bool {
+	//lint:ignore floateq fixture: exactness is the property under test
+	return a == b
+}
+
+func TrailingWaived(a, b float64) bool {
+	return a == b //lint:ignore floateq fixture: exactness is the property under test
+}
+
+func AllWaived(a, b float64) bool {
+	//lint:ignore all fixture: every check is waived on the next line
+	return a == b
+}
+
+func MissingReason(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}

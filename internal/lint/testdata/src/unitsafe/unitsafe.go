@@ -1,0 +1,43 @@
+// Package unitsafe exercises the unit-suffix analyzer: additive mixes,
+// cross-unit assignments and struct-literal mismatches are flagged;
+// rates (*PerSec), unit-changing multiplication and acronym tails are not.
+package unitsafe
+
+type Config struct {
+	L2BandwidthGBs float64
+	DRAMBytes      float64
+	WindowSec      float64
+	AreaMM2        float64
+	DieCostUSD     float64
+	DeviceBW       float64 // acronym tail: not watts
+	PowerW         float64
+}
+
+type Budget struct {
+	LimitBytes float64
+}
+
+func Mix(cfg Config) float64 {
+	total := cfg.DRAMBytes + cfg.WindowSec // want `mixes units "bytes" and "seconds"`
+	if cfg.AreaMM2 > cfg.DieCostUSD {      // want `mixes units "mm2" and "USD"`
+		total++
+	}
+	l2Bytes := cfg.L2BandwidthGBs * 1e9 // want `assigning "GB/s" value to "bytes" variable`
+	return total + l2Bytes
+}
+
+func MakeBudget(cfg Config) Budget {
+	return Budget{LimitBytes: cfg.WindowSec} // want `initialised with "seconds" value`
+}
+
+func Clean(cfg Config) float64 {
+	// A rate name opts out of the seconds tag.
+	ratePerSec := cfg.DRAMBytes / cfg.WindowSec
+	// Multiplying two tagged quantities changes the unit; the result is
+	// untagged and may land anywhere.
+	movedBytes := cfg.L2BandwidthGBs * cfg.WindowSec
+	// DeviceBW ends in W but is an acronym, not watts; PowerW is watts but
+	// meets no other unit here.
+	headroom := cfg.DeviceBW + cfg.PowerW
+	return ratePerSec + movedBytes + headroom
+}

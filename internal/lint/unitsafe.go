@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzerUnitSafe infers physical-unit tags from identifier suffixes
+// (LaunchOverheadSec, DRAMBytes, L2MB, HBMCapacityGB, AreaMM2, DieCostUSD,
+// HBMBandwidthGBs, ClockGHz, ...) and flags additive arithmetic,
+// comparisons and assignments that mix incompatible tags — seconds plus
+// bytes, MB compared against GB, mm² assigned to USD. The analytic models
+// carry seconds, bytes, FLOPs, mm² and dollars as raw float64s, so the
+// identifier suffix is the only machine-visible unit annotation; this
+// check makes it load-bearing.
+//
+// Multiplication and division are exempt (they legitimately change units),
+// except that multiplying a tagged operand by a compile-time constant
+// keeps its tag: `xGBs * 1e9` is still a rate, so assigning it to a
+// *Bytes variable is flagged. Unit conversions belong in internal/num
+// conversion helpers (whose bodies this analyzer skips) or in renamed
+// variables that state the converted unit.
+var analyzerUnitSafe = &Analyzer{
+	Name: "unitsafe",
+	Doc:  "identifier unit suffixes (Sec, Bytes, MB, GB, FLOPs, MM2, USD, W, Hz, ...) must not mix in +,-,comparisons,assignments",
+	Run:  runUnitSafe,
+}
+
+// unitSuffixes maps identifier suffixes to unit tags, first match wins, so
+// longer and more specific suffixes come first (GBs before GB, GHz before
+// Hz, TFLOPS before FLOPS).
+var unitSuffixes = []struct{ suffix, tag string }{
+	// Rates spelled *PerSec are not durations; the empty tag opts them
+	// out before the Sec suffix can claim them.
+	{"PerSecond", ""},
+	{"PerSec", ""},
+	{"Seconds", "seconds"},
+	{"Secs", "seconds"},
+	{"Sec", "seconds"},
+	{"GiB", "GiB"},
+	{"MiB", "MiB"},
+	{"KiB", "KiB"},
+	{"GBs", "GB/s"},
+	{"MBs", "MB/s"},
+	{"KBs", "KB/s"},
+	{"Bytes", "bytes"},
+	{"GB", "GB"},
+	{"MB", "MB"},
+	{"KB", "KB"},
+	{"TFLOPS", "TFLOPS"},
+	{"GFLOPS", "GFLOPS"},
+	{"FLOPs", "FLOPs"},
+	{"FLOPS", "FLOPs"},
+	{"TOPS", "TOPS"},
+	{"TPP", "TPP"},
+	{"MM2", "mm2"},
+	{"USD", "USD"},
+	{"GHz", "GHz"},
+	{"MHz", "MHz"},
+	{"Hz", "Hz"},
+	{"W", "W"},
+}
+
+// suffixTag returns the unit tag a bare identifier name implies, or "".
+func suffixTag(name string) string {
+	for _, s := range unitSuffixes {
+		if !strings.HasSuffix(name, s.suffix) {
+			continue
+		}
+		rest := name[:len(name)-len(s.suffix)]
+		// A single-letter unit like W only counts after a lower-case run
+		// ("PowerW"), not as the tail of an acronym ("DeviceBW").
+		if len(s.suffix) == 1 && rest != "" {
+			last := rest[len(rest)-1]
+			if last < 'a' || last > 'z' {
+				return ""
+			}
+		}
+		return s.tag
+	}
+	return ""
+}
+
+func runUnitSafe(p *Pass) {
+	if strings.HasSuffix(p.Pkg.Path, "internal/num") {
+		return // conversion helpers legitimately cross units
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinaryUnits(p, info, n)
+			case *ast.AssignStmt:
+				checkAssignUnits(p, info, n)
+			case *ast.CompositeLit:
+				checkCompositeUnits(p, info, n)
+			}
+			return true
+		})
+		// continue into nested nodes
+	}
+}
+
+// additiveOrOrdered reports ops where both operands must share a unit.
+func additiveOrOrdered(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+func checkBinaryUnits(p *Pass, info *types.Info, b *ast.BinaryExpr) {
+	if !additiveOrOrdered(b.Op) {
+		return
+	}
+	if !isNumeric(info, b.X) || !isNumeric(info, b.Y) {
+		return
+	}
+	lt := unitTagOf(info, b.X)
+	rt := unitTagOf(info, b.Y)
+	if lt != "" && rt != "" && lt != rt {
+		p.Reportf(b.OpPos, "%s mixes units %q and %q; convert through an internal/num helper or rename the odd operand", b.Op, lt, rt)
+	}
+}
+
+func checkAssignUnits(p *Pass, info *types.Info, a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	switch a.Tok {
+	case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+	default:
+		return
+	}
+	for i := range a.Lhs {
+		if !isNumeric(info, a.Rhs[i]) {
+			continue
+		}
+		lt := unitTagOf(info, a.Lhs[i])
+		rt := unitTagOf(info, a.Rhs[i])
+		if lt != "" && rt != "" && lt != rt {
+			p.Reportf(a.TokPos, "assigning %q value to %q variable; convert through an internal/num helper or rename", rt, lt)
+		}
+	}
+}
+
+// checkCompositeUnits compares struct-literal field names against the
+// tags of the values bound to them.
+func checkCompositeUnits(p *Pass, info *types.Info, cl *ast.CompositeLit) {
+	t, ok := info.Types[cl]
+	if !ok {
+		return
+	}
+	if _, st := namedStruct(t.Type); st == nil {
+		if _, ok := t.Type.Underlying().(*types.Struct); !ok {
+			return
+		}
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !isNumeric(info, kv.Value) {
+			continue
+		}
+		lt := suffixTag(key.Name)
+		rt := unitTagOf(info, kv.Value)
+		if lt != "" && rt != "" && lt != rt {
+			p.Reportf(kv.Colon, "field %s (%q) initialised with %q value; convert through an internal/num helper or rename", key.Name, lt, rt)
+		}
+	}
+}
+
+func isNumeric(info *types.Info, e ast.Expr) bool {
+	t, ok := info.Types[e]
+	if !ok || t.Type == nil {
+		return false
+	}
+	basic, ok := t.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsNumeric != 0
+}
+
+// isConstExpr reports whether e is a compile-time constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	t, ok := info.Types[e]
+	return ok && t.Value != nil
+}
+
+// unitTagOf infers the unit tag of an expression:
+//
+//   - identifiers, selectors, and calls carry their trailing suffix tag
+//     (cfg.HBMBandwidthGBs, cfg.L2Bytes());
+//   - conversions and indexing are transparent;
+//   - + and - propagate a tag when the sides agree (or one side is
+//     untagged, which acts as a wildcard);
+//   - * and / propagate the tagged side's tag only when the other side is
+//     a compile-time constant (pure rescaling); any other multiplication
+//     or division changes the unit and yields no tag.
+func unitTagOf(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return unitTagOf(info, e.X)
+	case *ast.UnaryExpr:
+		return unitTagOf(info, e.X)
+	case *ast.Ident:
+		return suffixTag(e.Name)
+	case *ast.SelectorExpr:
+		return suffixTag(e.Sel.Name)
+	case *ast.IndexExpr:
+		return unitTagOf(info, e.X)
+	case *ast.CallExpr:
+		// Conversions like float64(xBytes) are transparent.
+		if t, ok := info.Types[e.Fun]; ok && t.IsType() && len(e.Args) == 1 {
+			return unitTagOf(info, e.Args[0])
+		}
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			return suffixTag(fun.Name)
+		case *ast.SelectorExpr:
+			return suffixTag(fun.Sel.Name)
+		}
+		return ""
+	case *ast.BinaryExpr:
+		lt := unitTagOf(info, e.X)
+		rt := unitTagOf(info, e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			if lt == "" {
+				return rt
+			}
+			if rt == "" || lt == rt {
+				return lt
+			}
+			return "" // mixed; reported at that node directly
+		case token.MUL:
+			if lt != "" && isConstExpr(info, e.Y) {
+				return lt
+			}
+			if rt != "" && isConstExpr(info, e.X) {
+				return rt
+			}
+			return ""
+		case token.QUO:
+			if lt != "" && isConstExpr(info, e.Y) {
+				return lt
+			}
+			return ""
+		}
+		return ""
+	}
+	return ""
+}

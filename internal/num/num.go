@@ -1,8 +1,46 @@
-// Package num holds the tiny integer helpers shared by the performance
-// model, the discrete-event tile scheduler and the operator-graph IR, so
-// each package does not carry its own copy. Everything here is trivially
-// inlinable; the package exists purely to have one definition.
+// Package num holds the tiny numeric helpers shared by the performance
+// model, the discrete-event tile scheduler, the operator-graph IR, the
+// golden-reference comparator and the robustness sweeps, so each package
+// does not carry its own copy. Everything here is trivially inlinable; the
+// package exists purely to have one definition — the acrlint dupehelper
+// check rejects local re-implementations elsewhere in the module, and the
+// floateq check accepts these as the approved tolerance comparators.
 package num
+
+import "math"
 
 // CeilDiv returns ⌈a/b⌉ for positive b.
 func CeilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Clamp returns v limited to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Clamp01 clamps v to the unit interval [0, 1], the domain of the model's
+// efficiency and fill-fraction ratios.
+func Clamp01(v float64) float64 { return Clamp(v, 0, 1) }
+
+// RelErr returns the relative error |a−b|/max(|a|,|b|), with exactly equal
+// inputs (including both zero) reporting 0. It is the module's one
+// definition of float closeness: the golden harness compares every fixture
+// number through it, and ApproxEqual wraps it for threshold code.
+func RelErr(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) / scale
+}
+
+// ApproxEqual reports whether a and b are equal within the relative
+// tolerance tol under RelErr's metric. It is the approved replacement for
+// `==` on floating-point quantities outside exact-sentinel checks: the
+// acrlint floateq analyzer flags raw float equality and points here.
+func ApproxEqual(a, b, tol float64) bool { return RelErr(a, b) <= tol }

@@ -1,6 +1,9 @@
 package num
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestCeilDiv(t *testing.T) {
 	cases := []struct{ a, b, want int }{
@@ -11,5 +14,61 @@ func TestCeilDiv(t *testing.T) {
 		if got := CeilDiv(c.a, c.b); got != c.want {
 			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
 		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{0.5, 0, 1, 0.5},
+		{-0.1, 0, 1, 0},
+		{1.7, 0, 1, 1},
+		{0, 0, 1, 0},
+		{1, 0, 1, 1},
+		{0.01, 0.05, 1, 0.05}, // the robustness sweep's efficiency floor
+		{0.05, 0.05, 1, 0.05},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v, %v, %v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+		if c.lo == 0 && c.hi == 1 {
+			if got := Clamp01(c.v); got != c.want {
+				t.Errorf("Clamp01(%v) = %v, want %v", c.v, got, c.want)
+			}
+		}
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{1, 1, 0},
+		{inf, inf, 0}, // exact equality shortcut must hold at infinity
+		{-2.5, -2.5, 0},
+		{1, 2, 0.5},
+		{2, 1, 0.5},
+		{-1, 1, 2},
+		{0, 4, 1},
+	}
+	for _, c := range cases {
+		if got := RelErr(c.a, c.b); got != c.want {
+			t.Errorf("RelErr(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if !math.IsNaN(RelErr(math.NaN(), math.NaN())) {
+		t.Error("RelErr(NaN, NaN) should stay NaN, mirroring the golden comparator")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1, 1+1e-9, 1e-6) {
+		t.Error("ApproxEqual(1, 1+1e-9, 1e-6) = false, want true")
+	}
+	if ApproxEqual(1, 1.01, 1e-6) {
+		t.Error("ApproxEqual(1, 1.01, 1e-6) = true, want false")
+	}
+	if !ApproxEqual(0, 0, 1e-6) {
+		t.Error("ApproxEqual(0, 0, 1e-6) = false, want true")
 	}
 }

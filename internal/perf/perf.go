@@ -396,7 +396,12 @@ type compVal struct {
 // compute-side axes. The NaiveL1Tiling ablation bypasses the cache.
 func (e *Engine) matmulCompute(cfg arch.Config, m Matmul) (float64, bool) {
 	if e.NaiveL1Tiling {
-		return e.matmulComputeRaw(cfg, m)
+		// Naive tiling streams both operand edges per MAC; computed here,
+		// outside the memoized region, so the cache key need not cover the
+		// ablation switch.
+		naive := 2 * float64(cfg.SystolicDimX+cfg.SystolicDimY) /
+			(float64(cfg.SystolicDimX) * float64(cfg.SystolicDimY))
+		return e.matmulComputeRaw(cfg, m, naive)
 	}
 	key := compKey{
 		batch: m.Batch, m: m.M, k: m.K, n: m.N,
@@ -411,7 +416,7 @@ func (e *Engine) matmulCompute(cfg arch.Config, m Matmul) (float64, bool) {
 	if ok {
 		return v.seconds, v.feedLimited
 	}
-	sec, feedLimited := e.matmulComputeRaw(cfg, m)
+	sec, feedLimited := e.matmulComputeRaw(cfg, m, e.feedBytesPerMAC(cfg, m))
 	e.mu.Lock()
 	if e.compCache == nil {
 		e.compCache = make(map[compKey]compVal)
@@ -421,7 +426,7 @@ func (e *Engine) matmulCompute(cfg arch.Config, m Matmul) (float64, bool) {
 	return sec, feedLimited
 }
 
-func (e *Engine) matmulComputeRaw(cfg arch.Config, m Matmul) (float64, bool) {
+func (e *Engine) matmulComputeRaw(cfg arch.Config, m Matmul, bytesPerMAC float64) (float64, bool) {
 	macs := float64(m.Batch) * float64(m.M) * float64(m.K) * float64(m.N)
 	peakMACs := float64(cfg.MACsPerDevice()) * cfg.ClockGHz * 1e9
 
@@ -440,15 +445,8 @@ func (e *Engine) matmulComputeRaw(cfg arch.Config, m Matmul) (float64, bool) {
 	computeRate := peakMACs * utilEdge * utilFill * utilTail
 
 	// Feed limit: the arrays collectively demand bytesPerMAC from L2.
-	var bytesPerMAC float64
-	if e.NaiveL1Tiling {
-		bytesPerMAC = 2 * float64(cfg.SystolicDimX+cfg.SystolicDimY) /
-			(float64(cfg.SystolicDimX) * float64(cfg.SystolicDimY))
-	} else {
-		bytesPerMAC = e.feedBytesPerMAC(cfg, m)
-	}
-	l2Bytes := cfg.L2BandwidthGBs() * 1e9
-	feedRate := l2Bytes / bytesPerMAC
+	l2BytesPerSec := cfg.L2BandwidthGBs() * 1e9
+	feedRate := l2BytesPerSec / bytesPerMAC
 
 	rate := computeRate
 	feedLimited := false

@@ -80,9 +80,11 @@ func (s Scatter) RenderASCII(width, height int) string {
 		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
 		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
 	}
+	//lint:ignore floateq degenerate-axis guard: only an exactly-zero span divides by zero below
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//lint:ignore floateq degenerate-axis guard: only an exactly-zero span divides by zero below
 	if maxY == minY {
 		maxY = minY + 1
 	}
@@ -155,6 +157,7 @@ func (b BoxFigure) RenderASCII(width int) string {
 	if math.IsInf(minV, 1) {
 		return fmt.Sprintf("%s\n(no data)\n", b.Title)
 	}
+	//lint:ignore floateq degenerate-axis guard: only an exactly-zero span divides by zero below
 	if maxV == minV {
 		maxV = minV + 1
 	}

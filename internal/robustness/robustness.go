@@ -17,6 +17,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/dse"
 	"repro/internal/model"
+	"repro/internal/num"
 	"repro/internal/perf"
 	"repro/internal/stats"
 )
@@ -42,9 +43,11 @@ func (p Perturbation) engine(rng *rand.Rand) *perf.Engine {
 		return v * (1 + (rng.Float64()*2-1)*p.Relative)
 	}
 	e := perf.Default()
-	e.DRAMEfficiency = clamp01(jitter(e.DRAMEfficiency))
-	e.VectorEfficiency = clamp01(jitter(e.VectorEfficiency))
-	e.L2FillFraction = clamp01(jitter(e.L2FillFraction))
+	// Efficiencies are clamped to [0.05, 1]: the floor keeps a wild draw
+	// from driving a bandwidth term to (near) zero seconds-per-byte.
+	e.DRAMEfficiency = num.Clamp(jitter(e.DRAMEfficiency), 0.05, 1)
+	e.VectorEfficiency = num.Clamp(jitter(e.VectorEfficiency), 0.05, 1)
+	e.L2FillFraction = num.Clamp(jitter(e.L2FillFraction), 0.05, 1)
 	span := p.OverheadSpan
 	if span < 1 {
 		span = 1
@@ -53,16 +56,6 @@ func (p Perturbation) engine(rng *rand.Rand) *perf.Engine {
 	exp := rng.Float64()*2 - 1
 	e.LaunchOverheadSec *= math.Pow(span, exp)
 	return e
-}
-
-func clamp01(v float64) float64 {
-	if v <= 0.05 {
-		return 0.05
-	}
-	if v >= 1 {
-		return 1
-	}
-	return v
 }
 
 // Draw is one Monte-Carlo sample's headline outcome.

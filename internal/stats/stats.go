@@ -141,6 +141,7 @@ func Histogram(xs []float64, n int) (counts []int, lo, hi float64) {
 	s := Summarize(xs)
 	lo, hi = s.Min, s.Max
 	counts = make([]int, n)
+	//lint:ignore floateq degenerate-range guard: only an exactly-zero width divides by zero below
 	if hi == lo {
 		counts[0] = len(xs)
 		return counts, lo, hi
