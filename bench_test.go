@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"net/http"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ir"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/sim"
 )
@@ -278,6 +280,76 @@ func BenchmarkSweepTable3Memo(b *testing.B) {
 		b.StopTimer()
 		if s := ex.Cache.Stats(); s.Hits == 0 {
 			b.Fatal("warm sweep never hit the point cache")
+		}
+	})
+}
+
+// BenchmarkObsDisabledOverhead pins the observability layer's cost
+// contract (BENCH_obs.json): with no recorder in the context, the
+// instrumented hot path must stay within ~2% of the pre-instrumentation
+// baseline, because obs.Start returns a nil span after one context
+// lookup and every nil-span method is a no-op.
+//
+// "sweep/disabled" vs "sweep/enabled" shows what tracing costs when it
+// is actually on; "span/disabled" prices the bare nil fast path (a few
+// ns), and "simulate/disabled" the per-point unit of work the sweep
+// amortises it over.
+func BenchmarkObsDisabledOverhead(b *testing.B) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	g, err := ir.Lower(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := arch.A100()
+	grid := dse.Table3(4800, []float64{600})
+
+	b.Run("span/disabled", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sctx, sp := obs.Start(ctx, "bench")
+			sp.SetInt("i", i)
+			sp.End()
+			_ = sctx
+		}
+	})
+	b.Run("span/enabled", func(b *testing.B) {
+		ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(0))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sctx, sp := obs.Start(ctx, "bench")
+			sp.SetInt("i", i)
+			sp.End()
+			_ = sctx
+		}
+	})
+	b.Run("simulate/disabled", func(b *testing.B) {
+		s := sim.New()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SimulateGraphContext(context.Background(), cfg, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sweep/disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ex := &dse.Explorer{Sim: sim.New(), Wafer: cost.N7Wafer}
+			if _, err := ex.EvaluateContext(context.Background(), grid.Expand(), w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sweep/enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(0))
+			ex := &dse.Explorer{Sim: sim.New(), Wafer: cost.N7Wafer}
+			if _, err := ex.EvaluateContext(ctx, grid.Expand(), w); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

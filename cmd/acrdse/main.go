@@ -5,9 +5,11 @@
 //
 //	acrdse -tpp 4800 -model gpt3 -rule oct2022 -top 5
 //	acrdse -tpp 2400 -model llama3 -rule oct2023 -objective tbt
+//	acrdse -tpp 4800 -trace sweep.json   # span dump for profiling ("-" = stderr)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/policy"
 )
@@ -27,12 +30,30 @@ func main() {
 		rule      = flag.String("rule", "oct2022", "compliance regime: none, oct2022, oct2023")
 		objective = flag.String("objective", "ttft", "objective: ttft, tbt, ttftcost, tbtcost")
 		top       = flag.Int("top", 5, "number of best designs to print")
+		traceOut  = flag.String("trace", "", "dump the sweep's span trace as JSON to this file (\"-\" = stderr)")
 	)
 	flag.Parse()
-	if err := run(*tpp, *modelName, *rule, *objective, *top); err != nil {
+	if err := run(*tpp, *modelName, *rule, *objective, *top, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "acrdse:", err)
 		os.Exit(1)
 	}
+}
+
+// dumpTrace writes the recorder's spans and stage histograms as JSON to
+// path ("-" means stderr, keeping stdout clean for the design table).
+func dumpTrace(rec *obs.Recorder, path string) error {
+	if path == "-" {
+		return rec.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func pickModel(name string) (model.Model, error) {
@@ -46,12 +67,21 @@ func pickModel(name string) (model.Model, error) {
 	}
 }
 
-func run(tpp float64, modelName, rule, objective string, top int) error {
+func run(tpp float64, modelName, rule, objective string, top int, traceOut string) error {
 	m, err := pickModel(modelName)
 	if err != nil {
 		return err
 	}
 	w := model.PaperWorkload(m)
+
+	// Tracing is opt-in: without -trace the sweep runs on the obs nil
+	// fast path and records nothing.
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if traceOut != "" {
+		rec = obs.NewRecorder(0)
+		ctx = obs.WithRecorder(ctx, rec)
+	}
 
 	var metric func(dse.Point) float64
 	switch objective {
@@ -72,7 +102,12 @@ func run(tpp float64, modelName, rule, objective string, top int) error {
 		devBW = []float64{500, 700, 900}
 	}
 	ex := dse.NewExplorer()
-	points, err := ex.Run(dse.Table3(tpp, devBW), w)
+	points, err := ex.RunContext(ctx, dse.Table3(tpp, devBW), w)
+	if rec != nil {
+		if derr := dumpTrace(rec, traceOut); derr != nil {
+			return fmt.Errorf("writing trace: %w", derr)
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,8 @@
 //	curl -X POST localhost:8080/v1/classify -d '{"tpp":4992,"device_bw_gbs":600}'
 //	curl -X POST localhost:8080/v1/dse -d '{"table3":{"tpp":4800},"rule":"oct2022"}'
 //	curl localhost:8080/metrics
+//	curl "localhost:8080/debug/obs/trace?trace=<id>&format=tree"
+//	curl localhost:8080/debug/obs/stats
 //
 // The process drains gracefully on SIGINT/SIGTERM: in-flight requests
 // finish, queued sweep jobs are cancelled.
@@ -34,6 +36,7 @@ func main() {
 		backlog    = flag.Int("backlog", 64, "max queued sweep jobs before 503 back-pressure")
 		cache      = flag.Int("cache", 0, "result cache entries (0 = default, -1 = disabled)")
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job deadline (-1s = none)")
+		traceCap   = flag.Int("trace-capacity", 0, "span ring-buffer capacity for /debug/obs (0 = default, -1 = tracing off)")
 		verbose    = flag.Bool("v", false, "debug-level logs")
 	)
 	flag.Parse()
@@ -48,11 +51,12 @@ func main() {
 	defer stop()
 
 	s := server.New(server.Config{
-		Workers:      *workers,
-		Backlog:      *backlog,
-		CacheEntries: *cache,
-		JobTimeout:   *jobTimeout,
-		Logger:       logger,
+		Workers:       *workers,
+		Backlog:       *backlog,
+		CacheEntries:  *cache,
+		JobTimeout:    *jobTimeout,
+		TraceCapacity: *traceCap,
+		Logger:        logger,
 	})
 	if err := s.ListenAndServe(ctx, *addr); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "acrserve:", err)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/lru"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sim"
 )
@@ -223,10 +224,16 @@ func (e *Explorer) Evaluate(configs []arch.Config, w model.Workload) ([]Point, e
 // errors.Join, and every successful point still returned — one bad design
 // no longer discards an entire sweep.
 func (e *Explorer) EvaluateContext(ctx context.Context, configs []arch.Config, w model.Workload) ([]Point, error) {
+	ctx, sweep := obs.Start(ctx, "dse.sweep")
+	defer sweep.End()
+	sweep.SetInt("configs", len(configs))
 	// Lower once: the operator graph depends only on the workload, so every
 	// grid point shares it (the engine's component memo tables then share
 	// the per-node terms each changed axis doesn't touch).
+	_, lower := obs.Start(ctx, "dse.lower")
 	g, err := ir.Lower(w)
+	lower.SetStr("model", w.Model.Name)
+	lower.End()
 	if err != nil {
 		return nil, fmt.Errorf("dse: %w", err)
 	}
@@ -248,7 +255,7 @@ func (e *Explorer) EvaluateContext(ctx context.Context, configs []arch.Config, w
 				if ctx.Err() != nil {
 					continue // cancelled: drain without evaluating
 				}
-				p, err := e.evaluateOne(configs[idx], g, workloadHash)
+				p, err := e.evaluateOne(ctx, configs[idx], g, workloadHash)
 				if err != nil {
 					errs[idx] = fmt.Errorf("dse: %s: %w", configs[idx].Name, err)
 					continue
@@ -290,7 +297,10 @@ feed:
 	return kept, errors.Join(allErrs...)
 }
 
-func (e *Explorer) evaluateOne(cfg arch.Config, g ir.Graph, workloadHash uint64) (Point, error) {
+func (e *Explorer) evaluateOne(ctx context.Context, cfg arch.Config, g ir.Graph, workloadHash uint64) (Point, error) {
+	ctx, sp := obs.Start(ctx, "dse.evaluate")
+	defer sp.End()
+	sp.SetStr("config", cfg.Name)
 	var key string
 	if e.Cache != nil {
 		key = cacheKey(ir.ConfigHash(cfg), workloadHash) // == CacheKey(cfg, g.Workload)
@@ -299,10 +309,12 @@ func (e *Explorer) evaluateOne(cfg arch.Config, g ir.Graph, workloadHash uint64)
 			// grid's display name; restore the requested one.
 			p.Config = cfg
 			p.Result.Config = cfg
+			sp.SetStr("cache", "hit")
 			return p, nil
 		}
+		sp.SetStr("cache", "miss")
 	}
-	r, err := e.Sim.SimulateGraph(cfg, g)
+	r, err := e.Sim.SimulateGraphContext(ctx, cfg, g)
 	if err != nil {
 		return Point{}, err
 	}

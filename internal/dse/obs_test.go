@@ -1,0 +1,117 @@
+package dse
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+func attrValue(sr obs.SpanRecord, key string) (any, bool) {
+	for _, a := range sr.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// TestEvaluateContextSpanPropagation pins the worker-pool hand-off: the
+// sweep fans evaluation out over goroutines, and every dse.evaluate and
+// nested sim.simulate span must still join the caller's trace, carrying
+// cache hit/miss attributes that flip between a cold and a warm run.
+func TestEvaluateContextSpanPropagation(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	ctx, root := obs.Start(obs.WithRecorder(context.Background(), rec), "test.root")
+	e := NewExplorer()
+	e.Parallelism = 4
+	w := model.PaperWorkload(model.Llama3_8B())
+	configs := smallGrid(4800).Expand()
+
+	for run, wantCache := range []string{"miss", "hit"} {
+		pts, err := e.EvaluateContext(ctx, configs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != len(configs) {
+			t.Fatalf("run %d: %d points, want %d", run, len(pts), len(configs))
+		}
+		evaluates := 0
+		for _, sr := range rec.Spans() {
+			if sr.Name != "dse.evaluate" {
+				continue
+			}
+			if v, _ := attrValue(sr, "cache"); v == wantCache {
+				evaluates++
+			}
+		}
+		// The cold run marks every design a miss; the warm run every
+		// design a hit — each label appears exactly once per design.
+		if evaluates != len(configs) {
+			t.Errorf("run %d: %d %q evaluations, want %d",
+				run, evaluates, wantCache, len(configs))
+		}
+	}
+	root.End()
+
+	spans := rec.Trace(root.Trace())
+	byID := map[string]obs.SpanRecord{}
+	byName := map[string][]obs.SpanRecord{}
+	for _, sr := range spans {
+		byID[sr.Span] = sr
+		byName[sr.Name] = append(byName[sr.Name], sr)
+	}
+	// Two sweeps under one root; sim.simulate only runs on misses.
+	if got := len(byName["dse.sweep"]); got != 2 {
+		t.Errorf("dse.sweep spans = %d, want 2", got)
+	}
+	if got := len(byName["sim.simulate"]); got != len(configs) {
+		t.Errorf("sim.simulate spans = %d, want %d (cache hits must skip simulation)",
+			got, len(configs))
+	}
+	// Parent links survive the goroutine hand-off: every dse.evaluate
+	// hangs off a dse.sweep, every sim.simulate off a dse.evaluate, all
+	// inside the root's trace.
+	for _, sr := range byName["dse.evaluate"] {
+		if sr.Trace != root.Trace() {
+			t.Fatalf("dse.evaluate escaped the trace: %+v", sr)
+		}
+		if byID[sr.Parent].Name != "dse.sweep" {
+			t.Errorf("dse.evaluate parent = %q, want dse.sweep", byID[sr.Parent].Name)
+		}
+	}
+	for _, sr := range byName["sim.simulate"] {
+		if parent := byID[sr.Parent]; parent.Name != "dse.evaluate" {
+			t.Errorf("sim.simulate parent = %q, want dse.evaluate", parent.Name)
+		}
+		if _, ok := attrValue(sr, "config"); !ok {
+			t.Errorf("sim.simulate span lost its config attr: %+v", sr)
+		}
+	}
+	// The per-node backend histogram saw every timed node of every miss.
+	for _, st := range rec.StageStats() {
+		if st.Stage != "ir.backend" {
+			continue
+		}
+		if st.Count == 0 || st.Count%uint64(len(configs)) != 0 {
+			t.Errorf("ir.backend count = %d, want a positive multiple of %d", st.Count, len(configs))
+		}
+		return
+	}
+	t.Error("no ir.backend stage recorded")
+}
+
+// TestEvaluateWithoutRecorderStaysSilent pins the disabled fast path at
+// the dse layer: no recorder in the context means no spans and no
+// histograms anywhere downstream.
+func TestEvaluateWithoutRecorderStaysSilent(t *testing.T) {
+	e := NewExplorer()
+	w := model.PaperWorkload(model.Llama3_8B())
+	if _, err := e.EvaluateContext(context.Background(), smallGrid(4800).Expand(), w); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing to assert on a recorder — there is none; the test's value
+	// is that the instrumented path runs clean with tracing off, and
+	// (under -race) that the nil fast path is race-free.
+}

@@ -15,7 +15,6 @@ import (
 	"container/list"
 	"hash/fnv"
 	"sync"
-	"sync/atomic"
 )
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
@@ -43,17 +42,22 @@ func (s Stats) HitRatio() float64 {
 // Cache is a sharded LRU mapping string keys to values of type V.
 // The zero value is not usable; construct with New.
 type Cache[V any] struct {
-	shards    []*shard[V]
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	shards []*shard[V]
 }
 
+// shard counters (hits/misses/evictions) live under the shard mutex
+// rather than as cache-level atomics so Stats can take every shard lock
+// and read a mutually consistent snapshot — with free-running atomics a
+// concurrent reader could observe hits and misses from different
+// moments and report an effectiveness ratio no real instant ever had.
 type shard[V any] struct {
-	mu       sync.Mutex
-	capacity int
-	order    *list.List // front = most recent
-	entries  map[string]*list.Element
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recent
+	entries   map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type entry[V any] struct {
@@ -106,10 +110,10 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
 		s.order.MoveToFront(el)
-		c.hits.Add(1)
+		s.hits++
 		return el.Value.(*entry[V]).value, true
 	}
-	c.misses.Add(1)
+	s.misses++
 	var zero V
 	return zero, false
 }
@@ -130,7 +134,7 @@ func (c *Cache[V]) Put(key string, value V) {
 		if oldest != nil {
 			s.order.Remove(oldest)
 			delete(s.entries, oldest.Value.(*entry[V]).key)
-			c.evictions.Add(1)
+			s.evictions++
 		}
 	}
 	s.entries[key] = s.order.PushFront(&entry[V]{key: key, value: value})
@@ -147,17 +151,24 @@ func (c *Cache[V]) Len() int {
 	return n
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a consistent snapshot of the cache counters: every
+// shard lock is held for the duration of the aggregation (acquired in
+// shard order, so Stats callers cannot deadlock against each other), so
+// Hits, Misses, Evictions and Len all describe the same instant.
 func (c *Cache[V]) Stats() Stats {
-	capacity := 0
 	for _, s := range c.shards {
-		capacity += s.capacity
+		s.mu.Lock()
 	}
-	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Len:       c.Len(),
-		Capacity:  capacity,
+	st := Stats{}
+	for _, s := range c.shards {
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Len += s.order.Len()
+		st.Capacity += s.capacity
 	}
+	for _, s := range c.shards {
+		s.mu.Unlock()
+	}
+	return st
 }

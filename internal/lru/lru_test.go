@@ -3,6 +3,7 @@ package lru
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -69,6 +70,71 @@ func TestCapacityRaisedToShardCount(t *testing.T) {
 	}
 	if s := c.Stats(); s.Capacity != 8 {
 		t.Errorf("capacity = %d, want 8 (one per shard)", s.Capacity)
+	}
+}
+
+// TestHitRatioEmptyCache is the NaN regression: a ratio over zero
+// lookups must answer 0, not 0/0.
+func TestHitRatioEmptyCache(t *testing.T) {
+	c := New[int](16, 4)
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("fresh cache stats = %+v", s)
+	}
+	if r := s.HitRatio(); r != 0 {
+		t.Errorf("HitRatio() on zero lookups = %v, want 0 (NaN regression)", r)
+	}
+}
+
+// TestStatsConsistentSnapshot is the torn-aggregation regression: Stats
+// must hold every shard lock while it aggregates, so each snapshot's
+// counters describe one instant. With free-running counters a snapshot
+// taken mid-burst could count a lookup in Misses that a later-read Hits
+// had not yet seen, breaking Hits+Misses <= lookups-started.
+func TestStatsConsistentSnapshot(t *testing.T) {
+	c := New[int](64, 8)
+	var started atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("k%d", (g*17+i)%64)
+				started.Add(1)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, i)
+				}
+			}
+		}(g)
+	}
+	var prev Stats
+	for i := 0; i < 200; i++ {
+		s := c.Stats()
+		// Every snapshot obeys the books: lookups counted never exceed
+		// lookups started, and counters never run backwards.
+		if total, max := s.Hits+s.Misses, started.Load(); total > max {
+			t.Fatalf("snapshot counts %d lookups, only %d started", total, max)
+		}
+		if s.Hits < prev.Hits || s.Misses < prev.Misses || s.Evictions < prev.Evictions {
+			t.Fatalf("counters ran backwards: %+v then %+v", prev, s)
+		}
+		if s.Len > s.Capacity {
+			t.Fatalf("Len %d exceeds capacity %d", s.Len, s.Capacity)
+		}
+		prev = s
+	}
+	close(stop)
+	wg.Wait()
+	// Quiescent: the final snapshot must balance exactly.
+	if s := c.Stats(); s.Hits+s.Misses != started.Load() {
+		t.Errorf("final snapshot %d lookups, want %d", s.Hits+s.Misses, started.Load())
 	}
 }
 

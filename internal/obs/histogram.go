@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/num"
+)
+
+// bucketBoundsSec are the histogram's fixed log-spaced bucket upper
+// bounds (inclusive, seconds): 100 ns doubling per bucket, so the 40
+// buckets span 100 ns to ~15 hours — sub-microsecond memoized backend
+// calls and multi-minute Table 5 sweeps land in the same histogram with
+// ≤ 2× relative bucket resolution. A 41st implicit bucket catches
+// overflow.
+var bucketBoundsSec = func() []float64 {
+	bounds := make([]float64, 40)
+	b := 1e-7
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}()
+
+// Histogram is a streaming latency histogram for one named stage:
+// exact count/sum/min/max plus log-spaced bucket counts from which
+// quantiles are read at bucket resolution. Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // len(bucketBoundsSec)+1; last is overflow
+	n      uint64
+	sumSec float64
+	minSec float64
+	maxSec float64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, len(bucketBoundsSec)+1)}
+}
+
+// observe records one latency sample. Negative or NaN samples (a
+// defensive impossibility under the monotonic clock) count as zero.
+func (h *Histogram) observe(dSec float64) {
+	if !(dSec >= 0) { // also catches NaN
+		dSec = 0
+	}
+	// First bucket whose bound is >= the sample; past the last bound
+	// SearchFloat64s returns len(bounds), the overflow bucket.
+	idx := sort.SearchFloat64s(bucketBoundsSec, dSec)
+	h.mu.Lock()
+	h.counts[idx]++
+	h.n++
+	h.sumSec += dSec
+	if h.n == 1 || dSec < h.minSec {
+		h.minSec = dSec
+	}
+	if dSec > h.maxSec {
+		h.maxSec = dSec
+	}
+	h.mu.Unlock()
+}
+
+// quantileLocked returns the q-quantile at bucket resolution: the upper
+// bound of the bucket holding the ceil(q·n)-th smallest sample, clamped
+// into the exact observed [min, max] so degenerate histograms (one
+// sample, or all samples in one bucket's span) answer exactly.
+// Callers hold h.mu.
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(bucketBoundsSec) {
+				return num.Clamp(bucketBoundsSec[i], h.minSec, h.maxSec)
+			}
+			return h.maxSec // overflow bucket
+		}
+	}
+	return h.maxSec
+}
+
+// BucketCount is one non-empty histogram bucket: samples ≤ LeSec
+// seconds (and above the previous bound), or past the last bound when
+// Overflow is set.
+type BucketCount struct {
+	LeSec    float64 `json:"le_sec,omitempty"`
+	Overflow bool    `json:"overflow,omitempty"`
+	Count    uint64  `json:"count"`
+}
+
+// StageStats is one stage's exported latency summary.
+type StageStats struct {
+	Stage   string        `json:"stage"`
+	Count   uint64        `json:"count"`
+	MeanSec float64       `json:"mean_sec"`
+	MinSec  float64       `json:"min_sec"`
+	MaxSec  float64       `json:"max_sec"`
+	P50Sec  float64       `json:"p50_sec"`
+	P90Sec  float64       `json:"p90_sec"`
+	P99Sec  float64       `json:"p99_sec"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// stats snapshots the histogram under its lock.
+func (h *Histogram) stats(stage string) StageStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := StageStats{
+		Stage:  stage,
+		Count:  h.n,
+		MinSec: h.minSec,
+		MaxSec: h.maxSec,
+		P50Sec: h.quantileLocked(0.50),
+		P90Sec: h.quantileLocked(0.90),
+		P99Sec: h.quantileLocked(0.99),
+	}
+	if h.n > 0 {
+		st.MeanSec = h.sumSec / float64(h.n)
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		b := BucketCount{Count: c}
+		if i < len(bucketBoundsSec) {
+			b.LeSec = bucketBoundsSec[i]
+		} else {
+			b.Overflow = true
+		}
+		st.Buckets = append(st.Buckets, b)
+	}
+	return st
+}
+
+// StageStats exports every stage's latency summary, sorted by stage
+// name. Nil-safe like the other read methods.
+func (r *Recorder) StageStats() []StageStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.stages))
+	hists := make([]*Histogram, 0, len(r.stages))
+	for name, h := range r.stages {
+		names = append(names, name)
+		hists = append(hists, h)
+	}
+	r.mu.RUnlock()
+	out := make([]StageStats, len(names))
+	for i, h := range hists {
+		out[i] = h.stats(names[i])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}

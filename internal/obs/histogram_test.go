@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func observeSec(h *Histogram, secs ...float64) {
+	for _, s := range secs {
+		h.observe(s)
+	}
+}
+
+func TestHistogramExactMoments(t *testing.T) {
+	h := newHistogram()
+	observeSec(h, 0.001, 0.002, 0.003, 0.010)
+	st := h.stats("s")
+	if st.Count != 4 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if math.Abs(st.MeanSec-0.004) > 1e-12 {
+		t.Errorf("mean = %v, want 0.004 exactly", st.MeanSec)
+	}
+	if st.MinSec != 0.001 || st.MaxSec != 0.010 {
+		t.Errorf("min/max = %v/%v", st.MinSec, st.MaxSec)
+	}
+}
+
+func TestQuantileBucketResolution(t *testing.T) {
+	h := newHistogram()
+	// 100 samples at ~1 ms, one straggler at ~1 s: P50/P90 must answer in
+	// the millisecond bucket's neighbourhood, P99+straggler in the second's.
+	for i := 0; i < 100; i++ {
+		h.observe(0.001)
+	}
+	h.observe(1.0)
+	st := h.stats("s")
+	if st.P50Sec < 0.0005 || st.P50Sec > 0.002 {
+		t.Errorf("P50 = %v, want ≈ 1 ms (≤ 2× bucket resolution)", st.P50Sec)
+	}
+	if st.P90Sec < 0.0005 || st.P90Sec > 0.002 {
+		t.Errorf("P90 = %v, want ≈ 1 ms", st.P90Sec)
+	}
+	if st.P99Sec > 1.0 || st.P99Sec < 0.0005 {
+		t.Errorf("P99 = %v out of range", st.P99Sec)
+	}
+}
+
+func TestQuantileSingleSampleIsExact(t *testing.T) {
+	h := newHistogram()
+	h.observe(0.00042)
+	st := h.stats("s")
+	// Clamping into the observed [min, max] makes a one-sample histogram
+	// answer the sample itself at every quantile.
+	for _, q := range []float64{st.P50Sec, st.P90Sec, st.P99Sec} {
+		if q != 0.00042 {
+			t.Errorf("quantile = %v, want the single sample 0.00042", q)
+		}
+	}
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	st := newHistogram().stats("s")
+	if st.Count != 0 || st.P50Sec != 0 || st.P99Sec != 0 || st.MeanSec != 0 {
+		t.Errorf("empty histogram stats = %+v, want zeros", st)
+	}
+}
+
+func TestOverflowBucket(t *testing.T) {
+	h := newHistogram()
+	huge := bucketBoundsSec[len(bucketBoundsSec)-1] * 4
+	h.observe(huge)
+	st := h.stats("s")
+	if len(st.Buckets) != 1 || !st.Buckets[0].Overflow {
+		t.Fatalf("buckets = %+v, want a single overflow bucket", st.Buckets)
+	}
+	if st.P99Sec != huge {
+		t.Errorf("overflow P99 = %v, want the exact max %v", st.P99Sec, huge)
+	}
+}
+
+func TestDefensiveSampleGuards(t *testing.T) {
+	h := newHistogram()
+	h.observe(math.NaN())
+	h.observe(-1)
+	st := h.stats("s")
+	if st.Count != 2 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.MinSec != 0 || st.MaxSec != 0 || math.IsNaN(st.MeanSec) {
+		t.Errorf("NaN/negative samples must clamp to zero: %+v", st)
+	}
+}
+
+func TestBucketBoundsAreSortedAndLogSpaced(t *testing.T) {
+	for i := 1; i < len(bucketBoundsSec); i++ {
+		ratio := bucketBoundsSec[i] / bucketBoundsSec[i-1]
+		if math.Abs(ratio-2) > 1e-9 {
+			t.Fatalf("bucket %d ratio = %v, want 2 (log-spaced)", i, ratio)
+		}
+	}
+	if bucketBoundsSec[0] != 1e-7 {
+		t.Errorf("first bound = %v, want 100 ns", bucketBoundsSec[0])
+	}
+}
+
+func TestBucketCountsSumToTotal(t *testing.T) {
+	rec := NewRecorder(0)
+	durations := []time.Duration{
+		50 * time.Nanosecond, // underflows into the first bucket
+		time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+		time.Second, 20 * time.Hour, // overflow
+	}
+	for _, d := range durations {
+		rec.Observe("mixed", d)
+	}
+	st := rec.StageStats()
+	if len(st) != 1 {
+		t.Fatal("missing stage")
+	}
+	var sum uint64
+	for _, b := range st[0].Buckets {
+		sum += b.Count
+	}
+	if sum != uint64(len(durations)) || st[0].Count != sum {
+		t.Errorf("bucket sum %d vs count %d, want %d", sum, st[0].Count, len(durations))
+	}
+}

@@ -1,0 +1,463 @@
+// Package obs is the stdlib-only observability layer behind acrserve's
+// /debug/obs endpoints and acrdse's -trace dumps: context-propagated
+// spans recorded into a lock-sharded ring buffer, plus streaming
+// latency histograms per named stage (package obs calls a histogram key
+// a "stage": "queue.wait", "dse.evaluate", "ir.backend", ...).
+//
+// Spans form trees. obs.Start derives a child span from whatever span
+// the context carries, so a /dse request yields one tree attributing
+// its wall time across queue wait, lowering, cache probes and
+// evaluation — the same per-stage decomposition LLMCompass-style
+// frameworks use per operator, lifted to the serving system.
+//
+// The layer must cost nothing when unused. Every entry point takes the
+// nil fast path when the context carries no recorder: obs.Start returns
+// a nil *Span, and all Span methods are nil-safe no-ops, so
+// instrumented hot paths (dse sweeps, sim phases) run at full speed
+// under a plain context.Background(). BenchmarkObsDisabledOverhead pins
+// this.
+//
+// Timing uses the monotonic clock: spans capture time.Now at start and
+// end, and durations come from time.Time.Sub, which prefers the
+// monotonic reading, so wall-clock steps cannot produce negative or
+// inflated latencies.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key-value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanRecord is the exported, JSON-friendly form of a finished span.
+type SpanRecord struct {
+	Trace  string    `json:"trace"`
+	Span   string    `json:"span"`
+	Parent string    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	// DurationSec is the span's monotonic-clock duration.
+	DurationSec float64 `json:"duration_sec"`
+	Attrs       []Attr  `json:"attrs,omitempty"`
+}
+
+// shardCount is the ring buffer's lock-shard count (power of two so the
+// span-ID modulo is a mask). Sequential span IDs round-robin across
+// shards, so concurrent recorders contend on different locks.
+const shardCount = 16
+
+// DefaultCapacity is the span-retention bound used when NewRecorder is
+// given a non-positive capacity.
+const DefaultCapacity = 4096
+
+// ringShard is one independently locked slice of the span ring buffer.
+type ringShard struct {
+	mu   sync.Mutex
+	buf  []SpanRecord
+	next int // overwrite cursor once len(buf) == cap(buf)
+}
+
+// Recorder collects finished spans and per-stage latency histograms.
+// All methods are safe for concurrent use; read methods (Spans,
+// StageStats, WriteJSON) are additionally safe on a nil receiver, so
+// handlers can serve a "tracing disabled" state without branching.
+type Recorder struct {
+	shards  [shardCount]ringShard
+	nextID  atomic.Uint64
+	dropped atomic.Uint64
+
+	mu     sync.RWMutex
+	stages map[string]*Histogram
+}
+
+// NewRecorder returns a Recorder retaining up to capacity finished
+// spans (non-positive means DefaultCapacity). Capacity is split across
+// the lock shards and rounded up so every shard retains at least one
+// span; once a shard is full its oldest spans are overwritten and
+// counted by Dropped.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	per := (capacity + shardCount - 1) / shardCount
+	r := &Recorder{stages: make(map[string]*Histogram)}
+	for i := range r.shards {
+		r.shards[i].buf = make([]SpanRecord, 0, per)
+	}
+	return r
+}
+
+// Dropped returns the number of spans overwritten by the ring bound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// Observe records one latency sample for the named stage without going
+// through a span. Span.End calls it implicitly with the span's name.
+func (r *Recorder) Observe(stage string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.histogram(stage).observe(d.Seconds())
+}
+
+// histogram returns the named stage's histogram, creating it on first
+// use. Reads take the read lock; only the first observation of a new
+// stage pays for the write lock.
+func (r *Recorder) histogram(stage string) *Histogram {
+	r.mu.RLock()
+	h := r.stages[stage]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.stages[stage]; h == nil {
+		h = newHistogram()
+		r.stages[stage] = h
+	}
+	return h
+}
+
+// record appends one finished span to its ring shard.
+func (r *Recorder) record(sr SpanRecord, id uint64) {
+	sh := &r.shards[id&(shardCount-1)]
+	sh.mu.Lock()
+	if len(sh.buf) < cap(sh.buf) {
+		sh.buf = append(sh.buf, sr)
+	} else {
+		sh.buf[sh.next] = sr
+		sh.next = (sh.next + 1) % len(sh.buf)
+		r.dropped.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// Spans returns every retained span, ordered by start time.
+func (r *Recorder) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	var out []SpanRecord
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.buf...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Span < out[j].Span
+	})
+	return out
+}
+
+// Trace returns the retained spans of one trace, ordered by start time.
+func (r *Recorder) Trace(traceID string) []SpanRecord {
+	all := r.Spans()
+	out := all[:0:0]
+	for _, sr := range all {
+		if sr.Trace == traceID {
+			out = append(out, sr)
+		}
+	}
+	return out
+}
+
+// Dump is the full exported observability state.
+type Dump struct {
+	Spans        []SpanRecord `json:"spans"`
+	Stages       []StageStats `json:"stages"`
+	DroppedSpans uint64       `json:"dropped_spans"`
+}
+
+// Snapshot exports spans, stage statistics and the drop counter.
+func (r *Recorder) Snapshot() Dump {
+	return Dump{Spans: r.Spans(), Stages: r.StageStats(), DroppedSpans: r.Dropped()}
+}
+
+// WriteJSON writes the Snapshot as indented JSON.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Span is one in-flight timed operation. The zero of the API is nil: a
+// nil *Span (what Start returns without a recorder) accepts SetAttr and
+// End as no-ops, so instrumentation sites need no conditionals.
+type Span struct {
+	rec     *Recorder
+	traceID uint64
+	id      uint64
+	parent  uint64
+	name    string
+	start   time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// SetAttr annotates the span. Attributes appear on the exported record
+// in insertion order. Note the any parameter boxes its argument at the
+// call site even on a nil span; hot paths annotating dynamic strings or
+// integers should use SetStr/SetInt, whose disabled path is free.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// SetStr is SetAttr for string values. The typed parameter defers the
+// interface conversion until after the nil check, so a disabled span
+// pays no boxing allocation at the call site.
+func (s *Span) SetStr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, value)
+}
+
+// SetInt is SetAttr for integer values; see SetStr for why.
+func (s *Span) SetInt(key string, value int) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, value)
+}
+
+// End finishes the span, recording it into the ring buffer and its
+// duration into the stage histogram named after the span. End is
+// idempotent; only the first call records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	d := end.Sub(s.start)
+	if d < 0 {
+		d = 0
+	}
+	s.rec.record(SpanRecord{
+		Trace:       id64(s.traceID),
+		Span:        id64(s.id),
+		Parent:      parentID64(s.parent),
+		Name:        s.name,
+		Start:       s.start,
+		DurationSec: d.Seconds(),
+		Attrs:       attrs,
+	}, s.id)
+	s.rec.Observe(s.name, d)
+}
+
+// Trace returns the span's trace ID ("" on a nil span), the handle
+// clients use against /debug/obs/trace.
+func (s *Span) Trace() string {
+	if s == nil {
+		return ""
+	}
+	return id64(s.traceID)
+}
+
+func id64(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+func parentID64(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	return id64(v)
+}
+
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	spanKey
+)
+
+// WithRecorder returns a context that records spans into r. A nil r
+// returns ctx unchanged, keeping the disabled fast path.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// RecorderFrom returns the context's recorder, or nil when tracing is
+// disabled.
+func RecorderFrom(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey).(*Recorder)
+	return r
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// Start begins a span named name as a child of the context's current
+// span, returning a context carrying the new span. Without a recorder
+// in ctx it returns (ctx, nil) — the disabled fast path.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return StartAt(ctx, name, time.Time{})
+}
+
+// StartAt is Start with an explicit start time (zero means now), for
+// spans whose beginning predates the code observing them — a job's
+// queue wait starts at enqueue but is recorded at dequeue.
+func StartAt(ctx context.Context, name string, start time.Time) (context.Context, *Span) {
+	r := RecorderFrom(ctx)
+	if r == nil {
+		return ctx, nil
+	}
+	if start.IsZero() {
+		start = time.Now()
+	}
+	s := &Span{rec: r, id: r.nextID.Add(1), name: name, start: start}
+	if parent := SpanFrom(ctx); parent != nil {
+		s.traceID = parent.traceID
+		s.parent = parent.id
+	} else {
+		s.traceID = s.id
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SpanContext is a detachable reference to a recorder and parent span.
+// It re-establishes observability on contexts unrelated to the one it
+// was captured from — the async job queue runs work under its own base
+// context after the originating request context has died.
+type SpanContext struct {
+	rec     *Recorder
+	traceID uint64
+	spanID  uint64
+}
+
+// ContextOf captures ctx's recorder and current span. The zero
+// SpanContext (no recorder in ctx) attaches as a no-op.
+func ContextOf(ctx context.Context) SpanContext {
+	sc := SpanContext{rec: RecorderFrom(ctx)}
+	if sc.rec == nil {
+		return sc
+	}
+	if s := SpanFrom(ctx); s != nil {
+		sc.traceID = s.traceID
+		sc.spanID = s.id
+	}
+	return sc
+}
+
+// Enabled reports whether the capture carries a recorder.
+func (sc SpanContext) Enabled() bool { return sc.rec != nil }
+
+// TraceID returns the captured trace's hex ID, or "" when the capture is
+// disabled or was taken outside any span. Servers hand it to clients so
+// they can fetch their request's span tree later.
+func (sc SpanContext) TraceID() string {
+	if sc.rec == nil || sc.traceID == 0 {
+		return ""
+	}
+	return id64(sc.traceID)
+}
+
+// Attach grafts the captured recorder and parent span onto ctx, so
+// spans started under the returned context join the original trace.
+func (sc SpanContext) Attach(ctx context.Context) context.Context {
+	if sc.rec == nil {
+		return ctx
+	}
+	ctx = WithRecorder(ctx, sc.rec)
+	if sc.spanID != 0 {
+		// An already-ended placeholder: a parent link target only.
+		ctx = context.WithValue(ctx, spanKey, &Span{
+			rec: sc.rec, traceID: sc.traceID, id: sc.spanID, ended: true,
+		})
+	}
+	return ctx
+}
+
+// TreeString renders spans as an indented tree, one line per span:
+// name, duration, attrs, and the trace ID on roots. Spans whose parent
+// was dropped from the ring render as roots. Input order is kept within
+// one parent, so pass Spans()/Trace() output (start-time ordered).
+func TreeString(spans []SpanRecord) string {
+	present := make(map[string]bool, len(spans))
+	for _, sr := range spans {
+		present[sr.Span] = true
+	}
+	children := make(map[string][]SpanRecord)
+	var roots []SpanRecord
+	for _, sr := range spans {
+		if sr.Parent != "" && present[sr.Parent] {
+			children[sr.Parent] = append(children[sr.Parent], sr)
+		} else {
+			roots = append(roots, sr)
+		}
+	}
+	var sb strings.Builder
+	var render func(sr SpanRecord, depth int)
+	render = func(sr SpanRecord, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&sb, "%s %s", sr.Name, formatSeconds(sr.DurationSec))
+		for _, a := range sr.Attrs {
+			fmt.Fprintf(&sb, " %s=%v", a.Key, a.Value)
+		}
+		if depth == 0 {
+			fmt.Fprintf(&sb, " trace=%s", sr.Trace)
+		}
+		sb.WriteByte('\n')
+		for _, c := range children[sr.Span] {
+			render(c, depth+1)
+		}
+	}
+	for _, sr := range roots {
+		render(sr, 0)
+	}
+	return sb.String()
+}
+
+// formatSeconds renders a duration at a human scale (µs/ms/s).
+func formatSeconds(sec float64) string {
+	switch {
+	case sec < 1e-3:
+		return fmt.Sprintf("%.1fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", sec)
+	}
+}

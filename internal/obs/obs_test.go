@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledFastPathReturnsNil(t *testing.T) {
+	ctx := context.Background()
+	ctx2, span := Start(ctx, "noop")
+	if span != nil {
+		t.Fatal("Start without a recorder must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Error("Start without a recorder must not derive a new context")
+	}
+	// All nil-span methods must be no-ops, not panics.
+	span.SetAttr("k", "v")
+	span.End()
+	span.End()
+	if got := span.Trace(); got != "" {
+		t.Errorf("nil span trace = %q, want empty", got)
+	}
+	if RecorderFrom(ctx) != nil || SpanFrom(ctx) != nil {
+		t.Error("plain context must carry no recorder or span")
+	}
+	// Nil-recorder read methods serve the disabled state.
+	var r *Recorder
+	if r.Spans() != nil || r.StageStats() != nil || r.Dropped() != 0 {
+		t.Error("nil recorder reads must be empty")
+	}
+	r.Observe("stage", time.Second) // no-op, no panic
+}
+
+func TestSpanNestingAndAttrs(t *testing.T) {
+	rec := NewRecorder(0)
+	ctx := WithRecorder(context.Background(), rec)
+
+	ctx, root := Start(ctx, "request")
+	root.SetAttr("route", "POST /v1/dse")
+	ctx2, child := Start(ctx, "evaluate")
+	child.SetAttr("cache", "miss")
+	_, grand := Start(ctx2, "simulate")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := rec.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	rq, ev, sm := byName["request"], byName["evaluate"], byName["simulate"]
+	if rq.Parent != "" {
+		t.Errorf("root has parent %q", rq.Parent)
+	}
+	if ev.Parent != rq.Span {
+		t.Errorf("evaluate parent = %q, want %q", ev.Parent, rq.Span)
+	}
+	if sm.Parent != ev.Span {
+		t.Errorf("simulate parent = %q, want %q", sm.Parent, ev.Span)
+	}
+	for _, s := range spans {
+		if s.Trace != rq.Trace {
+			t.Errorf("span %s in trace %q, want %q", s.Name, s.Trace, rq.Trace)
+		}
+		if s.DurationSec < 0 {
+			t.Errorf("span %s has negative duration", s.Name)
+		}
+	}
+	if len(ev.Attrs) != 1 || ev.Attrs[0].Key != "cache" || ev.Attrs[0].Value != "miss" {
+		t.Errorf("evaluate attrs = %+v", ev.Attrs)
+	}
+	if got := rec.Trace(rq.Trace); len(got) != 3 {
+		t.Errorf("Trace(%q) returned %d spans, want 3", rq.Trace, len(got))
+	}
+	if got := rec.Trace("no-such-trace"); len(got) != 0 {
+		t.Errorf("unknown trace returned %d spans", len(got))
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	rec := NewRecorder(0)
+	_, s := Start(WithRecorder(context.Background(), rec), "once")
+	s.End()
+	s.End()
+	s.SetAttr("late", true) // after End: dropped, not recorded
+	if got := len(rec.Spans()); got != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", got)
+	}
+	if st := rec.StageStats(); len(st) != 1 || st[0].Count != 1 {
+		t.Fatalf("stage stats = %+v, want one stage with count 1", st)
+	}
+}
+
+func TestStartAtBackdatesSpan(t *testing.T) {
+	rec := NewRecorder(0)
+	ctx := WithRecorder(context.Background(), rec)
+	start := time.Now().Add(-50 * time.Millisecond)
+	_, s := StartAt(ctx, "queue.wait", start)
+	s.End()
+	spans := rec.Spans()
+	if len(spans) != 1 {
+		t.Fatal("missing span")
+	}
+	if d := spans[0].DurationSec; d < 0.045 || d > 5 {
+		t.Errorf("backdated duration = %v s, want ≥ ~0.05", d)
+	}
+}
+
+func TestRingBufferBoundAndDropCount(t *testing.T) {
+	const capacity = 32
+	rec := NewRecorder(capacity)
+	ctx := WithRecorder(context.Background(), rec)
+	const total = 500
+	for i := 0; i < total; i++ {
+		_, s := Start(ctx, "churn")
+		s.End()
+	}
+	spans := rec.Spans()
+	if len(spans) > capacity {
+		t.Errorf("retained %d spans, capacity %d", len(spans), capacity)
+	}
+	if got, want := rec.Dropped(), uint64(total-len(spans)); got != want {
+		t.Errorf("dropped = %d, want %d", got, want)
+	}
+	// The histogram keeps exact counts even when the ring forgets spans.
+	if st := rec.StageStats(); len(st) != 1 || st[0].Count != total {
+		t.Errorf("stage stats = %+v, want count %d", st, total)
+	}
+}
+
+func TestDetachAttachJoinsOriginalTrace(t *testing.T) {
+	rec := NewRecorder(0)
+	reqCtx, root := Start(WithRecorder(context.Background(), rec), "request")
+	sc := ContextOf(reqCtx)
+	if !sc.Enabled() {
+		t.Fatal("capture from a recorder context must be enabled")
+	}
+	root.End()
+
+	// The job runs later, under an unrelated context, on another goroutine.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		jobCtx := sc.Attach(context.Background())
+		_, s := Start(jobCtx, "job.run")
+		s.End()
+	}()
+	<-done
+
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["job.run"].Parent != byName["request"].Span {
+		t.Errorf("detached child parent = %q, want %q",
+			byName["job.run"].Parent, byName["request"].Span)
+	}
+	if byName["job.run"].Trace != byName["request"].Trace {
+		t.Error("detached child left the trace")
+	}
+
+	// A capture from a recorderless context attaches as a no-op.
+	plain := context.Background()
+	if got := ContextOf(plain).Attach(plain); got != plain {
+		t.Error("zero SpanContext must not derive a new context")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	rec := NewRecorder(0)
+	ctx := WithRecorder(context.Background(), rec)
+	_, s := Start(ctx, "stage.a")
+	s.SetAttr("n", 3)
+	s.End()
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Name != "stage.a" {
+		t.Errorf("dump spans = %+v", d.Spans)
+	}
+	if len(d.Stages) != 1 || d.Stages[0].Stage != "stage.a" || d.Stages[0].Count != 1 {
+		t.Errorf("dump stages = %+v", d.Stages)
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	rec := NewRecorder(0)
+	ctx, root := Start(WithRecorder(context.Background(), rec), "request")
+	_, child := Start(ctx, "evaluate")
+	child.SetAttr("cache", "hit")
+	child.End()
+	root.End()
+	tree := TreeString(rec.Spans())
+	lines := strings.Split(strings.TrimRight(tree, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("tree has %d lines:\n%s", len(lines), tree)
+	}
+	if !strings.HasPrefix(lines[0], "request ") || !strings.Contains(lines[0], "trace=") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  evaluate ") || !strings.Contains(lines[1], "cache=hit") {
+		t.Errorf("child line = %q", lines[1])
+	}
+
+	// A span whose parent fell out of the ring renders as a root.
+	orphan := []SpanRecord{{Trace: "t", Span: "b", Parent: "gone", Name: "orphan"}}
+	if got := TreeString(orphan); !strings.HasPrefix(got, "orphan ") {
+		t.Errorf("orphan rendering = %q", got)
+	}
+}
+
+// TestConcurrentRecordingRace exercises concurrent span recording,
+// stage observation and snapshotting; the CI race-stress job reruns it
+// under -race with -count to shake out shard and histogram races.
+func TestConcurrentRecordingRace(t *testing.T) {
+	rec := NewRecorder(256)
+	ctx := WithRecorder(context.Background(), rec)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c, s := Start(ctx, "worker")
+				_, inner := Start(c, "inner")
+				inner.End()
+				s.SetAttr("i", i)
+				s.End()
+				rec.Observe("direct", time.Microsecond)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rec.Spans()
+				rec.StageStats()
+				var buf bytes.Buffer
+				rec.WriteJSON(&buf) //nolint:errcheck
+			}
+		}()
+	}
+	wg.Wait()
+	st := rec.StageStats()
+	byStage := map[string]uint64{}
+	for _, s := range st {
+		byStage[s.Stage] = s.Count
+	}
+	if byStage["worker"] != 1600 || byStage["inner"] != 1600 || byStage["direct"] != 1600 {
+		t.Errorf("stage counts = %v, want 1600 each", byStage)
+	}
+}

@@ -333,9 +333,15 @@ func (q *Queue) Snapshot() QueueSnapshot {
 }
 
 // Shutdown cancels the base context — aborting running jobs — and waits
-// for the workers to exit or ctx to expire.
+// for the workers to exit or ctx to expire. An already-expired ctx
+// still triggers the stop but skips the drain wait deterministically,
+// returning an error wrapping ctx.Err() (a two-way select would pick
+// between the expired ctx and an instant drain at random).
 func (q *Queue) Shutdown(ctx context.Context) error {
 	q.stop()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("server: queue shutdown: %w", err)
+	}
 	done := make(chan struct{})
 	go func() {
 		q.wg.Wait()

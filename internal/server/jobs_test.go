@@ -161,6 +161,42 @@ func TestQueueShutdownAbortsRunningJobs(t *testing.T) {
 	}
 }
 
+// TestQueueShutdownExpiredContext is the unbounded-drain regression:
+// Shutdown with an already-cancelled context must not wait for worker
+// drain — it must still stop the queue, then return ctx.Err() at once,
+// even while a misbehaving job ignores its cancellation.
+func TestQueueShutdownExpiredContext(t *testing.T) {
+	q := NewQueue(1, 8, 0)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	q.Submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-block // ignores ctx: the worker cannot drain until we let it
+		return nil, ctx.Err()
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before Shutdown is even called
+	errc := make(chan error, 1)
+	go func() { errc <- q.Shutdown(ctx) }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Shutdown err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown blocked on worker drain despite an expired context")
+	}
+
+	// The expired-context Shutdown still stopped the queue: release the
+	// stuck job and confirm a clean drain afterwards.
+	close(block)
+	if err := q.Shutdown(context.Background()); err != nil {
+		t.Fatalf("follow-up drain failed: %v", err)
+	}
+}
+
 func TestQueueConcurrentSubmitters(t *testing.T) {
 	q := NewQueue(4, 256, 0)
 	defer q.Shutdown(context.Background())

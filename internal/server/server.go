@@ -19,6 +19,11 @@
 //	DELETE /v1/jobs/{id}  cancel a pending or running job
 //	GET    /healthz       liveness
 //	GET    /metrics       counters, histograms, cache, queue
+//
+// Deep-dive profiling lives under /debug: /debug/obs/trace serves the
+// span ring buffer (package obs) as JSON or an indented tree,
+// /debug/obs/stats the exact per-stage latency histograms, and
+// /debug/pprof/* the standard Go profiles.
 package server
 
 import (
@@ -26,8 +31,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"time"
@@ -37,6 +44,7 @@ import (
 	"repro/internal/compliance"
 	"repro/internal/dse"
 	"repro/internal/lru"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -56,6 +64,10 @@ type Config struct {
 	// MaxGridSize rejects sweeps larger than this many designs; 0 means
 	// 65536.
 	MaxGridSize int
+	// TraceCapacity bounds the span ring buffer behind /debug/obs; 0
+	// means obs.DefaultCapacity, negative disables tracing entirely
+	// (requests then ride the obs nil fast path).
+	TraceCapacity int
 	// Logger receives structured request and lifecycle logs; nil means
 	// text logs on stderr at Info level.
 	Logger *slog.Logger
@@ -67,6 +79,7 @@ type Server struct {
 	explorer *dse.Explorer
 	queue    *Queue
 	metrics  *metrics
+	obs      *obs.Recorder // nil when TraceCapacity < 0
 	log      *slog.Logger
 	mux      *http.ServeMux
 }
@@ -104,6 +117,9 @@ func New(cfg Config) *Server {
 		log:      cfg.Logger,
 		mux:      http.NewServeMux(),
 	}
+	if cfg.TraceCapacity >= 0 {
+		s.obs = obs.NewRecorder(cfg.TraceCapacity) // 0 → obs.DefaultCapacity
+	}
 	s.route("POST /v1/classify", s.handleClassify)
 	s.route("POST /v1/simulate", s.handleSimulate)
 	s.route("POST /v1/audit", s.handleAudit)
@@ -112,8 +128,21 @@ func New(cfg Config) *Server {
 	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
+	// The /debug surface bypasses route(): tracing the trace reader would
+	// pollute the very ring it reports, and pprof output doesn't belong in
+	// the request-latency histograms.
+	s.mux.HandleFunc("GET /debug/obs/trace", s.handleObsTrace)
+	s.mux.HandleFunc("GET /debug/obs/stats", s.handleObsStats)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
+
+// Obs returns the server's span recorder, nil when tracing is disabled.
+func (s *Server) Obs() *obs.Recorder { return s.obs }
 
 // Explorer returns the server's shared explorer (tests and benchmarks
 // inspect its cache).
@@ -140,13 +169,18 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// route registers a handler wrapped with metrics and structured logging,
-// labelled by its mux pattern.
+// route registers a handler wrapped with metrics, structured logging and
+// a request span, all labelled by the mux pattern. The span's context
+// flows into the handler, so everything it calls (sweeps, simulations)
+// nests under the request in the trace.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
+		ctx, sp := obs.StartAt(obs.WithRecorder(r.Context(), s.obs), pattern, start)
+		h(rec, r.WithContext(ctx))
+		sp.SetInt("status", rec.status)
+		sp.End()
 		elapsed := time.Since(start)
 		s.metrics.observe(pattern, rec.status, elapsed)
 		s.log.Info("request",
@@ -374,7 +408,19 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		objective = "ttft"
 	}
 
+	// The job outlives this request: capture the span context now and
+	// attach it inside the worker, so the sweep's spans join the request
+	// trace even after r.Context() has died with the response.
+	sc := obs.ContextOf(r.Context())
+	enqueuedAt := time.Now()
 	job, err := s.queue.Submit(func(ctx context.Context) (any, error) {
+		ctx = sc.Attach(ctx)
+		_, wait := obs.StartAt(ctx, "queue.wait", enqueuedAt)
+		wait.End() // enqueue → dequeue: ends the moment the worker picks us up
+		ctx, jsp := obs.Start(ctx, "dse.job")
+		defer jsp.End()
+		jsp.SetStr("grid", grid.Name)
+		jsp.SetInt("designs", grid.Size())
 		start := time.Now()
 		var before lru.Stats
 		if s.explorer.Cache != nil {
@@ -404,6 +450,8 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 			after := s.explorer.Cache.Stats()
 			res.CacheHits = after.Hits - before.Hits
 			res.CacheMisses = after.Misses - before.Misses
+			jsp.SetInt("cache_hits", int(res.CacheHits))
+			jsp.SetInt("cache_misses", int(res.CacheMisses))
 		}
 		for i, p := range admissible[:top] {
 			res.Top = append(res.Top, DesignSummary{
@@ -432,6 +480,7 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		State:   job.State().String(),
 		PollURL: "/v1/jobs/" + job.ID,
 		Designs: grid.Size(),
+		Trace:   sc.TraceID(),
 	})
 }
 
@@ -465,6 +514,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":      "ok",
 		"queue_depth": s.queue.Depth(),
 	})
+}
+
+// handleObsTrace serves the span ring buffer: the full Dump by default,
+// ?trace=<id> narrows to one trace's spans, ?format=tree renders an
+// indented text tree instead of JSON.
+func (s *Server) handleObsTrace(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (trace capacity < 0)")
+		return
+	}
+	q := r.URL.Query()
+	spans := s.obs.Spans()
+	if id := q.Get("trace"); id != "" {
+		spans = s.obs.Trace(id)
+	}
+	if q.Get("format") == "tree" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, obs.TreeString(spans)) //nolint:errcheck // client disconnects are not actionable
+		return
+	}
+	writeJSON(w, http.StatusOK, obs.Dump{
+		Spans:        spans,
+		Stages:       s.obs.StageStats(),
+		DroppedSpans: s.obs.Dropped(),
+	})
+}
+
+// handleObsStats serves the exact per-stage latency histograms alone —
+// the cheap endpoint to poll while a sweep runs.
+func (s *Server) handleObsStats(w http.ResponseWriter, _ *http.Request) {
+	if s.obs == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (trace capacity < 0)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.obs.StageStats())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

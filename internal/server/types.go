@@ -434,6 +434,10 @@ type EnqueueResponse struct {
 	PollURL string `json:"poll_url"`
 	// Designs is the sweep size about to be evaluated.
 	Designs int `json:"designs"`
+	// Trace is the request's trace ID; fetch the sweep's span tree from
+	// /debug/obs/trace?trace=<id> once the job runs. Empty when tracing
+	// is disabled.
+	Trace string `json:"trace,omitempty"`
 }
 
 // errorResponse is the uniform error envelope.

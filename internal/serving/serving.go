@@ -63,22 +63,69 @@ type Load struct {
 	E2ESeconds float64
 }
 
-// ErrOverloaded reports an offered rate at or beyond capacity.
+// ErrOverloaded reports an offered rate at or beyond capacity. Errors
+// returned for that condition carry the utilisation in a structured
+// field — errors.As into *OverloadError for ρ — while still matching
+// this sentinel through errors.Is.
 var ErrOverloaded = errors.New("serving: offered load meets or exceeds capacity")
+
+// OverloadError is the structured form of ErrOverloaded.
+type OverloadError struct {
+	// Utilization is ρ = λ/μ at the rejected offered rate (≥ 1).
+	Utilization float64
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v: ρ = %.3f", ErrOverloaded, e.Utilization)
+}
+
+// Is matches the ErrOverloaded sentinel so existing errors.Is callers
+// keep working.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// ErrInvalidInstance reports an instance whose simulated latencies
+// cannot parameterise the M/D/1 model: a non-positive or non-finite
+// TBT (μ would be +Inf or NaN and the queueing formulas would silently
+// propagate it into Load), a negative or non-finite TTFT, or a
+// non-positive batch.
+var ErrInvalidInstance = errors.New("serving: instance cannot parameterise the queueing model")
+
+// validate rejects instances the closed forms would turn into NaN/Inf.
+// The comparisons are written negated so NaN fails every check.
+func (in Instance) validate() error {
+	tbt := in.Result.FullModelTBTSeconds()
+	if !(tbt > 0) || math.IsInf(tbt, 0) {
+		return fmt.Errorf("%w: per-token latency TBT = %v s, need finite > 0", ErrInvalidInstance, tbt)
+	}
+	ttft := in.Result.FullModelTTFTSeconds()
+	if !(ttft >= 0) || math.IsInf(ttft, 0) {
+		return fmt.Errorf("%w: prefill latency TTFT = %v s, need finite >= 0", ErrInvalidInstance, ttft)
+	}
+	if in.Result.Workload.Batch <= 0 {
+		return fmt.Errorf("%w: batch = %d, need >= 1", ErrInvalidInstance, in.Result.Workload.Batch)
+	}
+	if in.Result.Workload.OutputLen < 0 {
+		return fmt.Errorf("%w: output length = %d, need >= 0", ErrInvalidInstance, in.Result.Workload.OutputLen)
+	}
+	return nil
+}
 
 // AtRate returns the endpoint's steady-state behaviour at an offered
 // arrival rate (requests per second).
 func (in Instance) AtRate(lambda float64) (Load, error) {
-	if lambda < 0 {
-		return Load{}, fmt.Errorf("serving: negative arrival rate %v", lambda)
+	if err := in.validate(); err != nil {
+		return Load{}, err
+	}
+	if !(lambda >= 0) {
+		return Load{}, fmt.Errorf("serving: invalid arrival rate %v", lambda)
 	}
 	mu := in.CapacityRequestsPerSec()
 	if mu <= 0 {
-		return Load{}, errors.New("serving: instance has zero capacity")
+		return Load{}, fmt.Errorf("%w: zero capacity", ErrInvalidInstance)
 	}
 	rho := lambda / mu
 	if rho >= 1 {
-		return Load{}, fmt.Errorf("%w: ρ = %.3f", ErrOverloaded, rho)
+		return Load{}, &OverloadError{Utilization: rho}
 	}
 	// M/D/1 mean wait: Wq = ρ / (2μ(1 − ρ)).
 	wq := rho / (2 * mu * (1 - rho))
@@ -93,8 +140,11 @@ func (in Instance) AtRate(lambda float64) (Load, error) {
 // latency stays within sloSeconds, found by bisection. It returns 0 when
 // even an unloaded request misses the SLO.
 func (in Instance) MaxRateForSLO(sloSeconds float64) (float64, error) {
-	if sloSeconds <= 0 {
-		return 0, fmt.Errorf("serving: non-positive SLO %v", sloSeconds)
+	if err := in.validate(); err != nil {
+		return 0, err
+	}
+	if !(sloSeconds > 0) {
+		return 0, fmt.Errorf("serving: invalid SLO %v", sloSeconds)
 	}
 	if in.RequestSeconds() > sloSeconds {
 		return 0, nil

@@ -3,6 +3,7 @@ package serving
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -177,6 +178,66 @@ func TestBandwidthRestrictedDesignNeedsBiggerFleet(t *testing.T) {
 	}
 	if nSlow <= nFast {
 		t.Errorf("bandwidth-capped design should need a bigger fleet: %d vs %d", nSlow, nFast)
+	}
+}
+
+// TestInvalidLatenciesRejected is the NaN-propagation regression: an
+// instance with a non-positive or non-finite TBT once produced μ = +Inf
+// or NaN, which the ρ ≥ 1 overload check cannot catch (NaN compares
+// false), so NaN flowed silently into every Load field. The model must
+// reject such instances with a typed error instead.
+func TestInvalidLatenciesRejected(t *testing.T) {
+	base := a100Instance(t, model.Llama3_8B())
+	cases := map[string]func(*Instance){
+		"nan-tbt":      func(in *Instance) { in.Result.TBTSeconds = math.NaN() },
+		"zero-tbt":     func(in *Instance) { in.Result.TBTSeconds = 0 },
+		"negative-tbt": func(in *Instance) { in.Result.TBTSeconds = -1e-3 },
+		"inf-tbt":      func(in *Instance) { in.Result.TBTSeconds = math.Inf(1) },
+		"nan-ttft":     func(in *Instance) { in.Result.TTFTSeconds = math.NaN() },
+		"inf-ttft":     func(in *Instance) { in.Result.TTFTSeconds = math.Inf(1) },
+		"zero-batch":   func(in *Instance) { in.Result.Workload.Batch = 0 },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			in := base
+			mutate(&in)
+			l, err := in.AtRate(1)
+			if !errors.Is(err, ErrInvalidInstance) {
+				t.Fatalf("AtRate err = %v, want ErrInvalidInstance", err)
+			}
+			if l != (Load{}) {
+				t.Errorf("invalid instance leaked a Load: %+v", l)
+			}
+			if _, err := in.MaxRateForSLO(10); !errors.Is(err, ErrInvalidInstance) {
+				t.Errorf("MaxRateForSLO err = %v, want ErrInvalidInstance", err)
+			}
+		})
+	}
+	// NaN offered rates are rejected too (a plain negative check passes NaN).
+	if _, err := base.AtRate(math.NaN()); err == nil || errors.Is(err, ErrOverloaded) {
+		t.Errorf("NaN rate err = %v, want a validation error", err)
+	}
+}
+
+// TestOverloadErrorCarriesUtilization pins the structured ρ field: the
+// sentinel still matches via errors.Is, and errors.As recovers the
+// exact utilisation instead of parsing it out of the message.
+func TestOverloadErrorCarriesUtilization(t *testing.T) {
+	in := a100Instance(t, model.Llama3_8B())
+	mu := in.CapacityRequestsPerSec()
+	_, err := in.AtRate(mu * 2)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err %T does not expose *OverloadError", err)
+	}
+	if math.Abs(oe.Utilization-2) > 1e-9 {
+		t.Errorf("ρ = %v, want 2", oe.Utilization)
+	}
+	if !strings.Contains(err.Error(), "ρ = 2.000") {
+		t.Errorf("message lost the formatted ρ: %q", err.Error())
 	}
 }
 

@@ -17,13 +17,16 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/ir"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/perf"
 )
 
@@ -88,8 +91,18 @@ func (s *Simulator) Simulate(cfg arch.Config, w model.Workload) (Result, error) 
 
 // SimulateGraph runs an already-lowered operator graph on cfg. The
 // configuration is validated once here; per-node timing goes through the
-// backend's unvalidated fast path.
+// backend's unvalidated fast path. It is SimulateGraphContext without
+// tracing, kept for existing callers.
 func (s *Simulator) SimulateGraph(cfg arch.Config, g ir.Graph) (Result, error) {
+	return s.SimulateGraphContext(context.Background(), cfg, g)
+}
+
+// SimulateGraphContext is SimulateGraph under a caller context: when an
+// obs.Recorder is attached it opens a "sim.simulate" span per call and
+// feeds per-node backend timings into the "ir.backend" stage histogram.
+// The context carries observability only — simulation itself is pure
+// compute and is never cancelled mid-graph.
+func (s *Simulator) SimulateGraphContext(ctx context.Context, cfg arch.Config, g ir.Graph) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -98,11 +111,15 @@ func (s *Simulator) SimulateGraph(cfg arch.Config, g ir.Graph) (Result, error) {
 		return Result{}, err
 	}
 
-	prefill, err := s.phase(be, cfg, g, ir.Prefill)
+	ctx, sp := obs.Start(ctx, "sim.simulate")
+	defer sp.End()
+	sp.SetStr("config", cfg.Name)
+
+	prefill, err := s.phase(ctx, be, cfg, g, ir.Prefill)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: prefill: %w", err)
 	}
-	decode, err := s.phase(be, cfg, g, ir.Decode)
+	decode, err := s.phase(ctx, be, cfg, g, ir.Decode)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: decode: %w", err)
 	}
@@ -125,11 +142,37 @@ func (s *Simulator) SimulateGraph(cfg arch.Config, g ir.Graph) (Result, error) {
 	return r, nil
 }
 
-func (s *Simulator) phase(be ir.Backend, cfg arch.Config, g ir.Graph, p ir.Phase) ([]perf.Time, error) {
+// phaseSpanName returns the constant span name for a phase — constant so
+// the disabled tracing path never pays a string concatenation.
+func phaseSpanName(p ir.Phase) string {
+	switch p {
+	case ir.Prefill:
+		return "sim.prefill"
+	case ir.Decode:
+		return "sim.decode"
+	default:
+		return "sim.phase"
+	}
+}
+
+func (s *Simulator) phase(ctx context.Context, be ir.Backend, cfg arch.Config, g ir.Graph, p ir.Phase) ([]perf.Time, error) {
 	nodes := g.PhaseNodes(p)
 	times := make([]perf.Time, 0, len(nodes))
+	// The recorder is resolved once outside the loop so the disabled path
+	// pays one nil context lookup per phase, not one per node.
+	rec := obs.RecorderFrom(ctx)
+	_, psp := obs.Start(ctx, phaseSpanName(p))
+	defer psp.End()
+	psp.SetInt("nodes", len(nodes))
 	for _, n := range nodes {
+		var begin time.Time
+		if rec != nil {
+			begin = time.Now()
+		}
 		t, err := be.Time(cfg, g.Workload.TensorParallel, n)
+		if rec != nil {
+			rec.Observe("ir.backend", time.Since(begin))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("op %s: %w", n.Op.OpName(), err)
 		}

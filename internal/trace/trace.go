@@ -13,8 +13,18 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 )
+
+// newRNG builds the package's per-generator PCG source. Every generator
+// owns its own state — nothing touches math/rand's process-global
+// source — so concurrent trace generation in parallel tests stays
+// deterministic per seed. The second PCG word is a fixed odd constant
+// (the splitmix64 increment), so distinct seeds select distinct
+// streams.
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15))
+}
 
 // Request is one inference request in a trace.
 type Request struct {
@@ -31,7 +41,7 @@ func PoissonTrace(seed int64, n int, ratePerSec, serviceSec float64) ([]Request,
 	if n <= 0 || ratePerSec <= 0 || serviceSec <= 0 {
 		return nil, errors.New("trace: n, rate and service time must be positive")
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := newRNG(seed)
 	out := make([]Request, n)
 	t := 0.0
 	for i := range out {
@@ -48,7 +58,7 @@ func LognormalServiceTrace(seed int64, n int, ratePerSec, meanServiceSec, sigma 
 	if n <= 0 || ratePerSec <= 0 || meanServiceSec <= 0 || sigma < 0 {
 		return nil, errors.New("trace: invalid lognormal trace parameters")
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := newRNG(seed)
 	// E[lognormal(mu, sigma)] = exp(mu + sigma²/2); solve mu for the mean.
 	mu := math.Log(meanServiceSec) - sigma*sigma/2
 	out := make([]Request, n)

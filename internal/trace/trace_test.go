@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"testing"
@@ -45,6 +46,45 @@ func TestTraceDeterminism(t *testing.T) {
 	}
 	if same {
 		t.Error("different seeds should differ")
+	}
+}
+
+// TestParallelGenerationStaysDeterministic pins the rand/v2 migration's
+// point: every generator owns its own PCG state, so identically seeded
+// traces generated from concurrent parallel tests are byte-identical —
+// nothing reads the process-global math/rand source, whose interleaving
+// across goroutines would destroy reproducibility.
+func TestParallelGenerationStaysDeterministic(t *testing.T) {
+	ref, err := PoissonTrace(11, 5000, 20, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLog, err := LognormalServiceTrace(13, 5000, 20, 0.01, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		t.Run(fmt.Sprintf("worker-%d", i), func(t *testing.T) {
+			t.Parallel()
+			got, err := PoissonTrace(11, 5000, 20, 0.01)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range got {
+				if got[j] != ref[j] {
+					t.Fatalf("request %d diverged under parallel generation", j)
+				}
+			}
+			gotLog, err := LognormalServiceTrace(13, 5000, 20, 0.01, 0.7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range gotLog {
+				if gotLog[j] != refLog[j] {
+					t.Fatalf("lognormal request %d diverged under parallel generation", j)
+				}
+			}
+		})
 	}
 }
 
