@@ -25,6 +25,8 @@ import (
 	"repro/internal/ir"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/search"
 	"repro/internal/server"
 	"repro/internal/sim"
 )
@@ -282,6 +284,73 @@ func BenchmarkSweepTable3Memo(b *testing.B) {
 			b.Fatal("warm sweep never hit the point cache")
 		}
 	})
+}
+
+// TestWarmSweepAllocsBelowCold pins the warm-LRU allocation fix: a
+// fully cache-served sweep must allocate strictly less than a cold one.
+// It regressed once — the sharded LRU heap-allocated an FNV hasher and
+// a []byte key copy on every probe and dse.cacheKey added three more
+// fmt allocations, making the "fully memoized" path allocate MORE per
+// point than recomputation (5034 vs 4565 allocs/op in the recorded
+// BENCH_ir_memo.json before the fix).
+func TestWarmSweepAllocsBelowCold(t *testing.T) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	grid := dse.Table3(4800, []float64{600})
+	cold := testing.AllocsPerRun(3, func() {
+		ex := &dse.Explorer{Sim: sim.New(), Wafer: cost.N7Wafer, Parallelism: 1}
+		if _, err := ex.Run(grid, w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	warmEx := dse.NewExplorer()
+	warmEx.Parallelism = 1
+	if _, err := warmEx.Run(grid, w); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(3, func() {
+		if _, err := warmEx.Run(grid, w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs per 512-design sweep: cold %.0f, warm %.0f", cold, warm)
+	if warm >= cold {
+		t.Errorf("warm sweep allocates %.0f allocs/run, cold %.0f: cache hits must be cheaper than recomputation", warm, cold)
+	}
+}
+
+// BenchmarkSearchJan2025 times the adaptive engines on the jan2025
+// quantity-cap lattice (~5×10^10 designs, exhaustive enumeration out of
+// reach), one full budgeted search per iteration through a cold runner
+// and explorer. Each sub-benchmark reports the front size and its 2D
+// hypervolume (reference point: 1 ms TBT, H100-level TPP) as extra
+// metrics, so BENCH_search.json records search quality next to cost.
+// "grid" enumerates the lattice's first <budget> points behind the same
+// interface — the floor any adaptive engine must beat on hypervolume.
+func BenchmarkSearchJan2025(b *testing.B) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	const budget = 384
+	const seed = 20250108
+	for _, engine := range search.Engines() {
+		b.Run(engine, func(b *testing.B) {
+			b.ReportAllocs()
+			var out search.Outcome
+			for i := 0; i < b.N; i++ {
+				prob := search.Jan2025Problem(w)
+				eng, err := search.New(engine, prob.Space, seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err = (&search.Runner{Explorer: dse.NewExplorer()}).Run(
+					context.Background(), prob, eng, budget, seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(out.Evaluations), "evals/op")
+			b.ReportMetric(float64(len(out.Front)), "front/op")
+			b.ReportMetric(search.Hypervolume2D(out.FrontObjs(), 1.0, policy.H100TPP), "hypervol/op")
+		})
+	}
 }
 
 // BenchmarkObsDisabledOverhead pins the observability layer's cost

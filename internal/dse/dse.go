@@ -205,7 +205,18 @@ func CacheKey(cfg arch.Config, w model.Workload) string {
 }
 
 func cacheKey(configHash, workloadHash uint64) string {
-	return fmt.Sprintf("%016x-%016x", configHash, workloadHash)
+	// Manual hex encoding: fmt.Sprintf costs ~3 allocations per call
+	// (two interface boxes plus the result), which dominated the warm
+	// sweep's per-hit allocation profile. One fixed-size buffer converted
+	// once keeps the warm path at a single allocation.
+	const hex = "0123456789abcdef"
+	var b [33]byte
+	for i := 0; i < 16; i++ {
+		b[15-i] = hex[(configHash>>(4*i))&0xf]
+		b[32-i] = hex[(workloadHash>>(4*i))&0xf]
+	}
+	b[16] = '-'
+	return string(b[:])
 }
 
 // Evaluate simulates every configuration for the workload and returns the

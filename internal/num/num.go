@@ -44,3 +44,10 @@ func RelErr(a, b float64) float64 {
 // `==` on floating-point quantities outside exact-sentinel checks: the
 // acrlint floateq analyzer flags raw float equality and points here.
 func ApproxEqual(a, b, tol float64) bool { return RelErr(a, b) <= tol }
+
+// BytesToGB converts a byte count to decimal gigabytes (the unit HBM
+// capacities are specified in). Unit conversions live here because the
+// acrlint unitsafe analyzer exempts this package: a `*Bytes / 1e9`
+// expression elsewhere still carries the bytes tag and is flagged when
+// assigned to a *GB variable.
+func BytesToGB(bytes float64) float64 { return bytes / 1e9 }

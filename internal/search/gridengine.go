@@ -1,0 +1,48 @@
+package search
+
+import "sync"
+
+// grid is the exhaustive enumerator behind the same Explorer interface:
+// it proposes every lattice point exactly once, in row-major order (last
+// axis fastest, matching dse.Grid.Expand), and its Front is therefore
+// the true Pareto front of the space — the golden oracle the adaptive
+// engines are pinned against. On spaces larger than the evaluation
+// budget it simply stops when the budget runs out, like any engine.
+type grid struct {
+	archive
+	emu   sync.Mutex
+	space Space
+	next  int
+}
+
+func newGridEngine(space Space, _ uint64) Explorer {
+	return &grid{archive: newArchive(), space: space}
+}
+
+func (e *grid) Name() string { return "grid" }
+
+func (e *grid) Propose(max int) []Genome {
+	e.emu.Lock()
+	defer e.emu.Unlock()
+	total := e.space.Size()
+	out := make([]Genome, 0, max)
+	for len(out) < max && float64(e.next) < total {
+		out = append(out, e.space.GenomeAt(e.indicesOf(e.next)))
+		e.next++
+	}
+	return out
+}
+
+// indicesOf converts a flat lattice ordinal to per-axis indices,
+// row-major with the last axis fastest.
+func (e *grid) indicesOf(ord int) []int {
+	idx := make([]int, e.space.Dims())
+	for i := e.space.Dims() - 1; i >= 0; i-- {
+		n := e.space.Axes[i].Levels()
+		idx[i] = ord % n
+		ord /= n
+	}
+	return idx
+}
+
+func (e *grid) Observe(results []Result) { e.archive.add(results) }

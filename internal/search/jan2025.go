@@ -1,0 +1,98 @@
+package search
+
+import (
+	"repro/internal/arch"
+	"repro/internal/dse"
+	"repro/internal/model"
+	"repro/internal/num"
+	"repro/internal/policy"
+)
+
+// Jan2025Space is the adaptive-search showcase: the design question a
+// January-2025-style quantity cap poses. Under a per-country TPP
+// allocation every shipped device draws down the same budget, so the
+// interesting axis pair is decode speed against the TPP each device
+// consumes — and the space sweeps everything the paper's grids fix:
+// process node, TPP budget, HBM stack count, and finely quantised
+// bandwidths. At ~1.4×10^11 lattice points exhaustive enumeration is
+// out of reach by six orders of magnitude; the engines validated
+// against the Table 3/5 oracles are the only way in.
+func Jan2025Space() Space {
+	return Space{
+		Name: "jan2025",
+		Axes: []Axis{
+			IntAxis(RoleSystolicDim, 4, 8, 12, 16, 24, 32, 48, 64),
+			IntAxis(RoleLanes, 1, 2, 4, 8, 12, 16),
+			IntAxis(RoleL1KB, 32, 64, 128, 192, 256, 512, 1024, 2048),
+			IntAxis(RoleL2MB, 8, 16, 32, 40, 64, 128, 192, 256),
+			RangeAxis(RoleHBMBandwidthGBs, 800, 6400, 50),
+			IntAxis(RoleHBMStacks, 2, 3, 4, 5, 6, 8, 10, 12),
+			RangeAxis(RoleDeviceBWGBs, 100, 1200, 25),
+			IntAxis(RoleProcess, processLevels()...),
+			RangeAxis(RoleTPPBudget, 1600, policy.H100TPP, 100),
+		},
+		// 24 GB HBM3e-class stacks: 12 stacks reach 288 GB, enough that
+		// GPT-3 175B at TP=4 (~203 GB of weights plus full-context KV per
+		// device) is feasible only at high stack counts — the capacity
+		// constraint binds instead of forbidding.
+		HBMStackGB: 24,
+	}
+}
+
+// processLevels lists the sweepable nodes as IntAxis levels (the axis
+// value is the arch.Process enum).
+func processLevels() []int {
+	return []int{int(arch.ProcessN7), int(arch.ProcessN5), int(arch.ProcessN16)}
+}
+
+// Jan2025Problem pairs the Jan-2025 space with its workload and
+// constraints: minimise decode latency and the TPP drawn per device
+// (Deb-constrained to designs that are manufacturable AND whose HBM
+// capacity actually holds the model shard — the constraint that makes
+// the stack-count axis bind, since smaller-capacity devices are cheaper
+// in area but cannot serve the workload at all).
+func Jan2025Problem(w model.Workload) Problem {
+	return Problem{
+		Space:      Jan2025Space(),
+		Workload:   w,
+		Objectives: ObjectivesDecodeTPP(),
+		Feasible:   FeasibleCapacity(w),
+	}
+}
+
+// FeasibleCapacity returns a predicate requiring reticle fit plus
+// HBM-capacity fit: the per-device weight shard and full-context KV
+// cache must fit in the design's memory. Violation is the larger of the
+// reticle overage and the fractional capacity shortfall. The capacity
+// model is the standard serving estimate — weights split TP-ways, KV
+// for the full decode context split TP-ways — with no activation or
+// fragmentation headroom, making it a lower bound on real demand.
+func FeasibleCapacity(w model.Workload) func(dse.Point) (bool, float64) {
+	bytesPerElem := 2.0
+	if w.WeightBits == 8 {
+		bytesPerElem = 1
+	}
+	tp := float64(w.TensorParallel)
+	if tp < 1 {
+		tp = 1
+	}
+	weightBytes := w.Model.Params() * bytesPerElem / tp
+	kvBytes := float64(w.Model.Layers) *
+		w.Model.KVCacheBytesPerLayer(w.Batch, w.DecodeContext()) / tp
+	needGB := num.BytesToGB(weightBytes + kvBytes)
+	return func(p dse.Point) (bool, float64) {
+		ok, viol := FeasibleReticle(p)
+		haveGB := float64(p.Config.HBMCapacityGB)
+		if haveGB < needGB {
+			ok = false
+			short := needGB/haveGB - 1
+			if haveGB <= 0 {
+				short = needGB
+			}
+			if short > viol {
+				viol = short
+			}
+		}
+		return ok, viol
+	}
+}

@@ -1,0 +1,66 @@
+package search
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Factory builds an engine for a space with a seed.
+type Factory func(space Space, seed uint64) Explorer
+
+// engines is the registry of pluggable explorers. Static — engines are
+// compiled in, not registered at runtime — so lookups need no locking.
+var engines = map[string]Factory{
+	"grid":    newGridEngine,
+	"nsga2":   newNSGA2,
+	"anneal":  newAnneal,
+	"pattern": newPattern,
+}
+
+// Engines returns the registered engine names, sorted.
+func Engines() []string {
+	names := make([]string, 0, len(engines))
+	for name := range engines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named engine over a space. Seed 0 means "derive
+// deterministically from the engine name and space" via DeriveSeed, so
+// runs without an explicit seed are still bit-reproducible (mirroring
+// the per-generator PCG discipline in internal/trace) rather than
+// sharing one global default stream.
+func New(name string, space Space, seed uint64) (Explorer, error) {
+	f, ok := engines[name]
+	if !ok {
+		return nil, fmt.Errorf("search: unknown engine %q (valid: %s)",
+			name, strings.Join(Engines(), ", "))
+	}
+	if seed == 0 {
+		seed = DeriveSeed(name, space)
+	}
+	return f(space, seed), nil
+}
+
+// DeriveSeed maps (engine, space) onto a deterministic non-zero seed:
+// the documented meaning of "-seed 0".
+func DeriveSeed(engine string, space Space) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(engine))
+	h.Write([]byte{0})
+	fp := space.Fingerprint()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(fp >> (8 * i))
+	}
+	h.Write(b[:])
+	seed := h.Sum64()
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}

@@ -1,0 +1,186 @@
+package search
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/dse"
+	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// Runner drives an Explorer against a Problem through the memoized dse
+// pipeline: every proposed genome snaps to a config, deduplicates
+// against the run's archive by IR content hash, and only genuinely new
+// designs are simulated (in parallel, through the explorer's LRU and
+// the engine component memo, under dse.evaluate spans). Revisited
+// designs are fed back to the engine from the archive without spending
+// budget — the non-grid access pattern the memo layers were built for.
+type Runner struct {
+	// Explorer is the evaluation backend; nil means a fresh
+	// dse.NewExplorer (with its default LRU).
+	Explorer *dse.Explorer
+}
+
+// Outcome summarises one search run.
+type Outcome struct {
+	Engine string
+	Space  string
+	Seed   uint64
+	Budget int
+	// Evaluations counts unique simulated designs — the budget meter.
+	// Proposals counts every genome the engine emitted, including
+	// archive revisits and undecodable points.
+	Evaluations int
+	Proposals   int
+	Generations int
+	// Front is the engine's final non-dominated feasible set.
+	Front []Result
+	// Objectives names the minimised axes, in Front[...].Objs order.
+	Objectives []string
+}
+
+// FrontObjs returns the front's objective vectors (for hypervolume and
+// reporting).
+func (o Outcome) FrontObjs() [][]float64 {
+	objs := make([][]float64, len(o.Front))
+	for i, r := range o.Front {
+		objs[i] = r.Objs
+	}
+	return objs
+}
+
+// Run explores prob with eng until budget unique evaluations have been
+// spent or the engine stops proposing. Seed is recorded in the outcome
+// only — engines are seeded at construction. On context cancellation
+// the outcome built so far is returned alongside an error wrapping
+// ctx.Err(), mirroring dse.EvaluateContext's partial-result semantics.
+func (r *Runner) Run(ctx context.Context, prob Problem, eng Explorer, budget int, seed uint64) (Outcome, error) {
+	out := Outcome{
+		Engine: eng.Name(),
+		Space:  prob.Space.Name,
+		Seed:   seed,
+		Budget: budget,
+	}
+	for _, o := range prob.Objectives {
+		out.Objectives = append(out.Objectives, o.Name)
+	}
+	if err := validateProblem(prob); err != nil {
+		return out, err
+	}
+	if budget <= 0 {
+		return out, fmt.Errorf("search: budget must be positive, got %d", budget)
+	}
+	ex := r.Explorer
+	if ex == nil {
+		ex = dse.NewExplorer()
+	}
+	ctx, sp := obs.Start(ctx, "search.run")
+	defer sp.End()
+	sp.SetStr("engine", eng.Name())
+	sp.SetStr("space", prob.Space.Name)
+	sp.SetInt("budget", budget)
+	defer func() {
+		sp.SetInt("evaluations", out.Evaluations)
+		sp.SetInt("generations", out.Generations)
+	}()
+
+	// stall counts consecutive generations that evaluated nothing new;
+	// an engine cycling through archived designs would otherwise loop
+	// forever without consuming budget.
+	const maxStall = 64
+	stall := 0
+	seen := make(map[uint64]Result)
+	for out.Evaluations < budget && stall < maxStall {
+		if err := ctx.Err(); err != nil {
+			out.Front = eng.Front()
+			return out, fmt.Errorf("search: run aborted: %w", err)
+		}
+		gctx, gsp := obs.Start(ctx, "search.generation")
+		gsp.SetInt("generation", out.Generations)
+		remaining := budget - out.Evaluations
+		genomes := eng.Propose(remaining)
+		if len(genomes) == 0 {
+			gsp.End()
+			break
+		}
+
+		results := make([]Result, len(genomes))
+		newCfgs := make([]arch.Config, 0, len(genomes))
+		newIdx := make([]int, 0, len(genomes))
+		batch := make(map[uint64]bool, len(genomes))
+		for i, g := range genomes {
+			if len(newCfgs) == remaining {
+				// Budget exhausted mid-batch (an engine proposed more than
+				// asked): drop the unprocessed tail so the budget is a hard
+				// cap, not a suggestion.
+				genomes = genomes[:i]
+				results = results[:i]
+				break
+			}
+			cfg, err := prob.Space.Decode(g)
+			if err != nil {
+				results[i] = Result{Genome: g, Violation: 1e6, DecodeErr: err.Error()}
+				continue
+			}
+			h := ir.ConfigHash(cfg)
+			if prev, ok := seen[h]; ok {
+				prev.Genome = g
+				prev.Revisited = true
+				results[i] = prev
+				continue
+			}
+			results[i] = Result{Genome: g, Hash: h, Revisited: batch[h]}
+			if batch[h] {
+				continue // batch-internal duplicate: filled after evaluation
+			}
+			batch[h] = true
+			newCfgs = append(newCfgs, cfg)
+			newIdx = append(newIdx, i)
+		}
+		out.Proposals += len(genomes)
+
+		if len(newCfgs) > 0 {
+			ectx, esp := obs.Start(gctx, "search.evaluate")
+			pts, err := ex.EvaluateContext(ectx, newCfgs, prob.Workload)
+			esp.SetInt("designs", len(newCfgs))
+			esp.End()
+			if err != nil {
+				gsp.End()
+				out.Front = eng.Front()
+				return out, fmt.Errorf("search: generation %d: %w", out.Generations, err)
+			}
+			for k, i := range newIdx {
+				res := &results[i]
+				res.Point = pts[k]
+				res.Objs = prob.objectives(pts[k])
+				res.Feasible, res.Violation = prob.feasible(pts[k])
+				seen[res.Hash] = *res
+				out.Evaluations++
+			}
+			// Fill batch-internal duplicates from their now-evaluated
+			// originals.
+			for i := range results {
+				r := &results[i]
+				if r.Revisited && r.Objs == nil && r.DecodeErr == "" {
+					full := seen[r.Hash]
+					full.Genome = r.Genome
+					full.Revisited = true
+					*r = full
+				}
+			}
+		}
+		eng.Observe(results)
+		gsp.SetInt("evaluations", len(newCfgs))
+		gsp.End()
+		out.Generations++
+		if len(newCfgs) == 0 {
+			stall++
+		} else {
+			stall = 0
+		}
+	}
+	out.Front = eng.Front()
+	return out, nil
+}

@@ -15,6 +15,7 @@
 //	POST   /v1/simulate   config + workload → evaluated design point
 //	POST   /v1/audit      config → audit + remediation menu
 //	POST   /v1/dse        grid → 202 + job ID (async sweep)
+//	POST   /v1/search     engine + budget → 202 + job ID (adaptive search)
 //	GET    /v1/jobs/{id}  poll job status / result
 //	DELETE /v1/jobs/{id}  cancel a pending or running job
 //	GET    /healthz       liveness
@@ -46,6 +47,7 @@ import (
 	"repro/internal/lru"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/search"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults.
@@ -124,6 +126,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/simulate", s.handleSimulate)
 	s.route("POST /v1/audit", s.handleAudit)
 	s.route("POST /v1/dse", s.handleDSE)
+	s.route("POST /v1/search", s.handleSearch)
 	s.route("GET /v1/jobs/{id}", s.handleJobGet)
 	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.route("GET /healthz", s.handleHealthz)
@@ -480,6 +483,85 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		State:   job.State().String(),
 		PollURL: "/v1/jobs/" + job.ID,
 		Designs: grid.Size(),
+		Trace:   sc.TraceID(),
+	})
+}
+
+// handleSearch enqueues an adaptive design-space search job. It mirrors
+// handleDSE's async shape, but the worker drives a pluggable engine
+// (package search) through the shared explorer under an evaluation
+// budget instead of sweeping a grid; the runner's search.run,
+// search.generation and search.evaluate spans join the request trace.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	prob, err := req.problem()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Budget <= 0 {
+		writeError(w, http.StatusBadRequest, "budget must be positive")
+		return
+	}
+	if req.Budget > s.cfg.MaxGridSize {
+		writeError(w, http.StatusBadRequest, "budget of %d evaluations exceeds the %d-design limit",
+			req.Budget, s.cfg.MaxGridSize)
+		return
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = "nsga2"
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = search.DeriveSeed(engine, prob.Space)
+	}
+	eng, err := search.New(engine, prob.Space, seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err) // lists the valid engines
+		return
+	}
+
+	sc := obs.ContextOf(r.Context())
+	enqueuedAt := time.Now()
+	job, err := s.queue.Submit(func(ctx context.Context) (any, error) {
+		ctx = sc.Attach(ctx)
+		_, wait := obs.StartAt(ctx, "queue.wait", enqueuedAt)
+		wait.End()
+		start := time.Now()
+		var before lru.Stats
+		if s.explorer.Cache != nil {
+			before = s.explorer.Cache.Stats()
+		}
+		out, err := (&search.Runner{Explorer: s.explorer}).Run(ctx, prob, eng, req.Budget, seed)
+		if err != nil {
+			return nil, err
+		}
+		res := searchResult(out, time.Since(start))
+		if s.explorer.Cache != nil {
+			after := s.explorer.Cache.Stats()
+			res.CacheHits = after.Hits - before.Hits
+			res.CacheMisses = after.Misses - before.Misses
+		}
+		return res, nil
+	})
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			writeError(w, http.StatusServiceUnavailable, "job queue full, retry later")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.log.Info("search job enqueued", "job", job.ID, "engine", engine, "space", prob.Space.Name, "budget", req.Budget)
+	writeJSON(w, http.StatusAccepted, EnqueueResponse{
+		JobID:   job.ID,
+		State:   job.State().String(),
+		PollURL: "/v1/jobs/" + job.ID,
+		Designs: req.Budget,
 		Trace:   sc.TraceID(),
 	})
 }

@@ -2,12 +2,14 @@ package server
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/compliance"
 	"repro/internal/dse"
 	"repro/internal/model"
 	"repro/internal/policy"
+	"repro/internal/search"
 )
 
 // ConfigRequest is the wire form of an accelerator configuration.
@@ -397,6 +399,111 @@ func (r DSERequest) admissible() (func(dse.Point) bool, error) {
 	default:
 		return nil, fmt.Errorf("unknown rule %q (none, oct2022, oct2023)", r.Rule)
 	}
+}
+
+// SearchRequest enqueues an asynchronous adaptive design-space search:
+// a pluggable engine (package search) explores a design lattice under a
+// unique-evaluation budget instead of sweeping it exhaustively.
+type SearchRequest struct {
+	// Engine selects the explorer: nsga2 (default), anneal, pattern, or
+	// grid (exhaustive enumeration behind the same interface).
+	Engine string `json:"engine,omitempty"`
+	// Space is table3 (default; the paper's grid at TPP, trading prefill
+	// latency against die area) or jan2025 (the ~10^11-point quantity-cap
+	// lattice, trading decode latency against TPP drawn per device).
+	Space string `json:"space,omitempty"`
+	// TPP is the table3 TPP budget; default 4800. Ignored for jan2025.
+	TPP float64 `json:"tpp,omitempty"`
+	// Budget bounds unique simulated designs; archive revisits are free.
+	Budget int `json:"budget"`
+	// Seed fixes the engine's RNG stream; 0 derives a deterministic seed
+	// from the engine name and space, so unseeded runs still reproduce.
+	Seed     uint64           `json:"seed,omitempty"`
+	Workload *WorkloadRequest `json:"workload,omitempty"`
+}
+
+// problem materialises the request's search problem.
+func (r SearchRequest) problem() (search.Problem, error) {
+	wreq := WorkloadRequest{}
+	if r.Workload != nil {
+		wreq = *r.Workload
+	}
+	wl, err := wreq.Workload()
+	if err != nil {
+		return search.Problem{}, fmt.Errorf("workload: %w", err)
+	}
+	switch r.Space {
+	case "", "table3":
+		tpp := r.TPP
+		if tpp == 0 {
+			tpp = 4800
+		}
+		if tpp < 0 {
+			return search.Problem{}, fmt.Errorf("tpp must be positive")
+		}
+		return search.Problem{
+			Space:      search.FromGrid(dse.Table3(tpp, []float64{600})),
+			Workload:   wl,
+			Objectives: search.ObjectivesLatencyArea(),
+		}, nil
+	case "jan2025":
+		return search.Jan2025Problem(wl), nil
+	default:
+		return search.Problem{}, fmt.Errorf("unknown space %q (table3, jan2025)", r.Space)
+	}
+}
+
+// SearchDesign is one Pareto-front member of a search result.
+type SearchDesign struct {
+	Config  string    `json:"config"`
+	Objs    []float64 `json:"objs"`
+	TTFTMS  float64   `json:"ttft_ms"`
+	TBTMS   float64   `json:"tbt_ms"`
+	AreaMM2 float64   `json:"area_mm2"`
+	TPP     float64   `json:"tpp"`
+}
+
+// SearchResult is the terminal payload of a search job: the run's
+// counters and the engine's final non-dominated feasible front.
+type SearchResult struct {
+	Engine      string         `json:"engine"`
+	Space       string         `json:"space"`
+	Seed        uint64         `json:"seed"`
+	Budget      int            `json:"budget"`
+	Evaluations int            `json:"evaluations"`
+	Proposals   int            `json:"proposals"`
+	Generations int            `json:"generations"`
+	Objectives  []string       `json:"objectives"`
+	Front       []SearchDesign `json:"front"`
+	// CacheHits and CacheMisses are the run's own shared-cache deltas.
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	DurationMS  float64 `json:"duration_ms"`
+}
+
+func searchResult(out search.Outcome, elapsed time.Duration) SearchResult {
+	res := SearchResult{
+		Engine:      out.Engine,
+		Space:       out.Space,
+		Seed:        out.Seed,
+		Budget:      out.Budget,
+		Evaluations: out.Evaluations,
+		Proposals:   out.Proposals,
+		Generations: out.Generations,
+		Objectives:  out.Objectives,
+		DurationMS:  float64(elapsed) / float64(time.Millisecond),
+	}
+	for _, r := range out.Front {
+		res.Front = append(res.Front, SearchDesign{
+			Config:  r.Point.Config.Name,
+			Objs:    r.Objs,
+			TTFTMS:  r.Point.TTFT() * 1e3,
+			TBTMS:   r.Point.TBT() * 1e3,
+			AreaMM2: r.Point.AreaMM2,
+			TPP:     r.Point.TPP,
+		})
+	}
+	return res
 }
 
 // DesignSummary is one ranked design in a DSE result.
