@@ -43,12 +43,14 @@ func main() {
 		budget    = flag.Int("budget", 256, "adaptive engines: unique-evaluation budget")
 		seed      = flag.Uint64("seed", 0, "adaptive engines: RNG seed (0 = derive deterministically from engine and space)")
 		space     = flag.String("space", "table3", "design space: table3 (the paper's grid at -tpp) or jan2025 (quantity-cap lattice)")
+		eval      = flag.String("eval", "scalar", "cache-miss evaluator: scalar (per-design workers) or batch (struct-of-arrays sweep, bit-identical results)")
 		traceOut  = flag.String("trace", "", "dump the sweep's span trace as JSON to this file (\"-\" = stderr)")
 	)
 	flag.Parse()
 	if err := run(options{
 		tpp: *tpp, model: *modelName, rule: *rule, objective: *objective, top: *top,
 		engine: *engine, budget: *budget, seed: *seed, space: *space, traceOut: *traceOut,
+		eval: *eval,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "acrdse:", err)
 		os.Exit(1)
@@ -66,6 +68,7 @@ type options struct {
 	seed      uint64
 	space     string
 	traceOut  string
+	eval      string
 }
 
 // dumpTrace writes the recorder's spans and stage histograms as JSON to
@@ -105,6 +108,9 @@ func run(o options) error {
 	}
 	if !validEngine {
 		return fmt.Errorf("unknown engine %q (valid: %s)", o.engine, strings.Join(search.Engines(), ", "))
+	}
+	if o.eval != "scalar" && o.eval != "batch" {
+		return fmt.Errorf("unknown evaluator %q (scalar, batch)", o.eval)
 	}
 	m, err := pickModel(o.model)
 	if err != nil {
@@ -148,6 +154,9 @@ func run(o options) error {
 		devBW = []float64{500, 700, 900}
 	}
 	ex := dse.NewExplorer()
+	if o.eval == "batch" {
+		ex = ex.WithBatch()
+	}
 	points, err := ex.RunContext(ctx, dse.Table3(tpp, devBW), w)
 	if rec != nil {
 		if derr := dumpTrace(rec, traceOut); derr != nil {
@@ -228,7 +237,13 @@ func runAdaptive(ctx context.Context, o options, w model.Workload, rec *obs.Reco
 		return fmt.Errorf("budget must be positive, got %d", o.budget)
 	}
 
-	out, err := core.AdaptiveSearchContext(ctx, nil, o.engine, prob, o.budget, o.seed)
+	// nil keeps the runner's default (scalar) explorer; -eval batch routes
+	// the engines' generation sweeps through the struct-of-arrays path.
+	var ex *dse.Explorer
+	if o.eval == "batch" {
+		ex = dse.NewBatchExplorer()
+	}
+	out, err := core.AdaptiveSearchContext(ctx, ex, o.engine, prob, o.budget, o.seed)
 	if rec != nil {
 		if derr := dumpTrace(rec, o.traceOut); derr != nil {
 			return fmt.Errorf("writing trace: %w", derr)

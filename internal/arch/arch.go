@@ -106,31 +106,37 @@ type Config struct {
 // ErrInvalidConfig wraps all validation failures reported by Validate.
 var ErrInvalidConfig = errors.New("arch: invalid config")
 
-// Validate checks that every structural parameter is physically meaningful.
+// Validate checks that every structural parameter is physically
+// meaningful. The checks run in a fixed order and the valid path performs
+// no allocations — sweeps re-validate every design, so this sits on the
+// evaluators' hot path.
 func (c Config) Validate() error {
-	check := func(ok bool, what string) error {
-		if ok {
-			return nil
-		}
-		return fmt.Errorf("%w: %s (config %q)", ErrInvalidConfig, what, c.Name)
+	var what string
+	switch {
+	case c.CoreCount <= 0:
+		what = "core count must be positive"
+	case c.LanesPerCore <= 0:
+		what = "lanes per core must be positive"
+	case !(c.SystolicDimX > 0 && c.SystolicDimY > 0):
+		what = "systolic dimensions must be positive"
+	case c.VectorWidth <= 0:
+		what = "vector width must be positive"
+	case c.L1KB <= 0:
+		what = "L1 capacity must be positive"
+	case c.L2MB <= 0:
+		what = "L2 capacity must be positive"
+	case c.HBMCapacityGB <= 0:
+		what = "HBM capacity must be positive"
+	case !(c.HBMBandwidthGBs > 0):
+		what = "HBM bandwidth must be positive"
+	case !(c.DeviceBWGBs >= 0):
+		what = "device bandwidth must be non-negative"
+	case !(c.ClockGHz > 0):
+		what = "clock must be positive"
+	default:
+		return nil
 	}
-	for _, err := range []error{
-		check(c.CoreCount > 0, "core count must be positive"),
-		check(c.LanesPerCore > 0, "lanes per core must be positive"),
-		check(c.SystolicDimX > 0 && c.SystolicDimY > 0, "systolic dimensions must be positive"),
-		check(c.VectorWidth > 0, "vector width must be positive"),
-		check(c.L1KB > 0, "L1 capacity must be positive"),
-		check(c.L2MB > 0, "L2 capacity must be positive"),
-		check(c.HBMCapacityGB > 0, "HBM capacity must be positive"),
-		check(c.HBMBandwidthGBs > 0, "HBM bandwidth must be positive"),
-		check(c.DeviceBWGBs >= 0, "device bandwidth must be non-negative"),
-		check(c.ClockGHz > 0, "clock must be positive"),
-	} {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return fmt.Errorf("%w: %s (config %q)", ErrInvalidConfig, what, c.Name)
 }
 
 // MACsPerLane returns the multiply-accumulate units in one systolic array.

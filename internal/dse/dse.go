@@ -13,10 +13,12 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/area"
+	"repro/internal/batch"
 	"repro/internal/cost"
 	"repro/internal/ir"
 	"repro/internal/lru"
@@ -94,22 +96,51 @@ func (g Grid) Size() int {
 
 // Expand materialises the grid into configurations. Combinations whose
 // smallest possible device (one core) already exceeds the TPP budget are
-// skipped.
+// skipped. Names follow "<grid>/<dim>x<dim>-l<lanes>-L1:<kb>-L2:<mb>-m<gbs>-d<gbs>"
+// and are built incrementally per loop level — expansion sits on the cold
+// path of every sweep, and a per-design Sprintf dominated it.
 func (g Grid) Expand() []arch.Config {
 	configs := make([]arch.Config, 0, g.Size())
+	buf := make([]byte, 0, 96)
+	// The bandwidth axes repeat in every name; format each value once
+	// instead of once per design.
+	hbmSeg := make([]string, len(g.HBMBandwidthGBs))
+	for i, hbm := range g.HBMBandwidthGBs {
+		hbmSeg[i] = "-m" + strconv.FormatFloat(hbm, 'f', 0, 64)
+	}
+	devSeg := make([]string, len(g.DeviceBWGBs))
+	for i, dev := range g.DeviceBWGBs {
+		devSeg[i] = "-d" + strconv.FormatFloat(dev, 'f', 0, 64)
+	}
 	for _, dim := range g.SystolicDims {
 		for _, lanes := range g.LanesPerCore {
 			cores, err := arch.MaxCoresForTPP(g.TPPTarget, lanes, dim, dim, g.ClockGHz)
 			if err != nil {
 				continue
 			}
+			buf = append(buf[:0], g.Name...)
+			buf = append(buf, '/')
+			buf = strconv.AppendInt(buf, int64(dim), 10)
+			buf = append(buf, 'x')
+			buf = strconv.AppendInt(buf, int64(dim), 10)
+			buf = append(buf, "-l"...)
+			buf = strconv.AppendInt(buf, int64(lanes), 10)
+			lanesLen := len(buf)
 			for _, l1 := range g.L1KB {
+				buf = append(buf[:lanesLen], "-L1:"...)
+				buf = strconv.AppendInt(buf, int64(l1), 10)
+				l1Len := len(buf)
 				for _, l2 := range g.L2MB {
-					for _, hbm := range g.HBMBandwidthGBs {
-						for _, dev := range g.DeviceBWGBs {
+					buf = append(buf[:l1Len], "-L2:"...)
+					buf = strconv.AppendInt(buf, int64(l2), 10)
+					l2Len := len(buf)
+					for hi, hbm := range g.HBMBandwidthGBs {
+						buf = append(buf[:l2Len], hbmSeg[hi]...)
+						hbmLen := len(buf)
+						for di, dev := range g.DeviceBWGBs {
+							buf = append(buf[:hbmLen], devSeg[di]...)
 							configs = append(configs, arch.Config{
-								Name: fmt.Sprintf("%s/%dx%d-l%d-L1:%d-L2:%d-m%.0f-d%.0f",
-									g.Name, dim, dim, lanes, l1, l2, hbm, dev),
+								Name:            string(buf),
 								CoreCount:       cores,
 								LanesPerCore:    lanes,
 								SystolicDimX:    dim,
@@ -178,6 +209,13 @@ type Explorer struct {
 	// model differ from the defaults must not share a cache (set it to
 	// nil, or give each explorer its own). Nil disables caching.
 	Cache *lru.Cache[Point]
+	// Batch, when non-nil, routes cache-miss evaluation through the
+	// struct-of-arrays evaluator in internal/batch instead of the
+	// per-design worker pool. LRU hits are still served point-wise, and
+	// results are bit-identical to the scalar path (see package batch).
+	// Ignored when a non-analytic Sim.Backend is set — only the analytic
+	// engine has a batch lowering.
+	Batch *batch.Evaluator
 }
 
 // DefaultCacheEntries bounds the explorer's result cache: larger than the
@@ -193,6 +231,26 @@ func NewExplorer() *Explorer {
 		Wafer: cost.N7Wafer,
 		Cache: lru.New[Point](DefaultCacheEntries, 0),
 	}
+}
+
+// NewBatchExplorer returns NewExplorer reconfigured to evaluate cache
+// misses through the struct-of-arrays batch evaluator.
+func NewBatchExplorer() *Explorer {
+	return NewExplorer().WithBatch()
+}
+
+// WithBatch returns a shallow copy of e whose cache misses evaluate
+// through a fresh batch evaluator bound to e's analytic engine. The copy
+// shares e's simulator, wafer model and result cache — safe because batch
+// and scalar evaluation are bit-identical. With no simulator or engine to
+// bind, the copy is returned unchanged (the scalar path reports the
+// configuration error).
+func (e *Explorer) WithBatch() *Explorer {
+	c := *e
+	if e.Sim != nil && e.Sim.Engine != nil {
+		c.Batch = &batch.Evaluator{Engine: e.Sim.Engine}
+	}
+	return &c
 }
 
 // CacheKey returns the canonical result-cache key for one evaluation: the
@@ -249,6 +307,9 @@ func (e *Explorer) EvaluateContext(ctx context.Context, configs []arch.Config, w
 		return nil, fmt.Errorf("dse: %w", err)
 	}
 	workloadHash := ir.WorkloadHash(w)
+	if e.Batch != nil && e.Sim != nil && e.Sim.Backend == nil && e.Sim.Engine != nil {
+		return e.evaluateBatch(ctx, configs, g, workloadHash)
+	}
 	points := make([]Point, len(configs))
 	done := make([]bool, len(configs))
 	errs := make([]error, len(configs))
@@ -329,28 +390,147 @@ func (e *Explorer) evaluateOne(ctx context.Context, cfg arch.Config, g ir.Graph,
 	if err != nil {
 		return Point{}, err
 	}
-	a := area.Estimate(cfg)
-	tpp := cfg.TPP()
-	p := Point{
-		Config:      cfg,
-		Result:      r,
-		TPP:         tpp,
-		AreaMM2:     a,
-		PD:          area.PerformanceDensity(tpp, a, cfg.Process),
-		FitsReticle: area.FitsReticle(a),
-		Oct2023Class: policy.Oct2023(policy.Metrics{
-			TPP: tpp, DeviceBWGBs: cfg.DeviceBWGBs, DieAreaMM2: a,
-			Segment: policy.DataCenter,
-		}),
-	}
-	if rep, err := e.Wafer.Analyze(a); err == nil {
-		p.DieCostUSD = rep.DieCostUSD
-		p.GoodDieCostUSD = rep.GoodDieUSD
-	}
+	p := e.finishPoint(cfg, r)
 	if e.Cache != nil {
 		e.Cache.Put(key, p)
 	}
 	return p, nil
+}
+
+// finishPoint derives the area, TPP, compliance and cost fields of one
+// evaluated design — the finalisation shared by the scalar and batch
+// evaluation paths.
+func (e *Explorer) finishPoint(cfg arch.Config, r sim.Result) Point {
+	var p Point
+	e.finishPointInto(&p, cfg, &r)
+	return p
+}
+
+// finishPointInto is finishPoint writing in place: the batch path finalises
+// hundreds of designs per sweep, and assembling each ~400-byte Point
+// directly in its slot keeps the loop free of by-value staging copies.
+func (e *Explorer) finishPointInto(dst *Point, cfg arch.Config, r *sim.Result) {
+	a := area.Estimate(cfg)
+	die, good := e.dieCost(a)
+	e.assemblePoint(dst, cfg, r, a, die, good)
+}
+
+// dieCost runs the wafer model for one die area; analysis failures
+// (degenerate areas) leave both costs zero, as the paper's tables do.
+func (e *Explorer) dieCost(a float64) (die, good float64) {
+	if rep, err := e.Wafer.Analyze(a); err == nil {
+		return rep.DieCostUSD, rep.GoodDieUSD
+	}
+	return 0, 0
+}
+
+// assemblePoint fills dst from a design's simulated profile and its
+// already-computed area and wafer costs.
+func (e *Explorer) assemblePoint(dst *Point, cfg arch.Config, r *sim.Result, a, die, good float64) {
+	tpp := cfg.TPP()
+	dst.Config = cfg
+	dst.Result = *r
+	dst.TPP = tpp
+	dst.AreaMM2 = a
+	dst.PD = area.PerformanceDensity(tpp, a, cfg.Process)
+	dst.FitsReticle = area.FitsReticle(a)
+	dst.Oct2023Class = policy.Oct2023(policy.Metrics{
+		TPP: tpp, DeviceBWGBs: cfg.DeviceBWGBs, DieAreaMM2: a,
+		Segment: policy.DataCenter,
+	})
+	dst.DieCostUSD = die
+	dst.GoodDieCostUSD = good
+}
+
+// evaluateBatch is EvaluateContext's batch back end: LRU hits are served
+// point-wise exactly as in the scalar path, and the misses go through the
+// struct-of-arrays evaluator in one sweep. Per-design failures and
+// cancellation compact and join into the same error shapes the scalar
+// path produces.
+func (e *Explorer) evaluateBatch(ctx context.Context, configs []arch.Config, g ir.Graph, workloadHash uint64) ([]Point, error) {
+	ctx, sp := obs.Start(ctx, "dse.batch")
+	defer sp.End()
+	points := make([]Point, len(configs))
+	done := make([]bool, len(configs))
+	errs := make([]error, len(configs))
+
+	miss := configs
+	missIdx := []int(nil)
+	var keys []string
+	if e.Cache != nil {
+		keys = make([]string, len(configs))
+		miss = make([]arch.Config, 0, len(configs))
+		missIdx = make([]int, 0, len(configs))
+		for i, cfg := range configs {
+			keys[i] = cacheKey(ir.ConfigHash(cfg), workloadHash)
+			if p, ok := e.Cache.Get(keys[i]); ok {
+				// The cached point may have been evaluated under a different
+				// grid's display name; restore the requested one.
+				p.Config = cfg
+				p.Result.Config = cfg
+				points[i] = p
+				done[i] = true
+				continue
+			}
+			miss = append(miss, cfg)
+			missIdx = append(missIdx, i)
+		}
+	}
+	sp.SetInt("configs", len(configs))
+	sp.SetInt("misses", len(miss))
+
+	var abortErr error
+	if len(miss) > 0 {
+		ev := e.Batch
+		if ev.Engine != e.Sim.Engine {
+			// Misconfigured pairing (e.g. the engine was swapped after
+			// WithBatch): evaluate with the simulator's engine so the batch
+			// path can never diverge from what the scalar path would report.
+			ev = &batch.Evaluator{Engine: e.Sim.Engine, Width: ev.Width}
+		}
+		var out batch.Outcome
+		out, abortErr = ev.Sweep(ctx, miss, g)
+		for k := range miss {
+			i := k
+			if missIdx != nil {
+				i = missIdx[k]
+			}
+			if out.Errs != nil && out.Errs[k] != nil {
+				errs[i] = fmt.Errorf("dse: %s: %w", configs[i].Name, out.Errs[k])
+				continue
+			}
+			if !out.Done[k] {
+				continue // cancelled before this design's chunk
+			}
+			e.finishPointInto(&points[i], configs[i], &out.Results[k])
+			if e.Cache != nil {
+				e.Cache.Put(keys[i], points[i])
+			}
+			done[i] = true
+		}
+	}
+
+	allErrs := make([]error, 0, 1)
+	for _, err := range errs {
+		if err != nil {
+			allErrs = append(allErrs, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		allErrs = append(allErrs, fmt.Errorf("dse: sweep aborted: %w", err))
+	} else if abortErr != nil {
+		allErrs = append(allErrs, fmt.Errorf("dse: %w", abortErr))
+	}
+	if len(allErrs) == 0 {
+		return points, nil
+	}
+	kept := points[:0]
+	for i, ok := range done {
+		if ok {
+			kept = append(kept, points[i])
+		}
+	}
+	return kept, errors.Join(allErrs...)
 }
 
 // Run expands and evaluates a grid in one call.

@@ -1,0 +1,105 @@
+package golden
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dse"
+	"repro/internal/perf"
+)
+
+// This file is the exact-match half of the differential harness: where the
+// cross-model differentials (differential_test.go) compare independent
+// implementations under a relative tolerance, the batch-vs-scalar
+// differential tolerates nothing — the two paths share every arithmetic
+// expression, so any difference at all is a lowering bug. Comparisons go
+// through math.Float64bits rather than the canonical JSON so a mismatch in
+// the last ulp (which the 9-significant-digit fixtures would round away)
+// still fails.
+
+// bitsDiffer reports whether two floats differ at the representation
+// level. NaNs with equal payloads compare equal, unlike ==.
+func bitsDiffer(a, b float64) bool {
+	return math.Float64bits(a) != math.Float64bits(b)
+}
+
+// diffTimesExact appends a description per field of a and b that differs
+// bit-for-bit, prefixed with label.
+func diffTimesExact(diffs []string, label string, a, b perf.Time) []string {
+	add := func(field string, x, y float64) {
+		if bitsDiffer(x, y) {
+			diffs = append(diffs, fmt.Sprintf("%s.%s: %v (%#x) != %v (%#x)",
+				label, field, x, math.Float64bits(x), y, math.Float64bits(y)))
+		}
+	}
+	if a.Name != b.Name {
+		diffs = append(diffs, fmt.Sprintf("%s.Name: %q != %q", label, a.Name, b.Name))
+	}
+	add("Seconds", a.Seconds, b.Seconds)
+	add("ComputeSeconds", a.ComputeSeconds, b.ComputeSeconds)
+	add("DRAMSeconds", a.DRAMSeconds, b.DRAMSeconds)
+	add("CommSeconds", a.CommSeconds, b.CommSeconds)
+	add("FLOPs", a.FLOPs, b.FLOPs)
+	add("DRAMBytes", a.DRAMBytes, b.DRAMBytes)
+	if a.FeedLimited != b.FeedLimited {
+		diffs = append(diffs, fmt.Sprintf("%s.FeedLimited: %v != %v", label, a.FeedLimited, b.FeedLimited))
+	}
+	return diffs
+}
+
+// DiffPointsExact compares two evaluated sweeps field by field under exact
+// float bit equality (math.Float64bits) and returns a human-readable
+// description of every difference, nil when the sweeps are bit-identical.
+// It covers the simulated profile (TTFT, TBT, MFU, every per-operator
+// Time) and the derived point fields (TPP, area, PD, compliance, cost) —
+// the contract the batch evaluator must meet against the scalar path.
+func DiffPointsExact(a, b []dse.Point) []string {
+	var diffs []string
+	if len(a) != len(b) {
+		return []string{fmt.Sprintf("point count: %d != %d", len(a), len(b))}
+	}
+	for i := range a {
+		pa, pb := a[i], b[i]
+		label := fmt.Sprintf("[%d %s]", i, pa.Config.Name)
+		if pa.Config != pb.Config {
+			diffs = append(diffs, fmt.Sprintf("%s.Config: %+v != %+v", label, pa.Config, pb.Config))
+			continue
+		}
+		add := func(field string, x, y float64) {
+			if bitsDiffer(x, y) {
+				diffs = append(diffs, fmt.Sprintf("%s.%s: %v (%#x) != %v (%#x)",
+					label, field, x, math.Float64bits(x), y, math.Float64bits(y)))
+			}
+		}
+		add("TTFTSeconds", pa.Result.TTFTSeconds, pb.Result.TTFTSeconds)
+		add("TBTSeconds", pa.Result.TBTSeconds, pb.Result.TBTSeconds)
+		add("PrefillMFU", pa.Result.PrefillMFU, pb.Result.PrefillMFU)
+		add("DecodeMFU", pa.Result.DecodeMFU, pb.Result.DecodeMFU)
+		add("TPP", pa.TPP, pb.TPP)
+		add("AreaMM2", pa.AreaMM2, pb.AreaMM2)
+		add("PD", pa.PD, pb.PD)
+		add("DieCostUSD", pa.DieCostUSD, pb.DieCostUSD)
+		add("GoodDieCostUSD", pa.GoodDieCostUSD, pb.GoodDieCostUSD)
+		if pa.FitsReticle != pb.FitsReticle {
+			diffs = append(diffs, fmt.Sprintf("%s.FitsReticle: %v != %v", label, pa.FitsReticle, pb.FitsReticle))
+		}
+		if pa.Oct2023Class != pb.Oct2023Class {
+			diffs = append(diffs, fmt.Sprintf("%s.Oct2023Class: %v != %v", label, pa.Oct2023Class, pb.Oct2023Class))
+		}
+		if len(pa.Result.PrefillOps) != len(pb.Result.PrefillOps) {
+			diffs = append(diffs, fmt.Sprintf("%s prefill op count: %d != %d", label, len(pa.Result.PrefillOps), len(pb.Result.PrefillOps)))
+		} else {
+			for j := range pa.Result.PrefillOps {
+				diffs = diffTimesExact(diffs, fmt.Sprintf("%s prefill[%d]", label, j), pa.Result.PrefillOps[j], pb.Result.PrefillOps[j])
+			}
+		}
+		if len(pa.Result.DecodeOps) != len(pb.Result.DecodeOps) {
+			diffs = append(diffs, fmt.Sprintf("%s decode op count: %d != %d", label, len(pa.Result.DecodeOps), len(pb.Result.DecodeOps)))
+		} else {
+			for j := range pa.Result.DecodeOps {
+				diffs = diffTimesExact(diffs, fmt.Sprintf("%s decode[%d]", label, j), pa.Result.DecodeOps[j], pb.Result.DecodeOps[j])
+			}
+		}
+	}
+	return diffs
+}

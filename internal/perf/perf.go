@@ -65,8 +65,11 @@ type Matmul struct {
 	BBytesPerElem int
 }
 
-// bBytesPerElem returns the effective weight storage width.
-func (m Matmul) bBytesPerElem() float64 {
+// WeightBytesPerElem returns the effective weight storage width in bytes,
+// resolving the zero value to its FP16 meaning of 2. Exposed so batch
+// evaluators can feed the exact operand width the scalar path uses into
+// the shared traffic helpers.
+func (m Matmul) WeightBytesPerElem() float64 {
 	if m.BBytesPerElem <= 0 {
 		return 2
 	}
@@ -218,10 +221,18 @@ func (e *Engine) TimeOp(cfg arch.Config, tp int, op Op) (Time, error) {
 	}
 }
 
-// l1Tile finds the best L1-level output tile (Mt×Nt with Kt-deep operand
-// staging) for one lane and returns the L2→L1 feed traffic per MAC in
-// bytes. The tile must fit double-buffered FP16 operand panels plus an FP32
-// accumulator panel in the lane's share of the local buffer:
+// NaiveL1BytesPerMAC returns the L2→L1 feed traffic per MAC when lanes
+// stage single array-sized tiles with no reuse beyond the array registers
+// — the NaiveL1Tiling ablation's cost model, shared by the scalar and
+// batch paths so both compute bit-identical feed terms.
+func NaiveL1BytesPerMAC(dimX, dimY int) float64 {
+	return 2 * float64(dimX+dimY) / (float64(dimX) * float64(dimY))
+}
+
+// L1TileBytesPerMAC finds the best L1-level output tile (Mt×Nt with
+// Kt-deep operand staging) for one lane and returns the L2→L1 feed traffic
+// per MAC in bytes. The tile must fit double-buffered FP16 operand panels
+// plus an FP32 accumulator panel in the lane's share of the local buffer:
 //
 //	2·2·Kt·(Mt+Nt) + 4·Mt·Nt ≤ L1 bytes per lane
 //
@@ -229,7 +240,9 @@ func (e *Engine) TimeOp(cfg arch.Config, tp int, op Op) (Time, error) {
 // is 2(Mt+Nt)/(Mt·Nt), so halving the effective L1 per lane (more lanes or
 // smaller L1) raises the feed bandwidth the arrays demand from L2 — the
 // starvation mechanism behind the paper's L1 and lanes-per-core findings.
-func l1Tile(capBytes, dimX, dimY, m, n, k int) (bytesPerMAC float64) {
+// It is a pure function of its arguments; the engine memoizes it behind
+// feedKey, and the batch evaluator calls it once per compute group.
+func L1TileBytesPerMAC(capBytes, dimX, dimY, m, n, k int) (bytesPerMAC float64) {
 	mMax := num.CeilDiv(m, dimX) * dimX
 	nMax := num.CeilDiv(n, dimY) * dimY
 	best := math.Inf(1)
@@ -269,7 +282,7 @@ func l1Tile(capBytes, dimX, dimY, m, n, k int) (bytesPerMAC float64) {
 	if math.IsInf(best, 1) {
 		// Even a single array tile does not fit: the lane runs from a
 		// minimal staging buffer with no reuse beyond the array itself.
-		best = 2 * float64(dimX+dimY) / (float64(dimX) * float64(dimY)) * 2
+		best = NaiveL1BytesPerMAC(dimX, dimY) * 2
 	}
 	return best
 }
@@ -291,7 +304,7 @@ func (e *Engine) feedBytesPerMAC(cfg arch.Config, m Matmul) float64 {
 	if ok {
 		return v
 	}
-	v = l1Tile(cfg.L1BytesPerLane(), cfg.SystolicDimX, cfg.SystolicDimY, m.M, m.N, m.K)
+	v = L1TileBytesPerMAC(cfg.L1BytesPerLane(), cfg.SystolicDimX, cfg.SystolicDimY, m.M, m.N, m.K)
 	e.mu.Lock()
 	if e.feedCache == nil {
 		e.feedCache = make(map[feedKey]float64)
@@ -308,17 +321,104 @@ type dramKey struct {
 	fillPct int
 }
 
-// dramTraffic returns the per-batch-element HBM traffic in bytes for one
-// matmul under optimal rectangular L2 blocking: each candidate block
-// (Mb, Nb, Kb) must fit its A, B and C panels in the usable L2, A is
-// re-read once per N block column, B once per M block row, and partial C
-// tiles spill and reload once per extra K block.
+// WorstCaseDRAMTraffic returns the per-batch-element HBM traffic in bytes
+// when every matmul operand streams with worst-case reuse, as if the
+// global buffer held only one row of tiles — the NaiveDRAMTraffic ablation
+// and the degenerate-L2 fallback of the blocking search.
+func WorstCaseDRAMTraffic(m, k, n int, bBytesPerElem float64) float64 {
+	aBytes := 2 * float64(m) * float64(k)
+	bBytes := bBytesPerElem * float64(k) * float64(n)
+	cBytes := 2 * float64(m) * float64(n)
+	return aBytes*float64(num.CeilDiv(n, 16)) + bBytes + cBytes
+}
+
+// BlockedDRAMTraffic returns the per-batch-element HBM traffic in bytes
+// for one matmul under optimal rectangular L2 blocking within capBytes of
+// usable global buffer: each candidate block (Mb, Nb, Kb) must fit its A,
+// B and C panels, A is re-read once per N block column, B once per M block
+// row, and partial C tiles spill and reload once per extra K block. It is
+// a pure function of its arguments; the engine memoizes it behind dramKey,
+// and the batch evaluator calls it once per L2 group.
+func BlockedDRAMTraffic(capBytes float64, m, k, n int, bBytesPerElem float64) float64 {
+	aBytes := 2 * float64(m) * float64(k)
+	bBytes := bBytesPerElem * float64(k) * float64(n)
+	cBytes := 2 * float64(m) * float64(n)
+	if aBytes+bBytes+cBytes <= capBytes {
+		return aBytes + bBytes + cBytes
+	}
+	best := math.Inf(1)
+	for mb := 16; mb <= m*2; mb *= 2 {
+		mbc := min(mb, m)
+		nM := float64(num.CeilDiv(m, mbc))
+		// The same nK ≥ 1 floor with nN at its minimum of 1 rules out the
+		// whole Nb ladder at once; the one cheap footprint probe preserves
+		// the exhaustion test on the smallest block this Mb admits.
+		if aBytes+bBytes*nM+cBytes >= best {
+			kc, nc := min(16, k), min(16, n)
+			if 2*float64(mbc*kc+mbc*nc)+bBytesPerElem*float64(kc*nc) <= capBytes {
+				continue
+			}
+			break
+		}
+		fitAny := false
+		for nb := 16; nb <= n*2; nb *= 2 {
+			nbc := min(nb, n)
+			// nK ≥ 1 bounds any (Mb, Nb) candidate's traffic from below by
+			// its K-independent terms; when even that floor cannot beat the
+			// incumbent, the Kb scan is futile — but the footprint might
+			// still fit, so the Nb ladder keeps going.
+			nN := float64(num.CeilDiv(n, nbc))
+			if aBytes*nN+bBytes*nM+cBytes >= best {
+				if 2*float64(mbc*min(16, k)+mbc*nbc)+bBytesPerElem*float64(min(16, k)*nbc) <= capBytes {
+					fitAny = true
+					continue
+				}
+				break
+			}
+			// For fixed (Mb, Nb) the block footprint grows with Kb while
+			// the traffic only shrinks (nK is non-increasing and the other
+			// terms do not read Kb), so the largest fitting Kb on the
+			// doubling ladder attains the minimum: find it with the cheap
+			// footprint test and evaluate the traffic expression once.
+			bestKbc := 0
+			for kb := 16; kb <= k*2; kb *= 2 {
+				kbc := min(kb, k)
+				block := 2*float64(mbc*kbc+mbc*nbc) + bBytesPerElem*float64(kbc*nbc)
+				if block > capBytes {
+					break
+				}
+				bestKbc = kbc
+			}
+			if bestKbc == 0 {
+				// The smallest Kb already overflows here, and the footprint
+				// grows with Nb: no larger Nb can fit either.
+				break
+			}
+			fitAny = true
+			nK := float64(num.CeilDiv(k, bestKbc))
+			traffic := aBytes*nN + bBytes*nM + cBytes*(2*nK-1)
+			if traffic < best {
+				best = traffic
+			}
+		}
+		if !fitAny {
+			// Even the (Mb, 16, 16) block overflows, and the footprint
+			// grows with Mb: the search is exhausted.
+			break
+		}
+	}
+	if math.IsInf(best, 1) {
+		// Degenerate L2: stream everything with worst-case reuse.
+		best = WorstCaseDRAMTraffic(m, k, n, bBytesPerElem)
+	}
+	return best
+}
+
+// dramTraffic returns the memoized BlockedDRAMTraffic solution for the
+// matmul shard on cfg (or the worst-case stream under the ablation).
 func (e *Engine) dramTraffic(cfg arch.Config, m, k, n int, bBytesPerElem float64) float64 {
-	aN := 2 * float64(m) * float64(k)
-	bN := bBytesPerElem * float64(k) * float64(n)
-	cN := 2 * float64(m) * float64(n)
 	if e.NaiveDRAMTraffic {
-		return aN*float64(num.CeilDiv(n, 16)) + bN + cN
+		return WorstCaseDRAMTraffic(m, k, n, bBytesPerElem)
 	}
 	key := dramKey{m, k, n, int(bBytesPerElem * 8), cfg.L2MB, int(e.L2FillFraction * 100)}
 	e.mu.RLock()
@@ -327,40 +427,7 @@ func (e *Engine) dramTraffic(cfg arch.Config, m, k, n int, bBytesPerElem float64
 	if ok {
 		return v
 	}
-
-	capBytes := e.L2FillFraction * float64(cfg.L2Bytes())
-	aBytes := 2 * float64(m) * float64(k)
-	bBytes := bBytesPerElem * float64(k) * float64(n)
-	cBytes := 2 * float64(m) * float64(n)
-	best := math.Inf(1)
-	if aBytes+bBytes+cBytes <= capBytes {
-		best = aBytes + bBytes + cBytes
-	} else {
-		for mb := 16; mb <= m*2; mb *= 2 {
-			mbc := min(mb, m)
-			for nb := 16; nb <= n*2; nb *= 2 {
-				nbc := min(nb, n)
-				for kb := 16; kb <= k*2; kb *= 2 {
-					kbc := min(kb, k)
-					block := 2*float64(mbc*kbc+mbc*nbc) + bBytesPerElem*float64(kbc*nbc)
-					if block > capBytes {
-						continue
-					}
-					nM := float64(num.CeilDiv(m, mbc))
-					nN := float64(num.CeilDiv(n, nbc))
-					nK := float64(num.CeilDiv(k, kbc))
-					traffic := aBytes*nN + bBytes*nM + cBytes*(2*nK-1)
-					if traffic < best {
-						best = traffic
-					}
-				}
-			}
-		}
-		if math.IsInf(best, 1) {
-			// Degenerate L2: stream everything with worst-case reuse.
-			best = aBytes*float64(num.CeilDiv(n, 16)) + bBytes + cBytes
-		}
-	}
+	best := BlockedDRAMTraffic(e.L2FillFraction*float64(cfg.L2Bytes()), m, k, n, bBytesPerElem)
 	e.mu.Lock()
 	if e.dramCache == nil {
 		// Engines built as literals (tests perturbing one constant) skip
@@ -399,9 +466,7 @@ func (e *Engine) matmulCompute(cfg arch.Config, m Matmul) (float64, bool) {
 		// Naive tiling streams both operand edges per MAC; computed here,
 		// outside the memoized region, so the cache key need not cover the
 		// ablation switch.
-		naive := 2 * float64(cfg.SystolicDimX+cfg.SystolicDimY) /
-			(float64(cfg.SystolicDimX) * float64(cfg.SystolicDimY))
-		return e.matmulComputeRaw(cfg, m, naive)
+		return MatmulComputeTime(cfg, m, NaiveL1BytesPerMAC(cfg.SystolicDimX, cfg.SystolicDimY))
 	}
 	key := compKey{
 		batch: m.Batch, m: m.M, k: m.K, n: m.N,
@@ -416,7 +481,7 @@ func (e *Engine) matmulCompute(cfg arch.Config, m Matmul) (float64, bool) {
 	if ok {
 		return v.seconds, v.feedLimited
 	}
-	sec, feedLimited := e.matmulComputeRaw(cfg, m, e.feedBytesPerMAC(cfg, m))
+	sec, feedLimited := MatmulComputeTime(cfg, m, e.feedBytesPerMAC(cfg, m))
 	e.mu.Lock()
 	if e.compCache == nil {
 		e.compCache = make(map[compKey]compVal)
@@ -426,7 +491,13 @@ func (e *Engine) matmulCompute(cfg arch.Config, m Matmul) (float64, bool) {
 	return sec, feedLimited
 }
 
-func (e *Engine) matmulComputeRaw(cfg arch.Config, m Matmul, bytesPerMAC float64) (float64, bool) {
+// MatmulComputeTime returns the joint compute/feed-limited time of m on
+// cfg given the L2→L1 feed traffic per MAC, plus whether the feed path was
+// the binding resource. It reads only the compute-side configuration axes
+// (core/lane/array geometry, clock, L2 feed bandwidth) and no engine
+// constants, so it is shared verbatim by the memoized scalar path and the
+// group-deduplicated batch evaluator — the two can never drift apart.
+func MatmulComputeTime(cfg arch.Config, m Matmul, bytesPerMAC float64) (float64, bool) {
 	macs := float64(m.Batch) * float64(m.M) * float64(m.K) * float64(m.N)
 	peakMACs := float64(cfg.MACsPerDevice()) * cfg.ClockGHz * 1e9
 
@@ -457,22 +528,50 @@ func (e *Engine) matmulComputeRaw(cfg arch.Config, m Matmul, bytesPerMAC float64
 	return macs / rate, feedLimited
 }
 
-func (e *Engine) matmul(cfg arch.Config, m Matmul) Time {
+// MatmulFLOPs returns the matmul's shard FLOP count — the FLOPs field of
+// its Time, precomputed by callers of MatmulTimeFromTerms because it is
+// constant per operator while the other terms vary per design.
+func MatmulFLOPs(m Matmul) float64 {
 	macs := float64(m.Batch) * float64(m.M) * float64(m.K) * float64(m.N)
-	tCompute, feedLimited := e.matmulCompute(cfg, m)
+	return 2 * macs
+}
 
-	traffic := float64(m.Batch) * e.dramTraffic(cfg, m.M, m.K, m.N, m.bBytesPerElem())
-	tDRAM := traffic / (cfg.HBMBandwidthGBs * 1e9 * e.DRAMEfficiency)
-
-	sec := math.Max(tCompute, tDRAM) + e.LaunchOverheadSec
+// MatmulTimeFromTerms assembles a matmul's final Time from its precomputed
+// resource-bound terms: the shard FLOPs (MatmulFLOPs), the
+// compute/feed-limited seconds (MatmulComputeTime), the total HBM traffic
+// in bytes and the traffic-limited seconds. Both the scalar path and the
+// batch evaluator finish every matmul through this one function, which is
+// what makes their profiles bit-identical by construction.
+func (e *Engine) MatmulTimeFromTerms(m Matmul, flops, tComputeSec float64, feedLimited bool, trafficBytes, tDRAMSec float64) Time {
 	return Time{
 		Name:           m.Name,
-		Seconds:        sec,
-		ComputeSeconds: tCompute,
-		DRAMSeconds:    tDRAM,
-		FLOPs:          2 * macs,
-		DRAMBytes:      traffic,
+		Seconds:        max(tComputeSec, tDRAMSec) + e.LaunchOverheadSec,
+		ComputeSeconds: tComputeSec,
+		DRAMSeconds:    tDRAMSec,
+		FLOPs:          flops,
+		DRAMBytes:      trafficBytes,
 		FeedLimited:    feedLimited,
+	}
+}
+
+func (e *Engine) matmul(cfg arch.Config, m Matmul) Time {
+	tCompute, feedLimited := e.matmulCompute(cfg, m)
+	traffic := float64(m.Batch) * e.dramTraffic(cfg, m.M, m.K, m.N, m.WeightBytesPerElem())
+	tDRAM := traffic / (cfg.HBMBandwidthGBs * 1e9 * e.DRAMEfficiency)
+	return e.MatmulTimeFromTerms(m, MatmulFLOPs(m), tCompute, feedLimited, traffic, tDRAM)
+}
+
+// VectorTimeFromTerms assembles a vector operator's Time from its
+// precomputed compute- and traffic-limited terms; see MatmulTimeFromTerms
+// for why assembly is shared between the scalar and batch paths.
+func (e *Engine) VectorTimeFromTerms(v Vector, tComputeSec, trafficBytes, tDRAMSec float64) Time {
+	return Time{
+		Name:           v.Name,
+		Seconds:        max(tComputeSec, tDRAMSec) + e.LaunchOverheadSec,
+		ComputeSeconds: tComputeSec,
+		DRAMSeconds:    tDRAMSec,
+		FLOPs:          v.FLOPs(),
+		DRAMBytes:      trafficBytes,
 	}
 }
 
@@ -482,14 +581,7 @@ func (e *Engine) vector(cfg arch.Config, v Vector) Time {
 	tCompute := v.FLOPs() / (cfg.VectorTFLOPS() * 1e12 * e.VectorEfficiency)
 	traffic := v.ReadBytes + v.WriteBytes
 	tDRAM := traffic / (cfg.HBMBandwidthGBs * 1e9 * e.DRAMEfficiency)
-	return Time{
-		Name:           v.Name,
-		Seconds:        math.Max(tCompute, tDRAM) + e.LaunchOverheadSec,
-		ComputeSeconds: tCompute,
-		DRAMSeconds:    tDRAM,
-		FLOPs:          v.FLOPs(),
-		DRAMBytes:      traffic,
-	}
+	return e.VectorTimeFromTerms(v, tCompute, traffic, tDRAM)
 }
 
 // commKey identifies one ring all-reduce: the tensor size, group degree,
@@ -503,9 +595,32 @@ type commKey struct {
 	linkBits  uint64
 }
 
-// allReduce models a ring all-reduce: each of tp devices exchanges
-// 2·(tp−1)/tp of the tensor over its interconnect. DeviceBWGBs is the
-// aggregate bidirectional rate, so each direction sustains half of it.
+// RingAllReduceSec returns the wire-plus-hop-latency seconds of a ring
+// all-reduce of bytes across tp devices: each device exchanges
+// 2·(tp−1)/tp of the tensor over its interconnect, where deviceBWGBs is
+// the aggregate bidirectional rate (each direction sustains half), plus
+// 2·(tp−1) hops of link latency. Pure function shared by the memoized
+// scalar path and the batch evaluator. Callers must handle the trivial
+// tp == 1 / zero-byte case themselves.
+func RingAllReduceSec(deviceBWGBs float64, tp int, bytes, linkLatencySec float64) float64 {
+	perDirection := deviceBWGBs * 1e9 / 2
+	wire := 2 * float64(tp-1) / float64(tp) * bytes / perDirection
+	latency := float64(2*(tp-1)) * linkLatencySec
+	return wire + latency
+}
+
+// AllReduceTimeFromComm assembles an all-reduce Time from its precomputed
+// interconnect seconds; see MatmulTimeFromTerms for why assembly is shared.
+func (e *Engine) AllReduceTimeFromComm(a AllReduce, commSec float64) Time {
+	return Time{
+		Name:        a.Name,
+		Seconds:     commSec + e.LaunchOverheadSec,
+		CommSeconds: commSec,
+	}
+}
+
+// allReduce models a ring all-reduce via the memoized RingAllReduceSec
+// term.
 func (e *Engine) allReduce(cfg arch.Config, tp int, a AllReduce) Time {
 	if tp == 1 || a.Bytes == 0 {
 		return Time{Name: a.Name}
@@ -520,10 +635,7 @@ func (e *Engine) allReduce(cfg arch.Config, tp int, a AllReduce) Time {
 	comm, ok := e.commCache[key]
 	e.mu.RUnlock()
 	if !ok {
-		perDirection := cfg.DeviceBWGBs * 1e9 / 2
-		wire := 2 * float64(tp-1) / float64(tp) * a.Bytes / perDirection
-		latency := float64(2*(tp-1)) * e.LinkLatencySec
-		comm = wire + latency
+		comm = RingAllReduceSec(cfg.DeviceBWGBs, tp, a.Bytes, e.LinkLatencySec)
 		e.mu.Lock()
 		if e.commCache == nil {
 			e.commCache = make(map[commKey]float64)
@@ -531,11 +643,7 @@ func (e *Engine) allReduce(cfg arch.Config, tp int, a AllReduce) Time {
 		e.commCache[key] = comm
 		e.mu.Unlock()
 	}
-	return Time{
-		Name:        a.Name,
-		Seconds:     comm + e.LaunchOverheadSec,
-		CommSeconds: comm,
-	}
+	return e.AllReduceTimeFromComm(a, comm)
 }
 
 // Roofline returns the device's arithmetic-intensity knee in FLOPs/byte:

@@ -19,7 +19,11 @@ import (
 // budget — the non-grid access pattern the memo layers were built for.
 type Runner struct {
 	// Explorer is the evaluation backend; nil means a fresh
-	// dse.NewExplorer (with its default LRU).
+	// dse.NewExplorer (with its default LRU). A batch-enabled explorer
+	// (dse.NewBatchExplorer or WithBatch) routes each generation's
+	// cache misses through the struct-of-arrays sweep evaluator
+	// (internal/batch) with bit-identical results — LRU hits from
+	// earlier generations still serve point-wise.
 	Explorer *dse.Explorer
 }
 

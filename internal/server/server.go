@@ -79,11 +79,15 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	explorer *dse.Explorer
-	queue    *Queue
-	metrics  *metrics
-	obs      *obs.Recorder // nil when TraceCapacity < 0
-	log      *slog.Logger
-	mux      *http.ServeMux
+	// batchEx is the explorer's batch-evaluating twin: same simulator,
+	// wafer model and result cache, so either evaluator serves and feeds
+	// the shared LRU with bit-identical points.
+	batchEx *dse.Explorer
+	queue   *Queue
+	metrics *metrics
+	obs     *obs.Recorder // nil when TraceCapacity < 0
+	log     *slog.Logger
+	mux     *http.ServeMux
 }
 
 // New returns a started Server (its worker pool is live; Close releases
@@ -114,6 +118,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		explorer: ex,
+		batchEx:  ex.WithBatch(),
 		queue:    NewQueue(cfg.Workers, cfg.Backlog, cfg.JobTimeout),
 		metrics:  newMetrics(),
 		log:      cfg.Logger,
@@ -410,6 +415,15 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 	if objective == "" {
 		objective = "ttft"
 	}
+	ex := s.explorer
+	switch req.Eval {
+	case "", "scalar":
+	case "batch":
+		ex = s.batchEx
+	default:
+		writeError(w, http.StatusBadRequest, "unknown eval %q (scalar, batch)", req.Eval)
+		return
+	}
 
 	// The job outlives this request: capture the span context now and
 	// attach it inside the worker, so the sweep's spans join the request
@@ -429,7 +443,7 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		if s.explorer.Cache != nil {
 			before = s.explorer.Cache.Stats()
 		}
-		points, err := s.explorer.RunContext(ctx, grid, wl)
+		points, err := ex.RunContext(ctx, grid, wl)
 		if err != nil {
 			return nil, err
 		}

@@ -316,6 +316,9 @@ type DSERequest struct {
 	Rule      string           `json:"rule,omitempty"`      // none (default), oct2022, oct2023
 	Objective string           `json:"objective,omitempty"` // ttft (default), tbt, ttftcost, tbtcost
 	Top       int              `json:"top,omitempty"`       // default 5
+	// Eval selects the cache-miss evaluator: "scalar" (default, per-design
+	// workers) or "batch" (struct-of-arrays sweep; bit-identical results).
+	Eval string `json:"eval,omitempty"`
 }
 
 func (r DSERequest) grid() (dse.Grid, error) {
