@@ -35,6 +35,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 		backlog    = flag.Int("backlog", 64, "max queued sweep jobs before 503 back-pressure")
 		cache      = flag.Int("cache", 0, "result cache entries (0 = default, -1 = disabled)")
+		cacheDir   = flag.String("cache-dir", "", "persist evaluated points under this directory so warm restarts skip re-simulation (empty = memory-only)")
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job deadline (-1s = none)")
 		traceCap   = flag.Int("trace-capacity", 0, "span ring-buffer capacity for /debug/obs (0 = default, -1 = tracing off)")
 		verbose    = flag.Bool("v", false, "debug-level logs")
@@ -47,6 +48,15 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	// Pre-flight the cache directory so a misspelt or unwritable path is a
+	// startup error, not a silently memory-only server.
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "acrserve: cache dir:", err)
+			os.Exit(1)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -54,6 +64,7 @@ func main() {
 		Workers:       *workers,
 		Backlog:       *backlog,
 		CacheEntries:  *cache,
+		CacheDir:      *cacheDir,
 		JobTimeout:    *jobTimeout,
 		TraceCapacity: *traceCap,
 		Logger:        logger,

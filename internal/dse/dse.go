@@ -21,11 +21,11 @@ import (
 	"repro/internal/batch"
 	"repro/internal/cost"
 	"repro/internal/ir"
-	"repro/internal/lru"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Grid is a sweep specification: the cartesian product of the listed
@@ -203,12 +203,15 @@ type Explorer struct {
 	Wafer cost.Wafer
 	// Parallelism bounds worker goroutines; 0 means GOMAXPROCS.
 	Parallelism int
-	// Cache memoises evaluated points by CacheKey so overlapping grids
+	// Cache memoises evaluated points by PointKey in the tiered content-
+	// addressed store (memory LRU, optional disk tier, single-flight
+	// dedup of concurrent identical evaluations) so overlapping grids
 	// (and repeated service requests) skip re-simulation. The key covers
 	// the config and workload only: explorers whose Sim engine or Wafer
 	// model differ from the defaults must not share a cache (set it to
-	// nil, or give each explorer its own). Nil disables caching.
-	Cache *lru.Cache[Point]
+	// nil, or give each explorer its own — and never point a disk tier
+	// written under one engine at another). Nil disables caching.
+	Cache *store.Tiered[Point]
 	// Batch, when non-nil, routes cache-miss evaluation through the
 	// struct-of-arrays evaluator in internal/batch instead of the
 	// per-design worker pool. LRU hits are still served point-wise, and
@@ -229,7 +232,7 @@ func NewExplorer() *Explorer {
 	return &Explorer{
 		Sim:   sim.New(),
 		Wafer: cost.N7Wafer,
-		Cache: lru.New[Point](DefaultCacheEntries, 0),
+		Cache: NewPointStore(DefaultCacheEntries, 0),
 	}
 }
 
@@ -253,28 +256,14 @@ func (e *Explorer) WithBatch() *Explorer {
 	return &c
 }
 
-// CacheKey returns the canonical result-cache key for one evaluation: the
-// IR content hashes of the configuration (display name excluded) and the
-// workload, concatenated. The hashes are name-invariant and sensitive to
-// every simulation-relevant field, and CacheKey is total — it never lowers
-// or validates the workload, so arbitrary (fuzzer-supplied) inputs are safe.
+// CacheKey returns the canonical result-cache key for one evaluation in
+// its legacy string form — PointKey's hex rendering, which is also the
+// memory tier's LRU key and the disk tier's file name. The hashes are
+// name-invariant and sensitive to every simulation-relevant field, and
+// CacheKey is total — it never lowers or validates the workload, so
+// arbitrary (fuzzer-supplied) inputs are safe.
 func CacheKey(cfg arch.Config, w model.Workload) string {
-	return cacheKey(ir.ConfigHash(cfg), ir.WorkloadHash(w))
-}
-
-func cacheKey(configHash, workloadHash uint64) string {
-	// Manual hex encoding: fmt.Sprintf costs ~3 allocations per call
-	// (two interface boxes plus the result), which dominated the warm
-	// sweep's per-hit allocation profile. One fixed-size buffer converted
-	// once keeps the warm path at a single allocation.
-	const hex = "0123456789abcdef"
-	var b [33]byte
-	for i := 0; i < 16; i++ {
-		b[15-i] = hex[(configHash>>(4*i))&0xf]
-		b[32-i] = hex[(workloadHash>>(4*i))&0xf]
-	}
-	b[16] = '-'
-	return string(b[:])
+	return PointKey(cfg, w).String()
 }
 
 // Evaluate simulates every configuration for the workload and returns the
@@ -373,27 +362,40 @@ func (e *Explorer) evaluateOne(ctx context.Context, cfg arch.Config, g ir.Graph,
 	ctx, sp := obs.Start(ctx, "dse.evaluate")
 	defer sp.End()
 	sp.SetStr("config", cfg.Name)
-	var key string
-	if e.Cache != nil {
-		key = cacheKey(ir.ConfigHash(cfg), workloadHash) // == CacheKey(cfg, g.Workload)
-		if p, ok := e.Cache.Get(key); ok {
-			// The cached point may have been evaluated under a different
-			// grid's display name; restore the requested one.
-			p.Config = cfg
-			p.Result.Config = cfg
-			sp.SetStr("cache", "hit")
-			return p, nil
+	if e.Cache == nil {
+		r, err := e.Sim.SimulateGraphContext(ctx, cfg, g)
+		if err != nil {
+			return Point{}, err
 		}
-		sp.SetStr("cache", "miss")
+		return e.finishPoint(cfg, r), nil
 	}
-	r, err := e.Sim.SimulateGraphContext(ctx, cfg, g)
+	key := store.Key{Hi: ir.ConfigHash(cfg), Lo: workloadHash} // == PointKey(cfg, g.Workload)
+	if p, out, ok := e.Cache.Lookup(ctx, key); ok {
+		// The cached point may have been evaluated under a different
+		// grid's display name; restore the requested one.
+		p.Config = cfg
+		p.Result.Config = cfg
+		sp.SetStr("cache", out.String())
+		return p, nil
+	}
+	// Miss: compute under the store's single-flight layer, so concurrent
+	// identical sweeps share one evaluation. The span's cache attribute
+	// records what actually happened — "miss" (simulated here), "disk"
+	// (another process's persisted result), or "flight" (shared a racing
+	// caller's computation) — which is what the single-flight tests count.
+	p, out, err := e.Cache.Compute(ctx, key, func(ctx context.Context) (Point, error) {
+		r, err := e.Sim.SimulateGraphContext(ctx, cfg, g)
+		if err != nil {
+			return Point{}, err
+		}
+		return e.finishPoint(cfg, r), nil
+	})
+	sp.SetStr("cache", out.String())
 	if err != nil {
 		return Point{}, err
 	}
-	p := e.finishPoint(cfg, r)
-	if e.Cache != nil {
-		e.Cache.Put(key, p)
-	}
+	p.Config = cfg
+	p.Result.Config = cfg
 	return p, nil
 }
 
@@ -456,14 +458,14 @@ func (e *Explorer) evaluateBatch(ctx context.Context, configs []arch.Config, g i
 
 	miss := configs
 	missIdx := []int(nil)
-	var keys []string
+	var keys []store.Key
 	if e.Cache != nil {
-		keys = make([]string, len(configs))
+		keys = make([]store.Key, len(configs))
 		miss = make([]arch.Config, 0, len(configs))
 		missIdx = make([]int, 0, len(configs))
 		for i, cfg := range configs {
-			keys[i] = cacheKey(ir.ConfigHash(cfg), workloadHash)
-			if p, ok := e.Cache.Get(keys[i]); ok {
+			keys[i] = store.Key{Hi: ir.ConfigHash(cfg), Lo: workloadHash}
+			if p, ok := e.Cache.Get(ctx, keys[i]); ok {
 				// The cached point may have been evaluated under a different
 				// grid's display name; restore the requested one.
 				p.Config = cfg
@@ -504,7 +506,7 @@ func (e *Explorer) evaluateBatch(ctx context.Context, configs []arch.Config, g i
 			}
 			e.finishPointInto(&points[i], configs[i], &out.Results[k])
 			if e.Cache != nil {
-				e.Cache.Put(keys[i], points[i])
+				e.Cache.Put(ctx, keys[i], points[i])
 			}
 			done[i] = true
 		}

@@ -1,0 +1,365 @@
+package dse
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+// PointKey returns the content address of one evaluation: the IR content
+// hashes of the configuration (display name excluded) and the workload.
+// It is total — no lowering or validation — so arbitrary inputs are
+// safe, and it is checked by acrlint's memokey analyzer: every tracked
+// field of both parameters must fold into the key.
+func PointKey(cfg arch.Config, w model.Workload) store.Key {
+	return store.Key{Hi: ir.ConfigHash(cfg), Lo: ir.WorkloadHash(w)}
+}
+
+// NewPointStore returns the tiered result store the explorer and the
+// serving layer share: a sharded memory LRU (non-positive shards =
+// lru.DefaultShards) sized in entries, byte-accounted with a deep Point
+// sizer, no disk tier until one is attached.
+func NewPointStore(entries, shards int) *store.Tiered[Point] {
+	return store.NewTiered(store.NewMemorySized(entries, shards, pointSize), nil)
+}
+
+// AttachDiskCache adds a persistent tier under dir (created if needed)
+// to the explorer's result store, so evaluated points survive process
+// restarts. Points live in a "points" subdirectory, leaving the rest of
+// dir to other value kinds.
+func (e *Explorer) AttachDiskCache(dir string) error {
+	if e.Cache == nil {
+		return errors.New("dse: explorer has no result store to attach a disk tier to")
+	}
+	d, err := store.NewDisk[Point](diskPointDir(dir), PointCodec{})
+	if err != nil {
+		return err
+	}
+	e.Cache.AttachDisk(d)
+	return nil
+}
+
+// diskPointDir names the point codec's subdirectory under a cache dir.
+func diskPointDir(dir string) string { return dir + "/points" }
+
+var (
+	pointStaticSize = int(reflect.TypeOf(Point{}).Size())
+	timeStaticSize  = int(reflect.TypeOf(perf.Time{}).Size())
+)
+
+// pointSize deep-estimates one point's resident bytes for the memory
+// tier's accounting: the struct itself plus the op slices and name
+// strings it points at.
+func pointSize(p Point) int {
+	n := pointStaticSize +
+		len(p.Config.Name) + len(p.Result.Config.Name) + len(p.Result.Workload.Model.Name)
+	for i := range p.Result.PrefillOps {
+		n += timeStaticSize + len(p.Result.PrefillOps[i].Name)
+	}
+	for i := range p.Result.DecodeOps {
+		n += timeStaticSize + len(p.Result.DecodeOps[i].Name)
+	}
+	return n
+}
+
+// PointCodec is the disk-tier serialisation of evaluated points: a
+// hand-written little-endian binary layout (floats as Float64bits, so a
+// decoded point is bit-identical to the encoded one). gob or JSON here
+// would make a warm disk sweep slower than recomputing it — per-file
+// decoder setup alone costs more than a point's simulation.
+type PointCodec struct{}
+
+// pointSchemaVersion fingerprints every struct the codec encodes — field
+// names and kinds, recursively — so adding, removing or retyping any
+// field anywhere in the Point graph changes the version and invalidates
+// persisted files automatically. The hand-written prefix is for layout
+// changes that reorder the encoding without touching the structs.
+var pointSchemaVersion = func() string {
+	h := uint64(14695981039346656037)
+	fold := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	seen := make(map[reflect.Type]bool)
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		fold(t.Kind().String())
+		switch t.Kind() {
+		case reflect.Struct:
+			if seen[t] {
+				return
+			}
+			seen[t] = true
+			fold(t.Name())
+			for i := 0; i < t.NumField(); i++ {
+				f := t.Field(i)
+				fold(f.Name)
+				walk(f.Type)
+			}
+		case reflect.Slice, reflect.Array, reflect.Pointer:
+			walk(t.Elem())
+		}
+	}
+	walk(reflect.TypeOf(Point{}))
+	return fmt.Sprintf("point-v1+%016x", h)
+}()
+
+// Version implements store.Codec.
+func (PointCodec) Version() string { return pointSchemaVersion }
+
+// Encode implements store.Codec.
+func (PointCodec) Encode(dst []byte, p Point) ([]byte, error) {
+	dst = appendConfig(dst, p.Config)
+	dst = appendConfig(dst, p.Result.Config)
+	dst = appendWorkload(dst, p.Result.Workload)
+	dst = appendF64(dst, p.Result.TTFTSeconds)
+	dst = appendF64(dst, p.Result.TBTSeconds)
+	dst = appendF64(dst, p.Result.PrefillMFU)
+	dst = appendF64(dst, p.Result.DecodeMFU)
+	dst = appendOps(dst, p.Result.PrefillOps)
+	dst = appendOps(dst, p.Result.DecodeOps)
+	dst = appendF64(dst, p.TPP)
+	dst = appendF64(dst, p.AreaMM2)
+	dst = appendF64(dst, p.PD)
+	dst = appendBool(dst, p.FitsReticle)
+	dst = appendInt(dst, int(p.Oct2023Class))
+	dst = appendF64(dst, p.DieCostUSD)
+	dst = appendF64(dst, p.GoodDieCostUSD)
+	return dst, nil
+}
+
+// Decode implements store.Codec.
+func (PointCodec) Decode(data []byte) (Point, error) {
+	d := &dec{b: data}
+	var p Point
+	p.Config = d.config()
+	p.Result.Config = d.config()
+	p.Result.Workload = d.workload()
+	p.Result.TTFTSeconds = d.f64()
+	p.Result.TBTSeconds = d.f64()
+	p.Result.PrefillMFU = d.f64()
+	p.Result.DecodeMFU = d.f64()
+	p.Result.PrefillOps = d.ops()
+	p.Result.DecodeOps = d.ops()
+	p.TPP = d.f64()
+	p.AreaMM2 = d.f64()
+	p.PD = d.f64()
+	p.FitsReticle = d.bool()
+	p.Oct2023Class = policy.Classification(d.int())
+	p.DieCostUSD = d.f64()
+	p.GoodDieCostUSD = d.f64()
+	if d.err || len(d.b) != 0 {
+		return Point{}, errors.New("dse: malformed point encoding")
+	}
+	return p, nil
+}
+
+// ---- encoding primitives ----
+
+func appendF64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendInt(b []byte, v int) []byte {
+	return binary.AppendVarint(b, int64(v))
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendConfig(b []byte, c arch.Config) []byte {
+	b = appendStr(b, c.Name)
+	b = appendInt(b, c.CoreCount)
+	b = appendInt(b, c.LanesPerCore)
+	b = appendInt(b, c.SystolicDimX)
+	b = appendInt(b, c.SystolicDimY)
+	b = appendInt(b, c.VectorWidth)
+	b = appendInt(b, c.L1KB)
+	b = appendInt(b, c.L2MB)
+	b = appendInt(b, c.HBMCapacityGB)
+	b = appendF64(b, c.HBMBandwidthGBs)
+	b = appendF64(b, c.DeviceBWGBs)
+	b = appendF64(b, c.ClockGHz)
+	return appendInt(b, int(c.Process))
+}
+
+func appendWorkload(b []byte, w model.Workload) []byte {
+	b = appendStr(b, w.Model.Name)
+	b = appendInt(b, w.Model.Layers)
+	b = appendInt(b, w.Model.Dim)
+	b = appendInt(b, w.Model.FFNDim)
+	b = appendInt(b, w.Model.Heads)
+	b = appendInt(b, w.Model.KVHeads)
+	b = appendInt(b, int(w.Model.Act))
+	b = appendInt(b, w.Batch)
+	b = appendInt(b, w.InputLen)
+	b = appendInt(b, w.OutputLen)
+	b = appendInt(b, w.TensorParallel)
+	return appendInt(b, w.WeightBits)
+}
+
+func appendOps(b []byte, ops []perf.Time) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		b = appendStr(b, op.Name)
+		b = appendF64(b, op.Seconds)
+		b = appendF64(b, op.ComputeSeconds)
+		b = appendF64(b, op.DRAMSeconds)
+		b = appendF64(b, op.CommSeconds)
+		b = appendF64(b, op.FLOPs)
+		b = appendF64(b, op.DRAMBytes)
+		b = appendBool(b, op.FeedLimited)
+	}
+	return b
+}
+
+// dec consumes the encoding front to back; the first framing violation
+// latches err and every later read returns zero, so call sites stay
+// unconditional and the caller checks once.
+type dec struct {
+	b   []byte
+	err bool
+}
+
+func (d *dec) u64() uint64 {
+	if d.err || len(d.b) < 8 {
+		d.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) int() int {
+	if d.err {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.err = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return int(v)
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if d.err || uint64(len(d.b)) < n {
+		d.err = true
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) bool() bool {
+	if d.err || len(d.b) < 1 {
+		d.err = true
+		return false
+	}
+	v := d.b[0] != 0
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) config() arch.Config {
+	var c arch.Config
+	c.Name = d.str()
+	c.CoreCount = d.int()
+	c.LanesPerCore = d.int()
+	c.SystolicDimX = d.int()
+	c.SystolicDimY = d.int()
+	c.VectorWidth = d.int()
+	c.L1KB = d.int()
+	c.L2MB = d.int()
+	c.HBMCapacityGB = d.int()
+	c.HBMBandwidthGBs = d.f64()
+	c.DeviceBWGBs = d.f64()
+	c.ClockGHz = d.f64()
+	c.Process = arch.Process(d.int())
+	return c
+}
+
+func (d *dec) workload() model.Workload {
+	var w model.Workload
+	w.Model.Name = d.str()
+	w.Model.Layers = d.int()
+	w.Model.Dim = d.int()
+	w.Model.FFNDim = d.int()
+	w.Model.Heads = d.int()
+	w.Model.KVHeads = d.int()
+	w.Model.Act = model.Activation(d.int())
+	w.Batch = d.int()
+	w.InputLen = d.int()
+	w.OutputLen = d.int()
+	w.TensorParallel = d.int()
+	w.WeightBits = d.int()
+	return w
+}
+
+func (d *dec) ops() []perf.Time {
+	n := d.uvarint()
+	if d.err {
+		return nil
+	}
+	// Cap the pre-allocation at what the remaining bytes could possibly
+	// hold (each op is ≥ 50 bytes): a corrupt length cannot balloon memory.
+	if n == 0 || n > uint64(len(d.b))/50+1 {
+		if n != 0 {
+			d.err = true
+		}
+		return nil
+	}
+	ops := make([]perf.Time, n)
+	for i := range ops {
+		op := &ops[i]
+		op.Name = d.str()
+		op.Seconds = d.f64()
+		op.ComputeSeconds = d.f64()
+		op.DRAMSeconds = d.f64()
+		op.CommSeconds = d.f64()
+		op.FLOPs = d.f64()
+		op.DRAMBytes = d.f64()
+		op.FeedLimited = d.bool()
+	}
+	return ops
+}

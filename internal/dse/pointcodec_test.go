@@ -1,0 +1,178 @@
+package dse_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/golden"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// codecGrid mirrors the internal tests' small grid: 16 designs, enough to
+// exercise every Point field the codec serialises.
+func codecGrid() dse.Grid {
+	return dse.Grid{
+		Name:            "codec-test",
+		TPPTarget:       4800,
+		SystolicDims:    []int{16},
+		LanesPerCore:    []int{2, 4},
+		L1KB:            []int{192, 1024},
+		L2MB:            []int{32, 64},
+		HBMBandwidthGBs: []float64{2000, 3200},
+		DeviceBWGBs:     []float64{600},
+		HBMCapacityGB:   80,
+		ClockGHz:        1.41,
+	}
+}
+
+// TestPointCodecRoundTripBitIdentical encodes and decodes real evaluated
+// points and requires bit-exact equality on every field, floats compared
+// by their bit patterns (golden.DiffPointsExact) — the property the disk
+// tier's warm-restart guarantee rests on.
+func TestPointCodecRoundTripBitIdentical(t *testing.T) {
+	ex := dse.NewExplorer()
+	pts, err := ex.Run(codecGrid(), model.PaperWorkload(model.Llama3_8B()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := dse.PointCodec{}
+	decoded := make([]dse.Point, len(pts))
+	for i, p := range pts {
+		buf, err := codec.Encode(nil, p)
+		if err != nil {
+			t.Fatalf("encode %s: %v", p.Config.Name, err)
+		}
+		decoded[i], err = codec.Decode(buf)
+		if err != nil {
+			t.Fatalf("decode %s: %v", p.Config.Name, err)
+		}
+	}
+	for _, d := range golden.DiffPointsExact(pts, decoded) {
+		t.Error(d)
+	}
+}
+
+// TestWarmDiskRestartBitIdentical simulates a process restart: a cold
+// sweep populates the disk tier, then a fresh explorer (empty memory
+// tier) over the same directory re-runs the sweep entirely from disk.
+// The warm points must be bit-identical to the cold ones, and every one
+// of them must have come from the persistent tier.
+func TestWarmDiskRestartBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	w := model.PaperWorkload(model.Llama3_8B())
+	g := codecGrid()
+
+	cold := dse.NewExplorer()
+	if err := cold.AttachDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	coldPts, err := cold.Run(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Cache.Disk().Stats(); st.Len != len(coldPts) {
+		t.Fatalf("cold sweep persisted %d points, want %d", st.Len, len(coldPts))
+	}
+
+	warm := dse.NewExplorer() // fresh memory tier: the restarted process
+	if err := warm.AttachDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(0)
+	warmPts, err := warm.RunContext(obs.WithRecorder(context.Background(), rec), g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range golden.DiffPointsExact(coldPts, warmPts) {
+		t.Error(d)
+	}
+	disk := warm.Cache.Disk().Stats()
+	if int(disk.Hits) != len(coldPts) {
+		t.Errorf("warm sweep took %d disk hits, want %d (every point from disk)",
+			disk.Hits, len(coldPts))
+	}
+	if top := warm.Cache.Stats(); top.Misses != 0 {
+		t.Errorf("warm sweep re-simulated %d points, want 0", top.Misses)
+	}
+	// The spans must say where each point came from: a trace of a warm
+	// restart reads cache=disk, not a generic hit.
+	fromDisk := 0
+	for _, sp := range rec.Spans() {
+		if sp.Name != "dse.evaluate" {
+			continue
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == "cache" && a.Value == store.HitDisk.String() {
+				fromDisk++
+			}
+		}
+	}
+	if fromDisk != len(coldPts) {
+		t.Errorf("warm sweep recorded %d cache=disk spans, want %d", fromDisk, len(coldPts))
+	}
+}
+
+// TestConcurrentIdenticalSweepsSingleFlight runs the same grid from many
+// goroutines over one shared explorer and proves — by counting the
+// dse.evaluate spans whose cache attribute says "miss" — that each unique
+// design was simulated exactly once; every other lookup was served by the
+// memory tier or by sharing a racing caller's in-flight computation.
+func TestConcurrentIdenticalSweepsSingleFlight(t *testing.T) {
+	const sweeps = 8
+	rec := obs.NewRecorder(0)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	ex := dse.NewExplorer()
+	w := model.PaperWorkload(model.Llama3_8B())
+	g := codecGrid()
+	unique := g.Size()
+
+	var wg sync.WaitGroup
+	errs := make([]error, sweeps)
+	for i := 0; i < sweeps; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = ex.RunContext(ctx, g, w)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	outcomes := make(map[string]int)
+	for _, sp := range rec.Spans() {
+		if sp.Name != "dse.evaluate" {
+			continue
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == "cache" {
+				outcomes[a.Value.(string)]++
+			}
+		}
+	}
+	total := 0
+	for _, n := range outcomes {
+		total += n
+	}
+	if total != sweeps*unique {
+		t.Fatalf("recorded %d evaluate outcomes, want %d (%v)", total, sweeps*unique, outcomes)
+	}
+	if outcomes[store.Miss.String()] != unique {
+		t.Errorf("%d simulations for %d unique designs (%v)",
+			outcomes[store.Miss.String()], unique, outcomes)
+	}
+	st := ex.Cache.Stats()
+	if st.Misses != uint64(unique) {
+		t.Errorf("store counted %d misses, want %d", st.Misses, unique)
+	}
+	if st.Hits != uint64(sweeps*unique-unique) {
+		t.Errorf("store counted %d hits, want %d", st.Hits, sweeps*unique-unique)
+	}
+}

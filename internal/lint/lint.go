@@ -220,6 +220,18 @@ func isMutexType(t types.Type) bool {
 	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
 }
 
+// isAtomicType reports whether t is one of sync/atomic's typed values
+// (atomic.Uint64 and friends) — cache bookkeeping like a mutex, not
+// model input.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
 // containsMutex reports whether t transitively embeds a sync mutex by
 // value.
 func containsMutex(t types.Type, seen map[types.Type]bool) bool {

@@ -23,6 +23,10 @@ import (
 //     fields, so two values that differ in any simulation-relevant field
 //     can never alias one cache entry.
 //
+//   - A store-key builder (any function returning store.Key) makes the
+//     same promise for every module-internal named-struct parameter it
+//     takes: all their fields must fold into the key.
+//
 // Both checks work on read sets, not field-name matching: the covered set
 // is every tracked field read inside the key literal (expanding
 // module-internal calls such as cfg.L1BytesPerLane()), and the read set is
@@ -88,7 +92,9 @@ func memoInfraOf(named *types.Named, st *types.Struct) *memoInfra {
 	}
 	for i := 0; i < st.NumFields(); i++ {
 		f := st.Field(i)
-		if isMutexType(f.Type()) {
+		if isMutexType(f.Type()) || isAtomicType(f.Type()) {
+			// Atomic hit/miss counters are cache bookkeeping like the
+			// mutex: probed alongside the tables, never a model input.
 			infra.mutexs[f] = true
 			continue
 		}
@@ -115,12 +121,30 @@ func checkMemoMethod(p *Pass, fd *ast.FuncDecl) {
 		return
 	}
 
+	// len(cache) reads a table's size, not an entry — size reporting
+	// (MemoStats) is not a probe.
+	lenArg := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "len" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				for _, a := range call.Args {
+					lenArg[a] = true
+				}
+			}
+		}
+		return true
+	})
+
 	// Cache accesses anchor the memoized compute region.
 	var accesses []token.Pos
 	keyTypes := make(map[*types.Named]bool)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		se, ok := n.(*ast.SelectorExpr)
-		if !ok {
+		if !ok || lenArg[se] {
 			return true
 		}
 		sel := info.Selections[se]
@@ -187,6 +211,16 @@ func checkMemoMethod(p *Pass, fd *ast.FuncDecl) {
 		covered = w.collect(cl, p.Pkg, covered)
 	}
 	if len(keyLits) == 0 {
+		// A method that takes the key ready-made as a parameter is a
+		// store, not a builder: coverage is enforced on whichever
+		// function built the key (checkHashFunc), not here.
+		for _, pf := range fd.Type.Params.List {
+			if t, ok := info.Types[pf.Type]; ok {
+				if named, _ := namedStruct(t.Type); named != nil && keyTypes[named] {
+					return
+				}
+			}
+		}
 		p.Reportf(fd.Name.Pos(), "method %s probes a memo cache but never builds its key struct; key coverage cannot be verified", fd.Name.Name)
 		return
 	}
@@ -348,6 +382,21 @@ func (w *readWalker) expandCall(call *ast.CallExpr, pkg *Package, acc []fieldRea
 	return acc
 }
 
+// isStoreKeyType reports whether t is the content-address struct Key of a
+// package named store — the result type that marks a function as a
+// store-key builder.
+func isStoreKeyType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Key" && obj.Pkg() != nil && obj.Pkg().Name() == "store"
+}
+
 // qualifiedName renders a named type as pkgname.Type.
 func qualifiedName(named *types.Named) string {
 	obj := named.Obj()
@@ -359,29 +408,38 @@ func qualifiedName(named *types.Named) string {
 
 // ---- content-hash coverage checking ----
 
-// checkHashFunc verifies that a function shaped like a content hash —
-// named *Hash, one named-struct parameter, returning an unsigned integer —
-// reads every field of its parameter type (and, recursively, of
-// struct-typed fields), except fields named Name, which are display-only
-// by module convention.
+// checkHashFunc verifies that a function promising content addressing
+// reads every field of its tracked parameter types (and, recursively, of
+// their struct-typed fields), except fields named Name, which are
+// display-only by module convention. Two shapes make that promise:
+//
+//   - a content hash — named *Hash, one named-struct parameter, returning
+//     an unsigned integer;
+//   - a store-key builder — any function returning a store.Key, tracking
+//     every module-internal named-struct parameter it takes.
 func checkHashFunc(p *Pass, fd *ast.FuncDecl) {
-	if !strings.HasSuffix(fd.Name.Name, "Hash") {
-		return
-	}
 	info := p.Pkg.Info
-	sig, ok := info.Defs[fd.Name].Type().(*types.Signature)
-	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+	def := info.Defs[fd.Name]
+	if def == nil {
 		return
 	}
-	if basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic); !ok || basic.Info()&types.IsUnsigned == 0 {
+	sig, ok := def.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
 		return
 	}
-	paramNamed, paramStruct := namedStruct(sig.Params().At(0).Type())
-	if paramNamed == nil || !p.Prog.inModule(paramNamed.Obj()) {
+	res := sig.Results().At(0).Type()
+	hashShaped := false
+	if strings.HasSuffix(fd.Name.Name, "Hash") && sig.Params().Len() == 1 {
+		if basic, ok := res.Underlying().(*types.Basic); ok && basic.Info()&types.IsUnsigned != 0 {
+			hashShaped = true
+		}
+	}
+	if !hashShaped && !isStoreKeyType(res) {
 		return
 	}
 
-	// Track the parameter type plus the closure of its struct-typed fields.
+	// Track every module-internal named-struct parameter plus the closure
+	// of its struct-typed fields.
 	tracked := make(map[*types.Named]bool)
 	var add func(named *types.Named, st *types.Struct)
 	add = func(named *types.Named, st *types.Struct) {
@@ -395,7 +453,14 @@ func checkHashFunc(p *Pass, fd *ast.FuncDecl) {
 			}
 		}
 	}
-	add(paramNamed, paramStruct)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if named, st := namedStruct(sig.Params().At(i).Type()); named != nil && st != nil && p.Prog.inModule(named.Obj()) {
+			add(named, st)
+		}
+	}
+	if len(tracked) == 0 {
+		return
+	}
 
 	w := &readWalker{prog: p.Prog, tracked: tracked, visited: make(map[*types.Func]bool)}
 	reads := readSet(w.collect(fd.Body, p.Pkg, nil))

@@ -9,7 +9,11 @@
 // reads. EvalCovered is the clean control.
 package memokey
 
-import "sync"
+import (
+	"sync"
+
+	"fixture/memokey/store"
+)
 
 type Config struct {
 	L1KB  int
@@ -98,4 +102,25 @@ func WorkHash(w Work) uint64 { // want "WorkHash does not fold in memokey.Work.N
 // SubHash is complete: no findings.
 func SubHash(s Sub) uint64 {
 	return uint64(s.Depth)
+}
+
+// Job exercises the store-key-builder half of the analyzer: any function
+// returning store.Key promises to fold in every field of its named-struct
+// parameters, Name excepted.
+type Job struct {
+	Name string // display-only by module convention, exempt
+	ID   int
+	Prio int
+}
+
+// BadKey forgets Job.Prio, so two jobs differing only in priority would
+// coalesce onto one cache entry.
+func BadKey(j Job) store.Key { // want "BadKey does not fold in memokey.Job.Prio"
+	return store.Key{Hi: uint64(j.ID)}
+}
+
+// JobKey is complete: no findings. It needs no Hash suffix — the store.Key
+// result alone makes it a key builder.
+func JobKey(j Job, s Sub) store.Key {
+	return store.Key{Hi: uint64(j.ID)<<8 | uint64(j.Prio), Lo: SubHash(s)}
 }

@@ -1,0 +1,11 @@
+// Package store is the miniature of the real internal/store: Key is the
+// content-address struct whose presence as a result type marks a function
+// as a store-key builder, subject to the same coverage rule as a content
+// hash.
+package store
+
+// Key is a 128-bit content address.
+type Key struct {
+	Hi uint64
+	Lo uint64
+}

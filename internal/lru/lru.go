@@ -13,6 +13,7 @@ package lru
 
 import (
 	"container/list"
+	"reflect"
 	"sync"
 )
 
@@ -27,6 +28,11 @@ type Stats struct {
 	Len int
 	// Capacity is the configured maximum entry count.
 	Capacity int
+	// Bytes approximates resident size: each entry's key length plus its
+	// value size (the static value footprint by default, or whatever the
+	// NewSized sizer reports). Tracked per shard under the shard mutex,
+	// so — like the counters — the snapshot is torn-read free.
+	Bytes int64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -42,6 +48,8 @@ func (s Stats) HitRatio() float64 {
 // The zero value is not usable; construct with New.
 type Cache[V any] struct {
 	shards []*shard[V]
+	// size estimates one value's bytes for Stats.Bytes accounting.
+	size func(V) int
 }
 
 // shard counters (hits/misses/evictions) live under the shard mutex
@@ -57,11 +65,15 @@ type shard[V any] struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	bytes     int64
 }
 
 type entry[V any] struct {
 	key   string
 	value V
+	// bytes is the size charged to the shard for this entry, remembered
+	// so updates and evictions debit exactly what was credited.
+	bytes int64
 }
 
 // DefaultShards is the shard count used when New is given a non-positive
@@ -71,15 +83,28 @@ const DefaultShards = 16
 // New returns a cache bounded to capacity entries spread over the given
 // number of shards. A non-positive shard count falls back to
 // DefaultShards; capacity is raised to at least one entry per shard so
-// every shard can hold something.
+// every shard can hold something. Byte accounting charges each entry its
+// key length plus the value type's static size — values that point at
+// significant indirect memory should use NewSized instead.
 func New[V any](capacity, shards int) *Cache[V] {
+	return NewSized[V](capacity, shards, nil)
+}
+
+// NewSized is New with a custom value sizer for Stats.Bytes: each entry
+// is charged len(key) + size(value). A nil sizer falls back to the value
+// type's static size.
+func NewSized[V any](capacity, shards int, size func(V) int) *Cache[V] {
 	if shards <= 0 {
 		shards = DefaultShards
 	}
 	if capacity < shards {
 		capacity = shards
 	}
-	c := &Cache[V]{shards: make([]*shard[V], shards)}
+	if size == nil {
+		static := int(reflect.TypeOf((*V)(nil)).Elem().Size())
+		size = func(V) int { return static }
+	}
+	c := &Cache[V]{shards: make([]*shard[V], shards), size: size}
 	per := capacity / shards
 	extra := capacity % shards
 	for i := range c.shards {
@@ -126,11 +151,15 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 // Put inserts or refreshes key, evicting the shard's least recently used
 // entry when the shard is full.
 func (c *Cache[V]) Put(key string, value V) {
+	bytes := int64(len(key) + c.size(value))
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
-		el.Value.(*entry[V]).value = value
+		e := el.Value.(*entry[V])
+		e.value = value
+		s.bytes += bytes - e.bytes
+		e.bytes = bytes
 		s.order.MoveToFront(el)
 		return
 	}
@@ -138,11 +167,14 @@ func (c *Cache[V]) Put(key string, value V) {
 		oldest := s.order.Back()
 		if oldest != nil {
 			s.order.Remove(oldest)
-			delete(s.entries, oldest.Value.(*entry[V]).key)
+			e := oldest.Value.(*entry[V])
+			delete(s.entries, e.key)
+			s.bytes -= e.bytes
 			s.evictions++
 		}
 	}
-	s.entries[key] = s.order.PushFront(&entry[V]{key: key, value: value})
+	s.entries[key] = s.order.PushFront(&entry[V]{key: key, value: value, bytes: bytes})
+	s.bytes += bytes
 }
 
 // Len returns the current entry count across all shards.
@@ -171,6 +203,7 @@ func (c *Cache[V]) Stats() Stats {
 		st.Evictions += s.evictions
 		st.Len += s.order.Len()
 		st.Capacity += s.capacity
+		st.Bytes += s.bytes
 	}
 	for _, s := range c.shards {
 		s.mu.Unlock()

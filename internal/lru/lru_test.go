@@ -164,3 +164,45 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Error("no lookups recorded")
 	}
 }
+
+// TestBytesAccounting pins the approximate-size tracking: inserts credit
+// key+value bytes, updates re-charge the delta, evictions and overwrites
+// debit exactly what was credited — so a cache cycled through many
+// generations of entries never drifts.
+func TestBytesAccounting(t *testing.T) {
+	sized := func(v string) int { return len(v) }
+	c := NewSized[string](2, 1, sized)
+	c.Put("aa", "xxxx") // 2 + 4
+	c.Put("bbb", "yy")  // 3 + 2
+	if got := c.Stats().Bytes; got != 11 {
+		t.Fatalf("bytes after two inserts = %d, want 11", got)
+	}
+	c.Put("aa", "x") // update: 6 -> 3
+	if got := c.Stats().Bytes; got != 8 {
+		t.Fatalf("bytes after shrinking update = %d, want 8", got)
+	}
+	c.Put("cccc", "zzzz") // evicts lru entry "bbb" (5), adds 8
+	s := c.Stats()
+	if s.Evictions != 1 || s.Bytes != 11 {
+		t.Fatalf("after eviction: %+v, want 1 eviction and 11 bytes", s)
+	}
+	// Cycle many generations: the total must equal the resident entries'
+	// charge, not accumulate residue from evicted ones.
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%02d", i), "vvvv")
+	}
+	s = c.Stats()
+	if s.Len != 2 || s.Bytes != 2*(3+4) {
+		t.Fatalf("after churn: %+v, want 2 resident entries at 7 bytes each", s)
+	}
+}
+
+// TestDefaultSizerChargesStaticValueSize: New without a sizer charges
+// each entry its key length plus the value type's static footprint.
+func TestDefaultSizerChargesStaticValueSize(t *testing.T) {
+	c := New[uint64](4, 1)
+	c.Put("abc", 1)
+	if got := c.Stats().Bytes; got != 3+8 {
+		t.Fatalf("bytes = %d, want 11 (3-byte key + 8-byte value)", got)
+	}
+}

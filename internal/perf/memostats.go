@@ -1,0 +1,21 @@
+package perf
+
+import "repro/internal/store"
+
+// MemoStats reports each component memo table's probe outcomes and entry
+// count, named for the /metrics document ("perf.dram", "perf.feed",
+// "perf.comp", "perf.comm") and shaped like every other cache tier the
+// serving layer exports (store.Stats). The tables are unbounded — one
+// entry per distinct term the sweep touched — so Capacity, Evictions and
+// Bytes stay zero.
+func (e *Engine) MemoStats() map[string]store.Stats {
+	e.mu.RLock()
+	dram, feed, comp, comm := len(e.dramCache), len(e.feedCache), len(e.compCache), len(e.commCache)
+	e.mu.RUnlock()
+	return map[string]store.Stats{
+		"perf.dram": {Hits: e.dramHits.Load(), Misses: e.dramMisses.Load(), Len: dram},
+		"perf.feed": {Hits: e.feedHits.Load(), Misses: e.feedMisses.Load(), Len: feed},
+		"perf.comp": {Hits: e.compHits.Load(), Misses: e.compMisses.Load(), Len: comp},
+		"perf.comm": {Hits: e.commHits.Load(), Misses: e.commMisses.Load(), Len: comm},
+	}
+}

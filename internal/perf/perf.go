@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/num"
@@ -174,6 +175,14 @@ type Engine struct {
 	feedCache map[feedKey]float64 // L1-tiled L2→L1 bytes per MAC
 	compCache map[compKey]compVal // joint compute∧feed-limited matmul time
 	commCache map[commKey]float64 // ring all-reduce wire+latency time
+
+	// Per-table probe outcome counters behind MemoStats. Free-running
+	// atomics rather than mu-guarded fields: hits increment inside the
+	// RLock fast path, where a plain field write would race.
+	dramHits, dramMisses atomic.Uint64
+	feedHits, feedMisses atomic.Uint64
+	compHits, compMisses atomic.Uint64
+	commHits, commMisses atomic.Uint64
 }
 
 // Default returns an Engine with the calibrated model constants.
@@ -302,8 +311,10 @@ func (e *Engine) feedBytesPerMAC(cfg arch.Config, m Matmul) float64 {
 	v, ok := e.feedCache[key]
 	e.mu.RUnlock()
 	if ok {
+		e.feedHits.Add(1)
 		return v
 	}
+	e.feedMisses.Add(1)
 	v = L1TileBytesPerMAC(cfg.L1BytesPerLane(), cfg.SystolicDimX, cfg.SystolicDimY, m.M, m.N, m.K)
 	e.mu.Lock()
 	if e.feedCache == nil {
@@ -425,8 +436,10 @@ func (e *Engine) dramTraffic(cfg arch.Config, m, k, n int, bBytesPerElem float64
 	v, ok := e.dramCache[key]
 	e.mu.RUnlock()
 	if ok {
+		e.dramHits.Add(1)
 		return v
 	}
+	e.dramMisses.Add(1)
 	best := BlockedDRAMTraffic(e.L2FillFraction*float64(cfg.L2Bytes()), m, k, n, bBytesPerElem)
 	e.mu.Lock()
 	if e.dramCache == nil {
@@ -479,8 +492,10 @@ func (e *Engine) matmulCompute(cfg arch.Config, m Matmul) (float64, bool) {
 	v, ok := e.compCache[key]
 	e.mu.RUnlock()
 	if ok {
+		e.compHits.Add(1)
 		return v.seconds, v.feedLimited
 	}
+	e.compMisses.Add(1)
 	sec, feedLimited := MatmulComputeTime(cfg, m, e.feedBytesPerMAC(cfg, m))
 	e.mu.Lock()
 	if e.compCache == nil {
@@ -634,7 +649,10 @@ func (e *Engine) allReduce(cfg arch.Config, tp int, a AllReduce) Time {
 	e.mu.RLock()
 	comm, ok := e.commCache[key]
 	e.mu.RUnlock()
-	if !ok {
+	if ok {
+		e.commHits.Add(1)
+	} else {
+		e.commMisses.Add(1)
 		comm = RingAllReduceSec(cfg.DeviceBWGBs, tp, a.Bytes, e.LinkLatencySec)
 		e.mu.Lock()
 		if e.commCache == nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Runner drives an Explorer against a Problem through the memoized dse
@@ -95,7 +96,18 @@ func (r *Runner) Run(ctx context.Context, prob Problem, eng Explorer, budget int
 	// forever without consuming budget.
 	const maxStall = 64
 	stall := 0
-	seen := make(map[uint64]Result)
+	// The run's visit archive is a content-addressed memory store sized
+	// to the budget on a single shard: unique inserts never exceed the
+	// budget, so nothing is ever evicted and every revisit is a hit. Keys
+	// pair the config hash with the workload hash — the same address a
+	// persistent tier would use, so archived results stay distinguishable
+	// per workload.
+	archive := store.NewMemory[Result](budget, 1)
+	wh := ir.WorkloadHash(prob.Workload)
+	defer func() {
+		st := archive.Stats()
+		sp.SetInt("archive_revisits", int(st.Hits))
+	}()
 	for out.Evaluations < budget && stall < maxStall {
 		if err := ctx.Err(); err != nil {
 			out.Front = eng.Front()
@@ -129,7 +141,7 @@ func (r *Runner) Run(ctx context.Context, prob Problem, eng Explorer, budget int
 				continue
 			}
 			h := ir.ConfigHash(cfg)
-			if prev, ok := seen[h]; ok {
+			if prev, ok := archive.Get(store.Key{Hi: h, Lo: wh}); ok {
 				prev.Genome = g
 				prev.Revisited = true
 				results[i] = prev
@@ -160,7 +172,7 @@ func (r *Runner) Run(ctx context.Context, prob Problem, eng Explorer, budget int
 				res.Point = pts[k]
 				res.Objs = prob.objectives(pts[k])
 				res.Feasible, res.Violation = prob.feasible(pts[k])
-				seen[res.Hash] = *res
+				archive.Put(store.Key{Hi: res.Hash, Lo: wh}, *res)
 				out.Evaluations++
 			}
 			// Fill batch-internal duplicates from their now-evaluated
@@ -168,7 +180,7 @@ func (r *Runner) Run(ctx context.Context, prob Problem, eng Explorer, budget int
 			for i := range results {
 				r := &results[i]
 				if r.Revisited && r.Objs == nil && r.DecodeErr == "" {
-					full := seen[r.Hash]
+					full, _ := archive.Get(store.Key{Hi: r.Hash, Lo: wh})
 					full.Genome = r.Genome
 					full.Revisited = true
 					*r = full

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -15,11 +16,12 @@ import (
 	"repro/internal/model"
 )
 
-// TestCacheConcurrentStress hammers the shared point cache from many
+// TestCacheConcurrentStress hammers the shared point store from many
 // goroutines mixing hits, misses and evictions; run with -race it proves
-// the sharded LRU and the explorer wiring are data-race free.
+// the tiered store over the sharded LRU is data-race free.
 func TestCacheConcurrentStress(t *testing.T) {
 	cache := newPointCache(256)
+	ctx := context.Background()
 	w := model.PaperWorkload(model.Llama3_8B())
 	base := arch.A100()
 
@@ -31,13 +33,13 @@ func TestCacheConcurrentStress(t *testing.T) {
 			for i := 0; i < 400; i++ {
 				cfg := base
 				cfg.L2MB = 8 + (g*13+i)%512 // many distinct keys force evictions
-				key := dse.CacheKey(cfg, w)
-				if p, ok := cache.Get(key); ok && p.Config.L2MB != cfg.L2MB {
+				key := dse.PointKey(cfg, w)
+				if p, ok := cache.Get(ctx, key); ok && p.Config.L2MB != cfg.L2MB {
 					t.Errorf("cache returned a point for the wrong key: L2 %d != %d",
 						p.Config.L2MB, cfg.L2MB)
 					return
 				}
-				cache.Put(key, dse.Point{Config: cfg})
+				cache.Put(ctx, key, dse.Point{Config: cfg})
 			}
 		}(g)
 	}

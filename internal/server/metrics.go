@@ -5,7 +5,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/lru"
+	"repro/internal/store"
 )
 
 // latencyBucketsMS are the upper bounds (inclusive, milliseconds) of the
@@ -88,17 +88,22 @@ type QueueSnapshot struct {
 	Rejected  uint64 `json:"rejected"`
 }
 
-// MetricsSnapshot is the full /metrics document.
+// MetricsSnapshot is the full /metrics document. Cache summarises the
+// shared result store's top-level outcomes (kept for compatibility);
+// Store breaks every cache layer out per tier — the result store's
+// "mem"/"disk"/"flight" tiers, the job-coalescing flight "jobs.dse", and
+// the perf engine's component memo tables "perf.*".
 type MetricsSnapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Requests      map[string]EndpointSnapshot `json:"requests"`
 	Cache         CacheSnapshot               `json:"cache"`
+	Store         map[string]store.Stats      `json:"store,omitempty"`
 	Queue         QueueSnapshot               `json:"queue"`
 }
 
-// snapshot folds the route counters together with cache and queue state
-// into one exportable document.
-func (m *metrics) snapshot(cache lru.Stats, queue QueueSnapshot) MetricsSnapshot {
+// snapshot folds the route counters together with cache, per-tier store
+// and queue state into one exportable document.
+func (m *metrics) snapshot(cache store.Stats, tiers map[string]store.Stats, queue QueueSnapshot) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	reqs := make(map[string]EndpointSnapshot, len(m.byEP))
@@ -131,6 +136,7 @@ func (m *metrics) snapshot(cache lru.Stats, queue QueueSnapshot) MetricsSnapshot
 			Capacity:  cache.Capacity,
 			Evictions: cache.Evictions,
 		},
+		Store: tiers,
 		Queue: queue,
 	}
 }

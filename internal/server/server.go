@@ -5,8 +5,9 @@
 // Synchronous endpoints answer directly; heavy DSE sweeps go through an
 // async job API backed by a bounded worker-pool queue with per-job
 // context cancellation and deadlines. Every simulation, synchronous or
-// queued, flows through one shared dse.Explorer whose sharded LRU result
-// cache (package lru) makes repeated and overlapping sweeps cheap. The
+// queued, flows through one shared dse.Explorer whose tiered result store
+// (package store: sharded memory LRU, optional persistent disk tier,
+// single-flight dedup) makes repeated and overlapping sweeps cheap. The
 // observability surface — /healthz, /metrics with request counts, latency
 // histograms, cache hit ratio and queue depth, plus structured request
 // logging — rides on the standard library alone.
@@ -44,10 +45,10 @@ import (
 	"repro/internal/area"
 	"repro/internal/compliance"
 	"repro/internal/dse"
-	"repro/internal/lru"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/search"
+	"repro/internal/store"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults.
@@ -60,6 +61,12 @@ type Config struct {
 	// CacheEntries bounds the shared result cache; 0 means
 	// dse.DefaultCacheEntries, negative disables caching.
 	CacheEntries int
+	// CacheDir, when non-empty, attaches a persistent disk tier under
+	// this directory to the shared result store: evaluated points survive
+	// restarts, and a warm directory serves repeat sweeps from disk
+	// instead of re-simulating. Empty (the default) keeps the store
+	// memory-only — nothing is ever written to disk.
+	CacheDir string
 	// JobTimeout is the per-job deadline; 0 means 10 minutes, negative
 	// disables the deadline.
 	JobTimeout time.Duration
@@ -88,6 +95,10 @@ type Server struct {
 	obs     *obs.Recorder // nil when TraceCapacity < 0
 	log     *slog.Logger
 	mux     *http.ServeMux
+	// dseFlights coalesces identical queued sweeps: jobs with the same
+	// dseJobKey share one execution, and followers return the leader's
+	// DSEResult (cache deltas included) without re-running the grid.
+	dseFlights store.Flight[DSEResult]
 }
 
 // New returns a started Server (its worker pool is live; Close releases
@@ -114,6 +125,16 @@ func New(cfg Config) *Server {
 		ex.Cache = nil
 	case cfg.CacheEntries > 0:
 		ex.Cache = newPointCache(cfg.CacheEntries)
+	}
+	if cfg.CacheDir != "" && ex.Cache != nil {
+		if err := ex.AttachDiskCache(cfg.CacheDir); err != nil {
+			// Serve memory-only rather than refuse to start: a bad cache
+			// dir degrades warm restarts, not correctness.
+			cfg.Logger.Warn("persistent result cache disabled",
+				"dir", cfg.CacheDir, "err", err)
+		} else {
+			cfg.Logger.Info("persistent result cache attached", "dir", cfg.CacheDir)
+		}
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -415,9 +436,13 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 	if objective == "" {
 		objective = "ttft"
 	}
+	eval := req.Eval
+	if eval == "" {
+		eval = "scalar"
+	}
 	ex := s.explorer
-	switch req.Eval {
-	case "", "scalar":
+	switch eval {
+	case "scalar":
 	case "batch":
 		ex = s.batchEx
 	default:
@@ -429,6 +454,7 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 	// attach it inside the worker, so the sweep's spans join the request
 	// trace even after r.Context() has died with the response.
 	sc := obs.ContextOf(r.Context())
+	key := dseJobKey(grid, wl, rule, objective, top, eval)
 	enqueuedAt := time.Now()
 	job, err := s.queue.Submit(func(ctx context.Context) (any, error) {
 		ctx = sc.Attach(ctx)
@@ -438,48 +464,63 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		defer jsp.End()
 		jsp.SetStr("grid", grid.Name)
 		jsp.SetInt("designs", grid.Size())
-		start := time.Now()
-		var before lru.Stats
-		if s.explorer.Cache != nil {
-			before = s.explorer.Cache.Stats()
-		}
-		points, err := ex.RunContext(ctx, grid, wl)
+		// Identical queued sweeps coalesce: one worker runs the grid, the
+		// others share its DSEResult the moment it lands.
+		res, shared, err := s.dseFlights.Do(ctx, key, func() (DSEResult, error) {
+			start := time.Now()
+			var before store.Stats
+			if s.explorer.Cache != nil {
+				before = s.explorer.Cache.Stats()
+			}
+			points, err := ex.RunContext(ctx, grid, wl)
+			if err != nil {
+				return DSEResult{}, err
+			}
+			admissible := dse.Filter(points, keep)
+			sort.Slice(admissible, func(i, j int) bool {
+				return metric(admissible[i]) < metric(admissible[j])
+			})
+			if top > len(admissible) {
+				top = len(admissible)
+			}
+			res := DSEResult{
+				Grid:       grid.Name,
+				Workload:   wl.Model.Name,
+				Rule:       rule,
+				Objective:  objective,
+				Designs:    len(points),
+				Admissible: len(admissible),
+				DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+			}
+			if s.explorer.Cache != nil {
+				after := s.explorer.Cache.Stats()
+				res.CacheHits = after.Hits - before.Hits
+				res.CacheMisses = after.Misses - before.Misses
+			}
+			for i, p := range admissible[:top] {
+				res.Top = append(res.Top, DesignSummary{
+					Rank:       i + 1,
+					Config:     p.Config.Name,
+					TTFTMS:     p.TTFT() * 1e3,
+					TBTMS:      p.TBT() * 1e3,
+					AreaMM2:    p.AreaMM2,
+					PD:         p.PD,
+					DieCostUSD: p.DieCostUSD,
+				})
+			}
+			return res, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		admissible := dse.Filter(points, keep)
-		sort.Slice(admissible, func(i, j int) bool {
-			return metric(admissible[i]) < metric(admissible[j])
-		})
-		if top > len(admissible) {
-			top = len(admissible)
-		}
-		res := DSEResult{
-			Grid:       grid.Name,
-			Workload:   wl.Model.Name,
-			Rule:       rule,
-			Objective:  objective,
-			Designs:    len(points),
-			Admissible: len(admissible),
-			DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
-		}
+		// Followers report the leader's cache deltas — the /metrics-visible
+		// evidence the sweep was served without re-simulation.
 		if s.explorer.Cache != nil {
-			after := s.explorer.Cache.Stats()
-			res.CacheHits = after.Hits - before.Hits
-			res.CacheMisses = after.Misses - before.Misses
 			jsp.SetInt("cache_hits", int(res.CacheHits))
 			jsp.SetInt("cache_misses", int(res.CacheMisses))
 		}
-		for i, p := range admissible[:top] {
-			res.Top = append(res.Top, DesignSummary{
-				Rank:       i + 1,
-				Config:     p.Config.Name,
-				TTFTMS:     p.TTFT() * 1e3,
-				TBTMS:      p.TBT() * 1e3,
-				AreaMM2:    p.AreaMM2,
-				PD:         p.PD,
-				DieCostUSD: p.DieCostUSD,
-			})
+		if shared {
+			jsp.SetStr("coalesced", "true")
 		}
 		return res, nil
 	})
@@ -546,7 +587,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		_, wait := obs.StartAt(ctx, "queue.wait", enqueuedAt)
 		wait.End()
 		start := time.Now()
-		var before lru.Stats
+		var before store.Stats
 		if s.explorer.Cache != nil {
 			before = s.explorer.Cache.Stats()
 		}
@@ -648,9 +689,19 @@ func (s *Server) handleObsStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	var cache lru.Stats
+	var cache store.Stats
+	tiers := make(map[string]store.Stats)
 	if s.explorer.Cache != nil {
 		cache = s.explorer.Cache.Stats()
+		for name, st := range s.explorer.Cache.TierStats() {
+			tiers[name] = st
+		}
 	}
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(cache, s.queue.Snapshot()))
+	tiers["jobs.dse"] = s.dseFlights.Stats()
+	if s.explorer.Sim != nil && s.explorer.Sim.Engine != nil {
+		for name, st := range s.explorer.Sim.Engine.MemoStats() {
+			tiers[name] = st
+		}
+	}
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(cache, tiers, s.queue.Snapshot()))
 }

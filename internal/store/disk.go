@@ -1,0 +1,263 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// Codec serialises one value kind for the disk tier. Implementations are
+// hand-written binary encoders (gob/json per-file overhead would make a
+// warm disk sweep slower than recomputing it — the cold Table 3 sweep is
+// only a few milliseconds for 512 designs).
+type Codec[V any] interface {
+	// Version names the encoded schema revision. It is written into every
+	// file header and compared on read: a mismatch is a miss, so files
+	// written under an older layout self-invalidate instead of decoding
+	// into garbage. Implementations should derive it from the encoded
+	// struct shapes (see dse.PointCodec) so adding a field invalidates
+	// automatically.
+	Version() string
+	// Encode appends v's encoding to dst and returns the extended slice.
+	Encode(dst []byte, v V) ([]byte, error)
+	// Decode parses one encoded value.
+	Decode(data []byte) (V, error)
+}
+
+// Disk is the persistent tier: one file per key under a cache directory,
+// named by the key's hex form. Writes go through a temp file and an
+// atomic rename, so readers (including other processes sharing the
+// directory) only ever see complete files and a crash mid-write leaves
+// at worst an orphaned temp file, never a torn entry. Reads tolerate any
+// damage — truncation, bit rot, a stale schema, a renamed file — by
+// treating the file as a miss and deleting it so the next Put rewrites
+// it cleanly.
+//
+// Put is best-effort: a full disk or revoked permissions degrade the
+// tier to read-only rather than failing evaluations.
+type Disk[V any] struct {
+	dir   string
+	codec Codec[V]
+
+	hits, misses atomic.Uint64
+	// dropped counts corrupt or stale-schema files discarded on read
+	// (reported as the tier's Evictions).
+	dropped   atomic.Uint64
+	writeErrs atomic.Uint64
+	entries   atomic.Int64
+	bytes     atomic.Int64
+}
+
+// suffix marks this tier's cache files; anything else in the directory
+// (orphaned temp files aside) is left alone.
+const suffix = ".acr"
+
+// NewDisk opens (creating if needed) a disk tier rooted at dir. The
+// caller chooses a value-kind-specific directory (e.g. <cache>/points)
+// so different codecs never share a namespace. The existing entry count
+// and byte total are scanned once at open; orphaned temp files from a
+// crashed writer are swept.
+func NewDisk[V any](dir string, codec Codec[V]) (*Disk[V], error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening disk tier: %w", err)
+	}
+	d := &Disk[V]{dir: dir, codec: codec}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning disk tier: %w", err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(filepath.Join(dir, name)) // crashed writer's leftovers
+			continue
+		}
+		if !strings.HasSuffix(name, suffix) || ent.IsDir() {
+			continue
+		}
+		d.entries.Add(1)
+		if info, err := ent.Info(); err == nil {
+			d.bytes.Add(info.Size())
+		}
+	}
+	return d, nil
+}
+
+func (d *Disk[V]) path(k Key) string {
+	return filepath.Join(d.dir, k.String()+suffix)
+}
+
+// Get reads and decodes k's file. Any failure — absent, truncated,
+// corrupted, wrong schema revision, wrong key — is a miss; damaged files
+// are removed so they are rewritten on the next Put.
+func (d *Disk[V]) Get(k Key) (V, bool) {
+	path := d.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		d.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	v, ok := d.decodeFile(k, data)
+	if !ok {
+		// Damaged or stale: drop it so the slot heals on the next Put.
+		if os.Remove(path) == nil {
+			d.entries.Add(-1)
+			d.bytes.Add(-int64(len(data)))
+		}
+		d.dropped.Add(1)
+		d.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	d.hits.Add(1)
+	return v, true
+}
+
+// Put encodes v and atomically installs it as k's file. Failures are
+// counted, not returned — the disk tier is a cache, and a write that
+// cannot land only costs a future recomputation.
+func (d *Disk[V]) Put(k Key, v V) {
+	buf, err := d.encodeFile(k, v)
+	if err != nil {
+		d.writeErrs.Add(1)
+		return
+	}
+	path := d.path(k)
+	var prevSize int64
+	existed := false
+	if info, err := os.Stat(path); err == nil {
+		existed = true
+		prevSize = info.Size()
+	}
+	f, err := os.CreateTemp(d.dir, tmpPrefix+"*")
+	if err != nil {
+		d.writeErrs.Add(1)
+		return
+	}
+	tmp := f.Name()
+	if _, err = f.Write(buf); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		d.writeErrs.Add(1)
+		return
+	}
+	if existed {
+		d.bytes.Add(int64(len(buf)) - prevSize)
+	} else {
+		d.entries.Add(1)
+		d.bytes.Add(int64(len(buf)))
+	}
+}
+
+// Stats reports the tier's counters. Unlike the memory tier these are
+// free-running atomics — concurrent readers may see counters from
+// slightly different instants, which is fine for a tier whose lookups
+// cross the filesystem anyway.
+func (d *Disk[V]) Stats() Stats {
+	return Stats{
+		Hits:      d.hits.Load(),
+		Misses:    d.misses.Load(),
+		Evictions: d.dropped.Load(),
+		Len:       int(d.entries.Load()),
+		Bytes:     d.bytes.Load(),
+	}
+}
+
+// Dir returns the tier's root directory.
+func (d *Disk[V]) Dir() string { return d.dir }
+
+// ---- file format ----
+//
+// All integers little-endian:
+//
+//	magic    [4]byte  "acrs"
+//	format   uint16   container layout revision (formatVersion)
+//	version  uvarint-prefixed string — the codec's schema revision
+//	key      2×uint64 (Hi, Lo; must match the file name's key)
+//	paylen   uint32
+//	checksum uint64   FNV-1a over the payload
+//	payload  paylen bytes — the codec's encoding
+
+const (
+	tmpPrefix     = ".tmp-"
+	formatVersion = 1
+)
+
+var magic = [4]byte{'a', 'c', 'r', 's'}
+
+func (d *Disk[V]) encodeFile(k Key, v V) ([]byte, error) {
+	version := d.codec.Version()
+	buf := make([]byte, 0, 64+len(version))
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, formatVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(version)))
+	buf = append(buf, version...)
+	buf = binary.LittleEndian.AppendUint64(buf, k.Hi)
+	buf = binary.LittleEndian.AppendUint64(buf, k.Lo)
+	payload, err := d.codec.Encode(nil, v)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint64(buf, fnv1a(payload))
+	return append(buf, payload...), nil
+}
+
+func (d *Disk[V]) decodeFile(k Key, data []byte) (V, bool) {
+	var zero V
+	if len(data) < 4+2 || [4]byte(data[:4]) != magic {
+		return zero, false
+	}
+	data = data[4:]
+	if binary.LittleEndian.Uint16(data) != formatVersion {
+		return zero, false
+	}
+	data = data[2:]
+	vlen, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < vlen {
+		return zero, false
+	}
+	if string(data[n:n+int(vlen)]) != d.codec.Version() {
+		return zero, false // stale schema revision: self-invalidate
+	}
+	data = data[n+int(vlen):]
+	if len(data) < 8+8+4+8 {
+		return zero, false
+	}
+	if binary.LittleEndian.Uint64(data) != k.Hi || binary.LittleEndian.Uint64(data[8:]) != k.Lo {
+		return zero, false // renamed or cross-linked file
+	}
+	paylen := binary.LittleEndian.Uint32(data[16:])
+	sum := binary.LittleEndian.Uint64(data[20:])
+	payload := data[28:]
+	if uint32(len(payload)) != paylen || fnv1a(payload) != sum {
+		return zero, false // truncated or bit-rotted
+	}
+	v, err := d.codec.Decode(payload)
+	if err != nil {
+		return zero, false
+	}
+	return v, true
+}
+
+// fnv1a is the 64-bit FNV-1a checksum guarding payload integrity —
+// the same family the content hashes use, dependency-free and fast.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

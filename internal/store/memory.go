@@ -1,0 +1,55 @@
+package store
+
+import "repro/internal/lru"
+
+// Memory is the in-process tier: the sharded LRU from internal/lru
+// addressed by content Key. It adapts the existing cache rather than
+// duplicating it — the LRU keeps its string keying (Key.String matches
+// the legacy dse cache-key format byte for byte), its per-shard locking
+// and its consistent Stats snapshot.
+//
+// A Memory can also stand alone as a no-eviction archive: size the
+// capacity to the maximum insert count (see search.Runner, which sizes
+// it to the run budget) and nothing is ever displaced.
+type Memory[V any] struct {
+	c *lru.Cache[V]
+}
+
+// NewMemory returns a memory tier bounded to capacity entries over the
+// given shard count (non-positive = lru.DefaultShards). Byte accounting
+// uses the LRU's default shallow sizer; use NewMemorySized when values
+// carry significant indirect memory.
+func NewMemory[V any](capacity, shards int) *Memory[V] {
+	return &Memory[V]{c: lru.New[V](capacity, shards)}
+}
+
+// NewMemorySized is NewMemory with a custom per-value byte sizer for the
+// tier's Stats.Bytes accounting.
+func NewMemorySized[V any](capacity, shards int, size func(V) int) *Memory[V] {
+	return &Memory[V]{c: lru.NewSized[V](capacity, shards, size)}
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (m *Memory[V]) Get(k Key) (V, bool) {
+	return m.c.Get(k.String())
+}
+
+// Put inserts or refreshes k, evicting the least recently used entry of
+// k's shard when full.
+func (m *Memory[V]) Put(k Key, v V) {
+	m.c.Put(k.String(), v)
+}
+
+// Stats snapshots the tier's counters (consistent: all shard locks held
+// for the aggregation, per the underlying LRU's contract).
+func (m *Memory[V]) Stats() Stats {
+	s := m.c.Stats()
+	return Stats{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Evictions: s.Evictions,
+		Len:       s.Len,
+		Capacity:  s.Capacity,
+		Bytes:     s.Bytes,
+	}
+}

@@ -1,0 +1,444 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// pairCodec encodes a two-field struct — enough structure to catch
+// header/payload framing bugs without depending on higher layers.
+type pair struct {
+	A uint64
+	B string
+}
+
+type pairCodec struct{ version string }
+
+func (c pairCodec) Version() string {
+	if c.version != "" {
+		return c.version
+	}
+	return "pair-v1"
+}
+
+func (pairCodec) Encode(dst []byte, v pair) ([]byte, error) {
+	dst = binary.LittleEndian.AppendUint64(dst, v.A)
+	dst = binary.AppendUvarint(dst, uint64(len(v.B)))
+	return append(dst, v.B...), nil
+}
+
+func (pairCodec) Decode(data []byte) (pair, error) {
+	if len(data) < 8 {
+		return pair{}, errors.New("short")
+	}
+	v := pair{A: binary.LittleEndian.Uint64(data)}
+	n, used := binary.Uvarint(data[8:])
+	if used <= 0 || uint64(len(data)-8-used) != n {
+		return pair{}, errors.New("bad string length")
+	}
+	v.B = string(data[8+used:])
+	return v, nil
+}
+
+func TestKeyStringFormat(t *testing.T) {
+	k := Key{Hi: 0x0123456789abcdef, Lo: 0xfedcba9876543210}
+	want := "0123456789abcdef-fedcba9876543210"
+	if got := k.String(); got != want {
+		t.Errorf("Key.String() = %q, want %q", got, want)
+	}
+	if got := (Key{}).String(); got != "0000000000000000-0000000000000000" {
+		t.Errorf("zero key = %q", got)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d, err := NewDisk[pair](t.TempDir(), pairCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Hi: 1, Lo: 2}
+	if _, ok := d.Get(k); ok {
+		t.Fatal("empty tier served a hit")
+	}
+	want := pair{A: 42, B: "hello"}
+	d.Put(k, want)
+	got, ok := d.Get(k)
+	if !ok || got != want {
+		t.Fatalf("Get = %+v, %v; want %+v, true", got, ok, want)
+	}
+	s := d.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Len != 1 || s.Bytes <= 0 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry, positive bytes", s)
+	}
+}
+
+// TestDiskSurvivesReopen is the restart path: a fresh Disk over an
+// existing directory serves the previous process's entries and recovers
+// the entry/byte accounting from the scan.
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := NewDisk[pair](dir, pairCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d1.Put(Key{Hi: uint64(i)}, pair{A: uint64(i), B: "v"})
+	}
+	d2, err := NewDisk[pair](dir, pairCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d2.Stats(); s.Len != 10 || s.Bytes != d1.Stats().Bytes {
+		t.Errorf("reopened stats = %+v, want the 10 entries and %d bytes the writer recorded", s, d1.Stats().Bytes)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := d2.Get(Key{Hi: uint64(i)})
+		if !ok || v.A != uint64(i) {
+			t.Fatalf("entry %d: got %+v, %v", i, v, ok)
+		}
+	}
+}
+
+// corruptions maps a name to a mutation of a valid cache file; every one
+// must read as a miss, be removed, and heal on the next Put.
+func TestDiskCrashSafety(t *testing.T) {
+	corruptions := map[string]func(path string, data []byte) error{
+		"truncated-header": func(path string, data []byte) error {
+			return os.WriteFile(path, data[:3], 0o644)
+		},
+		"truncated-payload": func(path string, data []byte) error {
+			return os.WriteFile(path, data[:len(data)-1], 0o644)
+		},
+		"flipped-payload-bit": func(path string, data []byte) error {
+			data[len(data)-1] ^= 0x40
+			return os.WriteFile(path, data, 0o644)
+		},
+		"wrong-magic": func(path string, data []byte) error {
+			data[0] = 'X'
+			return os.WriteFile(path, data, 0o644)
+		},
+		"empty": func(path string, data []byte) error {
+			return os.WriteFile(path, nil, 0o644)
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			d, err := NewDisk[pair](t.TempDir(), pairCodec{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := Key{Hi: 7, Lo: 9}
+			want := pair{A: 1, B: "x"}
+			d.Put(k, want)
+			path := d.path(k)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := corrupt(path, data); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := d.Get(k); ok {
+				t.Fatal("corrupted file served a hit")
+			}
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Errorf("corrupted file was not removed: %v", err)
+			}
+			if s := d.Stats(); s.Evictions != 1 {
+				t.Errorf("stats = %+v, want the corrupt drop counted as an eviction", s)
+			}
+			// The slot heals: rewrite and read back.
+			d.Put(k, want)
+			if got, ok := d.Get(k); !ok || got != want {
+				t.Fatalf("after rewrite: got %+v, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestDiskSchemaRevisionSelfInvalidates pins the versioned header: files
+// written under one codec revision are misses (and are dropped) under
+// another, so a layout change can never decode stale bytes into garbage.
+func TestDiskSchemaRevisionSelfInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := NewDisk[pair](dir, pairCodec{version: "pair-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Hi: 3}
+	d1.Put(k, pair{A: 5, B: "old"})
+
+	d2, err := NewDisk[pair](dir, pairCodec{version: "pair-v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d2.Get(k); ok {
+		t.Fatal("stale schema revision served a hit")
+	}
+	if s := d2.Stats(); s.Evictions != 1 {
+		t.Errorf("stats = %+v, want the stale file dropped", s)
+	}
+}
+
+// TestDiskRejectsRenamedFile pins the key-in-header check: copying a
+// valid file onto another key's name must not alias the two entries.
+func TestDiskRejectsRenamedFile(t *testing.T) {
+	d, err := NewDisk[pair](t.TempDir(), pairCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Key{Hi: 1}, Key{Hi: 2}
+	d.Put(a, pair{A: 11, B: "a"})
+	data, err := os.ReadFile(d.path(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path(b), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(b); ok {
+		t.Fatal("cross-linked file served under the wrong key")
+	}
+}
+
+// TestDiskSweepsOrphanedTempFiles pins crash cleanup: temp files a dying
+// writer left behind are removed on the next open.
+func TestDiskSweepsOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, tmpPrefix+"123")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDisk[pair](dir, pairCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("orphaned temp file survived reopen: %v", err)
+	}
+}
+
+// TestFlightDeduplicates drives N concurrent callers of one key through
+// a gate so all of them are in flight together: exactly one computation
+// must run, everyone shares its value.
+func TestFlightDeduplicates(t *testing.T) {
+	var f Flight[int]
+	const n = 16
+	var computed atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := f.Do(context.Background(), Key{Hi: 1}, func() (int, error) {
+				<-gate // hold the flight open until all callers joined
+				computed.Add(1)
+				return 99, nil
+			})
+			if err != nil || v != 99 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	// Wait until one leader is registered, then let it finish. Followers
+	// that arrive after close(gate) still share the same call until the
+	// leader completes; any that arrive later would lead a new flight —
+	// so release the gate only once every goroutine is launched and the
+	// flight has a leader.
+	for f.Stats().Misses == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := computed.Load(); got < 1 || got > n {
+		t.Fatalf("computed %d times", got)
+	}
+	s := f.Stats()
+	if s.Misses+s.Hits != n {
+		t.Errorf("flight stats %+v: leads+shares = %d, want %d", s, s.Misses+s.Hits, n)
+	}
+	if s.Len != 0 {
+		t.Errorf("flight still tracks %d calls after completion", s.Len)
+	}
+}
+
+// TestFlightFollowerRetriesAfterLeaderFailure pins the error contract: a
+// follower does not inherit the leader's failure, it recomputes.
+func TestFlightFollowerRetriesAfterLeaderFailure(t *testing.T) {
+	var f Flight[int]
+	k := Key{Hi: 4}
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		f.Do(context.Background(), k, func() (int, error) {
+			close(leaderIn)
+			<-release
+			return 0, errors.New("leader died")
+		})
+	}()
+	<-leaderIn
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, err := f.Do(context.Background(), k, func() (int, error) { return 7, nil })
+		if err != nil || v != 7 {
+			t.Errorf("follower after failed leader: %d, %v", v, err)
+		}
+	}()
+	close(release)
+	<-done
+}
+
+// TestFlightFollowerHonorsOwnContext: a waiting follower whose context
+// expires returns its own error instead of blocking on the leader.
+func TestFlightFollowerHonorsOwnContext(t *testing.T) {
+	var f Flight[int]
+	k := Key{Hi: 5}
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		f.Do(context.Background(), k, func() (int, error) {
+			close(leaderIn)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := f.Do(ctx, k, func() (int, error) { return 2, nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled follower returned %v, want context.Canceled", err)
+	}
+}
+
+// TestTieredPromotion: a disk hit lands in the memory tier, so the next
+// probe is served without touching the filesystem.
+func TestTieredPromotion(t *testing.T) {
+	disk, err := NewDisk[pair](t.TempDir(), pairCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	k := Key{Hi: 8}
+	want := pair{A: 3, B: "p"}
+	disk.Put(k, want) // simulate an earlier process's write
+
+	ts := NewTiered(NewMemory[pair](64, 1), disk)
+	if v, ok := ts.Get(ctx, k); !ok || v != want {
+		t.Fatalf("disk-backed Get = %+v, %v", v, ok)
+	}
+	diskHits := disk.Stats().Hits
+	if v, ok := ts.Get(ctx, k); !ok || v != want {
+		t.Fatalf("promoted Get = %+v, %v", v, ok)
+	}
+	if disk.Stats().Hits != diskHits {
+		t.Error("second Get reached the disk tier; promotion failed")
+	}
+	s := ts.Stats()
+	if s.Hits != 2 || s.Misses != 0 {
+		t.Errorf("aggregate stats = %+v, want 2 hits", s)
+	}
+	tiers := ts.TierStats()
+	if tiers["disk"].Hits != 1 || tiers["mem"].Hits != 1 {
+		t.Errorf("tier stats = %+v, want one hit each for disk and mem", tiers)
+	}
+}
+
+// TestTieredComputeAccounting pins the Misses == evaluations invariant
+// across the Get-miss + Compute pairing.
+func TestTieredComputeAccounting(t *testing.T) {
+	ts := NewTiered(NewMemory[pair](64, 1), nil)
+	ctx := context.Background()
+	k := Key{Hi: 9}
+	if _, ok := ts.Get(ctx, k); ok {
+		t.Fatal("unexpected hit")
+	}
+	v, out, err := ts.Compute(ctx, k, func(context.Context) (pair, error) {
+		return pair{A: 1}, nil
+	})
+	if err != nil || out != Miss || v.A != 1 {
+		t.Fatalf("Compute = %+v, %v, %v", v, out, err)
+	}
+	if s := ts.Stats(); s.Hits != 0 || s.Misses != 1 {
+		t.Errorf("after one computation: %+v", s)
+	}
+	if v, ok := ts.Get(ctx, k); !ok || v.A != 1 {
+		t.Fatalf("computed value not stored: %+v, %v", v, ok)
+	}
+	if s := ts.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("after warm Get: %+v", s)
+	}
+
+	// A failed computation stays a miss and stores nothing.
+	k2 := Key{Hi: 10}
+	ts.Get(ctx, k2)
+	if _, _, err := ts.Compute(ctx, k2, func(context.Context) (pair, error) {
+		return pair{}, errors.New("boom")
+	}); err == nil {
+		t.Fatal("error not propagated")
+	}
+	if _, ok := ts.Get(ctx, k2); ok {
+		t.Error("failed computation was cached")
+	}
+}
+
+// TestMemoryNoEvictionWhenSizedToInserts pins the archive use: a Memory
+// tier whose capacity covers every insert never evicts — the property
+// search.Runner's budget-sized visit archive depends on.
+func TestMemoryNoEvictionWhenSizedToInserts(t *testing.T) {
+	const n = 500
+	m := NewMemory[int](n, 1)
+	for i := 0; i < n; i++ {
+		m.Put(Key{Hi: uint64(i)}, i)
+	}
+	s := m.Stats()
+	if s.Evictions != 0 || s.Len != n {
+		t.Fatalf("stats = %+v, want all %d entries resident with zero evictions", s, n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(Key{Hi: uint64(i)}); !ok || v != i {
+			t.Fatalf("entry %d: %d, %v", i, v, ok)
+		}
+	}
+}
+
+// TestTieredStressConcurrent hammers a disk-backed store from many
+// goroutines mixing Get, Put and Compute over a small key space; run
+// with -race it is the store's concurrency contract.
+func TestTieredStressConcurrent(t *testing.T) {
+	disk, err := NewDisk[pair](t.TempDir(), pairCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTiered(NewMemory[pair](32, 4), disk) // small: forces evictions
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{Hi: uint64((g*7 + i) % 64)}
+				if v, ok := ts.Get(ctx, k); ok {
+					if v.A != k.Hi {
+						t.Errorf("key %d served value %d", k.Hi, v.A)
+					}
+					continue
+				}
+				ts.Compute(ctx, k, func(context.Context) (pair, error) {
+					return pair{A: k.Hi, B: fmt.Sprintf("v%d", k.Hi)}, nil
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+}
