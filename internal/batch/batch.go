@@ -678,11 +678,14 @@ func (e *Evaluator) prepNode(s *scratch, cfgs []arch.Config, j int) {
 // node-outer variant strided through the design-major backing one row
 // apart per store and its cache misses dominated the whole sweep — and
 // keeps the four phase accumulators in registers across the node walk.
+//
+//acr:hotpath
 func (e *Evaluator) chunk(s *scratch, cfgs []arch.Config, backing []perf.Time, lo, hi int, out *Outcome) {
 	eng := e.Engine
 	nNodes := len(s.nodes)
 	for j := range s.nodes {
 		if !s.nodeReady[j] {
+			//lint:ignore allochot one-time table fill on the first chunk to reach the node; the steady state the zero-alloc contract covers has every nodeReady true
 			e.prepNode(s, cfgs, j)
 		}
 	}
@@ -719,6 +722,7 @@ design:
 				// simulator; the design's remaining nodes are skipped, and
 				// its partial sums are never stored.
 				s.ok[d] = false
+				//lint:ignore allochot setErr's error arena is allocated once, on the first failing design; the all-designs-valid steady state never reaches it
 				out.setErr(d, len(cfgs), nd.err)
 				continue design
 			}

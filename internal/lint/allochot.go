@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzerAllocHot turns the module's zero-allocation benchmarks
+// (TestBatchSteadyStateZeroAllocs, BenchmarkObsDisabledOverhead) into a
+// whole-program static guarantee. A function annotated
+//
+//	//acr:hotpath
+//
+// in its doc comment must contain no allocating constructs on its
+// checked paths: no make/new, no map or slice literals, no &T{} escapes,
+// no append (growth is unprovable statically — preallocate outside), no
+// capturing closures, no interface boxing of non-pointer values, no fmt,
+// no string concatenation or string<->[]byte conversion. Module-internal
+// callees are expanded transitively, so a helper that allocates taints
+// its hot-path callers at the call site.
+//
+// The obs nil-recorder contract needs one refinement: a disabled-path
+// function like Span.SetAttr allocates freely once `s != nil`, and the
+// promise is only that the DISABLED path is free. So the checker walks
+// the CFG from entry, stopping at the non-nil edge of any `x == nil` /
+// `x != nil` guard: blocks reachable only with a non-nil value in hand
+// are exempt, while everything before and on the nil path — including
+// the exact call-site boxing bug SetStr/SetInt exist to avoid — is
+// checked.
+var analyzerAllocHot = &Analyzer{
+	Name: "allochot",
+	Doc:  "//acr:hotpath functions must not allocate on their checked (nil-fast) paths",
+	Run:  runAllocHot,
+}
+
+// hotPathAnnotated reports whether fd's doc comment carries
+// //acr:hotpath.
+func hotPathAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "acr:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+func runAllocHot(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotPathAnnotated(fd) {
+				continue
+			}
+			w := &allocWalker{pass: p, visited: make(map[*types.Func]bool)}
+			w.checkBody(fd.Body, p.Pkg, fd.Name.Name, token.NoPos)
+		}
+	}
+}
+
+// allocWalker checks function bodies for allocating constructs,
+// expanding module-internal calls. When sitePos is set, findings inside
+// callees are attributed to the hot-path call site.
+type allocWalker struct {
+	pass    *Pass
+	visited map[*types.Func]bool
+}
+
+func (w *allocWalker) checkBody(body *ast.BlockStmt, pkg *Package, name string, sitePos token.Pos) {
+	cfg := buildCFG(body)
+	for _, blk := range nilPathBlocks(cfg, pkg.Info) {
+		for _, n := range blk.Nodes {
+			w.checkNode(n, pkg, name, sitePos)
+		}
+	}
+}
+
+// nilPathBlocks returns the CFG blocks reachable from entry without
+// crossing a "value is non-nil" edge: the paths a disabled recorder or
+// nil receiver can actually execute, plus everything in unguarded
+// functions (no nil checks means every block qualifies).
+func nilPathBlocks(cfg *CFG, info *types.Info) []*Block {
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if blk == nil || seen[blk] {
+			return
+		}
+		seen[blk] = true
+		op, twoWay := nilGuard(blk, info)
+		for i, s := range blk.Succs {
+			if twoWay {
+				// Succs[0] is the true edge. `x == nil` true / `x != nil`
+				// false keep the value nil — those stay on the checked
+				// path; the other edge holds a live value and is exempt.
+				if op == token.EQL && i == 1 {
+					continue
+				}
+				if op == token.NEQ && i == 0 {
+					continue
+				}
+			}
+			walk(s)
+		}
+	}
+	walk(cfg.Entry)
+	out := make([]*Block, 0, len(seen))
+	for _, blk := range cfg.Blocks {
+		if seen[blk] {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// nilGuard reports whether blk ends in a two-way nil comparison, and
+// with which operator.
+func nilGuard(blk *Block, info *types.Info) (token.Token, bool) {
+	if len(blk.Succs) != 2 || len(blk.Nodes) == 0 {
+		return 0, false
+	}
+	cond, ok := blk.Nodes[len(blk.Nodes)-1].(ast.Expr)
+	if !ok {
+		return 0, false
+	}
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return 0, false
+	}
+	if isNilExpr(info, be.X) || isNilExpr(info, be.Y) {
+		return be.Op, true
+	}
+	return 0, false
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// report attributes a finding to the hot-path site: directly when
+// checking the annotated function, at the call site when the construct
+// lives in an expanded callee.
+func (w *allocWalker) report(pos, sitePos token.Pos, name, format string, args ...any) {
+	if sitePos != token.NoPos {
+		pos = sitePos
+		format += " (inside callee)"
+	}
+	w.pass.Reportf(pos, "hot path %s: "+format, append([]any{name}, args...)...)
+}
+
+func (w *allocWalker) checkNode(root ast.Node, pkg *Package, name string, sitePos token.Pos) {
+	info := pkg.Info
+	// A range head block carries the whole RangeStmt; its body statements
+	// live in the range.body block, so only the ranged expression belongs
+	// to this node.
+	if rs, ok := root.(*ast.RangeStmt); ok {
+		w.checkNode(rs.X, pkg, name, sitePos)
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capturesOuter(info, n) {
+				w.report(n.Pos(), sitePos, name, "closure captures outer variables, forcing a heap allocation")
+			}
+			return false // the literal runs elsewhere; only the capture costs here
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				w.report(n.Pos(), sitePos, name, "map literal allocates")
+			case *types.Slice:
+				w.report(n.Pos(), sitePos, name, "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					w.report(n.Pos(), sitePos, name, "&T{} escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n.X) {
+				w.report(n.Pos(), sitePos, name, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(info, n.Lhs[0]) {
+				w.report(n.Pos(), sitePos, name, "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			w.checkCall(n, pkg, name, sitePos)
+		}
+		return true
+	})
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t, ok := info.Types[e]
+	if !ok || t.Type == nil {
+		return false
+	}
+	basic, ok := t.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func (w *allocWalker) checkCall(call *ast.CallExpr, pkg *Package, name string, sitePos token.Pos) {
+	info := pkg.Info
+	// Builtins and conversions first.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				w.report(call.Pos(), sitePos, name, "make allocates; preallocate outside the hot path")
+			case "new":
+				w.report(call.Pos(), sitePos, name, "new allocates")
+			case "append":
+				w.report(call.Pos(), sitePos, name, "append may grow its backing array; preallocate with capacity outside the hot path")
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		// string <-> []byte conversions copy.
+		to, from := tv.Type, info.Types[call.Args[0]].Type
+		if isStringByteConv(to, from) {
+			w.report(call.Pos(), sitePos, name, "string/[]byte conversion copies its data")
+		}
+		return
+	}
+
+	fn := calleeOf(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		w.report(call.Pos(), sitePos, name, "fmt.%s allocates (boxing and formatting buffers)", fn.Name())
+		return
+	}
+	w.checkBoxing(call, pkg, name, sitePos)
+
+	if fn == nil || !w.pass.Prog.inModule(fn) || w.visited[fn] {
+		return
+	}
+	w.visited[fn] = true
+	decl, declPkg := w.pass.Prog.FuncDecl(fn)
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	site := sitePos
+	if site == token.NoPos {
+		site = call.Pos()
+	}
+	// The callee keeps its own nil-guard exemption: a nil-safe no-op like
+	// Span.SetAttr stays clean when called from a hot path.
+	w.checkBody(decl.Body, declPkg, name+"→"+fn.Name(), site)
+}
+
+// capturesOuter reports whether the function literal references
+// variables declared outside itself — captures force the closure (and
+// captured stack slots) onto the heap.
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !captures
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Declared outside the literal's extent: a capture. Package-level
+		// variables are static and don't count.
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			if v.Parent() != nil && v.Parent().Parent() != types.Universe {
+				// Scope parent chain distinguishes locals from globals:
+				// package-scope variables have the universe two levels up.
+				captures = true
+			}
+		}
+		return !captures
+	})
+	return captures
+}
+
+// isStringByteConv reports a string<->[]byte conversion pair.
+func isStringByteConv(to, from types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytes := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return (isStr(to) && isBytes(from)) || (isBytes(to) && isStr(from))
+}
+
+// checkBoxing flags arguments boxed into interface parameters. Pointer-
+// shaped values (pointers, channels, maps, funcs, interfaces) fit an
+// interface word without allocating; constants are materialized in
+// read-only data at compile time; everything else heap-allocates at the
+// call site — the exact regression SetStr/SetInt guard against.
+func (w *allocWalker) checkBoxing(call *ast.CallExpr, pkg *Package, name string, sitePos token.Pos) {
+	info := pkg.Info
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil || tv.Value != nil {
+			continue // constants are static data, no runtime boxing
+		}
+		at := tv.Type
+		if types.IsInterface(at) || isPointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if st, ok := at.Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+			continue // zero-size values box to a static sentinel
+		}
+		w.report(arg.Pos(), sitePos, name, "argument of type %s boxes into interface parameter, allocating at the call site", types.TypeString(at, types.RelativeTo(pkg.Types)))
+	}
+}
+
+// isPointerShaped reports whether t occupies a single pointer word when
+// stored in an interface.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry identifies one accepted pre-existing finding. Line and
+// column are deliberately omitted so unrelated edits that shift code up
+// or down do not invalidate the baseline: a finding matches an entry
+// when its module-relative file, check name and message all match. The
+// file is stored slash-separated so a baseline written on one platform
+// filters on another.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// baselineKey normalises a diagnostic into its baseline identity.
+func baselineKey(root string, d Diagnostic) BaselineEntry {
+	return BaselineEntry{File: moduleRelative(root, d.File), Check: d.Check, Message: d.Message}
+}
+
+// moduleRelative rewrites an absolute source path relative to the module
+// root, slash-separated. Paths outside the root (or an empty root) pass
+// through unchanged.
+func moduleRelative(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil || rel == ".." || filepath.IsAbs(rel) || len(rel) > 1 && rel[0] == '.' && rel[1] == '.' {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// WriteBaseline records the given findings at path as the accepted debt
+// for future runs. Entries are sorted and deduplicated to a multiset
+// (one JSON object per occurrence) so the file diffs cleanly as findings
+// are burned down.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	entries := make([]BaselineEntry, len(diags))
+	for i, d := range diags {
+		entries[i] = baselineKey(root, d)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lint: encode baseline: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline previously written by WriteBaseline.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read baseline: %w", err)
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: parse baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// FilterBaseline drops diagnostics covered by the baseline and returns
+// the rest — the ratchet. Matching is a multiset: an entry appearing N
+// times in the baseline absorbs at most N identical findings, so a bug
+// class growing new instances of an already-baselined message still
+// fails the run.
+func FilterBaseline(diags []Diagnostic, root string, entries []BaselineEntry) []Diagnostic {
+	budget := make(map[BaselineEntry]int, len(entries))
+	for _, e := range entries {
+		budget[e]++
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		key := baselineKey(root, d)
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	diags := []Diagnostic{
+		{File: filepath.Join(root, "b", "b.go"), Line: 9, Col: 2, Check: "detorder", Message: "map range feeds hash"},
+		{File: filepath.Join(root, "a", "a.go"), Line: 3, Col: 1, Check: "goroleak", Message: "goroutine never joined"},
+		{File: filepath.Join(root, "a", "a.go"), Line: 7, Col: 1, Check: "goroleak", Message: "goroutine never joined"},
+	}
+	path := filepath.Join(root, "baseline.json")
+	if err := WriteBaseline(path, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("%d entries, want 3 (one per occurrence)", len(entries))
+	}
+	// Sorted, module-relative, slash-separated, no line numbers.
+	want := BaselineEntry{File: "a/a.go", Check: "goroleak", Message: "goroutine never joined"}
+	if entries[0] != want {
+		t.Errorf("entries[0] = %+v, want %+v", entries[0], want)
+	}
+	if entries[2].File != "b/b.go" {
+		t.Errorf("entries[2].File = %q, want b/b.go", entries[2].File)
+	}
+}
+
+func TestBaselineFilterIsRatchet(t *testing.T) {
+	root := t.TempDir()
+	old := Diagnostic{File: filepath.Join(root, "a.go"), Line: 3, Check: "floateq", Message: "== on float64"}
+	entries := []BaselineEntry{{File: "a.go", Check: "floateq", Message: "== on float64"}}
+
+	// The baselined finding is dropped even when its line moved.
+	moved := old
+	moved.Line = 40
+	if out := FilterBaseline([]Diagnostic{moved}, root, entries); len(out) != 0 {
+		t.Errorf("baselined finding survived the filter: %v", out)
+	}
+
+	// A second identical finding exceeds the baseline's multiset budget.
+	out := FilterBaseline([]Diagnostic{old, moved}, root, entries)
+	if len(out) != 1 {
+		t.Fatalf("%d findings after filter, want 1 (one absorbed, one new)", len(out))
+	}
+
+	// A different message in the same file is new.
+	fresh := Diagnostic{File: filepath.Join(root, "a.go"), Line: 3, Check: "floateq", Message: "!= on float32"}
+	if out := FilterBaseline([]Diagnostic{fresh}, root, entries); len(out) != 1 {
+		t.Errorf("new finding was filtered: %v", out)
+	}
+}
+
+func TestModuleRelativeFallsThrough(t *testing.T) {
+	if got := moduleRelative("/mod/root", "/elsewhere/x.go"); got != "/elsewhere/x.go" {
+		t.Errorf("path outside root rewritten to %q", got)
+	}
+	if got := moduleRelative("", "/abs/x.go"); got != "/abs/x.go" {
+		t.Errorf("empty root rewrote path to %q", got)
+	}
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// benchModuleRoot walks up from the test's working directory to the
+// enclosing go.mod, mirroring cmd/acrlint.
+func benchModuleRoot(b *testing.B) string {
+	b.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			b.Fatal("no go.mod above the lint package")
+		}
+		dir = parent
+	}
+}
+
+// BenchmarkLintTree times one full acrlint run — load, typecheck and all
+// ten analyzers over every package in the module — the cost a CI lint
+// job or a pre-commit hook pays. It doubles as the suite's smoke test:
+// the tree must come back clean, so an analyzer regression that starts
+// flagging shipped code (or crashes on a construct somewhere in the
+// module) fails here before it fails a human.
+func BenchmarkLintTree(b *testing.B) {
+	root := benchModuleRoot(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := Load(root, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diags := prog.Run(All()); len(diags) != 0 {
+			b.Fatalf("lint tree not clean: %d finding(s), first: %s", len(diags), diags[0])
+		}
+	}
+}

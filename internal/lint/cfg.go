@@ -1,0 +1,500 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// This file is the statement-level control-flow graph the v2 analyzers
+// (goroleak, detorder, allochot, spanflow) share. The v1 suite got away
+// with syntax walks because its contracts were positional (reads between
+// a probe and a store); the v2 contracts are path properties — "End is
+// reachable on every return path", "this allocation is reachable before
+// the nil fast-path guard" — and those need real flow edges, including
+// the ones Go hides behind labeled break, goto and select.
+//
+// The graph is deliberately small: basic blocks of ast.Node slices with
+// ordered successor edges. Conditional blocks use a fixed successor
+// convention (Succs[0] = true edge, Succs[1] = false edge) so analyzers
+// can tell the branches of a guard apart without re-inspecting syntax.
+
+// Block is one straight-line run of statements: execution enters at the
+// first node and leaves at the last, with no branch in between.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (construction order:
+	// entry first, exit second).
+	Index int
+	// Kind labels why the block exists ("entry", "if.then", "for.head",
+	// "range.body", "case", ...) for tests and debug rendering.
+	Kind string
+	// Nodes are the statements and branch conditions executed in the
+	// block, in source order. A condition is always the last node of its
+	// block.
+	Nodes []ast.Node
+	// Succs are the possible next blocks. For a two-way branch the order
+	// is fixed: Succs[0] is the true edge, Succs[1] the false edge.
+	// Switch and select blocks have one successor per clause (plus the
+	// implicit no-match edge last, when one exists).
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry and Exit are
+// synthetic: Entry precedes the first statement, every return (and the
+// natural fall-off) edges to Exit.
+type CFG struct {
+	Entry *Block
+	Exit  *Block
+	// Blocks lists every block in construction order, entry and exit
+	// included. Blocks unreachable from Entry (code after return) are
+	// kept — reachability is the analyses' business, not the builder's.
+	Blocks []*Block
+	// Defers collects the defer statements seen anywhere in the body, in
+	// source order; deferred calls run at every exit, which block edges
+	// cannot express.
+	Defers []*ast.DeferStmt
+}
+
+// buildCFG constructs the graph of one function or function-literal body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: make(map[string]*labelInfo),
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	b.link(b.cur, b.cfg.Exit) // natural fall-off
+	b.resolveGotos()
+	return b.cfg
+}
+
+// labelInfo tracks one label's targets: the block the labeled statement
+// starts in (goto/continue target resolution) and, once the labeled loop
+// or switch is being built, where break/continue jump.
+type labelInfo struct {
+	start      *Block // first block of the labeled statement
+	breakTo    *Block
+	continueTo *Block
+}
+
+// branchScope is one enclosing breakable/continuable construct.
+type branchScope struct {
+	label      string // "" for unlabeled
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	scopes []branchScope
+	labels map[string]*labelInfo
+	// pendingLabel is the label naming the next loop/switch statement, so
+	// `break L` and `continue L` resolve to that construct's targets.
+	pendingLabel string
+	gotos        []pendingGoto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// startBlock begins a fresh block and makes it current, linking from the
+// previous current block (the straight-line fall-through edge).
+func (b *cfgBuilder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	b.link(b.cur, blk)
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, "switch")
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, "typeswitch")
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock("unreachable")
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.link(b.cur, b.cfg.Exit)
+			b.cur = b.newBlock("unreachable")
+		}
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements, empty
+		// statements: straight-line.
+		b.add(s)
+	}
+}
+
+// isPanicCall reports whether e is a call to the predeclared panic — a
+// terminating statement for path purposes. Name-based on purpose: the
+// builder has no type info, and this module never shadows panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	join := b.newBlock("if.join")
+	b.link(cond, then) // Succs[0]: true edge
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.link(cond, els) // Succs[1]: false edge
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.link(b.cur, join)
+		b.cur = els
+		b.stmt(s.Else)
+		b.link(b.cur, join)
+	} else {
+		b.link(cond, join) // Succs[1]: false edge
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.link(b.cur, join)
+	}
+	b.cur = join
+}
+
+// enterScope pushes break/continue targets, consuming the pending label
+// (so `break L` on the labeled construct resolves here).
+func (b *cfgBuilder) enterScope(breakTo, continueTo *Block) {
+	sc := branchScope{label: b.pendingLabel, breakTo: breakTo, continueTo: continueTo}
+	if b.pendingLabel != "" {
+		li := b.labels[b.pendingLabel]
+		li.breakTo = breakTo
+		li.continueTo = continueTo
+		b.pendingLabel = ""
+	}
+	b.scopes = append(b.scopes, sc)
+}
+
+func (b *cfgBuilder) exitScope() {
+	b.scopes = b.scopes[:len(b.scopes)-1]
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.startBlock("for.head")
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock("for.body")
+	join := b.newBlock("for.join")
+	b.link(head, body) // Succs[0]: condition true (or always, when absent)
+	if s.Cond != nil {
+		b.link(head, join) // Succs[1]: condition false
+	}
+	// continue re-runs the post statement; break leaves the loop.
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.link(post, head)
+	}
+	continueTo := head
+	if post != nil {
+		continueTo = post
+	}
+	b.enterScope(join, continueTo)
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.link(b.cur, continueTo) // back edge
+	b.exitScope()
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	head := b.startBlock("range.head")
+	// The head carries the whole RangeStmt: analyzers read s.X (what is
+	// ranged) and s.Key/s.Value (the per-iteration definitions) off it.
+	b.add(s)
+	body := b.newBlock("range.body")
+	join := b.newBlock("range.join")
+	b.link(head, body) // Succs[0]: another element
+	b.link(head, join) // Succs[1]: exhausted
+	b.enterScope(join, head)
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.link(b.cur, head)
+	b.exitScope()
+	b.cur = join
+}
+
+// switchStmt builds both expression and type switches: the tag (or type
+// assign) evaluates in the head, each clause gets a block, fallthrough
+// links one clause body into the next.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, kind string) {
+	head := b.startBlock(kind + ".head")
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	join := b.newBlock(kind + ".join")
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	caseBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		caseBlocks[i] = b.newBlock(kind + ".case")
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			caseBlocks[i].Nodes = append(caseBlocks[i].Nodes, e)
+		}
+		b.link(head, caseBlocks[i])
+	}
+	if !hasDefault {
+		b.link(head, join) // no clause matched
+	}
+	b.enterScope(join, nil)
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		b.stmts(cc.Body)
+		// An explicit fallthrough (necessarily the clause's last
+		// statement) was rewritten by branchStmt into an edge already;
+		// otherwise the clause falls out of the switch.
+		if ft, ok := lastFallthrough(cc.Body); ok {
+			if i+1 < len(caseBlocks) {
+				b.link(b.cur, caseBlocks[i+1])
+			}
+			_ = ft
+		} else {
+			b.link(b.cur, join)
+		}
+	}
+	b.exitScope()
+	b.cur = join
+}
+
+// lastFallthrough reports whether the clause body ends in fallthrough.
+func lastFallthrough(body []ast.Stmt) (*ast.BranchStmt, bool) {
+	if len(body) == 0 {
+		return nil, false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	if !ok || br.Tok.String() != "fallthrough" {
+		return nil, false
+	}
+	return br, true
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	head := b.startBlock("select.head")
+	join := b.newBlock("select.join")
+	b.enterScope(join, nil)
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("select.case")
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.link(head, blk)
+		b.cur = blk
+		b.stmts(cc.Body)
+		b.link(b.cur, join)
+	}
+	b.exitScope()
+	b.cur = join
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	// Give the labeled statement a fresh block so goto targets exist even
+	// before the label's statement is reached in source order.
+	li := b.labels[s.Label.Name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[s.Label.Name] = li
+	}
+	start := b.startBlock("label." + s.Label.Name)
+	li.start = start
+	switch s.Stmt.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.pendingLabel = s.Label.Name
+	}
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		b.add(s)
+		if t := b.breakTarget(labelName(s)); t != nil {
+			b.link(b.cur, t)
+		}
+		b.cur = b.newBlock("unreachable")
+	case "continue":
+		b.add(s)
+		if t := b.continueTarget(labelName(s)); t != nil {
+			b.link(b.cur, t)
+		}
+		b.cur = b.newBlock("unreachable")
+	case "goto":
+		b.add(s)
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: labelName(s)})
+		b.cur = b.newBlock("unreachable")
+	case "fallthrough":
+		// Edge added by switchStmt; the statement itself is recorded so
+		// block node lists stay faithful to source.
+		b.add(s)
+	}
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label == nil {
+		return ""
+	}
+	return s.Label.Name
+}
+
+func (b *cfgBuilder) breakTarget(label string) *Block {
+	if label != "" {
+		if li := b.labels[label]; li != nil {
+			return li.breakTo
+		}
+		return nil
+	}
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if b.scopes[i].breakTo != nil {
+			return b.scopes[i].breakTo
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) continueTarget(label string) *Block {
+	if label != "" {
+		if li := b.labels[label]; li != nil {
+			return li.continueTo
+		}
+		return nil
+	}
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if b.scopes[i].continueTo != nil {
+			return b.scopes[i].continueTo
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if li := b.labels[g.label]; li != nil && li.start != nil {
+			b.link(g.from, li.start)
+		}
+	}
+}
+
+// Reachable returns the set of blocks reachable from Entry following all
+// edges.
+func (c *CFG) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if blk == nil || seen[blk] {
+			return
+		}
+		seen[blk] = true
+		for _, s := range blk.Succs {
+			walk(s)
+		}
+	}
+	walk(c.Entry)
+	return seen
+}
+
+// String renders the graph one block per line — "b0 entry -> b2" — for
+// tests and debugging. Node contents are elided; structure is the point.
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", blk.Index, blk.Kind)
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the forward-dataflow half of the v2 engine: a worklist
+// fixpoint over CFG blocks with dense bit-vector facts, plus the one
+// classical instance the tests pin — reaching definitions. Analyzers
+// instantiate the engine with their own gen/kill semantics (spanflow
+// tracks "span started, End not yet seen"); the fixpoint loop and the
+// meet discipline live here once.
+
+// bitset is a dense bit vector over fact indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s bitset) clear(i int)    { s[i/64] &^= 1 << (i % 64) }
+func (s bitset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+func (s bitset) copy() bitset {
+	t := make(bitset, len(s))
+	copy(t, s)
+	return t
+}
+
+// unionWith ors t into s, reporting whether s changed.
+func (s bitset) unionWith(t bitset) bool {
+	changed := false
+	for i := range s {
+		if next := s[i] | t[i]; next != s[i] {
+			s[i] = next
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s bitset) equal(t bitset) bool {
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// flowProblem is one forward may-analysis: facts merge by union at join
+// points and transfer block-locally. (The v2 analyzers all want may
+// semantics — "a definition reaches", "a span may still be open"; a must
+// variant would intersect instead and nothing here needs one.)
+type flowProblem struct {
+	// nbits is the fact-space size.
+	nbits int
+	// boundary is the fact set live at function entry.
+	boundary bitset
+	// transfer maps a block's entry facts to its exit facts. It must not
+	// mutate in; return a fresh or copied set.
+	transfer func(b *Block, in bitset) bitset
+}
+
+// forward runs the worklist fixpoint and returns each block's entry and
+// exit fact sets.
+func (c *CFG) forward(p flowProblem) (in, out map[*Block]bitset) {
+	in = make(map[*Block]bitset, len(c.Blocks))
+	out = make(map[*Block]bitset, len(c.Blocks))
+	preds := make(map[*Block][]*Block, len(c.Blocks))
+	for _, blk := range c.Blocks {
+		for _, s := range blk.Succs {
+			preds[s] = append(preds[s], blk)
+		}
+		in[blk] = newBitset(p.nbits)
+		out[blk] = newBitset(p.nbits)
+	}
+	in[c.Entry] = p.boundary.copy()
+
+	work := make([]*Block, len(c.Blocks))
+	copy(work, c.Blocks)
+	queued := make(map[*Block]bool, len(c.Blocks))
+	for _, blk := range work {
+		queued[blk] = true
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		entry := in[blk]
+		if blk != c.Entry {
+			entry = newBitset(p.nbits)
+			for _, pr := range preds[blk] {
+				entry.unionWith(out[pr])
+			}
+			in[blk] = entry
+		}
+		exit := p.transfer(blk, entry)
+		if exit.equal(out[blk]) {
+			continue
+		}
+		out[blk] = exit
+		for _, s := range blk.Succs {
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in, out
+}
+
+// ---- reaching definitions ----
+
+// defSite is one definition (assignment, declaration, range binding, or
+// parameter) of one variable.
+type defSite struct {
+	obj *types.Var
+	pos token.Pos
+}
+
+// reaching is the reaching-definitions result for one function body:
+// which definitions may still be live at each block's entry.
+type reaching struct {
+	cfg  *CFG
+	defs []defSite
+	// in[blk] has bit i set when defs[i] reaches blk's entry.
+	in map[*Block]bitset
+}
+
+// reachingDefs computes reaching definitions over the CFG of fd's body.
+// Parameters (and named results) count as definitions at entry.
+func reachingDefs(cfg *CFG, fd *ast.FuncDecl, info *types.Info) *reaching {
+	r := &reaching{cfg: cfg}
+	defIdx := make(map[*types.Var][]int) // var -> indices into defs
+
+	addDef := func(obj *types.Var, pos token.Pos) int {
+		i := len(r.defs)
+		r.defs = append(r.defs, defSite{obj: obj, pos: pos})
+		defIdx[obj] = append(defIdx[obj], i)
+		return i
+	}
+
+	// Entry definitions: parameters, receiver, named results.
+	var entryDefs []int
+	declParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					entryDefs = append(entryDefs, addDef(v, name.Pos()))
+				}
+			}
+		}
+	}
+	declParams(fd.Recv)
+	declParams(fd.Type.Params)
+	declParams(fd.Type.Results)
+
+	// Block-local definitions, in node order. gen keeps only each block's
+	// last definition per variable (earlier ones are killed within the
+	// block).
+	type blockDefs struct {
+		ordered []int // all defs in the block, in order
+	}
+	perBlock := make(map[*Block]*blockDefs)
+	collect := func(blk *Block, n ast.Node) {
+		record := func(id *ast.Ident) {
+			if id == nil || id.Name == "_" {
+				return
+			}
+			var v *types.Var
+			if d, ok := info.Defs[id].(*types.Var); ok {
+				v = d
+			} else if u, ok := info.Uses[id].(*types.Var); ok {
+				v = u
+			}
+			if v == nil {
+				return
+			}
+			bd := perBlock[blk]
+			if bd == nil {
+				bd = &blockDefs{}
+				perBlock[blk] = bd
+			}
+			bd.ordered = append(bd.ordered, addDef(v, id.Pos()))
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					record(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				record(id)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							record(name)
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				record(id)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				record(id)
+			}
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			// Nested statements (an if's init recorded in the cond block)
+			// are the block's own nodes; bodies live in other blocks, so a
+			// shallow per-node walk that stops at nested bodies would be
+			// ideal. Statement nodes recorded on a block never contain
+			// bodies (the builder splits those out), so Inspect is safe —
+			// except for the RangeStmt head, whose body hangs off the same
+			// node; handle it without descending.
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				collect(blk, rs)
+				continue
+			}
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == nil {
+					return false
+				}
+				if _, isBody := m.(*ast.BlockStmt); isBody {
+					return false
+				}
+				if _, isLit := m.(*ast.FuncLit); isLit {
+					return false
+				}
+				collect(blk, m)
+				return true
+			})
+		}
+	}
+
+	nbits := len(r.defs)
+	boundary := newBitset(nbits)
+	for _, i := range entryDefs {
+		boundary.set(i)
+	}
+	in, _ := cfg.forward(flowProblem{
+		nbits:    nbits,
+		boundary: boundary,
+		transfer: func(blk *Block, in bitset) bitset {
+			out := in.copy()
+			bd := perBlock[blk]
+			if bd == nil {
+				return out
+			}
+			for _, di := range bd.ordered {
+				// A definition kills every other definition of its
+				// variable, then generates itself.
+				for _, other := range defIdx[r.defs[di].obj] {
+					out.clear(other)
+				}
+				out.set(di)
+			}
+			return out
+		},
+	})
+	r.in = in
+	return r
+}
+
+// reachingAt returns the positions of the definitions of obj that reach
+// blk's entry, for tests.
+func (r *reaching) reachingAt(blk *Block, obj *types.Var) []token.Pos {
+	var out []token.Pos
+	set := r.in[blk]
+	for i, d := range r.defs {
+		if d.obj == obj && set.has(i) {
+			out = append(out, d.pos)
+		}
+	}
+	return out
+}

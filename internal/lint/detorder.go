@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzerDetOrder enforces the determinism contract around map
+// iteration: ranging over a map is fine for commutative work (summing,
+// rebuilding another map) but must not feed anything whose result
+// depends on iteration order. Map order nondeterminism is the one bug
+// class that silently breaks content-addressed caching — two identical
+// runs hash the same logical value to different store.Keys — and it
+// corrupts golden JSON and ordered API responses the same way. Four
+// sinks are flagged inside a map-range body:
+//
+//   - hash folding: any call that builds a store.Key, a *Hash value, or
+//     writes into a hash.Hash state, directly or through module-internal
+//     callees;
+//   - emission: fmt.Fprint* or Write*-method calls that stream output in
+//     iteration order;
+//   - ordered collection: append to a slice declared outside the loop,
+//     unless the function demonstrably sorts that slice afterwards;
+//   - order-dependent selection: an if-guarded plain assignment of the
+//     range key/value to an outer variable — min/max/first-match scans
+//     whose ties resolve in iteration order.
+var analyzerDetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "map iteration order must not feed hashes, emitted output, or ordered responses",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t, ok := p.Pkg.Info.Types[rs.X]; ok {
+					if _, isMap := t.Type.Underlying().(*types.Map); isMap {
+						checkMapRange(p, fd, rs)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkMapRange(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	info := p.Pkg.Info
+	iterVars := rangeBindings(info, rs)
+
+	hw := &hashEmitWalker{prog: p.Prog, visited: make(map[*types.Func]bool)}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs {
+				// A nested map range is its own site; an inner slice range
+				// still executes in the outer map's order, so keep walking.
+				if t, ok := info.Types[n.X]; ok {
+					if _, isMap := t.Type.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if kind := hw.hashesOrEmits(n, p.Pkg); kind != "" {
+				p.Reportf(n.Pos(), "map iteration order feeds %s; iteration order is randomized, so the result is nondeterministic", kind)
+				return false
+			}
+		case *ast.AssignStmt:
+			checkOrderedAppend(p, fd, rs, n)
+		case *ast.IfStmt:
+			checkSelection(p, rs, iterVars, n)
+		}
+		return true
+	})
+}
+
+// rangeBindings returns the objects bound by the range's key and value.
+func rangeBindings(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true // `k, v = range` without :=
+			}
+		}
+	}
+	return out
+}
+
+// checkOrderedAppend flags `x = append(x, ...)` growing a slice declared
+// outside the loop, unless the enclosing function sorts x after the loop
+// (collect-then-sort is the sanctioned pattern for map keys).
+func checkOrderedAppend(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	info := p.Pkg.Info
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		target, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Uses[target]
+		if obj == nil {
+			obj = info.Defs[target]
+		}
+		if obj == nil || obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			continue // loop-local accumulator: scoped to one iteration
+		}
+		if sortedAfter(info, fd, rs, obj) {
+			continue
+		}
+		p.Reportf(as.Pos(), "append inside a map range builds %s in iteration order and the function never sorts it; the collection order is nondeterministic", target.Name)
+	}
+}
+
+// sortedAfter reports whether the function passes obj to a sort/slices
+// function after the range statement ends.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// checkSelection flags an if-guarded plain assignment of the range
+// key/value into an outer variable: a min/max/first-match scan whose
+// ties resolve in map iteration order. Compound assignments (+=, |=)
+// are commutative and exempt.
+func checkSelection(p *Pass, rs *ast.RangeStmt, iterVars map[types.Object]bool, ifs *ast.IfStmt) {
+	info := p.Pkg.Info
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		// `x = append(x, ...)` is a collection, not a selection: the
+		// append rule (with its sorted-after exemption) owns that shape.
+		if len(as.Rhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						return true
+					}
+				}
+			}
+		}
+		usesIter := false
+		for _, rhs := range as.Rhs {
+			ast.Inspect(rhs, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && iterVars[info.Uses[id]] {
+					usesIter = true
+				}
+				return !usesIter
+			})
+		}
+		if !usesIter {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+				continue // loop-local
+			}
+			p.Reportf(as.Pos(), "if-guarded assignment selects a map element into %s; when the guard ties, iteration order decides the winner nondeterministically", id.Name)
+		}
+		return true
+	})
+}
+
+// hashEmitWalker classifies calls that fold state into a hash/key or
+// emit ordered output, expanding module-internal callees.
+type hashEmitWalker struct {
+	prog    *Program
+	visited map[*types.Func]bool
+}
+
+// hashesOrEmits returns a description of the sink the call reaches, or
+// "" when the call is order-safe.
+func (w *hashEmitWalker) hashesOrEmits(call *ast.CallExpr, pkg *Package) string {
+	fn := calleeOf(pkg.Info, call)
+	if fn == nil {
+		return ""
+	}
+	if kind := directSink(fn); kind != "" {
+		return kind
+	}
+	if !w.prog.inModule(fn) || w.visited[fn] {
+		return ""
+	}
+	w.visited[fn] = true
+	decl, declPkg := w.prog.FuncDecl(fn)
+	if decl == nil || decl.Body == nil {
+		return ""
+	}
+	found := ""
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if inner, ok := n.(*ast.CallExpr); ok {
+			if kind := w.hashesOrEmits(inner, declPkg); kind != "" {
+				found = kind + " (via " + fn.Name() + ")"
+			}
+		}
+		return found == ""
+	})
+	return found
+}
+
+// directSink classifies fn itself as a hash or emission sink.
+func directSink(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	// Content hashes: XxxHash returning an unsigned integer, or anything
+	// returning a store.Key.
+	if sig.Results().Len() == 1 {
+		res := sig.Results().At(0).Type()
+		if strings.HasSuffix(fn.Name(), "Hash") {
+			if basic, ok := res.Underlying().(*types.Basic); ok && basic.Info()&types.IsUnsigned != 0 {
+				return "content hash " + fn.Name()
+			}
+		}
+		if isStoreKeyType(res) {
+			return "store.Key builder " + fn.Name()
+		}
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	// Hash-state folding: Write/Sum methods on hash-package types (fnv &
+	// friends).
+	if recv := sig.Recv(); recv != nil {
+		if pkgPath == "hash" || strings.HasPrefix(pkgPath, "hash/") {
+			if strings.HasPrefix(fn.Name(), "Write") || strings.HasPrefix(fn.Name(), "Sum") {
+				return "hash state (" + fn.Name() + ")"
+			}
+		}
+		// Ordered emission: Write* methods on builders/buffers/writers.
+		// Maps are excluded structurally (maps have no methods named
+		// Write*), and the log package is diagnostic, not golden output.
+		if strings.HasPrefix(fn.Name(), "Write") && pkgPath != "log" {
+			return "ordered output (" + fn.Name() + ")"
+		}
+		if fn.Name() == "Encode" && pkgPath == "encoding/json" {
+			return "JSON emission (Encoder.Encode)"
+		}
+	}
+	if pkgPath == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return "ordered output (fmt." + fn.Name() + ")"
+	}
+	return ""
+}

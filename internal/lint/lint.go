@@ -56,7 +56,8 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns every analyzer in the suite.
+// All returns every analyzer in the suite: the six v1 syntax-driven
+// checks plus the four v2 CFG/dataflow checks.
 func All() []*Analyzer {
 	return []*Analyzer{
 		analyzerMemoKey,
@@ -65,6 +66,10 @@ func All() []*Analyzer {
 		analyzerFloatEq,
 		analyzerCtxFlow,
 		analyzerDupeHelper,
+		analyzerGoroLeak,
+		analyzerDetOrder,
+		analyzerAllocHot,
+		analyzerSpanFlow,
 	}
 }
 
@@ -274,17 +279,26 @@ func isFloatType(t types.Type) bool {
 }
 
 // calleeOf resolves the *types.Func a call expression invokes, or nil for
-// indirect calls, conversions and builtins.
+// indirect calls, conversions and builtins. Methods of instantiated
+// generic types resolve to their generic origin, so FuncDecl lookups see
+// the declaration (Tiered[Result].Lookup → Tiered[V].Lookup).
 func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var fn *types.Func
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		fn, _ := info.Uses[fun].(*types.Func)
-		return fn
+		fn, _ = info.Uses[fun].(*types.Func)
 	case *ast.SelectorExpr:
-		fn, _ := info.Uses[fun.Sel].(*types.Func)
-		return fn
+		fn, _ = info.Uses[fun.Sel].(*types.Func)
+	case *ast.IndexExpr:
+		// Explicitly instantiated generic function: f[T](...).
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ = info.Uses[id].(*types.Func)
+		}
 	}
-	return nil
+	if fn != nil {
+		fn = fn.Origin()
+	}
+	return fn
 }
 
 // inModule reports whether obj is declared inside the analyzed module (its

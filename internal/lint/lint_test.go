@@ -20,7 +20,10 @@ import (
 // its key does not cover — so this test is the proof that the analyzer
 // catches it.
 func TestFixtures(t *testing.T) {
-	for _, check := range []string{"memokey", "unitsafe", "lockguard", "floateq", "ctxflow", "dupehelper"} {
+	for _, check := range []string{
+		"memokey", "unitsafe", "lockguard", "floateq", "ctxflow", "dupehelper",
+		"goroleak", "detorder", "allochot", "spanflow",
+	} {
 		t.Run(check, func(t *testing.T) {
 			t.Parallel()
 			runFixture(t, check)

@@ -1,0 +1,349 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerSpanFlow enforces the observability contract from the obs
+// layer: in an instrumented package (one that imports a package named
+// "obs"), every exported context-taking function must make its work
+// visible in traces — it either starts a span itself (obs.Start /
+// obs.StartAt / Recorder.Observe) or forwards its context to at least
+// one module-internal callee that transitively does. Entry points that
+// never hand their context to module code have nothing to instrument
+// and are exempt (ctxflow already polices context threading itself).
+//
+// For every span started, End must be reachable on EVERY CFG path to a
+// return — the usual failure being an early error return threaded past
+// the End call. A deferred End covers all paths by construction; for
+// non-deferred Ends the analyzer runs a forward dataflow over the CFG
+// with one "span open" bit per started span, killed by s.End(), and
+// reports spans whose bit can still be live at function exit. A span
+// handed to another function or stored into a structure is assumed
+// delegated and not tracked.
+var analyzerSpanFlow = &Analyzer{
+	Name: "spanflow",
+	Doc:  "exported ctx-takers in instrumented packages must start (or delegate to) a span, and every span's End must be reachable on all paths",
+	Run:  runSpanFlow,
+}
+
+func runSpanFlow(p *Pass) {
+	if p.Pkg.Types.Name() == "obs" || !importsPkgNamed(p.Pkg, "obs") {
+		return
+	}
+	memo := make(map[*types.Func]bool)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !takesContext(p.Pkg.Info, fd) {
+				continue
+			}
+			checkSpanCoverage(p, fd, memo)
+			checkSpanEnds(p, fd)
+		}
+	}
+}
+
+// importsPkgNamed reports whether pkg directly imports a package with
+// the given name.
+func importsPkgNamed(pkg *Package, name string) bool {
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// takesContext reports whether fd has a context.Context parameter.
+func takesContext(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, f := range fd.Type.Params.List {
+		if t, ok := info.Types[f.Type]; ok && isContextType(t.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isObsStart reports whether fn begins instrumentation: the obs package
+// functions Start/StartAt, or Recorder.Observe.
+func isObsStart(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return false
+	}
+	switch fn.Name() {
+	case "Start", "StartAt", "Observe":
+		return true
+	}
+	return false
+}
+
+// checkSpanCoverage reports an exported ctx-taker that forwards its
+// context into the module but never reaches a span start.
+func checkSpanCoverage(p *Pass, fd *ast.FuncDecl, memo map[*types.Func]bool) {
+	info := p.Pkg.Info
+	forwards := false
+	covered := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if covered {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if isObsStart(fn) {
+			covered = true
+			return false
+		}
+		if fn == nil || !p.Prog.inModule(fn) {
+			return true
+		}
+		ctxArg := false
+		for _, arg := range call.Args {
+			if t, ok := info.Types[arg]; ok && isContextType(t.Type) {
+				ctxArg = true
+			}
+		}
+		if !ctxArg {
+			return true
+		}
+		forwards = true
+		if startsSpanTransitively(p.Prog, fn, memo, make(map[*types.Func]bool)) {
+			covered = true
+			return false
+		}
+		return true
+	})
+	if forwards && !covered {
+		p.Reportf(fd.Name.Pos(), "exported %s forwards its context into the module but no call path starts a span; its work is invisible in traces", fd.Name.Name)
+	}
+}
+
+// startsSpanTransitively reports whether fn or any module-internal
+// callee starts a span.
+func startsSpanTransitively(prog *Program, fn *types.Func, memo map[*types.Func]bool, seen map[*types.Func]bool) bool {
+	if v, ok := memo[fn]; ok {
+		return v
+	}
+	if seen[fn] {
+		return false // cycle: no span found on this path yet
+	}
+	seen[fn] = true
+	decl, declPkg := prog.FuncDecl(fn)
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(declPkg.Info, call)
+		if isObsStart(callee) {
+			found = true
+			return false
+		}
+		if callee != nil && prog.inModule(callee) && startsSpanTransitively(prog, callee, memo, seen) {
+			found = true
+			return false
+		}
+		return true
+	})
+	memo[fn] = found
+	return found
+}
+
+// spanStart is one tracked `_, sp := obs.Start*(...)` site.
+type spanStart struct {
+	assign *ast.AssignStmt
+	obj    *types.Var // the span variable
+}
+
+// checkSpanEnds verifies End reachability on all paths for spans started
+// and kept in this function.
+func checkSpanEnds(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	var starts []spanStart
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literal bodies have their own lifecycle
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isObsStart(calleeOf(info, call)) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			var v *types.Var
+			if d, ok := info.Defs[id].(*types.Var); ok {
+				v = d
+			} else if u, ok := info.Uses[id].(*types.Var); ok {
+				v = u
+			}
+			if v != nil && isObsSpanPtr(v.Type()) {
+				starts = append(starts, spanStart{assign: as, obj: v})
+			}
+		}
+		return true
+	})
+	if len(starts) == 0 {
+		return
+	}
+
+	cfg := buildCFG(fd.Body)
+
+	// A deferred End (directly or inside a deferred closure) runs at
+	// every exit; a span passed to another call is delegated. Both drop
+	// out of path tracking.
+	tracked := starts[:0]
+	for _, st := range starts {
+		if deferredEnd(cfg, info, st.obj) || delegated(fd, info, st) {
+			continue
+		}
+		tracked = append(tracked, st)
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	_, out := cfg.forward(flowProblem{
+		nbits:    len(tracked),
+		boundary: newBitset(len(tracked)),
+		transfer: func(blk *Block, in bitset) bitset {
+			facts := in.copy()
+			for _, n := range blk.Nodes {
+				if _, ok := n.(*ast.RangeStmt); ok {
+					continue // loop body facts belong to the body block
+				}
+				for i, st := range tracked {
+					if n == ast.Node(st.assign) {
+						facts.set(i)
+					}
+					if nodeEndsSpan(info, n, st.obj) {
+						facts.clear(i)
+					}
+				}
+			}
+			return facts
+		},
+	})
+	exitIn := newBitset(len(tracked))
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			if s == cfg.Exit {
+				exitIn.unionWith(out[blk])
+			}
+		}
+	}
+	for i, st := range tracked {
+		if exitIn.has(i) {
+			p.Reportf(st.assign.Pos(), "span %s may reach a return without End on some path; defer %s.End() or End on every branch including error returns", st.obj.Name(), st.obj.Name())
+		}
+	}
+}
+
+// isObsSpanPtr reports whether t is *obs.Span (by package name, so
+// fixtures with a local obs stub typecheck the same way).
+func isObsSpanPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+// deferredEnd reports whether any defer ends sp (directly or within a
+// deferred closure).
+func deferredEnd(cfg *CFG, info *types.Info, sp *types.Var) bool {
+	for _, ds := range cfg.Defers {
+		if nodeEndsSpan(info, ds, sp) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeEndsSpan reports whether n contains a call sp.End().
+func nodeEndsSpan(info *types.Info, n ast.Node, sp *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == types.Object(sp) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// delegated reports whether the span is handed to another call or
+// stored beyond a local variable — its End becomes someone else's
+// obligation.
+func delegated(fd *ast.FuncDecl, info *types.Info, st spanStart) bool {
+	out := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if out {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == types.Object(st.obj) {
+					out = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == st.assign {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				id, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || info.Uses[id] != types.Object(st.obj) {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if _, isIdent := ast.Unparen(n.Lhs[i]).(*ast.Ident); !isIdent {
+						out = true // stored into a field/index: escapes
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok && info.Uses[id] == types.Object(st.obj) {
+					out = true
+				}
+			}
+		}
+		return !out
+	})
+	return out
+}

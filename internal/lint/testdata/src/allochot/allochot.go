@@ -1,0 +1,97 @@
+// Package allochot exercises the hot-path allocation analyzer: a
+// function annotated //acr:hotpath must not allocate on its checked
+// paths, where the nil fast-path edge of a guard is exempt.
+package allochot
+
+import "fmt"
+
+// Rec mimics the obs span: nil means disabled, and the disabled path
+// must be allocation-free.
+type Rec struct {
+	attrs []string
+}
+
+// Sink receives boxed values.
+func Sink(v any) {}
+
+// HotClean is the steady-state shape: index arithmetic into
+// preallocated storage, no allocating construct anywhere.
+//
+//acr:hotpath
+func HotClean(dst []float64, src []float64, scale float64) {
+	for i := range src {
+		dst[i] = src[i] * scale
+	}
+}
+
+// HotAllocates is the seeded true positive: growth, literals, boxing,
+// fmt and concatenation all on the unguarded path.
+//
+//acr:hotpath
+func HotAllocates(xs []int, name string) []int {
+	out := make([]int, 0) // want "make allocates"
+	for _, x := range xs {
+		out = append(out, x) // want "append may grow"
+	}
+	Sink(len(xs))             // want "boxes into interface parameter"
+	fmt.Println(name)         // want "fmt.Println allocates"
+	label := name + "-suffix" // want "string concatenation allocates"
+	_ = label
+	return out
+}
+
+// HotGuarded allocates only behind the non-nil edge of the guard — the
+// disabled fast path stays free, so the function is clean.
+//
+//acr:hotpath
+func (r *Rec) HotGuarded(v string) {
+	if r == nil {
+		return
+	}
+	r.attrs = append(r.attrs, v)
+}
+
+// HotBoxesBeforeGuard is the PR-5 regression class: the argument boxes
+// at the call site BEFORE the callee's nil check can save it.
+//
+//acr:hotpath
+func (r *Rec) HotBoxesBeforeGuard(v int) {
+	r.hotSet(v) // want "boxes into interface parameter"
+}
+
+func (r *Rec) hotSet(v any) {
+	if r == nil {
+		return
+	}
+	r.attrs = append(r.attrs, fmt.Sprint(v))
+}
+
+// HotCallsHelper taints through the module call graph: the helper's
+// allocation lands on the call site.
+//
+//acr:hotpath
+func HotCallsHelper(n int) []int {
+	return build(n) // want "make allocates"
+}
+
+func build(n int) []int {
+	return make([]int, n)
+}
+
+// HotClosure captures a loop variable, forcing a heap allocation.
+//
+//acr:hotpath
+func HotClosure(xs []int) func() int {
+	total := 0
+	f := func() int { return total } // want "closure captures outer variables"
+	for _, x := range xs {
+		total += x
+	}
+	return f
+}
+
+// notHot allocates freely: only annotated functions are checked (their
+// callees are checked through expansion, not independently).
+func notHot() []string {
+	return []string{"a", "b"}
+}

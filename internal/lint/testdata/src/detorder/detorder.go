@@ -1,0 +1,108 @@
+// Package detorder exercises the map-order determinism analyzer: map
+// ranges must not feed hashes, ordered emission, unsorted collections,
+// or tie-breaking selections.
+package detorder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fixture/detorder/store"
+)
+
+// HashFromMap is the seeded true positive for the cache-poisoning bug
+// class: folding map entries into a content hash in iteration order
+// makes the key nondeterministic.
+func HashFromMap(m map[string]int) uint64 {
+	var h uint64
+	for k, v := range m {
+		h = foldHash(h, k, v) // want "feeds content hash foldHash"
+	}
+	return h
+}
+
+func foldHash(h uint64, k string, v int) uint64 {
+	for i := 0; i < len(k); i++ {
+		h = h*31 + uint64(k[i])
+	}
+	return h*31 + uint64(v)
+}
+
+// KeyFromMap reaches a store.Key builder through a helper — the module
+// call graph must carry the taint.
+func KeyFromMap(m map[string]int) store.Key {
+	var k store.Key
+	for name, v := range m {
+		k = mix(k, name, v) // want "store.Key builder mix"
+	}
+	return k
+}
+
+func mix(k store.Key, name string, v int) store.Key {
+	k.Hi = k.Hi*31 + uint64(len(name))
+	k.Lo = k.Lo*31 + uint64(v)
+	return k
+}
+
+// EmitFromMap streams entries in iteration order: golden output churns
+// on every run.
+func EmitFromMap(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&sb, "%s=%d\n", k, v) // want "ordered output"
+	}
+	return sb.String()
+}
+
+// CollectUnsorted appends map keys and never sorts them — a response
+// whose order flips between runs.
+func CollectUnsorted(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k) // want "never sorts it"
+	}
+	return names
+}
+
+// CollectSorted is the sanctioned pattern: collect, then sort.
+func CollectSorted(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SelectOldest mirrors the job-queue pruner: ties between equal values
+// resolve in iteration order.
+func SelectOldest(m map[string]int) string {
+	var best string
+	bestV := -1
+	for k, v := range m {
+		if bestV == -1 || v < bestV {
+			best = k  // want "iteration order decides the winner"
+			bestV = v // want "iteration order decides the winner"
+		}
+	}
+	return best
+}
+
+// Accumulate is commutative: summing needs no order.
+func Accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Rebuild inserts into another map: order-independent by construction.
+func Rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+// Package store is the miniature of the real internal/store: functions
+// returning Key are store-key builders, which map iteration order must
+// never feed.
+package store
+
+// Key is a 128-bit content address.
+type Key struct {
+	Hi uint64
+	Lo uint64
+}

@@ -1,0 +1,106 @@
+// Package goroleak exercises the goroutine-lifecycle analyzer: launched
+// goroutines must be joined via WaitGroup or channel, or bounded by
+// context cancellation reachable on the CFG.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// Leaky is the seeded true positive: an unbounded spinner nothing ever
+// joins or cancels.
+func Leaky() {
+	go func() { // want "neither joined .* nor bounded"
+		for {
+			work()
+		}
+	}()
+}
+
+// JoinedByWaitGroup mirrors the server queue worker: a deferred Done
+// ties the goroutine to a Wait elsewhere.
+func JoinedByWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// SignalsOnChannel mirrors the shutdown watcher: closing done is the
+// join signal.
+func SignalsOnChannel(wg *sync.WaitGroup) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	return done
+}
+
+// BoundedByContext selects on ctx.Done, so cancellation retires it.
+func BoundedByContext(ctx context.Context, in <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				use(v)
+			}
+		}
+	}()
+}
+
+// DrainsChannel ranges over a channel: closing the channel retires it.
+func DrainsChannel(jobs <-chan int) {
+	go func() {
+		for j := range jobs {
+			use(j)
+		}
+	}()
+}
+
+// LaunchesNamedWorker launches a module-internal function; the analyzer
+// expands its body and finds the cancellation select there.
+func LaunchesNamedWorker(ctx context.Context, in <-chan int) {
+	go worker(ctx, in)
+}
+
+func worker(ctx context.Context, in <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			use(v)
+		}
+	}
+}
+
+// LaunchesLeakyNamed expands the named callee and finds nothing: the
+// spin loop never checks anything.
+func LaunchesLeakyNamed() {
+	go spinner() // want "running spinner is neither joined"
+}
+
+func spinner() {
+	for {
+		work()
+	}
+}
+
+// UnreachableJoin textually contains a Done call, but the infinite loop
+// above it has no exit — CFG reachability must see through the lie.
+func UnreachableJoin(wg *sync.WaitGroup) {
+	go func() { // want "neither joined .* nor bounded"
+		for {
+			work()
+		}
+		wg.Done()
+	}()
+}
+
+func work()     {}
+func use(v int) {}

@@ -134,6 +134,8 @@ func (c *Cache[V]) shardFor(key string) *shard[V] {
 }
 
 // Get returns the cached value for key, marking it most recently used.
+//
+//acr:hotpath
 func (c *Cache[V]) Get(key string) (V, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -150,6 +152,8 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 
 // Put inserts or refreshes key, evicting the shard's least recently used
 // entry when the shard is full.
+//
+//acr:hotpath
 func (c *Cache[V]) Put(key string, value V) {
 	bytes := int64(len(key) + c.size(value))
 	s := c.shardFor(key)
@@ -173,6 +177,7 @@ func (c *Cache[V]) Put(key string, value V) {
 			s.evictions++
 		}
 	}
+	//lint:ignore allochot the insert path's single entry allocation is the cache storing its value; the hit and refresh paths above stay alloc-free
 	s.entries[key] = s.order.PushFront(&entry[V]{key: key, value: value, bytes: bytes})
 	s.bytes += bytes
 }

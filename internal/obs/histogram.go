@@ -147,18 +147,23 @@ func (r *Recorder) StageStats() []StageStats {
 	if r == nil {
 		return nil
 	}
+	// Collect names, sort, then resolve histograms by sorted name: the
+	// output (and the name↔histogram pairing) never sees map iteration
+	// order.
 	r.mu.RLock()
 	names := make([]string, 0, len(r.stages))
-	hists := make([]*Histogram, 0, len(r.stages))
-	for name, h := range r.stages {
+	for name := range r.stages {
 		names = append(names, name)
-		hists = append(hists, h)
+	}
+	sort.Strings(names)
+	hists := make([]*Histogram, len(names))
+	for i, name := range names {
+		hists[i] = r.stages[name]
 	}
 	r.mu.RUnlock()
 	out := make([]StageStats, len(names))
 	for i, h := range hists {
 		out[i] = h.stats(names[i])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
 	return out
 }

@@ -127,3 +127,39 @@ func TestBucketCountsSumToTotal(t *testing.T) {
 		t.Errorf("bucket sum %d vs count %d, want %d", sum, st[0].Count, len(durations))
 	}
 }
+
+// TestStageStatsSortedAndPaired is the regression test for the
+// StageStats snapshot: stages must come back sorted by name with each
+// name paired to its own histogram. The original implementation
+// collected names and histograms in two parallel slices filled in map
+// iteration order and sorted only the assembled output by name — the
+// name↔histogram pairing itself was fixed before the sort, so a pairing
+// bug of that family shuffles counts between stages. Distinct per-stage
+// sample counts make any cross-wiring visible.
+func TestStageStatsSortedAndPaired(t *testing.T) {
+	rec := NewRecorder(0)
+	// Insertion order deliberately differs from sorted order.
+	samples := map[string]int{"zeta": 5, "alpha": 1, "mid": 3, "beta": 2}
+	for stage, n := range samples {
+		for i := 0; i < n; i++ {
+			rec.Observe(stage, time.Millisecond)
+		}
+	}
+	for round := 0; round < 10; round++ {
+		st := rec.StageStats()
+		if len(st) != len(samples) {
+			t.Fatalf("round %d: %d stages, want %d", round, len(st), len(samples))
+		}
+		for i := 1; i < len(st); i++ {
+			if st[i-1].Stage >= st[i].Stage {
+				t.Fatalf("round %d: stages out of order: %q before %q", round, st[i-1].Stage, st[i].Stage)
+			}
+		}
+		for _, s := range st {
+			if want := uint64(samples[s.Stage]); s.Count != want {
+				t.Fatalf("round %d: stage %q has count %d, want %d (histogram paired to wrong name)",
+					round, s.Stage, s.Count, want)
+			}
+		}
+	}
+}

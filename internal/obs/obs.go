@@ -221,6 +221,8 @@ type Span struct {
 // in insertion order. Note the any parameter boxes its argument at the
 // call site even on a nil span; hot paths annotating dynamic strings or
 // integers should use SetStr/SetInt, whose disabled path is free.
+//
+//acr:hotpath
 func (s *Span) SetAttr(key string, value any) {
 	if s == nil {
 		return
@@ -235,6 +237,8 @@ func (s *Span) SetAttr(key string, value any) {
 // SetStr is SetAttr for string values. The typed parameter defers the
 // interface conversion until after the nil check, so a disabled span
 // pays no boxing allocation at the call site.
+//
+//acr:hotpath
 func (s *Span) SetStr(key, value string) {
 	if s == nil {
 		return
@@ -243,6 +247,8 @@ func (s *Span) SetStr(key, value string) {
 }
 
 // SetInt is SetAttr for integer values; see SetStr for why.
+//
+//acr:hotpath
 func (s *Span) SetInt(key string, value int) {
 	if s == nil {
 		return
@@ -253,6 +259,8 @@ func (s *Span) SetInt(key string, value int) {
 // End finishes the span, recording it into the ring buffer and its
 // duration into the stage histogram named after the span. End is
 // idempotent; only the first call records.
+//
+//acr:hotpath
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -318,12 +326,16 @@ func WithRecorder(ctx context.Context, r *Recorder) context.Context {
 
 // RecorderFrom returns the context's recorder, or nil when tracing is
 // disabled.
+//
+//acr:hotpath
 func RecorderFrom(ctx context.Context) *Recorder {
 	r, _ := ctx.Value(recorderKey).(*Recorder)
 	return r
 }
 
 // SpanFrom returns the context's current span, or nil.
+//
+//acr:hotpath
 func SpanFrom(ctx context.Context) *Span {
 	s, _ := ctx.Value(spanKey).(*Span)
 	return s
@@ -332,6 +344,8 @@ func SpanFrom(ctx context.Context) *Span {
 // Start begins a span named name as a child of the context's current
 // span, returning a context carrying the new span. Without a recorder
 // in ctx it returns (ctx, nil) — the disabled fast path.
+//
+//acr:hotpath
 func Start(ctx context.Context, name string) (context.Context, *Span) {
 	return StartAt(ctx, name, time.Time{})
 }
@@ -339,6 +353,8 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 // StartAt is Start with an explicit start time (zero means now), for
 // spans whose beginning predates the code observing them — a job's
 // queue wait starts at enqueue but is recorded at dequeue.
+//
+//acr:hotpath
 func StartAt(ctx context.Context, name string, start time.Time) (context.Context, *Span) {
 	r := RecorderFrom(ctx)
 	if r == nil {

@@ -272,7 +272,12 @@ func (q *Queue) pruneLocked() {
 		if !j.State().Terminal() {
 			continue
 		}
-		if oldest == nil || j.created.Before(oldest.created) {
+		// The comparator is total: equal creation times (coarse clocks
+		// produce them) break on the unique job ID, so the evicted job does
+		// not depend on map iteration order.
+		if oldest == nil || j.created.Before(oldest.created) ||
+			(j.created.Equal(oldest.created) && j.ID < oldest.ID) {
+			//lint:ignore detorder comparator is total (created, then unique ID), so the selection is iteration-order independent
 			oldest = j
 		}
 	}

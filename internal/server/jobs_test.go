@@ -237,3 +237,62 @@ func TestJobStateStrings(t *testing.T) {
 		t.Error("unknown state formatting")
 	}
 }
+
+// TestPruneDeterministicTieBreak is the regression test for the prune
+// comparator: when several terminal jobs share the oldest creation time
+// (coarse clocks make that routine), the evicted job must not depend on
+// map iteration order. The total order breaks ties on the unique job ID,
+// so across repeated runs the lexicographically smallest tied ID is
+// always the one pruned.
+func TestPruneDeterministicTieBreak(t *testing.T) {
+	created := time.Now()
+	for round := 0; round < 20; round++ {
+		q := &Queue{jobs: make(map[string]*Job)}
+		for i := 0; i <= maxRetainedJobs; i++ {
+			j := &Job{
+				ID:      fmt.Sprintf("job-%06d", i),
+				state:   JobSucceeded,
+				created: created, // every job ties on creation time
+			}
+			q.jobs[j.ID] = j
+		}
+		q.mu.Lock()
+		q.pruneLocked()
+		q.mu.Unlock()
+		if len(q.jobs) != maxRetainedJobs {
+			t.Fatalf("round %d: %d jobs retained, want %d", round, len(q.jobs), maxRetainedJobs)
+		}
+		if _, ok := q.jobs["job-000000"]; ok {
+			t.Fatalf("round %d: prune kept job-000000; a different tied job was evicted (map-order dependent)", round)
+		}
+	}
+}
+
+// TestPruneEvictsOldestTerminal pins the primary ordering: with distinct
+// creation times the oldest terminal job goes first, and non-terminal
+// jobs are never pruned regardless of age.
+func TestPruneEvictsOldestTerminal(t *testing.T) {
+	base := time.Now()
+	q := &Queue{jobs: make(map[string]*Job)}
+	for i := 0; i <= maxRetainedJobs; i++ {
+		st := JobSucceeded
+		if i == 0 {
+			st = JobRunning // oldest of all, but not terminal
+		}
+		j := &Job{
+			ID:      fmt.Sprintf("job-%06d", i),
+			state:   st,
+			created: base.Add(time.Duration(i) * time.Second),
+		}
+		q.jobs[j.ID] = j
+	}
+	q.mu.Lock()
+	q.pruneLocked()
+	q.mu.Unlock()
+	if _, ok := q.jobs["job-000000"]; !ok {
+		t.Fatal("prune evicted the running job")
+	}
+	if _, ok := q.jobs["job-000001"]; ok {
+		t.Fatal("prune kept the oldest terminal job")
+	}
+}

@@ -228,6 +228,8 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // ListenAndServe serves on addr until ctx is cancelled (SIGTERM in
 // acrserve), then drains in-flight requests and shuts the job queue down
 // gracefully.
+//
+//lint:ignore spanflow the server's lifetime is not a traced operation; spans start per request in the handlers
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
