@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/arch"
@@ -576,6 +577,48 @@ func BenchmarkObsDisabledOverhead(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkStreamOverhead prices the streaming tentpole's progress
+// plumbing (BENCH_obs.json): the cold 512-design Table 3 sweep with a
+// per-point progress callback attached must stay within ~5% of the same
+// sweep without one. The plumbing is one context lookup per sweep plus
+// one indirect call per finished point (dse.WithProgress), so the
+// callback's cost is amortised over a full simulation per point.
+func BenchmarkStreamOverhead(b *testing.B) {
+	w := model.PaperWorkload(model.GPT3_175B())
+	g := dse.Table3(4800, []float64{600})
+	b.Run("sweep/plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dse.NewExplorer().RunContext(context.Background(), g, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sweep/progress", func(b *testing.B) {
+		// The consumer mimics a stream hub's bookkeeping: a counter and a
+		// running aggregate under a mutex, contended by the sweep workers.
+		var mu sync.Mutex
+		points, area := 0, 0.0
+		ctx := dse.WithProgress(context.Background(), func(p dse.Point) {
+			mu.Lock()
+			points++
+			area += p.AreaMM2
+			mu.Unlock()
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dse.NewExplorer().RunContext(ctx, g, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if points == 0 || area == 0 {
+			b.Fatal("progress callback never fired")
+		}
+		b.ReportMetric(float64(points)/float64(b.N), "points/op")
 	})
 }
 

@@ -7,6 +7,7 @@
 //
 //	curl -X POST localhost:8080/v1/classify -d '{"tpp":4992,"device_bw_gbs":600}'
 //	curl -X POST localhost:8080/v1/dse -d '{"table3":{"tpp":4800},"rule":"oct2022"}'
+//	curl -N localhost:8080/v1/jobs/job-000001/stream
 //	curl localhost:8080/metrics
 //	curl "localhost:8080/debug/obs/trace?trace=<id>&format=tree"
 //	curl localhost:8080/debug/obs/stats
@@ -35,8 +36,10 @@ func main() {
 		workers    = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 		backlog    = flag.Int("backlog", 64, "max queued sweep jobs before 503 back-pressure")
 		cache      = flag.Int("cache", 0, "result cache entries (0 = default, -1 = disabled)")
-		cacheDir   = flag.String("cache-dir", "", "persist evaluated points under this directory so warm restarts skip re-simulation (empty = memory-only)")
+		cacheDir   = flag.String("cache-dir", "", "persist evaluated points and the job journal under this directory: warm restarts skip re-simulation, finished jobs stay poll-able, unfinished jobs resume (empty = memory-only)")
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job deadline (-1s = none)")
+		rateLimit  = flag.Float64("rate-limit", 0, "per-client job submissions per second, 429 + Retry-After past it (0 = unlimited)")
+		rateBurst  = flag.Int("rate-burst", 1, "token-bucket burst for -rate-limit")
 		traceCap   = flag.Int("trace-capacity", 0, "span ring-buffer capacity for /debug/obs (0 = default, -1 = tracing off)")
 		verbose    = flag.Bool("v", false, "debug-level logs")
 	)
@@ -66,6 +69,8 @@ func main() {
 		CacheEntries:  *cache,
 		CacheDir:      *cacheDir,
 		JobTimeout:    *jobTimeout,
+		RateLimit:     *rateLimit,
+		RateBurst:     *rateBurst,
 		TraceCapacity: *traceCap,
 		Logger:        logger,
 	})

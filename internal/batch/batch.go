@@ -253,6 +253,18 @@ func growT(s []perf.Time, n int) []perf.Time {
 // wrapping ctx.Err() — the same partial-result semantics as
 // dse.EvaluateContext, which feeds this into its errors.Join reporting.
 func (e *Evaluator) Sweep(ctx context.Context, cfgs []arch.Config, g ir.Graph) (Outcome, error) {
+	return e.SweepFunc(ctx, cfgs, g, nil)
+}
+
+// SweepFunc is Sweep with incremental delivery: after each width-sized
+// chunk of designs is fully assembled, onChunk is invoked with the
+// in-progress outcome and the chunk's half-open design range [lo, hi).
+// Entries in that range are final (Done/Errs/Results will not change);
+// entries outside it may not be evaluated yet. onChunk runs on the
+// sweeping goroutine between chunks — a slow callback stalls the sweep,
+// and the `//acr:hotpath` chunk kernel itself is untouched. A nil
+// onChunk is exactly Sweep.
+func (e *Evaluator) SweepFunc(ctx context.Context, cfgs []arch.Config, g ir.Graph, onChunk func(out *Outcome, lo, hi int)) (Outcome, error) {
 	out := Outcome{
 		Results: make([]sim.Result, len(cfgs)),
 		Done:    make([]bool, len(cfgs)),
@@ -273,7 +285,7 @@ func (e *Evaluator) Sweep(ctx context.Context, cfgs []arch.Config, g ir.Graph) (
 	// The per-op Times escape into results (and from there into caller
 	// caches), so their backing array is per-sweep, not pooled.
 	backing := make([]perf.Time, len(cfgs)*nNodes)
-	err := e.sweepInto(ctx, s, cfgs, g, &out, backing)
+	err := e.sweepInto(ctx, s, cfgs, g, &out, backing, onChunk)
 	scratchPool.Put(s)
 	return out, err
 }
@@ -290,8 +302,9 @@ func (e *Evaluator) SweepWorkload(ctx context.Context, cfgs []arch.Config, w mod
 // sweepInto is the allocation-free core: it prepares the scratch arena
 // (nodes, groups, term offsets) and runs the chunked assembly loop,
 // writing results into out and backing. It allocates only to grow the
-// arena (first sweeps) or to report per-design errors.
-func (e *Evaluator) sweepInto(ctx context.Context, s *scratch, cfgs []arch.Config, g ir.Graph, out *Outcome, backing []perf.Time) error {
+// arena (first sweeps) or to report per-design errors. A non-nil onChunk
+// observes each chunk the moment its assembly loop finishes.
+func (e *Evaluator) sweepInto(ctx context.Context, s *scratch, cfgs []arch.Config, g ir.Graph, out *Outcome, backing []perf.Time, onChunk func(out *Outcome, lo, hi int)) error {
 	s.prepare(e.Engine, cfgs, g, out)
 	width := e.Width
 	if width <= 0 {
@@ -329,6 +342,9 @@ func (e *Evaluator) sweepInto(ctx context.Context, s *scratch, cfgs []arch.Confi
 				r.DecodeMFU = s.dfl[d] / (r.TBTSeconds * peak)
 			}
 			out.Done[d] = true
+		}
+		if onChunk != nil {
+			onChunk(out, lo, hi)
 		}
 	}
 	if err := ctx.Err(); err != nil {

@@ -302,6 +302,9 @@ func (e *Explorer) EvaluateContext(ctx context.Context, configs []arch.Config, w
 	points := make([]Point, len(configs))
 	done := make([]bool, len(configs))
 	errs := make([]error, len(configs))
+	// One lookup per sweep: the no-progress path never touches the
+	// context again, so plain sweeps stay exactly as cheap as before.
+	progress := progressFrom(ctx)
 	workers := e.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -323,6 +326,9 @@ func (e *Explorer) EvaluateContext(ctx context.Context, configs []arch.Config, w
 				}
 				points[idx] = p
 				done[idx] = true
+				if progress != nil {
+					progress(p)
+				}
 			}
 		}()
 	}
@@ -455,6 +461,7 @@ func (e *Explorer) evaluateBatch(ctx context.Context, configs []arch.Config, g i
 	points := make([]Point, len(configs))
 	done := make([]bool, len(configs))
 	errs := make([]error, len(configs))
+	progress := progressFrom(ctx)
 
 	miss := configs
 	missIdx := []int(nil)
@@ -472,6 +479,9 @@ func (e *Explorer) evaluateBatch(ctx context.Context, configs []arch.Config, g i
 				p.Result.Config = cfg
 				points[i] = p
 				done[i] = true
+				if progress != nil {
+					progress(p)
+				}
 				continue
 			}
 			miss = append(miss, cfg)
@@ -490,25 +500,47 @@ func (e *Explorer) evaluateBatch(ctx context.Context, configs []arch.Config, g i
 			// path can never diverge from what the scalar path would report.
 			ev = &batch.Evaluator{Engine: e.Sim.Engine, Width: ev.Width}
 		}
-		var out batch.Outcome
-		out, abortErr = ev.Sweep(ctx, miss, g)
-		for k := range miss {
+		// finishMiss finalises the k-th missed design from the (possibly
+		// still in-progress) outcome. It is idempotent — the progress path
+		// finishes each design the moment its chunk lands, and the
+		// post-sweep loop below then only records errors and designs whose
+		// chunk never ran.
+		finishMiss := func(o *batch.Outcome, k int) {
 			i := k
 			if missIdx != nil {
 				i = missIdx[k]
 			}
-			if out.Errs != nil && out.Errs[k] != nil {
-				errs[i] = fmt.Errorf("dse: %s: %w", configs[i].Name, out.Errs[k])
-				continue
+			if o.Errs != nil && o.Errs[k] != nil {
+				errs[i] = fmt.Errorf("dse: %s: %w", configs[i].Name, o.Errs[k])
+				return
 			}
-			if !out.Done[k] {
-				continue // cancelled before this design's chunk
+			if !o.Done[k] || done[i] {
+				return // cancelled before this design's chunk, or already finished
 			}
-			e.finishPointInto(&points[i], configs[i], &out.Results[k])
+			e.finishPointInto(&points[i], configs[i], &o.Results[k])
 			if e.Cache != nil {
 				e.Cache.Put(ctx, keys[i], points[i])
 			}
 			done[i] = true
+			if progress != nil {
+				progress(points[i])
+			}
+		}
+		var out batch.Outcome
+		if progress != nil {
+			// Streaming sweep: finish (and deliver) each chunk's designs as
+			// the batch evaluator completes it instead of waiting for the
+			// whole struct-of-arrays pass.
+			out, abortErr = ev.SweepFunc(ctx, miss, g, func(o *batch.Outcome, lo, hi int) {
+				for k := lo; k < hi; k++ {
+					finishMiss(o, k)
+				}
+			})
+		} else {
+			out, abortErr = ev.Sweep(ctx, miss, g)
+		}
+		for k := range miss {
+			finishMiss(&out, k)
 		}
 	}
 

@@ -93,6 +93,12 @@ func rfc3339OrEmpty(t time.Time) string {
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked is Status with j.mu already held — Cancel snapshots the
+// job inside the same critical section as the state change.
+func (j *Job) statusLocked() JobStatus {
 	st := JobStatus{
 		ID:         j.ID,
 		State:      j.state.String(),
@@ -127,16 +133,30 @@ var ErrQueueFull = errors.New("server: job queue backlog full")
 // context.Context derived from the queue's base context plus the
 // configured deadline, so cancelling a job (or shutting the queue down)
 // aborts its work promptly.
+//
+// The backlog is a mutex-guarded FIFO rather than a channel so that
+// cancelling a pending job frees its slot immediately: Depth reports
+// only jobs that will actually run, and Submit never rejects on slots
+// held by corpses (the backlog-slot-leak bug the channel design had).
+// Workers park on the wake channel when the backlog is empty.
 type Queue struct {
-	base    context.Context
-	stop    context.CancelFunc
-	pending chan *Job
-	workers int
-	timeout time.Duration
+	base     context.Context
+	stop     context.CancelFunc
+	workers  int
+	capacity int
+	timeout  time.Duration
+	// wake carries at most one token per backlog slot; Submit's
+	// non-blocking send can only fail when enough stale tokens are
+	// already buffered to rouse a worker anyway.
+	wake chan struct{}
 
-	mu   sync.Mutex
-	jobs map[string]*Job
-	seq  uint64
+	mu      sync.Mutex
+	backlog []*Job
+	jobs    map[string]*Job
+	seq     uint64
+	// onTerminal, when set (SetTerminalHook), receives every job's
+	// terminal status snapshot; the journal persists results through it.
+	onTerminal func(JobStatus)
 
 	wg        sync.WaitGroup
 	submitted atomic.Uint64
@@ -163,12 +183,13 @@ func NewQueue(workers, backlog int, jobTimeout time.Duration) *Queue {
 	}
 	base, stop := context.WithCancel(context.Background())
 	q := &Queue{
-		base:    base,
-		stop:    stop,
-		pending: make(chan *Job, backlog),
-		workers: workers,
-		timeout: jobTimeout,
-		jobs:    make(map[string]*Job),
+		base:     base,
+		stop:     stop,
+		workers:  workers,
+		capacity: backlog,
+		timeout:  jobTimeout,
+		wake:     make(chan struct{}, backlog),
+		jobs:     make(map[string]*Job),
 	}
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
@@ -177,19 +198,54 @@ func NewQueue(workers, backlog int, jobTimeout time.Duration) *Queue {
 	return q
 }
 
+// SetTerminalHook registers fn to receive the terminal status snapshot
+// of every job the moment it finishes (success, failure, cancellation —
+// including a pending job cancelled before it ran). Register before the
+// first Submit; fn runs outside the queue's locks.
+func (q *Queue) SetTerminalHook(fn func(JobStatus)) {
+	q.mu.Lock()
+	q.onTerminal = fn
+	q.mu.Unlock()
+}
+
+// terminalHook snapshots the registered hook under q.mu.
+func (q *Queue) terminalHook() func(JobStatus) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.onTerminal
+}
+
 func (q *Queue) worker() {
 	defer q.wg.Done()
 	for {
 		select {
 		case <-q.base.Done():
 			return
-		case j, ok := <-q.pending:
-			if !ok {
-				return
-			}
+		default:
+		}
+		if j := q.take(); j != nil {
 			q.run(j)
+			continue
+		}
+		select {
+		case <-q.base.Done():
+			return
+		case <-q.wake:
 		}
 	}
+}
+
+// take pops the backlog's head, or nil when it is empty.
+func (q *Queue) take() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.backlog) == 0 {
+		return nil
+	}
+	j := q.backlog[0]
+	q.backlog[0] = nil // release the reference for GC
+	q.backlog = q.backlog[1:]
+	return j
 }
 
 func (q *Queue) run(j *Job) {
@@ -215,7 +271,6 @@ func (q *Queue) run(j *Job) {
 	result, err := fn(ctx)
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	switch {
 	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
@@ -231,33 +286,80 @@ func (q *Queue) run(j *Job) {
 		j.result = result
 		q.completed.Add(1)
 	}
+	st := j.statusLocked()
+	j.mu.Unlock()
+	if hook := q.terminalHook(); hook != nil {
+		hook(st)
+	}
 }
 
-// Submit enqueues fn and returns its job handle, or ErrQueueFull when the
-// backlog is at capacity.
+// Submit enqueues fn under a fresh sequential ID and returns its job
+// handle, or ErrQueueFull when the backlog is at capacity.
 func (q *Queue) Submit(fn JobFunc) (*Job, error) {
+	return q.submit("", fn)
+}
+
+// SubmitNamed enqueues fn under a caller-chosen ID — the journal's
+// restart path resubmits unfinished jobs under their original IDs so
+// poll URLs handed out before the restart stay valid. The ID's numeric
+// suffix (if any) advances the queue's sequence, so fresh submissions
+// never collide with a replayed ID.
+func (q *Queue) SubmitNamed(id string, fn JobFunc) (*Job, error) {
+	if id == "" {
+		return nil, fmt.Errorf("server: empty job ID")
+	}
+	return q.submit(id, fn)
+}
+
+func (q *Queue) submit(id string, fn JobFunc) (*Job, error) {
 	q.mu.Lock()
-	q.seq++
+	if len(q.backlog) >= q.capacity {
+		q.mu.Unlock()
+		q.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	if id == "" {
+		q.seq++
+		id = fmt.Sprintf("job-%06d", q.seq)
+	} else {
+		if _, exists := q.jobs[id]; exists {
+			q.mu.Unlock()
+			return nil, fmt.Errorf("server: job %q already exists", id)
+		}
+		q.reserveSeqLocked(id)
+	}
 	j := &Job{
-		ID:      fmt.Sprintf("job-%06d", q.seq),
+		ID:      id,
 		state:   JobPending,
 		created: time.Now(),
 		fn:      fn,
 	}
 	q.jobs[j.ID] = j
+	q.backlog = append(q.backlog, j)
 	q.pruneLocked()
 	q.mu.Unlock()
-
+	q.submitted.Add(1)
 	select {
-	case q.pending <- j:
-		q.submitted.Add(1)
-		return j, nil
-	default:
-		q.mu.Lock()
-		delete(q.jobs, j.ID)
-		q.mu.Unlock()
-		q.rejected.Add(1)
-		return nil, ErrQueueFull
+	case q.wake <- struct{}{}:
+	default: // enough tokens buffered to rouse a worker already
+	}
+	return j, nil
+}
+
+// ReserveID advances the queue's ID sequence past id's numeric suffix,
+// so a journaled-but-finished job's ID is never reissued to new work.
+func (q *Queue) ReserveID(id string) {
+	q.mu.Lock()
+	q.reserveSeqLocked(id)
+	q.mu.Unlock()
+}
+
+// reserveSeqLocked bumps q.seq past the numeric suffix of a "job-NNNNNN"
+// ID; other ID shapes reserve nothing. Callers hold q.mu.
+func (q *Queue) reserveSeqLocked(id string) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > q.seq {
+		q.seq = n
 	}
 }
 
@@ -286,6 +388,11 @@ func (q *Queue) pruneLocked() {
 	}
 }
 
+// ShuttingDown reports whether Shutdown has begun. Jobs cancelled by
+// shutdown are process-death casualties, not user cancellations — the
+// journal leaves them unfinished so the next start resumes them.
+func (q *Queue) ShuttingDown() bool { return q.base.Err() != nil }
+
 // Get returns the job with the given ID.
 func (q *Queue) Get(id string) (*Job, bool) {
 	q.mu.Lock()
@@ -295,34 +402,70 @@ func (q *Queue) Get(id string) (*Job, bool) {
 }
 
 // Cancel aborts the identified job: a pending job is marked cancelled
-// without running, a running job has its context cancelled (the state
-// turns cancelled when the JobFunc returns). It reports whether the job
-// exists and whether the cancellation took effect (false when the job had
-// already finished).
-func (q *Queue) Cancel(id string) (found, cancelled bool) {
-	j, ok := q.Get(id)
+// without running (and its backlog slot is freed immediately), a running
+// job has its context cancelled (the state turns cancelled when the
+// JobFunc returns). It reports whether the job exists and whether the
+// cancellation took effect (false when the job had already finished),
+// plus the job's status snapshot taken in the same critical section as
+// the state change — callers must use the snapshot rather than re-fetch
+// the job, which a concurrent Submit's prune may already have evicted.
+func (q *Queue) Cancel(id string) (st JobStatus, found, cancelled bool) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
 	if !ok {
-		return false, false
+		q.mu.Unlock()
+		return JobStatus{}, false, false
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch j.state {
 	case JobPending:
 		j.state = JobCancelled
 		j.finished = time.Now()
 		j.err = context.Canceled
 		q.cancelled.Add(1)
-		return true, true
+		q.removeBacklogLocked(j)
+		st = j.statusLocked()
+		j.mu.Unlock()
+		hook := q.onTerminal
+		q.mu.Unlock()
+		if hook != nil {
+			hook(st)
+		}
+		return st, true, true
 	case JobRunning:
 		j.cancel() // run() records the terminal state when fn returns
-		return true, true
+		st = j.statusLocked()
+		j.mu.Unlock()
+		q.mu.Unlock()
+		return st, true, true
 	default:
-		return true, false
+		st = j.statusLocked()
+		j.mu.Unlock()
+		q.mu.Unlock()
+		return st, true, false
 	}
 }
 
-// Depth returns the number of jobs queued but not yet started.
-func (q *Queue) Depth() int { return len(q.pending) }
+// removeBacklogLocked drops j from the backlog FIFO, freeing its slot
+// the moment a pending job is cancelled. Callers hold q.mu.
+func (q *Queue) removeBacklogLocked(j *Job) {
+	for i, b := range q.backlog {
+		if b == j {
+			copy(q.backlog[i:], q.backlog[i+1:])
+			q.backlog[len(q.backlog)-1] = nil
+			q.backlog = q.backlog[:len(q.backlog)-1]
+			return
+		}
+	}
+}
+
+// Depth returns the number of jobs queued but not yet started; cancelled
+// pending jobs leave the backlog immediately and are never counted.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.backlog)
+}
 
 // Snapshot exports the queue counters for /metrics.
 func (q *Queue) Snapshot() QueueSnapshot {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -69,7 +70,7 @@ func TestQueueCancelRunningJob(t *testing.T) {
 		return nil, ctx.Err()
 	})
 	<-started
-	found, cancelled := q.Cancel(j.ID)
+	_, found, cancelled := q.Cancel(j.ID)
 	if !found || !cancelled {
 		t.Fatalf("Cancel = %v, %v", found, cancelled)
 	}
@@ -94,7 +95,7 @@ func TestQueueCancelPendingJob(t *testing.T) {
 		ran = true
 		return nil, nil
 	})
-	if found, cancelled := q.Cancel(j2.ID); !found || !cancelled {
+	if _, found, cancelled := q.Cancel(j2.ID); !found || !cancelled {
 		t.Fatalf("cancel pending failed")
 	}
 	close(block)
@@ -106,8 +107,103 @@ func TestQueueCancelPendingJob(t *testing.T) {
 	if ran {
 		t.Error("cancelled pending job still executed")
 	}
-	if _, cancelled := q.Cancel(j2.ID); cancelled {
+	if _, _, cancelled := q.Cancel(j2.ID); cancelled {
 		t.Error("re-cancelling a finished job should report no effect")
+	}
+}
+
+// TestCancelledPendingJobsFreeBacklogSlots is the backlog-slot-leak
+// regression: cancelling every queued job must free its slot at once —
+// Depth drops to zero and the next Submit succeeds. Under the old
+// channel-backed backlog the corpses sat in the channel until a worker
+// drained them, so Depth over-reported and Submit returned spurious
+// ErrQueueFull.
+func TestCancelledPendingJobsFreeBacklogSlots(t *testing.T) {
+	q := NewQueue(1, 2, 0)
+	defer q.Shutdown(context.Background())
+	block := make(chan struct{})
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(block) }) }
+	defer release()
+	started := make(chan struct{})
+	q.Submit(func(ctx context.Context) (any, error) { close(started); <-block; return nil, nil })
+	<-started // the single worker is now occupied
+
+	// Fill the backlog completely, then prove it is full.
+	var pending []*Job
+	for i := 0; i < 2; i++ {
+		j, err := q.Submit(func(ctx context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, j)
+	}
+	if _, err := q.Submit(func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull Submit err = %v, want ErrQueueFull", err)
+	}
+
+	// Cancel the whole backlog: every slot must free immediately.
+	for _, j := range pending {
+		if _, found, cancelled := q.Cancel(j.ID); !found || !cancelled {
+			t.Fatalf("cancel pending %s failed", j.ID)
+		}
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("Depth after cancelling the backlog = %d, want 0", d)
+	}
+	j, err := q.Submit(func(ctx context.Context) (any, error) { return "freed", nil })
+	if err != nil {
+		t.Fatalf("Submit after cancelling a full backlog = %v, want success", err)
+	}
+	release() // let the worker drain to the freed job
+	for _, p := range pending {
+		if s := waitTerminal(t, p); s != JobCancelled {
+			t.Fatalf("pending job %s state = %v, want cancelled", p.ID, s)
+		}
+	}
+	if s := waitTerminal(t, j); s != JobSucceeded {
+		t.Fatalf("post-cancel job state = %v, want succeeded", s)
+	}
+}
+
+// TestCancelSnapshotSurvivesPrune pins the cancel-status contract behind
+// the handleJobCancel nil-deref fix: Cancel returns the job's status
+// snapshot from inside its own critical section, so the caller has a
+// complete status even when the job is evicted from the retention map
+// immediately afterwards (a concurrent Submit's pruneLocked does exactly
+// that to a freshly-terminal job under a full map). The old two-step
+// Cancel-then-Get pattern panicked here.
+func TestCancelSnapshotSurvivesPrune(t *testing.T) {
+	q := NewQueue(1, 8, 0)
+	defer q.Shutdown(context.Background())
+	j, err := q.Submit(func(ctx context.Context) (any, error) { return "done", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+
+	// Fill the retention map so the terminal job is the prune victim.
+	q.mu.Lock()
+	for i := 0; i < maxRetainedJobs; i++ {
+		id := fmt.Sprintf("filler-%06d", i)
+		q.jobs[id] = &Job{ID: id, state: JobSucceeded, created: time.Now()}
+	}
+	q.mu.Unlock()
+
+	st, found, cancelled := q.Cancel(j.ID)
+	if !found || cancelled {
+		t.Fatalf("Cancel(terminal) = found %v cancelled %v, want true false", found, cancelled)
+	}
+	// Evict the job exactly as a racing Submit's prune would, then verify
+	// the snapshot is self-contained.
+	q.mu.Lock()
+	q.pruneLocked()
+	q.mu.Unlock()
+	if _, ok := q.Get(j.ID); ok {
+		t.Fatal("prune did not evict the terminal job; test premise broken")
+	}
+	if st.ID != j.ID || st.State != "succeeded" || st.Result != "done" {
+		t.Fatalf("snapshot after eviction = %+v, want the terminal status", st)
 	}
 }
 

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ratelimit.go throttles job submissions per client. Each client (keyed
+// by remote IP) owns a lazily-refilled token bucket: RateLimit tokens
+// per second up to a burst of RateBurst, one token per submission.
+// Over-limit submissions get 429 with a Retry-After hint instead of a
+// backlog slot — cheap protection for the expensive endpoints (sweeps
+// and searches), while polls and synchronous endpoints stay unmetered.
+
+// maxRateClients bounds the per-client bucket map; past it, buckets
+// that have refilled to full (idle clients) are swept out.
+const maxRateClients = 4096
+
+type rateBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is a per-client token bucket set. Safe for concurrent
+// use.
+type rateLimiter struct {
+	ratePerSec float64
+	burst      float64
+
+	mu      sync.Mutex
+	buckets map[string]*rateBucket
+}
+
+func newRateLimiter(ratePerSec float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		ratePerSec: ratePerSec,
+		burst:      float64(burst),
+		buckets:    make(map[string]*rateBucket),
+	}
+}
+
+// allow spends one token for the client if available, otherwise reports
+// how long until the next token accrues.
+func (rl *rateLimiter) allow(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[client]
+	if b == nil {
+		rl.pruneLocked(now)
+		b = &rateBucket{tokens: rl.burst, last: now}
+		rl.buckets[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * rl.ratePerSec
+		if b.tokens > rl.burst {
+			b.tokens = rl.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := (1 - b.tokens) / rl.ratePerSec
+	return false, time.Duration(wait * float64(time.Second))
+}
+
+// pruneLocked drops buckets idle long enough to have refilled to full —
+// they are indistinguishable from fresh ones, so eviction cannot grant
+// extra tokens. Unordered map sweep: eligibility depends only on each
+// bucket's own clock, not on visit order. Callers hold rl.mu.
+func (rl *rateLimiter) pruneLocked(now time.Time) {
+	if len(rl.buckets) < maxRateClients {
+		return
+	}
+	for client, b := range rl.buckets {
+		if now.Sub(b.last).Seconds()*rl.ratePerSec >= rl.burst-b.tokens {
+			delete(rl.buckets, client)
+		}
+	}
+}
+
+// allowSubmit gates a submission endpoint: true to proceed, false after
+// writing the 429 (with Retry-After, whole seconds, rounded up).
+func (s *Server) allowSubmit(w http.ResponseWriter, r *http.Request) bool {
+	if s.limiter == nil {
+		return true
+	}
+	client, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		client = r.RemoteAddr
+	}
+	ok, retryAfter := s.limiter.allow(client, time.Now())
+	if ok {
+		return true
+	}
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, "rate limit exceeded, retry in %ds", secs)
+	return false
+}

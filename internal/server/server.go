@@ -17,10 +17,18 @@
 //	POST   /v1/audit      config → audit + remediation menu
 //	POST   /v1/dse        grid → 202 + job ID (async sweep)
 //	POST   /v1/search     engine + budget → 202 + job ID (adaptive search)
-//	GET    /v1/jobs/{id}  poll job status / result
+//	GET    /v1/jobs/{id}  poll job status / result (ETag/If-None-Match)
+//	GET    /v1/jobs/{id}/stream  NDJSON/SSE: per-design points, running
+//	                      Pareto front, terminal summary
 //	DELETE /v1/jobs/{id}  cancel a pending or running job
 //	GET    /healthz       liveness
 //	GET    /metrics       counters, histograms, cache, queue
+//
+// With a cache directory configured, accepted jobs are journalled to
+// disk (spec on submit, status snapshot on completion): after a restart
+// finished jobs stay poll-able and unfinished ones resume under their
+// original IDs. A configurable per-client token bucket rate-limits the
+// submission endpoints with 429 + Retry-After back-pressure.
 //
 // Deep-dive profiling lives under /debug: /debug/obs/trace serves the
 // span ring buffer (package obs) as JSON or an indented tree,
@@ -29,22 +37,27 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/area"
 	"repro/internal/compliance"
 	"repro/internal/dse"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/search"
@@ -62,11 +75,23 @@ type Config struct {
 	// dse.DefaultCacheEntries, negative disables caching.
 	CacheEntries int
 	// CacheDir, when non-empty, attaches a persistent disk tier under
-	// this directory to the shared result store: evaluated points survive
-	// restarts, and a warm directory serves repeat sweeps from disk
-	// instead of re-simulating. Empty (the default) keeps the store
-	// memory-only — nothing is ever written to disk.
+	// this directory to the shared result store — evaluated points
+	// survive restarts, and a warm directory serves repeat sweeps from
+	// disk instead of re-simulating — and enables the job journal under
+	// <CacheDir>/jobs: accepted DSE/search jobs persist their specs and
+	// terminal results, so finished jobs stay poll-able across restarts
+	// and unfinished ones resume. Empty (the default) keeps everything
+	// in memory — nothing is ever written to disk.
 	CacheDir string
+	// RateLimit, when positive, throttles job submissions (POST /v1/dse
+	// and /v1/search) per client IP to this many requests per second;
+	// over-limit submissions get 429 with a Retry-After hint instead of
+	// a backlog slot. 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket burst for RateLimit — how many
+	// submissions a quiet client may fire back-to-back; values below 1
+	// (including the zero default) mean 1.
+	RateBurst int
 	// JobTimeout is the per-job deadline; 0 means 10 minutes, negative
 	// disables the deadline.
 	JobTimeout time.Duration
@@ -99,6 +124,14 @@ type Server struct {
 	// dseJobKey share one execution, and followers return the leader's
 	// DSEResult (cache deltas included) without re-running the grid.
 	dseFlights store.Flight[DSEResult]
+	// journal persists job specs and terminal results under
+	// <CacheDir>/jobs; nil without a cache directory.
+	journal *journal
+	// limiter rate-limits the submission endpoints; nil when disabled.
+	limiter *rateLimiter
+	// streams maps live job IDs to their stream hubs (stream.go).
+	streamMu sync.Mutex
+	streams  map[string]*streamHub
 }
 
 // New returns a started Server (its worker pool is live; Close releases
@@ -144,9 +177,25 @@ func New(cfg Config) *Server {
 		metrics:  newMetrics(),
 		log:      cfg.Logger,
 		mux:      http.NewServeMux(),
+		streams:  make(map[string]*streamHub),
 	}
 	if cfg.TraceCapacity >= 0 {
 		s.obs = obs.NewRecorder(cfg.TraceCapacity) // 0 → obs.DefaultCapacity
+	}
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
+	}
+	// The hook must precede the first Submit (journal replay included) so
+	// no terminal transition escapes the stream hubs or the journal.
+	s.queue.SetTerminalHook(s.onJobTerminal)
+	if cfg.CacheDir != "" {
+		jl, err := openJournal(cfg.CacheDir, s.obs, s.log)
+		if err != nil {
+			// Like a bad cache dir: degrade durability, not availability.
+			s.log.Warn("job journal disabled", "dir", cfg.CacheDir, "err", err)
+		} else {
+			s.journal = jl
+		}
 	}
 	s.route("POST /v1/classify", s.handleClassify)
 	s.route("POST /v1/simulate", s.handleSimulate)
@@ -154,6 +203,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/dse", s.handleDSE)
 	s.route("POST /v1/search", s.handleSearch)
 	s.route("GET /v1/jobs/{id}", s.handleJobGet)
+	s.route("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	s.route("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
@@ -167,7 +217,85 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	if s.journal != nil {
+		s.replayJournal()
+	}
 	return s
+}
+
+// onJobTerminal is the queue's terminal hook: it releases the job's
+// stream (the hub's final frames become available) and persists the
+// terminal snapshot, result included, to the journal.
+func (s *Server) onJobTerminal(st JobStatus) {
+	s.finishStream(st)
+	if s.journal == nil {
+		return
+	}
+	// A job cancelled by queue shutdown is interrupted, not finished:
+	// leaving its record spec-only makes the next start resubmit it.
+	if st.State == JobCancelled.String() && s.queue.ShuttingDown() {
+		return
+	}
+	s.journal.setTerminal(st)
+}
+
+// replayJournal restores journalled jobs at startup: finished jobs
+// reserve their IDs (polls and streams serve the persisted record),
+// unfinished ones are rebuilt from their specs and resubmitted under
+// their original IDs so pre-restart poll URLs keep working. A spec that
+// no longer parses — or a backlog too small to hold the survivors — is
+// journalled as failed so its pollers see a terminal state, never a
+// permanent pending.
+func (s *Server) replayJournal() {
+	for _, r := range s.journal.records() {
+		if r.Status != nil {
+			s.queue.ReserveID(r.ID)
+			continue
+		}
+		if err := s.replayJob(r); err != nil {
+			s.log.Warn("journal replay failed", "job", r.ID, "kind", r.Kind, "err", err)
+			s.queue.ReserveID(r.ID)
+			s.journal.setTerminal(JobStatus{
+				ID:    r.ID,
+				State: JobFailed.String(),
+				Error: fmt.Sprintf("journal replay failed: %v", err),
+			})
+			continue
+		}
+		s.log.Info("journal replay resubmitted", "job", r.ID, "kind", r.Kind)
+	}
+}
+
+// replayJob rebuilds one unfinished journalled job from its spec and
+// resubmits it. Replayed jobs carry no request trace (their originating
+// request died with the old process), so the span context is zero.
+func (s *Server) replayJob(r jobRecord) error {
+	switch r.Kind {
+	case jobKindDSE:
+		var req DSERequest
+		if err := json.Unmarshal(r.Spec, &req); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+		dj, err := s.parseDSE(req)
+		if err != nil {
+			return err
+		}
+		_, err = s.enqueueDSE(dj, obs.SpanContext{}, r.ID)
+		return err
+	case jobKindSearch:
+		var req SearchRequest
+		if err := json.Unmarshal(r.Spec, &req); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+		sj, err := s.parseSearch(req)
+		if err != nil {
+			return err
+		}
+		_, err = s.enqueueSearch(sj, obs.SpanContext{}, r.ID)
+		return err
+	default:
+		return fmt.Errorf("unknown job kind %q", r.Kind)
+	}
 }
 
 // Obs returns the server's span recorder, nil when tracing is disabled.
@@ -197,6 +325,18 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards streaming flushes to the underlying writer, so frames
+// written by the jobs stream endpoint reach the client as they happen
+// instead of buffering behind the wrapper.
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // route registers a handler wrapped with metrics, structured logging and
 // a request span, all labelled by the mux pattern. The span's context
@@ -392,30 +532,40 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 // caller.
 const statusClientClosedRequest = 499
 
-func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
-	var req DSERequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
+// dseJob is a validated DSE submission, ready to enqueue — parsed once
+// by handleDSE, and again from the journalled spec on restart replay.
+type dseJob struct {
+	// spec is the accepted request, journalled verbatim.
+	spec      json.RawMessage
+	grid      dse.Grid
+	wl        model.Workload
+	metric    func(dse.Point) float64
+	keep      func(dse.Point) bool
+	top       int
+	rule      string
+	objective string
+	eval      string
+	ex        *dse.Explorer
+}
+
+// parseDSE validates a DSE request into its runnable form; errors map
+// to 400s.
+func (s *Server) parseDSE(req DSERequest) (*dseJob, error) {
 	grid, err := req.grid()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
 	if grid.Size() > s.cfg.MaxGridSize {
-		writeError(w, http.StatusBadRequest, "grid of %d designs exceeds the %d-design limit",
+		return nil, fmt.Errorf("grid of %d designs exceeds the %d-design limit",
 			grid.Size(), s.cfg.MaxGridSize)
-		return
 	}
 	metric, err := req.metric()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
 	keep, err := req.admissible()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
 	wreq := WorkloadRequest{}
 	if req.Workload != nil {
@@ -423,94 +573,65 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 	}
 	wl, err := wreq.Workload()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "workload: %v", err)
-		return
+		return nil, fmt.Errorf("workload: %w", err)
 	}
-	top := req.Top
-	if top <= 0 {
-		top = 5
+	dj := &dseJob{
+		grid:      grid,
+		wl:        wl,
+		metric:    metric,
+		keep:      keep,
+		top:       req.Top,
+		rule:      req.Rule,
+		objective: req.Objective,
+		eval:      req.Eval,
+		ex:        s.explorer,
 	}
-	rule := req.Rule
-	if rule == "" {
-		rule = "none"
+	if dj.top <= 0 {
+		dj.top = 5
 	}
-	objective := req.Objective
-	if objective == "" {
-		objective = "ttft"
+	if dj.rule == "" {
+		dj.rule = "none"
 	}
-	eval := req.Eval
-	if eval == "" {
-		eval = "scalar"
+	if dj.objective == "" {
+		dj.objective = "ttft"
 	}
-	ex := s.explorer
-	switch eval {
+	switch dj.eval {
+	case "":
+		dj.eval = "scalar"
 	case "scalar":
 	case "batch":
-		ex = s.batchEx
+		dj.ex = s.batchEx
 	default:
-		writeError(w, http.StatusBadRequest, "unknown eval %q (scalar, batch)", req.Eval)
-		return
+		return nil, fmt.Errorf("unknown eval %q (scalar, batch)", req.Eval)
 	}
+	if dj.spec, err = json.Marshal(req); err != nil {
+		return nil, fmt.Errorf("marshal spec: %w", err)
+	}
+	return dj, nil
+}
 
-	// The job outlives this request: capture the span context now and
-	// attach it inside the worker, so the sweep's spans join the request
-	// trace even after r.Context() has died with the response.
-	sc := obs.ContextOf(r.Context())
-	key := dseJobKey(grid, wl, rule, objective, top, eval)
+// enqueueDSE submits a validated DSE job — under a fresh ID from HTTP
+// (id ""), or a journalled job's original ID on replay. The stream hub
+// exists before the submit so the stream cannot miss a frame, and the
+// spec is journalled once the job has an ID.
+func (s *Server) enqueueDSE(dj *dseJob, sc obs.SpanContext, id string) (*Job, error) {
+	hub := newStreamHub(dj.metric, dse.MetricArea, dj.keep)
+	key := dseJobKey(dj.grid, dj.wl, dj.rule, dj.objective, dj.top, dj.eval)
 	enqueuedAt := time.Now()
-	job, err := s.queue.Submit(func(ctx context.Context) (any, error) {
+	fn := func(ctx context.Context) (any, error) {
 		ctx = sc.Attach(ctx)
 		_, wait := obs.StartAt(ctx, "queue.wait", enqueuedAt)
 		wait.End() // enqueue → dequeue: ends the moment the worker picks us up
 		ctx, jsp := obs.Start(ctx, "dse.job")
 		defer jsp.End()
-		jsp.SetStr("grid", grid.Name)
-		jsp.SetInt("designs", grid.Size())
+		jsp.SetStr("grid", dj.grid.Name)
+		jsp.SetInt("designs", dj.grid.Size())
 		// Identical queued sweeps coalesce: one worker runs the grid, the
-		// others share its DSEResult the moment it lands.
+		// others share its DSEResult the moment it lands. Only the leader
+		// sweeps, so only its hub streams per-point frames; followers
+		// stream their terminal summary alone.
 		res, shared, err := s.dseFlights.Do(ctx, key, func() (DSEResult, error) {
-			start := time.Now()
-			var before store.Stats
-			if s.explorer.Cache != nil {
-				before = s.explorer.Cache.Stats()
-			}
-			points, err := ex.RunContext(ctx, grid, wl)
-			if err != nil {
-				return DSEResult{}, err
-			}
-			admissible := dse.Filter(points, keep)
-			sort.Slice(admissible, func(i, j int) bool {
-				return metric(admissible[i]) < metric(admissible[j])
-			})
-			if top > len(admissible) {
-				top = len(admissible)
-			}
-			res := DSEResult{
-				Grid:       grid.Name,
-				Workload:   wl.Model.Name,
-				Rule:       rule,
-				Objective:  objective,
-				Designs:    len(points),
-				Admissible: len(admissible),
-				DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
-			}
-			if s.explorer.Cache != nil {
-				after := s.explorer.Cache.Stats()
-				res.CacheHits = after.Hits - before.Hits
-				res.CacheMisses = after.Misses - before.Misses
-			}
-			for i, p := range admissible[:top] {
-				res.Top = append(res.Top, DesignSummary{
-					Rank:       i + 1,
-					Config:     p.Config.Name,
-					TTFTMS:     p.TTFT() * 1e3,
-					TBTMS:      p.TBT() * 1e3,
-					AreaMM2:    p.AreaMM2,
-					PD:         p.PD,
-					DieCostUSD: p.DieCostUSD,
-				})
-			}
-			return res, nil
+			return s.runDSE(dse.WithProgress(ctx, hub.point), dj)
 		})
 		if err != nil {
 			return nil, err
@@ -525,7 +646,92 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 			jsp.SetStr("coalesced", "true")
 		}
 		return res, nil
+	}
+	job, err := s.submitNamed(id, fn)
+	if err != nil {
+		return nil, err
+	}
+	s.registerStream(job.ID, hub)
+	if s.journal != nil {
+		s.journal.appendSpec(job.ID, jobKindDSE, dj.spec)
+	}
+	return job, nil
+}
+
+// submitNamed routes between fresh and replayed-ID submission.
+func (s *Server) submitNamed(id string, fn JobFunc) (*Job, error) {
+	if id == "" {
+		return s.queue.Submit(fn)
+	}
+	return s.queue.SubmitNamed(id, fn)
+}
+
+// runDSE executes the sweep and assembles the DSEResult — the flight
+// leader's half of a DSE job.
+func (s *Server) runDSE(ctx context.Context, dj *dseJob) (DSEResult, error) {
+	start := time.Now()
+	var before store.Stats
+	if s.explorer.Cache != nil {
+		before = s.explorer.Cache.Stats()
+	}
+	points, err := dj.ex.RunContext(ctx, dj.grid, dj.wl)
+	if err != nil {
+		return DSEResult{}, err
+	}
+	admissible := dse.Filter(points, dj.keep)
+	sort.Slice(admissible, func(i, j int) bool {
+		return dj.metric(admissible[i]) < dj.metric(admissible[j])
 	})
+	top := dj.top
+	if top > len(admissible) {
+		top = len(admissible)
+	}
+	res := DSEResult{
+		Grid:       dj.grid.Name,
+		Workload:   dj.wl.Model.Name,
+		Rule:       dj.rule,
+		Objective:  dj.objective,
+		Designs:    len(points),
+		Admissible: len(admissible),
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if s.explorer.Cache != nil {
+		after := s.explorer.Cache.Stats()
+		res.CacheHits = after.Hits - before.Hits
+		res.CacheMisses = after.Misses - before.Misses
+	}
+	for i, p := range admissible[:top] {
+		res.Top = append(res.Top, DesignSummary{
+			Rank:       i + 1,
+			Config:     p.Config.Name,
+			TTFTMS:     p.TTFT() * 1e3,
+			TBTMS:      p.TBT() * 1e3,
+			AreaMM2:    p.AreaMM2,
+			PD:         p.PD,
+			DieCostUSD: p.DieCostUSD,
+		})
+	}
+	return res, nil
+}
+
+func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
+	if !s.allowSubmit(w, r) {
+		return
+	}
+	var req DSERequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	dj, err := s.parseDSE(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The job outlives this request: capture the span context now and
+	// attach it inside the worker, so the sweep's spans join the request
+	// trace even after r.Context() has died with the response.
+	sc := obs.ContextOf(r.Context())
+	job, err := s.enqueueDSE(dj, sc, "")
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			writeError(w, http.StatusServiceUnavailable, "job queue full, retry later")
@@ -534,39 +740,41 @@ func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.log.Info("dse job enqueued", "job", job.ID, "grid", grid.Name, "designs", grid.Size())
+	s.log.Info("dse job enqueued", "job", job.ID, "grid", dj.grid.Name, "designs", dj.grid.Size())
 	writeJSON(w, http.StatusAccepted, EnqueueResponse{
-		JobID:   job.ID,
-		State:   job.State().String(),
-		PollURL: "/v1/jobs/" + job.ID,
-		Designs: grid.Size(),
-		Trace:   sc.TraceID(),
+		JobID:     job.ID,
+		State:     job.State().String(),
+		PollURL:   "/v1/jobs/" + job.ID,
+		StreamURL: "/v1/jobs/" + job.ID + "/stream",
+		Designs:   dj.grid.Size(),
+		Trace:     sc.TraceID(),
 	})
 }
 
-// handleSearch enqueues an adaptive design-space search job. It mirrors
-// handleDSE's async shape, but the worker drives a pluggable engine
-// (package search) through the shared explorer under an evaluation
-// budget instead of sweeping a grid; the runner's search.run,
-// search.generation and search.evaluate spans join the request trace.
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	var req SearchRequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
+// searchJob is a validated search submission, ready to enqueue.
+type searchJob struct {
+	spec   json.RawMessage
+	prob   search.Problem
+	eng    search.Explorer
+	engine string
+	seed   uint64
+	budget int
+}
+
+// parseSearch validates a search request into its runnable form; errors
+// map to 400s. The engine is freshly constructed from the (derived)
+// seed, so a journal replay reproduces the original run exactly.
+func (s *Server) parseSearch(req SearchRequest) (*searchJob, error) {
 	prob, err := req.problem()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
 	if req.Budget <= 0 {
-		writeError(w, http.StatusBadRequest, "budget must be positive")
-		return
+		return nil, fmt.Errorf("budget must be positive")
 	}
 	if req.Budget > s.cfg.MaxGridSize {
-		writeError(w, http.StatusBadRequest, "budget of %d evaluations exceeds the %d-design limit",
+		return nil, fmt.Errorf("budget of %d evaluations exceeds the %d-design limit",
 			req.Budget, s.cfg.MaxGridSize)
-		return
 	}
 	engine := req.Engine
 	if engine == "" {
@@ -578,13 +786,49 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	eng, err := search.New(engine, prob.Space, seed)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err) // lists the valid engines
-		return
+		return nil, err // lists the valid engines
 	}
+	spec, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("marshal spec: %w", err)
+	}
+	return &searchJob{
+		spec:   spec,
+		prob:   prob,
+		eng:    eng,
+		engine: engine,
+		seed:   seed,
+		budget: req.Budget,
+	}, nil
+}
 
-	sc := obs.ContextOf(r.Context())
+// searchStreamHub builds the stream hub for a search job: the front
+// axes are the problem's first two objectives (die area when there is
+// only one), admissibility is the problem's feasibility predicate.
+func searchStreamHub(prob search.Problem) *streamHub {
+	xf := prob.Objectives[0].F // validateProblem guarantees at least one
+	yf := dse.MetricArea
+	if len(prob.Objectives) > 1 {
+		yf = prob.Objectives[1].F
+	}
+	feasible := prob.Feasible
+	if feasible == nil {
+		feasible = search.FeasibleReticle
+	}
+	keep := func(p dse.Point) bool {
+		ok, _ := feasible(p)
+		return ok
+	}
+	return newStreamHub(xf, yf, keep)
+}
+
+// enqueueSearch submits a validated search job; id works as in
+// enqueueDSE. The runner evaluates through the shared explorer, so the
+// progress hook streams every newly simulated design.
+func (s *Server) enqueueSearch(sj *searchJob, sc obs.SpanContext, id string) (*Job, error) {
+	hub := searchStreamHub(sj.prob)
 	enqueuedAt := time.Now()
-	job, err := s.queue.Submit(func(ctx context.Context) (any, error) {
+	fn := func(ctx context.Context) (any, error) {
 		ctx = sc.Attach(ctx)
 		_, wait := obs.StartAt(ctx, "queue.wait", enqueuedAt)
 		wait.End()
@@ -593,7 +837,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if s.explorer.Cache != nil {
 			before = s.explorer.Cache.Stats()
 		}
-		out, err := (&search.Runner{Explorer: s.explorer}).Run(ctx, prob, eng, req.Budget, seed)
+		ctx = dse.WithProgress(ctx, hub.point)
+		out, err := (&search.Runner{Explorer: s.explorer}).Run(ctx, sj.prob, sj.eng, sj.budget, sj.seed)
 		if err != nil {
 			return nil, err
 		}
@@ -604,7 +849,38 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			res.CacheMisses = after.Misses - before.Misses
 		}
 		return res, nil
-	})
+	}
+	job, err := s.submitNamed(id, fn)
+	if err != nil {
+		return nil, err
+	}
+	s.registerStream(job.ID, hub)
+	if s.journal != nil {
+		s.journal.appendSpec(job.ID, jobKindSearch, sj.spec)
+	}
+	return job, nil
+}
+
+// handleSearch enqueues an adaptive design-space search job. It mirrors
+// handleDSE's async shape, but the worker drives a pluggable engine
+// (package search) through the shared explorer under an evaluation
+// budget instead of sweeping a grid; the runner's search.run,
+// search.generation and search.evaluate spans join the request trace.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !s.allowSubmit(w, r) {
+		return
+	}
+	var req SearchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sj, err := s.parseSearch(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sc := obs.ContextOf(r.Context())
+	job, err := s.enqueueSearch(sj, sc, "")
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			writeError(w, http.StatusServiceUnavailable, "job queue full, retry later")
@@ -613,39 +889,114 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.log.Info("search job enqueued", "job", job.ID, "engine", engine, "space", prob.Space.Name, "budget", req.Budget)
+	s.log.Info("search job enqueued", "job", job.ID, "engine", sj.engine, "space", sj.prob.Space.Name, "budget", sj.budget)
 	writeJSON(w, http.StatusAccepted, EnqueueResponse{
-		JobID:   job.ID,
-		State:   job.State().String(),
-		PollURL: "/v1/jobs/" + job.ID,
-		Designs: req.Budget,
-		Trace:   sc.TraceID(),
+		JobID:     job.ID,
+		State:     job.State().String(),
+		PollURL:   "/v1/jobs/" + job.ID,
+		StreamURL: "/v1/jobs/" + job.ID + "/stream",
+		Designs:   sj.budget,
+		Trace:     sc.TraceID(),
 	})
 }
 
+// handleJobGet polls a job. Terminal statuses are immutable, so they
+// carry a strong ETag over the exact response bytes and honour
+// If-None-Match with an empty 304; a job evicted from the queue's
+// retention map is still served from the journal — byte-identical to
+// the live response, even across a restart.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.queue.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	id := r.PathValue("id")
+	var st JobStatus
+	if job, ok := s.queue.Get(id); ok {
+		st = job.Status()
+	} else if jst, ok := s.journalStatus(id); ok {
+		st = jst
+	} else {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Status())
+	switch st.State {
+	case JobSucceeded.String(), JobFailed.String(), JobCancelled.String():
+	default:
+		writeJSON(w, http.StatusOK, st) // still moving; not cacheable
+		return
+	}
+	body, err := encodeIndented(st)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	etag := etagFor(body)
+	w.Header().Set("ETag", etag)
+	if inmMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck // client disconnects are not actionable
+}
+
+// journalStatus looks a job up in the journal's terminal records.
+func (s *Server) journalStatus(id string) (JobStatus, bool) {
+	if s.journal == nil {
+		return JobStatus{}, false
+	}
+	return s.journal.terminal(id)
+}
+
+// encodeIndented renders v exactly as writeJSON would (two-space
+// indent, trailing newline), but to memory — the ETag must hash the
+// bytes the client will actually receive.
+func encodeIndented(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// etagFor derives a strong entity tag from the response body.
+func etagFor(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body) //nolint:errcheck // hash.Hash never errors
+	return fmt.Sprintf("\"%016x\"", h.Sum64())
+}
+
+// inmMatches reports whether an If-None-Match header matches the entity
+// tag (strong comparison, plus the * wildcard).
+func inmMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	found, cancelled := s.queue.Cancel(id)
+	// The status snapshot comes from Cancel itself, taken under the same
+	// lock as the state change: re-fetching the job here would race with
+	// a concurrent Submit's prune evicting it (the old nil-deref panic).
+	st, found, cancelled := s.queue.Cancel(id)
 	if !found {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	job, _ := s.queue.Get(id)
 	if !cancelled {
-		writeJSON(w, http.StatusConflict, job.Status()) // already finished
+		writeJSON(w, http.StatusConflict, st) // already finished
 		return
 	}
 	s.log.Info("job cancelled", "job", id)
-	writeJSON(w, http.StatusAccepted, job.Status())
+	writeJSON(w, http.StatusAccepted, st)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -542,6 +542,10 @@ type EnqueueResponse struct {
 	JobID   string `json:"job_id"`
 	State   string `json:"state"`
 	PollURL string `json:"poll_url"`
+	// StreamURL delivers the job's results incrementally (NDJSON, or
+	// SSE with ?format=sse): per-design point frames, a running Pareto
+	// front, and a terminal summary.
+	StreamURL string `json:"stream_url"`
 	// Designs is the sweep size about to be evaluated.
 	Designs int `json:"designs"`
 	// Trace is the request's trace ID; fetch the sweep's span tree from

@@ -188,6 +188,9 @@ func (d *Disk[V]) Dir() string { return d.dir }
 //	paylen   uint32
 //	checksum uint64   FNV-1a over the payload
 //	payload  paylen bytes — the codec's encoding
+//
+// The container is shared with the named-entry Files tier (files.go),
+// whose key is derived from the entry name rather than the file name.
 
 const (
 	tmpPrefix     = ".tmp-"
@@ -197,7 +200,16 @@ const (
 var magic = [4]byte{'a', 'c', 'r', 's'}
 
 func (d *Disk[V]) encodeFile(k Key, v V) ([]byte, error) {
-	version := d.codec.Version()
+	return encodeEntry(d.codec, k, v)
+}
+
+func (d *Disk[V]) decodeFile(k Key, data []byte) (V, bool) {
+	return decodeEntry(d.codec, k, data)
+}
+
+// encodeEntry serialises one value into the shared container layout.
+func encodeEntry[V any](codec Codec[V], k Key, v V) ([]byte, error) {
+	version := codec.Version()
 	buf := make([]byte, 0, 64+len(version))
 	buf = append(buf, magic[:]...)
 	buf = binary.LittleEndian.AppendUint16(buf, formatVersion)
@@ -205,7 +217,7 @@ func (d *Disk[V]) encodeFile(k Key, v V) ([]byte, error) {
 	buf = append(buf, version...)
 	buf = binary.LittleEndian.AppendUint64(buf, k.Hi)
 	buf = binary.LittleEndian.AppendUint64(buf, k.Lo)
-	payload, err := d.codec.Encode(nil, v)
+	payload, err := codec.Encode(nil, v)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +226,10 @@ func (d *Disk[V]) encodeFile(k Key, v V) ([]byte, error) {
 	return append(buf, payload...), nil
 }
 
-func (d *Disk[V]) decodeFile(k Key, data []byte) (V, bool) {
+// decodeEntry parses one container file, validating the magic, format
+// revision, schema version, key echo and payload checksum. Any mismatch
+// is reported as a miss, never a partial decode.
+func decodeEntry[V any](codec Codec[V], k Key, data []byte) (V, bool) {
 	var zero V
 	if len(data) < 4+2 || [4]byte(data[:4]) != magic {
 		return zero, false
@@ -228,7 +243,7 @@ func (d *Disk[V]) decodeFile(k Key, data []byte) (V, bool) {
 	if n <= 0 || uint64(len(data)-n) < vlen {
 		return zero, false
 	}
-	if string(data[n:n+int(vlen)]) != d.codec.Version() {
+	if string(data[n:n+int(vlen)]) != codec.Version() {
 		return zero, false // stale schema revision: self-invalidate
 	}
 	data = data[n+int(vlen):]
@@ -244,7 +259,7 @@ func (d *Disk[V]) decodeFile(k Key, data []byte) (V, bool) {
 	if uint32(len(payload)) != paylen || fnv1a(payload) != sum {
 		return zero, false // truncated or bit-rotted
 	}
-	v, err := d.codec.Decode(payload)
+	v, err := codec.Decode(payload)
 	if err != nil {
 		return zero, false
 	}

@@ -1,0 +1,166 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Files is the named-entry sibling of the Disk tier: a small durable map
+// from caller-chosen names to encoded values, one file per entry in the
+// shared container format (versioned header, key echo, checksummed
+// payload, temp file + atomic rename). Where Disk is a content-addressed
+// cache — keys are hashes, losses are misses — Files is a journal
+// primitive: entries are looked up by name, Put reports its error, and
+// List enumerates what survived a restart. The integrity key echoed into
+// each container is derived from the entry name, so a renamed or
+// cross-linked file fails decode exactly as in the Disk tier.
+type Files[V any] struct {
+	dir   string
+	codec Codec[V]
+}
+
+// filesSuffix marks named-entry files; the distinct extension keeps a
+// Files directory disjoint from a Disk tier's hash-named ".acr" files.
+const filesSuffix = ".acrj"
+
+// NewFiles opens (creating if needed) a named-entry store rooted at dir,
+// sweeping any orphaned temp files from a crashed writer.
+func NewFiles[V any](dir string, codec Codec[V]) (*Files[V], error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening files store: %w", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning files store: %w", err)
+	}
+	for _, ent := range ents {
+		if strings.HasPrefix(ent.Name(), tmpPrefix) {
+			os.Remove(filepath.Join(dir, ent.Name())) // crashed writer's leftovers
+		}
+	}
+	return &Files[V]{dir: dir, codec: codec}, nil
+}
+
+// validName restricts entry names to filesystem-safe characters so a
+// name can never escape the store's directory or collide with the temp
+// prefix.
+func validName(name string) bool {
+	if name == "" || strings.HasPrefix(name, ".") {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// nameKey derives the container integrity key from an entry name: two
+// independent FNV-1a streams (distinct offset bases) over the same
+// bytes, mirroring how the Disk tier's content hashes fill both words.
+func nameKey(name string) Key {
+	h1 := uint64(14695981039346656037)
+	h2 := uint64(12638153115695167455)
+	for i := 0; i < len(name); i++ {
+		c := uint64(name[i])
+		h1 = (h1 ^ c) * 1099511628211
+		h2 = (h2 ^ c) * 1099511628211
+	}
+	return Key{Hi: h1, Lo: h2}
+}
+
+func (f *Files[V]) path(name string) string {
+	return filepath.Join(f.dir, name+filesSuffix)
+}
+
+// Put encodes v and atomically installs it as name's entry, replacing
+// any previous value. Unlike the cache tier, failures are returned: a
+// journal write that cannot land is something the caller must know.
+func (f *Files[V]) Put(name string, v V) error {
+	if !validName(name) {
+		return fmt.Errorf("store: invalid entry name %q", name)
+	}
+	buf, err := encodeEntry(f.codec, nameKey(name), v)
+	if err != nil {
+		return fmt.Errorf("store: encoding entry %q: %w", name, err)
+	}
+	tmp, err := os.CreateTemp(f.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: writing entry %q: %w", name, err)
+	}
+	tmpName := tmp.Name()
+	if _, err = tmp.Write(buf); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err == nil {
+		err = os.Rename(tmpName, f.path(name))
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: writing entry %q: %w", name, err)
+	}
+	return nil
+}
+
+// Get reads and decodes name's entry. Any failure — absent, truncated,
+// corrupted, stale schema, renamed file — reports absence; damaged files
+// are removed so the slot heals on the next Put.
+func (f *Files[V]) Get(name string) (V, bool) {
+	var zero V
+	if !validName(name) {
+		return zero, false
+	}
+	data, err := os.ReadFile(f.path(name))
+	if err != nil {
+		return zero, false
+	}
+	v, ok := decodeEntry(f.codec, nameKey(name), data)
+	if !ok {
+		os.Remove(f.path(name))
+		return zero, false
+	}
+	return v, true
+}
+
+// Delete removes name's entry; deleting an absent entry is not an error.
+func (f *Files[V]) Delete(name string) error {
+	if !validName(name) {
+		return fmt.Errorf("store: invalid entry name %q", name)
+	}
+	if err := os.Remove(f.path(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: deleting entry %q: %w", name, err)
+	}
+	return nil
+}
+
+// List returns the store's entry names in sorted order, so callers that
+// replay the entries do so deterministically.
+func (f *Files[V]) List() ([]string, error) {
+	ents, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing files store: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, filesSuffix) {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(name, filesSuffix))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Dir returns the store's root directory.
+func (f *Files[V]) Dir() string { return f.dir }

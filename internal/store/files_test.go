@@ -1,0 +1,120 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestFilesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f, err := NewFiles[pair](dir, pairCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Get("absent"); ok {
+		t.Fatal("Get on empty store returned a value")
+	}
+	want := pair{A: 7, B: "journal"}
+	if err := f.Put("alpha", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := f.Get("alpha")
+	if !ok || got != want {
+		t.Fatalf("Get = %+v, %v; want %+v", got, ok, want)
+	}
+
+	// A reopened store sees the same entries: the container survives the
+	// encode/decode round trip byte-exactly.
+	f2, err := NewFiles[pair](dir, pairCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := f2.Get("alpha"); !ok || got != want {
+		t.Fatalf("reopened Get = %+v, %v", got, ok)
+	}
+}
+
+func TestFilesListSortsAndDeleteIsIdempotent(t *testing.T) {
+	f, err := NewFiles[pair](t.TempDir(), pairCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := f.Put(name, pair{A: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := f.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"alpha", "mid", "zeta"}) {
+		t.Fatalf("List = %v, want sorted", names)
+	}
+	if err := f.Delete("mid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete("mid"); err != nil { // second delete: no such file is fine
+		t.Fatalf("repeated Delete errored: %v", err)
+	}
+	if _, ok := f.Get("mid"); ok {
+		t.Fatal("deleted entry still readable")
+	}
+}
+
+func TestFilesRejectsInvalidNames(t *testing.T) {
+	f, err := NewFiles[pair](t.TempDir(), pairCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", ".hidden", "a/b", "a b", "née"} {
+		if err := f.Put(name, pair{}); err == nil {
+			t.Errorf("Put(%q) accepted an invalid name", name)
+		}
+	}
+}
+
+func TestFilesDropsCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	f, err := NewFiles[pair](dir, pairCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put("alpha", pair{A: 9}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "alpha"+filesSuffix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // corrupt the payload under the checksum
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Get("alpha"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed from disk")
+	}
+}
+
+func TestFilesSweepsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, tmpPrefix+"leftover")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(orphan, []byte("crash debris"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFiles[pair](dir, pairCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphaned temp file survived NewFiles")
+	}
+}

@@ -42,7 +42,6 @@ func (f *Flight[V]) Do(ctx context.Context, k Key, fn func() (V, error)) (v V, s
 			f.calls = make(map[Key]*flightCall[V])
 		}
 		if c, ok := f.calls[k]; ok {
-			f.shares++
 			f.mu.Unlock()
 			select {
 			case <-c.done:
@@ -51,6 +50,15 @@ func (f *Flight[V]) Do(ctx context.Context, k Key, fn func() (V, error)) (v V, s
 				return zero, true, ctx.Err()
 			}
 			if c.err == nil {
+				// Count the share only now that a value is actually being
+				// delivered. Counting at wait-entry double-counted followers
+				// that observed a failed leader and looped to contend again
+				// (once per retry), and counted followers that then timed out
+				// without ever receiving a value — inflating the flight
+				// tier's Hits in /metrics.
+				f.mu.Lock()
+				f.shares++
+				f.mu.Unlock()
 				return c.v, true, nil
 			}
 			if err := ctx.Err(); err != nil {

@@ -297,6 +297,86 @@ func TestFlightFollowerRetriesAfterLeaderFailure(t *testing.T) {
 	<-done
 }
 
+// TestFlightShareCountedOnlyOnDelivery is the stats regression for the
+// double-count: a follower that observes a failed leader and loops to
+// contend again used to bump shares once per retry (and even when it
+// then timed out), so the flight tier's Hits in /metrics exceeded the
+// number of values ever shared. A share must count only when a value is
+// actually delivered from another caller's computation.
+func TestFlightShareCountedOnlyOnDelivery(t *testing.T) {
+	var f Flight[int]
+	k := Key{Hi: 6}
+
+	// Round 1: leader fails while one follower waits and a second
+	// follower times out mid-wait. Neither received a value, so neither
+	// may count as a share.
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		f.Do(context.Background(), k, func() (int, error) {
+			close(leaderIn)
+			<-release
+			return 0, errors.New("leader died")
+		})
+	}()
+	<-leaderIn
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := f.Do(expired, k, func() (int, error) { return 0, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("timed-out follower err = %v", err)
+	}
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		// Observes the failed leader, loops, wins leadership, computes.
+		v, shared, err := f.Do(context.Background(), k, func() (int, error) { return 7, nil })
+		if err != nil || v != 7 || shared {
+			t.Errorf("retrying follower: v=%d shared=%v err=%v", v, shared, err)
+		}
+	}()
+	close(release)
+	<-followerDone
+
+	s := f.Stats()
+	if s.Hits != 0 {
+		t.Errorf("after failed leader + timed-out follower: shares = %d, want 0 (no value was ever shared)", s.Hits)
+	}
+	if s.Misses != 2 {
+		t.Errorf("leads = %d, want 2 (failed leader + retrying follower)", s.Misses)
+	}
+
+	// Round 2: a genuine share still counts exactly once. Joining an
+	// in-flight call is inherently racy from outside, so retry rounds
+	// until one follower actually shares; each round delivers at most one
+	// share, so the first success pins the counter at exactly 1.
+	for attempt := 0; attempt < 1000 && f.Stats().Hits == 0; attempt++ {
+		leaderIn2 := make(chan struct{})
+		release2 := make(chan struct{})
+		go func() {
+			f.Do(context.Background(), k, func() (int, error) {
+				close(leaderIn2)
+				<-release2
+				return 42, nil
+			})
+		}()
+		<-leaderIn2
+		shareDone := make(chan struct{})
+		go func() {
+			defer close(shareDone)
+			v, _, err := f.Do(context.Background(), k, func() (int, error) { return 42, nil })
+			if err != nil || v != 42 {
+				t.Errorf("round-2 follower: v=%d err=%v", v, err)
+			}
+		}()
+		runtime.Gosched()
+		close(release2)
+		<-shareDone
+	}
+	if s := f.Stats(); s.Hits != 1 {
+		t.Errorf("after one delivered value: shares = %d, want 1", s.Hits)
+	}
+}
+
 // TestFlightFollowerHonorsOwnContext: a waiting follower whose context
 // expires returns its own error instead of blocking on the leader.
 func TestFlightFollowerHonorsOwnContext(t *testing.T) {
